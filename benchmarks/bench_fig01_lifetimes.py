@@ -1,0 +1,29 @@
+"""Fig 1 — distribution of host lifetimes.
+
+Paper: Weibull fit k = 0.58, λ = 135 d; mean 192.4 d; median 71.14 d;
+hosts first connecting after July 2010 excluded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.overview import lifetime_distribution
+
+
+def test_fig01_lifetime_distribution(benchmark, bench_trace):
+    dist = benchmark.pedantic(
+        lifetime_distribution, args=(bench_trace,), rounds=3, iterations=1
+    )
+
+    print("\nFig 1 — host lifetimes (paper vs measured)")
+    print(f"  mean    : 192.4 d  vs {dist.mean_days:8.1f} d")
+    print(f"  median  :  71.1 d  vs {dist.median_days:8.1f} d")
+    print(f"  Weibull : k=0.58 λ=135 vs k={dist.weibull.shape:.2f} λ={dist.weibull.scale_days:.0f}")
+
+    assert dist.mean_days == pytest.approx(192.4, rel=0.12)
+    assert dist.median_days == pytest.approx(71.1, rel=0.15)
+    assert dist.weibull.shape == pytest.approx(0.58, abs=0.07)
+    assert dist.weibull.scale_days == pytest.approx(135.0, rel=0.18)
+    # k < 1: decreasing dropout rate — the paper's qualitative headline.
+    assert dist.weibull.decreasing_dropout_rate

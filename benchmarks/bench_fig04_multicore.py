@@ -1,0 +1,35 @@
+"""Fig 4 — fraction of hosts per core-count band over time.
+
+Paper: in 2006 the pool is dominated by single-core hosts (1:2 ratio
+3.3:1); by 2010 the ratio inverts to 1:2.5 and 18 % of hosts have more
+than 4 cores (the 4-7 and 8-15 bands combined).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.resources import multicore_fractions
+
+DATES = np.linspace(2006.05, 2010.5, 10)
+
+
+def test_fig04_multicore_bands(benchmark, bench_trace):
+    bands = benchmark.pedantic(
+        multicore_fractions, args=(bench_trace, DATES), rounds=3, iterations=1
+    )
+
+    print("\nFig 4 — multicore bands (measured):")
+    for label, series in bands.items():
+        print(f"  {label:>12}: 2006 {series[0]:.3f} -> 2010.5 {series[-1]:.3f}")
+
+    single = bands["1 core"]
+    duo = bands["2-3 cores"]
+    assert single[0] / duo[0] == pytest.approx(3.3, abs=0.8)
+    assert duo[-1] > single[-1]  # inversion by 2010
+    four_plus = bands["4-7 cores"][-2] + bands["8-15 cores"][-2]
+    assert four_plus == pytest.approx(0.18, abs=0.06)
+    # Bands form a distribution at every date.
+    totals = sum(bands[label] for label in bands)
+    np.testing.assert_allclose(totals, 1.0, atol=0.01)

@@ -1,0 +1,67 @@
+"""Figs 6/7 / Table V — per-core-memory distributions and ratio-law fits.
+
+Paper: hosts with ≤ 256 MB per core fall from 19 % (2006) to 4 % (2010);
+1024 MB per core rises 21 % → 32 %; 2048 MB rises 2 % → 10 %.  The six
+adjacent-class ratios follow exponential laws with |r| ≥ 0.97 (Table V).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.resources import percore_distribution, percore_fraction_bands
+from repro.core.parameters import PERCORE_MEMORY_CLASSES_MB, ModelParameters
+from repro.fitting.pipeline import default_fit_dates
+from repro.fitting.ratios import class_fraction_series, fit_ratio_chain
+from repro.hosts.filters import SanityFilter
+
+
+def _fit_percore_chain(trace):
+    dates = default_fit_dates()
+    sanity = SanityFilter()
+    values = [sanity.apply(trace.snapshot(float(d)))[0].mem_per_core for d in dates]
+    classes = tuple(float(c) for c in PERCORE_MEMORY_CLASSES_MB)
+    fractions = class_fraction_series(dates, values, classes)
+    return fit_ratio_chain(dates, fractions, classes)
+
+
+def test_fig06_percore_distribution_shift(benchmark, bench_trace):
+    early = benchmark.pedantic(
+        percore_distribution, args=(bench_trace, 2006.05), rounds=3, iterations=1
+    )
+    late = percore_distribution(bench_trace, 2010.0)
+    print("\nFig 6 — per-core memory shares (paper vs measured):")
+    print(f"  <=256MB 2006: 0.19 vs {early[256.0]:.3f}   2010: 0.04 vs {late[256.0]:.3f}")
+    print(f"  1024MB  2006: 0.21 vs {early[1024.0]:.3f}   2010: 0.32 vs {late[1024.0]:.3f}")
+    print(f"  2048MB  2006: 0.02 vs {early[2048.0]:.3f}   2010: 0.10 vs {late[2048.0]:.3f}")
+    assert early[256.0] == pytest.approx(0.19, abs=0.07)
+    assert late[256.0] == pytest.approx(0.04, abs=0.04)
+    assert late[1024.0] > early[1024.0]
+    assert late[2048.0] > early[2048.0]
+
+
+def test_fig07_tab05_percore_ratio_laws(benchmark, bench_trace):
+    chain = benchmark.pedantic(
+        _fit_percore_chain, args=(bench_trace,), rounds=3, iterations=1
+    )
+
+    reference = ModelParameters.paper_reference().percore_memory_chain.ratio_laws
+    labels = ("256:512", "512:768", "768:1G", "1G:1.5G", "1.5G:2G", "2G:4G")
+    print("\nTable V — per-core-memory ratio laws (paper vs measured):")
+    for label, ref, law in zip(labels, reference, chain.ratio_laws):
+        print(
+            f"  {label:>8}: a {ref.a:7.3f} vs {law.a:7.3f}   "
+            f"b {ref.b:+7.4f} vs {law.b:+7.4f}"
+        )
+
+    # The well-populated middle ratios recover Table V.
+    for i in (1, 2, 3):
+        assert chain.ratio_laws[i].a == pytest.approx(reference[i].a, rel=0.40), i
+        assert chain.ratio_laws[i].b == pytest.approx(reference[i].b, abs=0.09), i
+        assert chain.ratio_laws[i].r < -0.7, i
+
+    # Fig 7 band shape.
+    bands = percore_fraction_bands(bench_trace, np.linspace(2006.05, 2010.5, 8))
+    assert bands["<=256MB"][0] > bands["<=256MB"][-1]
+    assert bands[">2048MB"][-1] < 0.08

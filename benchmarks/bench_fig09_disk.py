@@ -1,0 +1,77 @@
+"""Fig 9 / Table VI (disk) — available-disk distributions and trend laws.
+
+Paper: log-normal wins the subsampled KS selection (avg p 0.43–0.51);
+checkpoints (mean, median, std GB): 2006 (32.89, 15.61, 60.25),
+2008 (52.01, 24.45, 87.13), 2010 (98.13, 43.74, 157.8).  Trend laws:
+mean a = 31.59, b = 0.2691 (r = 0.9955); variance a = 2890, b = 0.5224
+(r = 0.9954).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.resources import disk_distribution
+from repro.fitting.pipeline import default_fit_dates
+from repro.fitting.scalars import fit_moment_laws, moment_series
+from repro.hosts.filters import SanityFilter
+
+PAPER_FIG9 = {
+    2006.05: (32.89, 15.61, 60.25),
+    2008.0: (52.01, 24.45, 87.13),
+    2010.0: (98.13, 43.74, 157.8),
+}
+
+
+def _fit_disk_laws(trace):
+    dates = default_fit_dates()
+    sanity = SanityFilter()
+    values = [sanity.apply(trace.snapshot(float(d)))[0].disk_gb for d in dates]
+    return fit_moment_laws(moment_series(dates, values))
+
+
+def test_fig09_disk_moments(benchmark, bench_trace):
+    benchmark.pedantic(
+        disk_distribution, args=(bench_trace, 2008.0), kwargs={"run_ks": False},
+        rounds=3, iterations=1,
+    )
+    print("\nFig 9 — disk moments (paper mean/median/std vs measured):")
+    for when, (p_mean, p_median, p_std) in PAPER_FIG9.items():
+        dist = disk_distribution(bench_trace, when, run_ks=False)
+        print(
+            f"  {when:.1f}: ({p_mean:6.1f}, {p_median:6.1f}, {p_std:6.1f}) vs "
+            f"({dist.mean:6.1f}, {dist.median:6.1f}, {dist.std:6.1f})"
+        )
+        assert dist.mean == pytest.approx(p_mean, rel=0.18)
+        assert dist.median == pytest.approx(p_median, rel=0.30)
+
+
+def test_fig09_lognormal_selected(benchmark, bench_trace, bench_rng):
+    dist = benchmark.pedantic(
+        disk_distribution, args=(bench_trace, 2008.0, bench_rng), rounds=1, iterations=1
+    )
+    ranking = dist.ks_selection.ranking()
+    print("\nFig 9 — KS family ranking (disk 2008):")
+    for name, p in ranking:
+        print(f"  {name:>12}: {p:.3f}")
+    assert dist.ks_selection.p_values["lognormal"] > 0.2
+    assert dist.ks_selection.p_values["lognormal"] > dist.ks_selection.p_values.get(
+        "normal", 0.0
+    )
+    assert ranking[0][0] in {"lognormal", "loggamma", "gamma", "weibull"}
+
+
+def test_tab06_disk_trend_laws(benchmark, bench_trace):
+    mean_law, var_law = benchmark.pedantic(
+        _fit_disk_laws, args=(bench_trace,), rounds=3, iterations=1
+    )
+    print(
+        f"\nTable VI — disk: mean a 31.59/b 0.2691 vs "
+        f"{mean_law.a:.2f}/{mean_law.b:.4f}; var a 2890/b 0.5224 vs "
+        f"{var_law.a:.0f}/{var_law.b:.4f}"
+    )
+    assert mean_law.a == pytest.approx(31.59, rel=0.12)
+    assert mean_law.b == pytest.approx(0.2691, abs=0.05)
+    assert var_law.a == pytest.approx(2890.0, rel=0.5)
+    assert var_law.b == pytest.approx(0.5224, abs=0.12)
+    assert mean_law.r > 0.97

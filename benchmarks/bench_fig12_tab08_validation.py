@@ -1,0 +1,42 @@
+"""Fig 12 / Table VIII — validating the fitted model on held-out data.
+
+Paper (fit Jan 2006 – Jan 2010, validate Sep 2010): mean differences range
+0.5 % (cores) to 13 % (memory); std differences 3.5 % (Whetstone) to 32.7 %
+(memory).  Generated correlations: cores↔memory ≈ 0.727 (actual 0.606),
+whet↔dhry ≈ 0.505 (actual 0.639), disk ≈ 0 everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import validate_generated
+
+
+def test_fig12_tab08_validation(benchmark, bench_trace, bench_generator):
+    report = benchmark.pedantic(
+        validate_generated,
+        args=(bench_trace, bench_generator),
+        kwargs={"rng": np.random.default_rng(99)},
+        rounds=3,
+        iterations=1,
+    )
+
+    print("\nFig 12 — generated vs actual, September 2010:")
+    print(report.format_table())
+    print("\nTable VIII — generated correlations:")
+    print(report.generated_correlations.format_table())
+
+    # Fig 12: the paper's worst mean error is 13 % (memory).
+    for label, row in report.resources.items():
+        assert row.mean_difference_pct < 15.0, label
+        assert row.std_difference_pct < 35.0, label
+        assert row.ks_distance < 0.25, label
+
+    generated = report.generated_correlations
+    assert generated.get("cores", "memory_mb") == pytest.approx(0.727, abs=0.12)
+    assert generated.get("whetstone", "dhrystone") == pytest.approx(0.6, abs=0.15)
+    assert generated.get("mem_per_core", "whetstone") == pytest.approx(0.307, abs=0.12)
+    for other in ("cores", "memory_mb", "whetstone", "dhrystone"):
+        assert abs(generated.get("disk_gb", other)) < 0.06, other

@@ -1,0 +1,41 @@
+"""Fig 13 — predicted multicore distribution, 2009-2014.
+
+Paper: single-core hosts decay to a negligible fraction within three
+years; 2-core hosts still make up roughly 40 % of the total in 2014; the
+predicted mean of 4.6 cores per host in 2014 exceeds the 3.7 obtained by
+naive extrapolation of Fig 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import ModelParameters
+from repro.core.prediction import predict_core_fractions, predict_scalars
+
+YEARS = np.arange(2009.0, 2014.01, 0.5)
+
+
+def test_fig13_multicore_forecast(benchmark):
+    params = ModelParameters.paper_reference()
+    bands = benchmark.pedantic(
+        predict_core_fractions, args=(params, YEARS), rounds=5, iterations=1
+    )
+
+    print("\nFig 13 — multicore forecast (measured fractions):")
+    for label, series in bands.items():
+        print(f"  {label:>12}: 2009 {series[0]:.3f} -> 2014 {series[-1]:.3f}")
+
+    # Single core negligible by 2014.
+    assert bands["1 core"][-1] < 0.05
+    # Exactly-2-core hosts ≈ 40 % in 2014.
+    exactly_two = bands[">=2 cores"][-1] - bands[">=4 cores"][-1]
+    assert exactly_two == pytest.approx(0.40, abs=0.05)
+    # Mean cores 2014 ≈ 4.6.
+    scalars = predict_scalars(params, 2014.0)
+    print(f"  mean cores 2014: 4.6 vs {scalars.cores_mean:.2f}")
+    assert scalars.cores_mean == pytest.approx(4.6, abs=0.15)
+    # Bands are nested and monotone in time.
+    for label in (">=2 cores", ">=4 cores", ">=8 cores", ">=16 cores"):
+        assert np.all(np.diff(bands[label]) > 0), label

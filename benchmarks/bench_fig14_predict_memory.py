@@ -1,0 +1,55 @@
+"""Fig 14 — predicted total-memory distribution, 2009-2014.
+
+Paper: the forecast gives an average of 6.8 GB per host in 2014 ("very
+close to the 6.6 GB found by extrapolating" Fig 2); low-memory bands fade
+while the > 8 GB band appears.  Further §VI-C scalars for 2014: Dhrystone
+(8100, 4419), Whetstone (2975, 868), disk (272.0, 434.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import ModelParameters
+from repro.core.prediction import predict_memory_fractions, predict_scalars
+
+YEARS = np.arange(2009.0, 2014.01, 0.5)
+
+
+def test_fig14_memory_forecast(benchmark):
+    params = ModelParameters.paper_reference()
+    bands = benchmark.pedantic(
+        predict_memory_fractions, args=(params, YEARS), rounds=5, iterations=1
+    )
+
+    print("\nFig 14 — memory forecast (measured fractions):")
+    for label, series in bands.items():
+        print(f"  {label:>8}: 2009 {series[0]:.3f} -> 2014 {series[-1]:.3f}")
+
+    scalars = predict_scalars(params, 2014.0)
+    print(f"  mean memory 2014: 6.8 GB (paper) vs {scalars.memory_mean_mb / 1024:.2f} GB")
+    assert scalars.memory_mean_mb / 1024 == pytest.approx(6.8, rel=0.07)
+
+    # Band shape: small-memory hosts fade, large-memory hosts appear.
+    assert np.all(np.diff(bands["<=1GB"]) < 0)
+    assert np.all(np.diff(bands[">8GB"]) > 0)
+    assert bands["<=1GB"][-1] < 0.05
+    assert bands["<=8GB"][-1] + bands[">8GB"][-1] == pytest.approx(1.0)
+
+
+def test_sec6c_scalar_predictions(benchmark):
+    params = ModelParameters.paper_reference()
+    scalars = benchmark.pedantic(
+        predict_scalars, args=(params, 2014.0), rounds=5, iterations=1
+    )
+    print("\n§VI-C 2014 scalars (paper vs measured):")
+    print(f"  Dhrystone: (8100, 4419) vs ({scalars.dhrystone_mean:.0f}, {scalars.dhrystone_std:.0f})")
+    print(f"  Whetstone: (2975, 868) vs ({scalars.whetstone_mean:.0f}, {scalars.whetstone_std:.0f})")
+    print(f"  Disk     : (272.0, 434.5) vs ({scalars.disk_mean_gb:.1f}, {scalars.disk_std_gb:.1f})")
+    assert scalars.dhrystone_mean == pytest.approx(8100.0, rel=0.001)
+    assert scalars.dhrystone_std == pytest.approx(4419.0, rel=0.001)
+    assert scalars.whetstone_mean == pytest.approx(2975.0, rel=0.001)
+    assert scalars.whetstone_std == pytest.approx(868.0, rel=0.001)
+    assert scalars.disk_mean_gb == pytest.approx(272.0, rel=0.001)
+    assert scalars.disk_std_gb == pytest.approx(434.5, rel=0.001)

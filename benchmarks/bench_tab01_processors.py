@@ -1,0 +1,31 @@
+"""Table I — host processor families over time (% of total).
+
+Paper: Pentium 4 falls 36.8 % → 15.5 %; Intel Core 2 rises 0.9 % → 32.0 %;
+PowerPC fades 5.1 % → 2.7 %; Athlon XP fades 12.3 % → 2.5 %.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.composition import cpu_shares_table, format_shares_table
+
+
+def test_tab01_processor_composition(benchmark, bench_trace):
+    table = benchmark.pedantic(
+        cpu_shares_table, args=(bench_trace,), rounds=3, iterations=1
+    )
+
+    print("\nTable I — processor shares (measured):")
+    print(format_shares_table(table))
+
+    # Trend checks against the published columns.
+    assert table["Pentium 4"][0] > table["Pentium 4"][-1]
+    assert table["Intel Core 2"][-1] > table["Intel Core 2"][0]
+    assert table["Athlon XP"][0] > table["Athlon XP"][-1]
+
+    # Absolute agreement with the published 2006/2010 columns (the trace
+    # samples from Table I with cohort smearing, so tolerances are loose).
+    assert table["Pentium 4"][0] == pytest.approx(36.8, abs=9.0)
+    assert table["Intel Core 2"][-1] == pytest.approx(32.0, abs=9.0)
+    assert table["PowerPC G3/G4/G5"][0] == pytest.approx(5.1, abs=3.0)

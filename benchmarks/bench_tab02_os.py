@@ -1,0 +1,27 @@
+"""Table II — host operating systems over time (% of total).
+
+Paper: Windows XP falls 69.8 % → 52.9 %; Vista + 7 rise 0 % → ~25 %;
+Mac OS X and Linux grow steadily (5.4→9.0 %, 5.1→7.3 %).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.composition import format_shares_table, os_shares_table
+
+
+def test_tab02_os_composition(benchmark, bench_trace):
+    table = benchmark.pedantic(
+        os_shares_table, args=(bench_trace,), rounds=3, iterations=1
+    )
+
+    print("\nTable II — OS shares (measured):")
+    print(format_shares_table(table))
+
+    assert table["Windows XP"][0] == pytest.approx(69.8, abs=10.0)
+    assert table["Windows XP"][-1] < table["Windows XP"][0]
+    vista_plus_seven = table["Windows Vista"][-1] + table["Windows 7"][-1]
+    assert vista_plus_seven == pytest.approx(25.0, abs=10.0)
+    assert table["Mac OS X"][-1] >= table["Mac OS X"][0] - 1.5
+    assert table["Linux"][-1] >= table["Linux"][0] - 1.5

@@ -1,0 +1,52 @@
+"""Table III — correlation coefficients between host measurements.
+
+Paper (Jan 2010 population): cores↔memory 0.606, memory↔mem/core 0.627,
+mem/core↔cores −0.010, whet↔dhry 0.639, mem/core↔whet 0.250,
+mem/core↔dhry 0.306, and the entire disk row ≈ 0 (−0.016 … 0.114).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hosts.filters import SanityFilter
+
+PAPER_TABLE_III = {
+    ("cores", "memory_mb"): 0.606,
+    ("memory_mb", "mem_per_core"): 0.627,
+    ("cores", "mem_per_core"): -0.010,
+    ("whetstone", "dhrystone"): 0.639,
+    ("mem_per_core", "whetstone"): 0.250,
+    ("mem_per_core", "dhrystone"): 0.306,
+    ("cores", "whetstone"): 0.161,
+    ("cores", "dhrystone"): 0.130,
+    ("disk_gb", "cores"): 0.089,
+    ("disk_gb", "memory_mb"): 0.114,
+    ("disk_gb", "whetstone"): -0.016,
+    ("disk_gb", "dhrystone"): -0.004,
+}
+
+
+def _correlation_matrix(trace):
+    population, _ = SanityFilter().apply(trace.snapshot(2010.0))
+    return population.correlation_matrix()
+
+
+def test_tab03_resource_correlations(benchmark, bench_trace):
+    matrix = benchmark.pedantic(
+        _correlation_matrix, args=(bench_trace,), rounds=3, iterations=1
+    )
+
+    print("\nTable III — correlations (paper vs measured):")
+    for (a, b), paper in PAPER_TABLE_III.items():
+        print(f"  {a:>12} ~ {b:<12}: {paper:+.3f} vs {matrix.get(a, b):+.3f}")
+
+    assert matrix.get("cores", "memory_mb") == pytest.approx(0.606, abs=0.15)
+    assert matrix.get("memory_mb", "mem_per_core") == pytest.approx(0.627, abs=0.15)
+    assert matrix.get("cores", "mem_per_core") == pytest.approx(-0.010, abs=0.12)
+    assert matrix.get("whetstone", "dhrystone") == pytest.approx(0.639, abs=0.12)
+    assert matrix.get("mem_per_core", "whetstone") == pytest.approx(0.250, abs=0.10)
+    assert matrix.get("mem_per_core", "dhrystone") == pytest.approx(0.306, abs=0.10)
+    # Disk is essentially uncorrelated with everything.
+    for other in ("cores", "memory_mb", "mem_per_core", "whetstone", "dhrystone"):
+        assert abs(matrix.get("disk_gb", other)) < 0.13, other

@@ -1,0 +1,53 @@
+"""Table VII / Fig 10 — GPU types and GPU memory.
+
+Paper: 12.7 % of active hosts report GPUs in Sep 2009, 23.8 % in Sep 2010;
+GeForce share falls 82.5 % → 63.6 % while Radeon rises 12.2 % → 31.5 %;
+GPU memory means 592.7 → 659.4 MB (median 512 both years), hosts with
+≥ 1 GB GPU memory rise 19 % → 31 % but > 1 GB stays below ~2 %.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.composition import gpu_memory_distribution, gpu_type_shares
+
+
+def test_tab07_gpu_type_shares(benchmark, bench_trace):
+    table = benchmark.pedantic(
+        gpu_type_shares, args=(bench_trace,), rounds=3, iterations=1
+    )
+    print("\nTable VII — GPU type shares (paper vs measured, Sep09 / Sep10):")
+    paper = {"GeForce": (82.5, 63.6), "Radeon": (12.2, 31.5), "Quadro": (4.7, 4.0), "Other": (0.6, 0.8)}
+    for label, (p09, p10) in paper.items():
+        print(f"  {label:>8}: {p09:5.1f}/{p10:5.1f} vs {table[label][0]:5.1f}/{table[label][1]:5.1f}")
+
+    assert table["GeForce"][0] > table["GeForce"][1]
+    assert table["Radeon"][1] > table["Radeon"][0]
+    assert table["GeForce"][0] == pytest.approx(82.5, abs=9.0)
+    assert table["Radeon"][1] == pytest.approx(31.5, abs=9.0)
+
+
+def test_fig10_gpu_memory(benchmark, bench_trace):
+    dist09 = benchmark.pedantic(
+        gpu_memory_distribution, args=(bench_trace, 2009.667), rounds=3, iterations=1
+    )
+    dist10 = gpu_memory_distribution(bench_trace, 2010.667)
+
+    print("\nFig 10 — GPU memory (paper vs measured):")
+    print(f"  share of hosts : 12.7%/23.8% vs {dist09.gpu_share_of_hosts:.1%}/{dist10.gpu_share_of_hosts:.1%}")
+    print(f"  mean MB        : 592.7/659.4 vs {dist09.mean_mb:.1f}/{dist10.mean_mb:.1f}")
+    print(f"  median MB      : 512/512 vs {dist09.median_mb:.0f}/{dist10.median_mb:.0f}")
+
+    assert dist09.gpu_share_of_hosts == pytest.approx(0.127, abs=0.03)
+    assert dist10.gpu_share_of_hosts == pytest.approx(0.238, abs=0.04)
+    assert dist09.mean_mb == pytest.approx(592.7, rel=0.08)
+    assert dist10.mean_mb > dist09.mean_mb
+    assert dist09.median_mb == 512.0
+    classes = np.asarray(dist09.classes_mb, dtype=float)
+    ge_1gb_09 = dist09.fractions[classes >= 1024].sum()
+    ge_1gb_10 = dist10.fractions[classes >= 1024].sum()
+    assert ge_1gb_09 == pytest.approx(0.19, abs=0.05)
+    assert ge_1gb_10 == pytest.approx(0.31, abs=0.06)
+    assert dist10.fractions[classes > 1024].sum() < 0.05

@@ -1,0 +1,62 @@
+"""Table X — the fitted model parameter summary.
+
+The keystone round-trip: the synthetic world evolves along the published
+laws, so fitting the full pipeline on it must recover Table X.  This bench
+times the entire §V fitting pipeline and compares every recovered (a, b)
+pair against the published values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import ModelParameters
+from repro.fitting.pipeline import fit_model_from_trace
+
+
+def test_tab10_model_summary(benchmark, bench_trace):
+    report = benchmark.pedantic(
+        fit_model_from_trace, args=(bench_trace,), rounds=3, iterations=1
+    )
+    fitted = report.parameters
+    reference = ModelParameters.paper_reference()
+
+    print("\nTable X — fitted vs published (resource, a_fit/a_ref, b_fit/b_ref):")
+    for (res_f, val_f, _m, a_f, b_f), (_r, _v, _m2, a_r, b_r) in zip(
+        fitted.summary_rows(), reference.summary_rows()
+    ):
+        print(f"  {res_f:>10} {val_f:>16}: a {a_f:10.4g} / {a_r:10.4g}   b {b_f:+.4f} / {b_r:+.4f}")
+
+    # Core ratios: the abundantly-populated laws recover a and b.
+    for i in (0, 1):
+        fit_law = fitted.core_chain.ratio_laws[i]
+        ref_law = reference.core_chain.ratio_laws[i]
+        assert fit_law.a == pytest.approx(ref_law.a, rel=0.35), f"core ratio {i}"
+        assert fit_law.b == pytest.approx(ref_law.b, rel=0.35), f"core ratio {i}"
+
+    # Per-core-memory middle ratios.
+    for i in (1, 2, 3):
+        fit_law = fitted.percore_memory_chain.ratio_laws[i]
+        ref_law = reference.percore_memory_chain.ratio_laws[i]
+        assert fit_law.a == pytest.approx(ref_law.a, rel=0.40), f"mem ratio {i}"
+        assert fit_law.b == pytest.approx(ref_law.b, abs=0.09), f"mem ratio {i}"
+
+    # Moment laws.
+    for name, rel_a, abs_b in (
+        ("dhrystone_mean", 0.10, 0.035),
+        ("whetstone_mean", 0.10, 0.035),
+        ("disk_mean", 0.15, 0.06),
+        ("dhrystone_variance", 0.45, 0.08),
+        ("whetstone_variance", 0.45, 0.08),
+        ("disk_variance", 0.55, 0.12),
+    ):
+        assert getattr(fitted, name).a == pytest.approx(
+            getattr(reference, name).a, rel=rel_a
+        ), name
+        assert getattr(fitted, name).b == pytest.approx(
+            getattr(reference, name).b, abs=abs_b
+        ), name
+
+    # Lifetime Weibull (Fig 1 parameters live in Table X's companion text).
+    assert fitted.lifetime_shape == pytest.approx(0.58, abs=0.06)
+    assert fitted.lifetime_scale_days == pytest.approx(135.0, rel=0.15)

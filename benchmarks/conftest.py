@@ -1,0 +1,50 @@
+"""Shared fixtures for the experiment-reproduction benchmarks.
+
+Every bench regenerates one of the paper's tables or figures from the
+synthetic trace and asserts its qualitative shape against the published
+values, while pytest-benchmark times the underlying computation.
+
+Set ``REPRO_BENCH_SCALE`` (default 0.02 ≈ 6.5 k active hosts) to trade
+fidelity against runtime; the paper's full scale is 1.0.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.generator import CorrelatedHostGenerator
+from repro.fitting.pipeline import FitReport, fit_model_from_trace
+from repro.traces.config import TraceConfig
+from repro.traces.dataset import TraceDataset
+from repro.traces.synthesis import generate_trace
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+
+
+@pytest.fixture(scope="session")
+def bench_trace(bench_scale: float) -> TraceDataset:
+    """The SETI@home-substitute trace all benches analyse."""
+    return generate_trace(TraceConfig(scale=bench_scale))
+
+
+@pytest.fixture(scope="session")
+def bench_fit(bench_trace: TraceDataset) -> FitReport:
+    """The model fitted from the trace (the paper's §V pipeline)."""
+    return fit_model_from_trace(bench_trace)
+
+
+@pytest.fixture(scope="session")
+def bench_generator(bench_fit: FitReport) -> CorrelatedHostGenerator:
+    """Generator driven by the fitted parameters."""
+    return CorrelatedHostGenerator(bench_fit.parameters)
+
+
+@pytest.fixture
+def bench_rng() -> np.random.Generator:
+    return np.random.default_rng(20110611)

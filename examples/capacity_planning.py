@@ -1,0 +1,76 @@
+"""Capacity planning: forecasting the host fleet of 2011-2014 (§VI-C).
+
+A project planning its next application release needs to know what hardware
+the volunteer fleet will have *in the future*: how many cores to target, how
+much memory a workunit may assume, how large downloads can be.  The model's
+exponential laws extrapolate directly.
+
+This reproduces Figs 13/14 (multicore and memory composition forecasts), the
+§VI-C scalar predictions for 2014, and the paper's unfinished "best and
+worst hosts" item as percentile-host forecasts.
+
+Run with::
+
+    python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ModelParameters,
+    extreme_hosts,
+    predict_core_fractions,
+    predict_memory_fractions,
+    predict_scalars,
+)
+
+
+def main() -> None:
+    params = ModelParameters.paper_reference()
+    years = np.arange(2009.0, 2014.01, 1.0)
+
+    print("=== Fig 13: multicore composition forecast ===\n")
+    bands = predict_core_fractions(params, years)
+    print("  year " + "".join(f"{label:>12}" for label in bands))
+    for i, year in enumerate(years):
+        row = "".join(f"{bands[label][i]:>12.3f}" for label in bands)
+        print(f"  {year:.0f}{row}")
+    print("\nPaper checkpoints: single-core hosts negligible within three")
+    print("years; 2-core hosts still ~40 % of the total in 2014.")
+
+    print("\n=== Fig 14: total-memory composition forecast ===\n")
+    memory_bands = predict_memory_fractions(params, years)
+    print("  year " + "".join(f"{label:>10}" for label in memory_bands))
+    for i, year in enumerate(years):
+        row = "".join(f"{memory_bands[label][i]:>10.3f}" for label in memory_bands)
+        print(f"  {year:.0f}{row}")
+
+    print("\n=== §VI-C scalar predictions ===\n")
+    for year in (2011.0, 2012.0, 2013.0, 2014.0):
+        s = predict_scalars(params, year)
+        print(
+            f"  {year:.0f}: {s.cores_mean:.1f} cores, "
+            f"{s.memory_mean_mb / 1024:.1f} GB RAM, "
+            f"Dhrystone ({s.dhrystone_mean:.0f}, {s.dhrystone_std:.0f}), "
+            f"Whetstone ({s.whetstone_mean:.0f}, {s.whetstone_std:.0f}), "
+            f"disk ({s.disk_mean_gb:.0f}, {s.disk_std_gb:.0f}) GB"
+        )
+    print("\nPaper's 2014 predictions: 4.6 cores, 6.8 GB RAM, Dhrystone")
+    print("(8100, 4419), Whetstone (2975, 868), disk (272.0, 434.5) GB.")
+
+    print("\n=== Best and worst hosts (the paper's §VI-C TODO) ===\n")
+    for year in (2010.667, 2012.0, 2014.0):
+        worst, best = extreme_hosts(params, year, quantile=0.95)
+        print(f"  {year:.1f}:")
+        print(f"    5th percentile : {worst.describe()}")
+        print(f"    95th percentile: {best.describe()}")
+
+    print("\nPlanning guidance: a workunit shipped in 2014 can safely assume")
+    print("2 cores and 2 GB RAM (>90 % of hosts), but must still run on the")
+    print("single-digit share of aging single-core machines or exclude them.")
+
+
+if __name__ == "__main__":
+    main()

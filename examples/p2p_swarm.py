@@ -1,0 +1,63 @@
+"""P2P content distribution over modelled hosts (network extension).
+
+The paper motivates its model partly through P2P file sharing (§III) and
+proposes tying host resources to network models (§VIII).  This example does
+exactly that: generate the 2010 host fleet, attach residential access links,
+build an overlay, and ask operational questions a P2P system designer would:
+
+* How long does it take to distribute content of a given size?
+* What fraction of the swarm can even *hold* the content (the log-normal
+  available-disk model implies a heavy small-disk tail)?
+* How do both answers change with the 2006-vs-2010 fleet?
+
+Run with::
+
+    python examples/p2p_swarm.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CorrelatedHostGenerator
+from repro.network import BandwidthModel, build_overlay, swarm_distribution_time
+from repro.network.overlay import swarm_capacity_fraction
+
+
+def describe_fleet(year: float, n_hosts: int, rng: np.random.Generator) -> None:
+    generator = CorrelatedHostGenerator()
+    bandwidth = BandwidthModel()
+    hosts = generator.generate(year, n_hosts, rng)
+    down, up = bandwidth.sample(year, n_hosts, rng)
+    overlay = build_overlay(hosts, down, up, degree=8, rng=rng)
+
+    print(f"\n=== {year:.0f} fleet ({n_hosts} hosts) ===")
+    print(
+        f"  access links: median {np.median(down):.1f} down / "
+        f"{np.median(up):.2f} up Mbit/s"
+    )
+    print(f"  median free disk: {np.median(hosts.disk_gb):.1f} GB")
+    for content_gb in (0.7, 4.7, 25.0, 250.0):
+        fraction = swarm_capacity_fraction(overlay, content_gb)
+        hours = swarm_distribution_time(overlay, content_gb)
+        time_str = f"{hours:8.1f} h" if np.isfinite(hours) else "   never"
+        print(
+            f"  {content_gb:6.1f} GB content: {fraction:5.1%} of hosts can hold it, "
+            f"distribution time {time_str}"
+        )
+
+
+def main() -> None:
+    rng = np.random.default_rng(2010)
+    describe_fleet(2006.0, 2_000, rng)
+    describe_fleet(2010.0, 2_000, rng)
+    print(
+        "\nThe 2010 fleet distributes DVD-sized content several times faster"
+        "\nthan the 2006 fleet — disk and bandwidth growth compound — but the"
+        "\nsmall-disk tail keeps a visible slice of hosts out of large swarms,"
+        "\nwhich is why the P2P utility profile (Table IX) weights disk at 0.7."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Volunteer-computing scheduling: why correlated host models matter.
+
+This is the paper's §VII scenario end-to-end: a volunteer-computing operator
+wants to predict how much utility four applications (SETI@home-style radio
+analysis, Folding@home-style molecular dynamics, climate prediction and P2P
+storage; Table IX) can extract from the host pool — before the hosts
+actually sign up.
+
+We synthesise a SETI@home-like world, fit the correlated model to its
+2006-2010 history, and compare three predictors of the 2010 pool: the
+correlated model, a naive uncorrelated-normal model and a Kee-style Grid
+model.  The punchline is Fig 15's: the correlated model is accurate across
+all four applications, the Grid model over-predicts P2P utility by ~50 %
+(exponential disk growth), and the naive model misses on the
+multi-resource applications.
+
+Run with::
+
+    python examples/volunteer_computing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.allocation import APPLICATIONS, run_utility_experiment
+from repro.allocation.scheduler import greedy_round_robin
+from repro.baselines import KeeGridModel, UncorrelatedNormalModel
+from repro.core.generator import CorrelatedHostGenerator
+from repro.fitting import fit_model_from_trace
+from repro.hosts.filters import SanityFilter
+from repro.traces import TraceConfig, generate_trace
+
+
+def main() -> None:
+    print("Synthesising the volunteer host trace (2004-2010)...")
+    trace = generate_trace(TraceConfig(scale=0.02))
+    print(f"  {len(trace):,} hosts; {trace.active_count(2010.25):,} active in Apr 2010")
+
+    print("\nFitting the correlated model on the 2006-2010 history...")
+    fitted = fit_model_from_trace(trace).parameters
+
+    models = [
+        UncorrelatedNormalModel.from_trace(trace),
+        KeeGridModel.from_trace(trace),
+        CorrelatedHostGenerator(fitted),
+    ]
+
+    print("\nRunning the utility experiment (monthly, Jan-Sep 2010)...")
+    result = run_utility_experiment(trace, models, rng=np.random.default_rng(7))
+    print("\nMean % utility difference vs the actual host pool (Fig 15):\n")
+    print(result.format_table())
+
+    print("\nPaper's ranges: correlated 0-10 %, grid 3-15 % (but 46-57 % for")
+    print("P2P), normal 9-31 % on the compute applications.")
+
+    # A concrete scheduling decision: which application gets which hosts?
+    print("\n=== Allocating April 2010's actual pool across the four apps ===\n")
+    actual, _ = SanityFilter().apply(trace.snapshot(2010.25))
+    labels = tuple(APPLICATIONS)
+    matrix = np.vstack(
+        [APPLICATIONS[label].of_population(actual) for label in labels]
+    )
+    allocation = greedy_round_robin(matrix, labels)
+    for label in labels:
+        hosts = allocation.assignments[label]
+        mean_cores = actual.cores[hosts].mean()
+        mean_disk = actual.disk_gb[hosts].mean()
+        print(
+            f"  {label:>20}: {hosts.size:5d} hosts "
+            f"(avg {mean_cores:.2f} cores, {mean_disk:6.1f} GB free disk)"
+        )
+    print("\nNote how P2P's greedy picks skew towards big disks while")
+    print("Folding@home's skew towards many-core machines.")
+
+
+if __name__ == "__main__":
+    main()

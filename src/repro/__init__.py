@@ -1,0 +1,52 @@
+"""repro — correlated resource models of Internet end hosts.
+
+A from-scratch reproduction of Heien, Kondo & Anderson, *Correlated Resource
+Models of Internet End Hosts* (ICDCS 2011): a generative, correlated,
+time-evolving statistical model of end-host resources (cores, memory,
+integer/floating-point speed, available disk) derived from SETI@home-style
+trace data, together with the measurement substrate, fitting pipeline,
+baseline models and the utility-allocation evaluation from the paper.
+
+Quick start::
+
+    import numpy as np
+    from repro import CorrelatedHostGenerator
+
+    generator = CorrelatedHostGenerator()          # paper's Table X values
+    hosts = generator.generate(2010.667, 10_000, np.random.default_rng(42))
+    print(hosts.summary_table())
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
+the paper-vs-measured record of every table and figure.
+"""
+
+from repro.core.generator import CorrelatedHostGenerator
+from repro.core.laws import ExponentialLaw
+from repro.core.parameters import ModelParameters
+from repro.core.prediction import (
+    ScalarPrediction,
+    extreme_hosts,
+    predict_core_fractions,
+    predict_memory_fractions,
+    predict_scalars,
+)
+from repro.hosts.filters import SanityFilter
+from repro.hosts.host import Host
+from repro.hosts.population import HostPopulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CorrelatedHostGenerator",
+    "ExponentialLaw",
+    "Host",
+    "HostPopulation",
+    "ModelParameters",
+    "SanityFilter",
+    "ScalarPrediction",
+    "extreme_hosts",
+    "predict_core_fractions",
+    "predict_memory_fractions",
+    "predict_scalars",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Utility-based resource allocation (§VII).
+
+The paper evaluates host models by how well they predict the *total
+application utility* of the real host pool: Cobb–Douglas utilities with the
+Table IX exponents, hosts assigned greedily in round-robin order, and the
+percent difference between model-generated and actual pools reported per
+application (Fig 15).
+"""
+
+from repro.allocation.experiment import (
+    UtilityExperimentResult,
+    run_utility_experiment,
+)
+from repro.allocation.scheduler import AllocationResult, greedy_round_robin
+from repro.allocation.utility import (
+    APPLICATIONS,
+    CobbDouglasUtility,
+)
+
+__all__ = [
+    "APPLICATIONS",
+    "AllocationResult",
+    "CobbDouglasUtility",
+    "UtilityExperimentResult",
+    "greedy_round_robin",
+    "run_utility_experiment",
+]

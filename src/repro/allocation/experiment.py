@@ -1,0 +1,148 @@
+"""The Fig 15 experiment: model-vs-actual utility differences.
+
+For each month of 2010 (January to September), the experiment
+
+1. takes the *actual* hosts active in the trace at that date (sanity
+   filtered),
+2. asks each candidate model to generate the same number of hosts for that
+   date,
+3. computes every application's Cobb–Douglas utility on every host,
+4. allocates hosts greedily round-robin in both pools,
+5. reports the percent difference in each application's total utility
+   between the model pool and the actual pool.
+
+A model whose joint resource distribution matches reality scores near zero;
+models that miss correlations (naive normal) or mispredict a marginal (the
+Grid model's exponential disk) show the characteristic Fig 15 errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.allocation.scheduler import greedy_round_robin
+from repro.allocation.utility import APPLICATIONS, CobbDouglasUtility
+from repro.baselines.base import HostModel
+from repro.hosts.filters import SanityFilter
+from repro.hosts.population import HostPopulation
+from repro.traces.dataset import TraceDataset
+
+#: Monthly dates, January through September 2010 (the paper's x-axis).
+DEFAULT_EXPERIMENT_DATES: tuple[float, ...] = tuple(
+    round(2010.0 + month / 12, 4) for month in range(9)
+)
+
+
+@dataclass(frozen=True)
+class UtilityExperimentResult:
+    """Percent utility differences per (date, application, model)."""
+
+    dates: tuple[float, ...]
+    applications: tuple[str, ...]
+    models: tuple[str, ...]
+    #: differences[date][application][model] = percent difference vs actual.
+    differences: dict[float, dict[str, dict[str, float]]] = field(repr=False)
+
+    def series(self, application: str, model: str) -> np.ndarray:
+        """Percent-difference series over dates for one (app, model) pair."""
+        return np.array(
+            [self.differences[d][application][model] for d in self.dates]
+        )
+
+    def mean_difference(self, application: str, model: str) -> float:
+        """Date-averaged percent difference for one (app, model) pair."""
+        return float(self.series(application, model).mean())
+
+    def format_table(self) -> str:
+        """Aligned text table of date-averaged differences (Fig 15 summary)."""
+        width = max(len(m) for m in self.models) + 2
+        header = f"{'application':>20}" + "".join(
+            f"{m:>{width}}" for m in self.models
+        )
+        lines = [header]
+        for app in self.applications:
+            cells = "".join(
+                f"{self.mean_difference(app, m):>{width}.1f}" for m in self.models
+            )
+            lines.append(f"{app:>20}" + cells)
+        return "\n".join(lines)
+
+
+def total_utilities(
+    population: HostPopulation,
+    applications: "dict[str, CobbDouglasUtility]",
+) -> dict[str, float]:
+    """Round-robin total utility of each application on one host pool."""
+    labels = tuple(applications)
+    matrix = np.vstack(
+        [applications[label].of_population(population) for label in labels]
+    )
+    return greedy_round_robin(matrix, labels).total_utility
+
+
+def run_utility_experiment(
+    trace: TraceDataset,
+    models: "list[HostModel]",
+    dates: "tuple[float, ...] | list[float]" = DEFAULT_EXPERIMENT_DATES,
+    applications: "dict[str, CobbDouglasUtility] | None" = None,
+    sanity: "SanityFilter | None" = None,
+    rng: "np.random.Generator | None" = None,
+    max_hosts: "int | None" = None,
+) -> UtilityExperimentResult:
+    """Run the Fig 15 comparison.
+
+    Parameters
+    ----------
+    trace:
+        The trace providing the "actual" host pools.
+    models:
+        Host models to compare (each needs ``name`` and ``generate``).
+    dates:
+        Evaluation dates (defaults to monthly Jan–Sep 2010).
+    applications:
+        Utility profiles; defaults to the paper's Table IX set.
+    max_hosts:
+        Optional cap on pool size per date (subsampled uniformly), to bound
+        experiment cost on large traces.
+    """
+    applications = APPLICATIONS if applications is None else applications
+    sanity = sanity if sanity is not None else SanityFilter()
+    rng = rng if rng is not None else np.random.default_rng(0)
+    if not models:
+        raise ValueError("need at least one model to compare")
+
+    app_labels = tuple(applications)
+    model_names = tuple(model.name for model in models)
+    differences: dict[float, dict[str, dict[str, float]]] = {}
+
+    for when in dates:
+        actual, _ = sanity.apply(trace.snapshot(float(when)))
+        if len(actual) < 10:
+            raise ValueError(f"fewer than 10 actual hosts at {when}")
+        if max_hosts is not None and len(actual) > max_hosts:
+            actual = actual.sample(max_hosts, rng)
+
+        actual_totals = total_utilities(actual, applications)
+        date_entry: dict[str, dict[str, float]] = {
+            app: {} for app in app_labels
+        }
+        for model in models:
+            # Generated pools are used as-is: a model that synthesises
+            # degenerate hosts pays for them in utility, exactly as a
+            # scheduler trusting the model's host descriptions would.
+            generated = model.generate(float(when), len(actual), rng)
+            model_totals = total_utilities(generated, applications)
+            for app in app_labels:
+                actual_value = actual_totals[app]
+                diff = abs(model_totals[app] - actual_value) / actual_value * 100.0
+                date_entry[app][model.name] = float(diff)
+        differences[float(when)] = date_entry
+
+    return UtilityExperimentResult(
+        dates=tuple(float(d) for d in dates),
+        applications=app_labels,
+        models=model_names,
+        differences=differences,
+    )

@@ -1,0 +1,84 @@
+"""Cobb–Douglas host utility and the paper's application profiles (Table IX).
+
+The utility of running application A on host H is
+
+    Y_A(H) = C^α · M^β · I^γ · F^δ · D^ε
+
+with C cores, M memory (MB), I integer speed (Dhrystone MIPS), F floating
+point speed (Whetstone MIPS) and D available disk (GB); the exponents are
+the application's returns to scale on each resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hosts.host import Host
+from repro.hosts.population import HostPopulation
+
+
+@dataclass(frozen=True)
+class CobbDouglasUtility:
+    """A Cobb–Douglas utility function over the five host resources."""
+
+    name: str
+    cores: float       # α
+    memory: float      # β
+    dhrystone: float   # γ (integer speed)
+    whetstone: float   # δ (floating point speed)
+    disk: float        # ε
+
+    def __post_init__(self) -> None:
+        for field_name in ("cores", "memory", "dhrystone", "whetstone", "disk"):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise ValueError(f"exponent {field_name} must be non-negative, got {value}")
+
+    @property
+    def exponents(self) -> tuple[float, float, float, float, float]:
+        """(α, β, γ, δ, ε) in the paper's resource order."""
+        return (self.cores, self.memory, self.dhrystone, self.whetstone, self.disk)
+
+    def of_population(self, population: HostPopulation) -> np.ndarray:
+        """Per-host utility over a population (vectorised).
+
+        Hosts with zero available disk get zero utility when ε > 0 (the
+        Cobb–Douglas form is multiplicative), which is the intended
+        behaviour for disk-hungry applications.
+        """
+        return (
+            np.power(population.cores, self.cores)
+            * np.power(population.memory_mb, self.memory)
+            * np.power(population.dhrystone, self.dhrystone)
+            * np.power(population.whetstone, self.whetstone)
+            * np.power(population.disk_gb, self.disk)
+        )
+
+    def of_host(self, host: Host) -> float:
+        """Utility of a single host."""
+        return float(
+            host.cores**self.cores
+            * host.memory_mb**self.memory
+            * host.dhrystone_mips**self.dhrystone
+            * host.whetstone_mips**self.whetstone
+            * host.disk_gb**self.disk
+        )
+
+
+#: Table IX — utility exponents of the four sample applications.
+APPLICATIONS: dict[str, CobbDouglasUtility] = {
+    "SETI@home": CobbDouglasUtility(
+        name="SETI@home", cores=0.05, memory=0.1, dhrystone=0.2, whetstone=0.4, disk=0.05
+    ),
+    "Folding@home": CobbDouglasUtility(
+        name="Folding@home", cores=0.4, memory=0.05, dhrystone=0.2, whetstone=0.3, disk=0.05
+    ),
+    "Climate Prediction": CobbDouglasUtility(
+        name="Climate Prediction", cores=0.2, memory=0.2, dhrystone=0.1, whetstone=0.35, disk=0.15
+    ),
+    "P2P": CobbDouglasUtility(
+        name="P2P", cores=0.05, memory=0.1, dhrystone=0.1, whetstone=0.05, disk=0.7
+    ),
+}

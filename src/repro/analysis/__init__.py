@@ -1,0 +1,53 @@
+"""Trace analytics: the computations behind every figure and table.
+
+* :mod:`~repro.analysis.overview` — Fig 1 (lifetimes), Fig 2 (resource
+  series), Fig 3 (creation vs lifetime).
+* :mod:`~repro.analysis.resources` — Figs 4–9 (multicore bands, core
+  ratios, per-core memory, benchmark and disk distributions).
+* :mod:`~repro.analysis.composition` — Tables I/II/VII and Fig 10.
+* :mod:`~repro.analysis.validation` — Fig 12 and Table VIII
+  (generated-vs-actual comparison).
+"""
+
+from repro.analysis.composition import (
+    cpu_shares_table,
+    gpu_memory_distribution,
+    gpu_type_shares,
+    os_shares_table,
+)
+from repro.analysis.overview import (
+    LifetimeDistribution,
+    OverviewSeries,
+    creation_lifetime_trend,
+    lifetime_distribution,
+    resource_overview,
+)
+from repro.analysis.resources import (
+    core_ratio_series,
+    disk_distribution,
+    multicore_fractions,
+    percore_distribution,
+    percore_fraction_bands,
+    speed_distribution,
+)
+from repro.analysis.validation import ValidationReport, validate_generated
+
+__all__ = [
+    "LifetimeDistribution",
+    "OverviewSeries",
+    "ValidationReport",
+    "core_ratio_series",
+    "cpu_shares_table",
+    "creation_lifetime_trend",
+    "disk_distribution",
+    "gpu_memory_distribution",
+    "gpu_type_shares",
+    "lifetime_distribution",
+    "multicore_fractions",
+    "os_shares_table",
+    "percore_distribution",
+    "percore_fraction_bands",
+    "resource_overview",
+    "speed_distribution",
+    "validate_generated",
+]

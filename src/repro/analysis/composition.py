@@ -1,0 +1,113 @@
+"""Platform composition analyses: Tables I, II, VII and Fig 10.
+
+These compute processor-family, operating-system and GPU shares of the
+active host population over time, in the same percent-of-total layout as the
+paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hosts import platforms as _platforms
+from repro.traces.dataset import TraceDataset
+
+#: Default yearly columns of Tables I and II.
+TABLE_YEARS: tuple[float, ...] = (2006.0, 2007.0, 2008.0, 2009.0, 2010.0)
+
+
+def _shares_table(
+    trace: TraceDataset,
+    column: str,
+    labels: tuple[str, ...],
+    years: "tuple[float, ...] | list[float]",
+) -> dict[str, list[float]]:
+    table: dict[str, list[float]] = {label: [] for label in labels}
+    for when in years:
+        shares = trace.label_shares(column, float(when))
+        for label in labels:
+            table[label].append(100.0 * shares.get(label, 0.0))
+    return table
+
+
+def cpu_shares_table(
+    trace: TraceDataset, years: "tuple[float, ...] | list[float]" = TABLE_YEARS
+) -> dict[str, list[float]]:
+    """Table I: processor-family shares (percent of active hosts) per year."""
+    return _shares_table(trace, "cpu_family", _platforms.CPU_FAMILIES, years)
+
+
+def os_shares_table(
+    trace: TraceDataset, years: "tuple[float, ...] | list[float]" = TABLE_YEARS
+) -> dict[str, list[float]]:
+    """Table II: operating-system shares (percent of active hosts) per year."""
+    return _shares_table(trace, "os_name", _platforms.OS_NAMES, years)
+
+
+def gpu_type_shares(
+    trace: TraceDataset,
+    dates: "tuple[float, ...] | list[float]" = (2009.667, 2010.667),
+) -> dict[str, list[float]]:
+    """Table VII: GPU-type shares among GPU-equipped active hosts."""
+    table: dict[str, list[float]] = {label: [] for label in _platforms.GPU_TYPES}
+    for when in dates:
+        mask = trace.gpu_mask(float(when))
+        types = trace.gpu_type[mask].astype(str)
+        for label in _platforms.GPU_TYPES:
+            share = float((types == label).mean()) if types.size else 0.0
+            table[label].append(100.0 * share)
+    return table
+
+
+@dataclass(frozen=True)
+class GpuMemoryDistribution:
+    """Fig 10 contents at one date."""
+
+    when: float
+    gpu_share_of_hosts: float
+    classes_mb: tuple[int, ...]
+    fractions: np.ndarray
+    mean_mb: float
+    median_mb: float
+    std_mb: float
+
+
+def gpu_memory_distribution(trace: TraceDataset, when: float) -> GpuMemoryDistribution:
+    """Fig 10: distribution of GPU memory among GPU-equipped active hosts."""
+    mask = trace.gpu_mask(float(when))
+    memory = trace.gpu_memory_mb[mask]
+    classes = _platforms.GPU_MEMORY_CLASSES_MB
+    if memory.size == 0:
+        fractions = np.zeros(len(classes))
+        mean = median = std = 0.0
+    else:
+        fractions = np.array([(memory == c).mean() for c in classes])
+        mean = float(memory.mean())
+        median = float(np.median(memory))
+        std = float(memory.std())
+    return GpuMemoryDistribution(
+        when=float(when),
+        gpu_share_of_hosts=trace.gpu_share(float(when)),
+        classes_mb=classes,
+        fractions=fractions,
+        mean_mb=mean,
+        median_mb=median,
+        std_mb=std,
+    )
+
+
+def format_shares_table(
+    table: dict[str, list[float]],
+    years: "tuple[float, ...] | list[float]" = TABLE_YEARS,
+    width: int = 8,
+) -> str:
+    """Render a shares table the way the paper prints Tables I/II."""
+    label_width = max(len(label) for label in table) + 2
+    header = " " * label_width + "".join(f"{int(y):>{width}}" for y in years)
+    lines = [header]
+    for label, row in table.items():
+        cells = "".join(f"{value:>{width}.1f}" for value in row)
+        lines.append(f"{label:>{label_width}}" + cells)
+    return "\n".join(lines)

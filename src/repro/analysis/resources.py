@@ -1,0 +1,196 @@
+"""Per-resource trace analyses: Figs 4 through 9.
+
+Each function computes exactly the data series the corresponding figure
+plots; benches print them next to the paper's published checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.parameters import CORE_CLASSES, PERCORE_MEMORY_CLASSES_MB
+from repro.fitting.ratios import class_fraction_series
+from repro.hosts.filters import SanityFilter
+from repro.stats.ecdf import ECDF, histogram_density
+from repro.stats.kstest import KSSelectionResult, select_distribution
+from repro.traces.dataset import TraceDataset
+
+#: Fig 4's legend bands.
+MULTICORE_BANDS: tuple[tuple[int, "int | None"], ...] = (
+    (1, 2),
+    (2, 4),
+    (4, 8),
+    (8, 16),
+    (16, None),
+)
+
+#: Fig 7's per-core-memory bands, MB (upper edges inclusive).
+PERCORE_BANDS_MB: tuple[tuple[float, float], ...] = (
+    (0.0, 256.0),
+    (256.0, 512.0),
+    (512.0, 1024.0),
+    (1024.0, 1536.0),
+    (1536.0, 2048.0),
+    (2048.0, float("inf")),
+)
+
+
+def _clean_population(trace: TraceDataset, when: float, sanity: SanityFilter):
+    population, _ = sanity.apply(trace.snapshot(when))
+    return population
+
+
+def multicore_fractions(
+    trace: TraceDataset,
+    dates: "np.ndarray | list[float]",
+    sanity: "SanityFilter | None" = None,
+) -> dict[str, np.ndarray]:
+    """Fig 4: fraction of hosts per core band over time."""
+    sanity = sanity if sanity is not None else SanityFilter()
+    labels = [
+        f"{low} core" if high == low + 1 else (f"{low}+ cores" if high is None else f"{low}-{high - 1} cores")
+        for low, high in MULTICORE_BANDS
+    ]
+    series: dict[str, list[float]] = {label: [] for label in labels}
+    for when in np.asarray(dates, dtype=float):
+        cores = _clean_population(trace, float(when), sanity).cores
+        for (low, high), label in zip(MULTICORE_BANDS, labels):
+            if high is None:
+                mask = cores >= low
+            else:
+                mask = (cores >= low) & (cores < high)
+            series[label].append(float(mask.mean()) if cores.size else 0.0)
+    return {label: np.asarray(values) for label, values in series.items()}
+
+
+def core_ratio_series(
+    trace: TraceDataset,
+    dates: "np.ndarray | list[float]",
+    sanity: "SanityFilter | None" = None,
+) -> dict[str, np.ndarray]:
+    """Fig 5: the 1:2 / 2:4 / 4:8 core ratios over time."""
+    sanity = sanity if sanity is not None else SanityFilter()
+    dates = np.asarray(dates, dtype=float)
+    values = [
+        _clean_population(trace, float(when), sanity).cores for when in dates
+    ]
+    classes = tuple(float(c) for c in CORE_CLASSES)
+    fractions = class_fraction_series(dates, values, classes, exact=True)
+    out: dict[str, np.ndarray] = {}
+    for i, (low, high) in enumerate(zip(CORE_CLASSES[:-2], CORE_CLASSES[1:-1])):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = fractions[:, i] / fractions[:, i + 1]
+        out[f"{low}:{high}"] = ratio
+    return out
+
+
+def percore_distribution(
+    trace: TraceDataset,
+    when: float,
+    sanity: "SanityFilter | None" = None,
+) -> dict[float, float]:
+    """Fig 6: share of hosts per canonical per-core-memory class at a date."""
+    sanity = sanity if sanity is not None else SanityFilter()
+    population = _clean_population(trace, when, sanity)
+    classes = tuple(float(c) for c in PERCORE_MEMORY_CLASSES_MB)
+    fractions = class_fraction_series([when], [population.mem_per_core], classes)
+    return dict(zip(classes, fractions[0]))
+
+
+def percore_fraction_bands(
+    trace: TraceDataset,
+    dates: "np.ndarray | list[float]",
+    sanity: "SanityFilter | None" = None,
+) -> dict[str, np.ndarray]:
+    """Fig 7: per-core-memory band fractions over time."""
+    sanity = sanity if sanity is not None else SanityFilter()
+    labels = [
+        "<=256MB" if high == 256.0 else (f">{int(low)}MB" if not np.isfinite(high) else f"{int(low) + 1}-{int(high)}MB")
+        for low, high in PERCORE_BANDS_MB
+    ]
+    series: dict[str, list[float]] = {label: [] for label in labels}
+    for when in np.asarray(dates, dtype=float):
+        percore = _clean_population(trace, float(when), sanity).mem_per_core
+        for (low, high), label in zip(PERCORE_BANDS_MB, labels):
+            mask = (percore > low) & (percore <= high)
+            series[label].append(float(mask.mean()) if percore.size else 0.0)
+    return {label: np.asarray(values) for label, values in series.items()}
+
+
+@dataclass(frozen=True)
+class ResourceDistribution:
+    """One date's distribution of a continuous resource (Figs 8 and 9)."""
+
+    when: float
+    mean: float
+    median: float
+    std: float
+    histogram_x: np.ndarray
+    histogram_density: np.ndarray
+    cdf: ECDF
+    ks_selection: "KSSelectionResult | None"
+
+
+def speed_distribution(
+    trace: TraceDataset,
+    when: float,
+    benchmark: str,
+    rng: "np.random.Generator | None" = None,
+    bins: int = 60,
+    sanity: "SanityFilter | None" = None,
+    run_ks: bool = True,
+) -> ResourceDistribution:
+    """Fig 8: one benchmark's distribution at one date (+ KS selection)."""
+    if benchmark not in {"dhrystone", "whetstone"}:
+        raise ValueError(f"benchmark must be dhrystone/whetstone, got {benchmark!r}")
+    sanity = sanity if sanity is not None else SanityFilter()
+    population = _clean_population(trace, when, sanity)
+    sample = getattr(population, benchmark)
+    centres, density = histogram_density(sample, bins=bins)
+    selection = None
+    if run_ks:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        selection = select_distribution(sample, rng)
+    return ResourceDistribution(
+        when=when,
+        mean=float(sample.mean()),
+        median=float(np.median(sample)),
+        std=float(sample.std()),
+        histogram_x=centres,
+        histogram_density=density,
+        cdf=ECDF.from_sample(sample),
+        ks_selection=selection,
+    )
+
+
+def disk_distribution(
+    trace: TraceDataset,
+    when: float,
+    rng: "np.random.Generator | None" = None,
+    bins: int = 60,
+    sanity: "SanityFilter | None" = None,
+    run_ks: bool = True,
+) -> ResourceDistribution:
+    """Fig 9: available-disk distribution at one date, histogrammed in log10."""
+    sanity = sanity if sanity is not None else SanityFilter()
+    population = _clean_population(trace, when, sanity)
+    sample = population.disk_gb
+    positive = sample[sample > 0]
+    log_sample = np.log10(positive)
+    centres, density = histogram_density(log_sample, bins=bins, value_range=(-2.0, 4.0))
+    selection = None
+    if run_ks:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        selection = select_distribution(positive, rng)
+    return ResourceDistribution(
+        when=when,
+        mean=float(sample.mean()),
+        median=float(np.median(sample)),
+        std=float(sample.std()),
+        histogram_x=centres,
+        histogram_density=density,
+        cdf=ECDF.from_sample(log_sample),
+        ks_selection=selection,
+    )

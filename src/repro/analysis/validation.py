@@ -1,0 +1,126 @@
+"""Model validation against held-out data: Fig 12 and Table VIII.
+
+The paper fits on Jan 2006 – Jan 2010, generates hosts for September 2010,
+and compares moments, CDFs (visually, plus QQ plots) and the correlation
+matrix against the actual September 2010 population.  This module produces
+all of those comparisons as data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.generator import CorrelatedHostGenerator
+from repro.hosts.filters import SanityFilter
+from repro.hosts.population import HostPopulation, RESOURCE_LABELS
+from repro.stats.correlation import CorrelationMatrix
+from repro.stats.ecdf import ECDF, qq_max_relative_deviation
+from repro.traces.dataset import TraceDataset
+
+#: The paper's validation date (September 1, 2010).
+VALIDATION_DATE = 2010.667
+
+
+@dataclass(frozen=True)
+class ResourceComparison:
+    """One resource's generated-vs-actual comparison (one Fig 12 panel)."""
+
+    label: str
+    actual_mean: float
+    generated_mean: float
+    actual_std: float
+    generated_std: float
+    ks_distance: float
+    qq_deviation: float
+
+    @property
+    def mean_difference_pct(self) -> float:
+        """|μ_gen − μ_actual| / μ_actual × 100."""
+        return abs(self.generated_mean - self.actual_mean) / self.actual_mean * 100.0
+
+    @property
+    def std_difference_pct(self) -> float:
+        """|σ_gen − σ_actual| / σ_actual × 100."""
+        return abs(self.generated_std - self.actual_std) / self.actual_std * 100.0
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Fig 12 + Table VIII: the full generated-vs-actual comparison."""
+
+    when: float
+    n_actual: int
+    n_generated: int
+    resources: dict[str, ResourceComparison]
+    actual_correlations: CorrelationMatrix
+    generated_correlations: CorrelationMatrix
+
+    def worst_mean_difference(self) -> float:
+        """Largest per-resource mean difference (the paper quotes 0.5–13 %)."""
+        return max(r.mean_difference_pct for r in self.resources.values())
+
+    def format_table(self) -> str:
+        """Aligned text rendering of the Fig 12 moment comparison."""
+        header = (
+            f"{'resource':>12} {'mu_act':>10} {'mu_gen':>10} {'dmu%':>7} "
+            f"{'sd_act':>10} {'sd_gen':>10} {'dsd%':>7} {'KS':>6}"
+        )
+        lines = [header]
+        for label, row in self.resources.items():
+            lines.append(
+                f"{label:>12} {row.actual_mean:>10.1f} {row.generated_mean:>10.1f} "
+                f"{row.mean_difference_pct:>7.1f} {row.actual_std:>10.1f} "
+                f"{row.generated_std:>10.1f} {row.std_difference_pct:>7.1f} "
+                f"{row.ks_distance:>6.3f}"
+            )
+        return "\n".join(lines)
+
+
+def compare_populations(
+    actual: HostPopulation, generated: HostPopulation, when: float
+) -> ValidationReport:
+    """Build the Fig 12/Table VIII comparison between two host pools."""
+    if len(actual) < 2 or len(generated) < 2:
+        raise ValueError("both pools need at least two hosts")
+    resources: dict[str, ResourceComparison] = {}
+    for label in RESOURCE_LABELS:
+        actual_col = actual.column(label)
+        generated_col = generated.column(label)
+        resources[label] = ResourceComparison(
+            label=label,
+            actual_mean=float(actual_col.mean()),
+            generated_mean=float(generated_col.mean()),
+            actual_std=float(actual_col.std()),
+            generated_std=float(generated_col.std()),
+            ks_distance=ECDF.from_sample(actual_col).max_distance(
+                ECDF.from_sample(generated_col)
+            ),
+            qq_deviation=qq_max_relative_deviation(actual_col, generated_col),
+        )
+    return ValidationReport(
+        when=when,
+        n_actual=len(actual),
+        n_generated=len(generated),
+        resources=resources,
+        actual_correlations=actual.correlation_matrix(),
+        generated_correlations=generated.correlation_matrix(),
+    )
+
+
+def validate_generated(
+    trace: TraceDataset,
+    generator: CorrelatedHostGenerator,
+    when: float = VALIDATION_DATE,
+    rng: "np.random.Generator | None" = None,
+    sanity: "SanityFilter | None" = None,
+    n_generated: "int | None" = None,
+) -> ValidationReport:
+    """Generate hosts for ``when`` and compare them to the trace's actual pool."""
+    sanity = sanity if sanity is not None else SanityFilter()
+    rng = rng if rng is not None else np.random.default_rng(0)
+    actual, _ = sanity.apply(trace.snapshot(float(when)))
+    size = len(actual) if n_generated is None else n_generated
+    generated = generator.generate(float(when), size, rng)
+    return compare_populations(actual, generated, float(when))

@@ -1,0 +1,14 @@
+"""Host availability extension (§VIII future work; paper refs [26], [27]).
+
+The paper models *which hardware exists*, and points to Javadi et al.
+(MASCOTS'09) and Nurmi et al. for *when hosts are actually available*,
+naming the combination as future work.  This subpackage supplies that
+missing piece: a per-host ON/OFF alternating-renewal availability process
+with heterogeneous long-run availability fractions, plus an
+availability-aware variant of the §VII utility experiment.
+"""
+
+from repro.availability.model import AvailabilityModel, HostAvailability
+from repro.availability.experiment import availability_aware_utilities
+
+__all__ = ["AvailabilityModel", "HostAvailability", "availability_aware_utilities"]

@@ -1,0 +1,130 @@
+"""Per-host ON/OFF availability processes.
+
+Measurement studies of SETI@home availability (the paper's refs [26],
+[27]) report three robust features that this model captures:
+
+* **Heterogeneity** — long-run host availability fractions spread across
+  (0, 1) with modes near both ends (always-on lab machines vs.
+  evenings-only home machines).  We model the per-host fraction as a
+  Beta(α, β) draw; the default (0.64, 0.36) gives the ≈ 0.64 mean
+  availability with the characteristic U-ish shape.
+* **Weibull-ish interval lengths** — ON intervals are Weibull with shape
+  below 1 (many short uptimes, a heavy tail of long ones).
+* **Stationarity per host** — a host's availability fraction is a stable
+  property; OFF intervals are scaled so each host's ON share matches its
+  fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Default Beta parameters of the per-host availability fraction.
+DEFAULT_FRACTION_ALPHA = 0.64
+DEFAULT_FRACTION_BETA = 0.36
+
+#: Default Weibull shape of ON-interval lengths (k < 1: bursty uptimes).
+DEFAULT_ON_SHAPE = 0.65
+
+#: Default mean ON interval, hours.
+DEFAULT_MEAN_ON_HOURS = 10.0
+
+
+@dataclass(frozen=True)
+class HostAvailability:
+    """One host's availability profile."""
+
+    #: Long-run fraction of time the host is ON, in (0, 1).
+    fraction: float
+    #: Mean ON-interval length in hours.
+    mean_on_hours: float
+
+    @property
+    def mean_off_hours(self) -> float:
+        """Mean OFF interval implied by the fraction and the ON mean."""
+        return self.mean_on_hours * (1.0 - self.fraction) / self.fraction
+
+
+class AvailabilityModel:
+    """Samples per-host availability fractions and ON/OFF interval traces."""
+
+    def __init__(
+        self,
+        fraction_alpha: float = DEFAULT_FRACTION_ALPHA,
+        fraction_beta: float = DEFAULT_FRACTION_BETA,
+        on_shape: float = DEFAULT_ON_SHAPE,
+        mean_on_hours: float = DEFAULT_MEAN_ON_HOURS,
+    ):
+        if fraction_alpha <= 0 or fraction_beta <= 0:
+            raise ValueError("Beta parameters must be positive")
+        if on_shape <= 0 or mean_on_hours <= 0:
+            raise ValueError("ON-interval parameters must be positive")
+        self._alpha = fraction_alpha
+        self._beta = fraction_beta
+        self._on_shape = on_shape
+        self._mean_on = mean_on_hours
+
+    @property
+    def mean_fraction(self) -> float:
+        """Expected long-run availability across hosts."""
+        return self._alpha / (self._alpha + self._beta)
+
+    def sample_fractions(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Per-host long-run availability fractions (clipped off 0 and 1)."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        fractions = rng.beta(self._alpha, self._beta, size)
+        return np.clip(fractions, 0.01, 0.99)
+
+    def sample_profiles(
+        self, size: int, rng: np.random.Generator
+    ) -> list[HostAvailability]:
+        """Per-host availability profiles."""
+        return [
+            HostAvailability(fraction=float(f), mean_on_hours=self._mean_on)
+            for f in self.sample_fractions(size, rng)
+        ]
+
+    def simulate_intervals(
+        self,
+        profile: HostAvailability,
+        horizon_hours: float,
+        rng: np.random.Generator,
+    ) -> list[tuple[float, float]]:
+        """Simulate the host's ON intervals over ``[0, horizon_hours]``.
+
+        Returns a list of ``(start, end)`` hour pairs.  ON lengths are
+        Weibull(k, λ) with mean ``mean_on_hours``; OFF lengths are
+        exponential with the mean implied by the availability fraction.
+        """
+        if horizon_hours <= 0:
+            raise ValueError("horizon must be positive")
+        from math import gamma as _gamma
+
+        on_scale = profile.mean_on_hours / _gamma(1 + 1 / self._on_shape)
+        intervals: list[tuple[float, float]] = []
+        clock = 0.0
+        # Stationary start: begin ON with probability = availability fraction.
+        is_on = rng.random() < profile.fraction
+        while clock < horizon_hours:
+            if is_on:
+                length = float(on_scale * rng.weibull(self._on_shape))
+                start = clock
+                clock = min(clock + max(length, 1e-6), horizon_hours)
+                intervals.append((start, clock))
+            else:
+                length = float(rng.exponential(profile.mean_off_hours))
+                clock += max(length, 1e-6)
+            is_on = not is_on
+        return intervals
+
+    def empirical_fraction(
+        self, intervals: list[tuple[float, float]], horizon_hours: float
+    ) -> float:
+        """ON share of the horizon covered by ``intervals``."""
+        if horizon_hours <= 0:
+            raise ValueError("horizon must be positive")
+        covered = sum(end - start for start, end in intervals)
+        return covered / horizon_hours

@@ -1,0 +1,21 @@
+"""Baseline host models the paper compares against (§VII).
+
+* :class:`~repro.baselines.normal.UncorrelatedNormalModel` — "a simple model
+  which uses extrapolation of the values in Figure 2 and samples resource
+  values from uncorrelated normal distributions (log-normal for disk
+  space)".
+* :class:`~repro.baselines.grid.KeeGridModel` — "based on the Grid resource
+  model by Kee et al.": log-normal processors, a time- and
+  processor-dependent memory model and an exponential growth model for disk
+  space, refreshed with recent values and an older/newer host mix based on
+  average host lifetime.
+
+Both implement the same ``generate(when, size, rng)`` interface as the
+correlated generator, so the utility experiment can swap them freely.
+"""
+
+from repro.baselines.base import HostModel
+from repro.baselines.grid import KeeGridModel
+from repro.baselines.normal import UncorrelatedNormalModel
+
+__all__ = ["HostModel", "KeeGridModel", "UncorrelatedNormalModel"]

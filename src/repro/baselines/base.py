@@ -1,0 +1,30 @@
+"""The common interface of host-generating models."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.hosts.population import HostPopulation
+
+
+@runtime_checkable
+class HostModel(Protocol):
+    """Anything that can synthesise a host population for a date.
+
+    Implemented by :class:`~repro.core.generator.CorrelatedHostGenerator`
+    and both baselines, so experiments can treat models uniformly.
+    """
+
+    @property
+    def name(self) -> str:
+        """Short display name used in experiment outputs."""
+        ...
+
+    def generate(
+        self, when: "_dt.date | float", size: int, rng: np.random.Generator
+    ) -> HostPopulation:
+        """Generate ``size`` hosts as of date ``when``."""
+        ...

@@ -1,0 +1,133 @@
+"""The naive baseline: linear extrapolation + uncorrelated normals (§VII).
+
+"The first is a simple model which uses extrapolation of the values in
+Figure 2 and samples resource values from uncorrelated normal distributions
+(log-normal for disk space)."  Every resource is independent; core counts
+are rounded clipped normals (so 3- and 5-core hosts appear); means and
+standard deviations follow straight lines fitted to the observed monthly
+series.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hosts.filters import SanityFilter
+from repro.hosts.population import HostPopulation, RESOURCE_LABELS
+from repro.stats.moments import lognormal_params_from_moments
+from repro.timeutil import model_time
+from repro.traces.dataset import TraceDataset
+
+
+@dataclass(frozen=True)
+class LinearTrend:
+    """A straight line ``value(t) = intercept + slope·t`` with a floor."""
+
+    intercept: float
+    slope: float
+    floor: float = 1e-6
+
+    def at(self, t: "float | np.ndarray") -> "float | np.ndarray":
+        """Evaluate the trend at epoch-relative time ``t``."""
+        return np.maximum(self.intercept + self.slope * np.asarray(t, dtype=float), self.floor)
+
+    @classmethod
+    def fit(cls, t: np.ndarray, values: np.ndarray, floor: float = 1e-6) -> "LinearTrend":
+        """Least-squares line through (t, values)."""
+        slope, intercept = np.polyfit(np.asarray(t, float), np.asarray(values, float), 1)
+        return cls(intercept=float(intercept), slope=float(slope), floor=floor)
+
+
+class UncorrelatedNormalModel:
+    """Independent normal resources with linearly extrapolated moments."""
+
+    def __init__(
+        self,
+        mean_trends: dict[str, LinearTrend],
+        std_trends: dict[str, LinearTrend],
+    ):
+        missing = set(RESOURCE_LABELS) - set(mean_trends) | set(RESOURCE_LABELS) - set(std_trends)
+        if missing:
+            raise ValueError(f"missing trends for resources: {sorted(missing)}")
+        self._means = mean_trends
+        self._stds = std_trends
+
+    @property
+    def name(self) -> str:
+        """Display name used in experiment outputs."""
+        return "normal"
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: TraceDataset,
+        dates: "np.ndarray | list[float] | None" = None,
+        sanity: "SanityFilter | None" = None,
+    ) -> "UncorrelatedNormalModel":
+        """Fit the per-resource linear trends from trace snapshots."""
+        if dates is None:
+            dates = np.linspace(2006.0, 2010.0, 17)
+        sanity = sanity if sanity is not None else SanityFilter()
+        t = np.array([model_time(d) for d in dates])
+        mean_rows: dict[str, list[float]] = {label: [] for label in RESOURCE_LABELS}
+        std_rows: dict[str, list[float]] = {label: [] for label in RESOURCE_LABELS}
+        for when in dates:
+            population, _ = sanity.apply(trace.snapshot(float(when)))
+            means, stds = population.means(), population.stds()
+            for label in RESOURCE_LABELS:
+                mean_rows[label].append(means[label])
+                std_rows[label].append(stds[label])
+        mean_trends = {
+            label: LinearTrend.fit(t, np.array(series), floor=1.0 if label == "cores" else 1e-3)
+            for label, series in mean_rows.items()
+        }
+        std_trends = {
+            label: LinearTrend.fit(t, np.array(series), floor=1e-3)
+            for label, series in std_rows.items()
+        }
+        return cls(mean_trends, std_trends)
+
+    def generate(
+        self, when: "_dt.date | float", size: int, rng: np.random.Generator
+    ) -> HostPopulation:
+        """Draw ``size`` hosts with independent resources."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        t = model_time(when)
+
+        def moments(label: str) -> tuple[float, float]:
+            return float(self._means[label].at(t)), float(self._stds[label].at(t))
+
+        # The naive model samples each resource straight from its normal
+        # distribution.  The actual distributions are skewed, so the normal
+        # left tail rounds a visible share of core counts down to zero —
+        # dead hosts that contribute no utility to any application.  This
+        # unsanitised sampling is a large part of why Fig 15 punishes the
+        # baseline on the multi-resource applications.  Continuous resources
+        # are floored at their physical minimum (1 MB, 1 MIPS).
+        core_mean, core_std = moments("cores")
+        cores = np.clip(np.round(rng.normal(core_mean, core_std, size)), 0, None)
+
+        mem_mean, mem_std = moments("memory_mb")
+        memory = np.clip(rng.normal(mem_mean, mem_std, size), 1.0, None)
+
+        dhry_mean, dhry_std = moments("dhrystone")
+        dhrystone = np.clip(rng.normal(dhry_mean, dhry_std, size), 1.0, None)
+
+        whet_mean, whet_std = moments("whetstone")
+        whetstone = np.clip(rng.normal(whet_mean, whet_std, size), 1.0, None)
+
+        disk_mean, disk_std = moments("disk_gb")
+        mu, sigma = lognormal_params_from_moments(disk_mean, disk_std**2)
+        disk = rng.lognormal(mu, sigma, size)
+
+        return HostPopulation(
+            cores=cores,
+            memory_mb=memory,
+            dhrystone=dhrystone,
+            whetstone=whetstone,
+            disk_gb=disk,
+        )

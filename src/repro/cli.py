@@ -1,0 +1,246 @@
+"""Command-line interface: the paper's released host-generation tool.
+
+Subcommands
+-----------
+``trace``     synthesise a SETI@home-like trace and write it to CSV(.gz)
+``fit``       fit model parameters from a trace file (JSON out)
+``generate``  generate hosts for a date from Table X or fitted parameters
+``predict``   print the Figs 13/14 forecasts and §VI-C scalar predictions
+``validate``  fit on a trace, generate for Sep 2010, print Fig 12 comparison
+``simulate``  run the Fig 15 utility experiment on a trace
+
+Examples
+--------
+::
+
+    resmodel generate --date 2010-09-01 --hosts 1000
+    resmodel trace --scale 0.01 --out trace.csv.gz
+    resmodel fit --trace trace.csv.gz --out params.json
+    resmodel predict --year 2014
+    resmodel simulate --trace trace.csv.gz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.generator import CorrelatedHostGenerator
+from repro.core.parameters import ModelParameters
+from repro.core.prediction import (
+    predict_core_fractions,
+    predict_memory_fractions,
+    predict_scalars,
+)
+from repro.timeutil import parse_date, year_fraction
+
+
+def _load_parameters(path: "str | None") -> ModelParameters:
+    if path is None:
+        return ModelParameters.paper_reference()
+    with open(path, "r", encoding="utf-8") as handle:
+        return ModelParameters.from_json(handle.read())
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    params = _load_parameters(args.params)
+    generator = CorrelatedHostGenerator(params)
+    when = year_fraction(parse_date(args.date))
+    rng = np.random.default_rng(args.seed)
+    population = generator.generate(when, args.hosts, rng)
+    writer = sys.stdout
+    writer.write("cores,memory_mb,dhrystone_mips,whetstone_mips,disk_gb\n")
+    for i in range(len(population)):
+        writer.write(
+            f"{int(population.cores[i])},{population.memory_mb[i]:.1f},"
+            f"{population.dhrystone[i]:.1f},{population.whetstone[i]:.1f},"
+            f"{population.disk_gb[i]:.2f}\n"
+        )
+    if args.summary:
+        sys.stderr.write(population.summary_table() + "\n")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.traces.config import TraceConfig
+    from repro.traces.io import write_trace_csv
+    from repro.traces.synthesis import generate_trace
+
+    config = TraceConfig(scale=args.scale, seed=args.seed)
+    trace = generate_trace(config)
+    write_trace_csv(trace, args.out)
+    print(f"wrote {len(trace)} hosts to {args.out}")
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    from repro.fitting.pipeline import fit_model_from_trace
+    from repro.traces.io import read_trace_csv
+
+    trace = read_trace_csv(args.trace)
+    report = fit_model_from_trace(trace)
+    payload = report.parameters.to_json()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote fitted parameters to {args.out}")
+    else:
+        print(payload)
+    rows = report.parameters.summary_rows()
+    print(f"\n{'Resource':>12} {'Value':>16} {'Method':>16} {'a':>12} {'b':>9}")
+    for resource, value, method, a, b in rows:
+        print(f"{resource:>12} {value:>16} {method:>16} {a:>12.4g} {b:>9.4f}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    params = _load_parameters(args.params)
+    scalars = predict_scalars(params, float(args.year))
+    print(f"Predictions for {args.year}:")
+    print(f"  mean cores          : {scalars.cores_mean:.2f}")
+    print(f"  mean memory         : {scalars.memory_mean_mb / 1024:.2f} GB")
+    print(
+        f"  Dhrystone (mean,sd) : ({scalars.dhrystone_mean:.0f}, {scalars.dhrystone_std:.0f}) MIPS"
+    )
+    print(
+        f"  Whetstone (mean,sd) : ({scalars.whetstone_mean:.0f}, {scalars.whetstone_std:.0f}) MIPS"
+    )
+    print(
+        f"  disk (mean,sd)      : ({scalars.disk_mean_gb:.1f}, {scalars.disk_std_gb:.1f}) GB"
+    )
+    years = np.arange(2009.0, float(args.year) + 0.01, 1.0)
+    cores = predict_core_fractions(params, years)
+    memory = predict_memory_fractions(params, years)
+    print("\nMulticore forecast (fractions):")
+    header = "  year " + "".join(f"{label:>12}" for label in cores)
+    print(header)
+    for i, year in enumerate(years):
+        print(f"  {year:.0f}" + "".join(f"{cores[label][i]:>12.3f}" for label in cores))
+    print("\nTotal-memory forecast (fractions):")
+    print("  year " + "".join(f"{label:>10}" for label in memory))
+    for i, year in enumerate(years):
+        print(f"  {year:.0f}" + "".join(f"{memory[label][i]:>10.3f}" for label in memory))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.analysis.validation import validate_generated
+    from repro.fitting.pipeline import fit_model_from_trace
+    from repro.traces.io import read_trace_csv
+
+    trace = read_trace_csv(args.trace)
+    report = fit_model_from_trace(trace)
+    generator = CorrelatedHostGenerator(report.parameters)
+    validation = validate_generated(
+        trace, generator, rng=np.random.default_rng(args.seed)
+    )
+    print(validation.format_table())
+    print("\nGenerated correlations (Table VIII):")
+    print(validation.generated_correlations.format_table())
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.figures import export_figure_data
+    from repro.fitting.pipeline import fit_model_from_trace
+    from repro.traces.io import read_trace_csv
+
+    trace = read_trace_csv(args.trace)
+    params = None
+    if args.fit:
+        params = fit_model_from_trace(trace).parameters
+    paths = export_figure_data(trace, args.out, parameters=params)
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.allocation.experiment import run_utility_experiment
+    from repro.baselines.grid import KeeGridModel
+    from repro.baselines.normal import UncorrelatedNormalModel
+    from repro.fitting.pipeline import fit_model_from_trace
+    from repro.traces.io import read_trace_csv
+
+    trace = read_trace_csv(args.trace)
+    fitted = fit_model_from_trace(trace).parameters
+    models = [
+        UncorrelatedNormalModel.from_trace(trace),
+        KeeGridModel.from_trace(trace),
+        CorrelatedHostGenerator(fitted),
+    ]
+    result = run_utility_experiment(
+        trace, models, rng=np.random.default_rng(args.seed)
+    )
+    print("Mean % utility difference vs actual hosts (Fig 15):")
+    print(result.format_table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="resmodel",
+        description="Correlated resource models of Internet end hosts",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_generate = sub.add_parser("generate", help="generate hosts for a date")
+    p_generate.add_argument("--date", default="2010-09-01", help="YYYY-MM-DD or year")
+    p_generate.add_argument("--hosts", type=int, default=100)
+    p_generate.add_argument("--params", help="fitted parameter JSON (default: Table X)")
+    p_generate.add_argument("--seed", type=int, default=0)
+    p_generate.add_argument("--summary", action="store_true", help="print summary to stderr")
+    p_generate.set_defaults(func=_cmd_generate)
+
+    p_trace = sub.add_parser("trace", help="synthesise a SETI@home-like trace")
+    p_trace.add_argument("--scale", type=float, default=0.02)
+    p_trace.add_argument("--seed", type=int, default=20110611)
+    p_trace.add_argument("--out", required=True, help="output CSV(.gz) path")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_fit = sub.add_parser("fit", help="fit model parameters from a trace")
+    p_fit.add_argument("--trace", required=True)
+    p_fit.add_argument("--out", help="write parameter JSON here")
+    p_fit.set_defaults(func=_cmd_fit)
+
+    p_predict = sub.add_parser("predict", help="forecast host composition")
+    p_predict.add_argument("--year", type=float, default=2014.0)
+    p_predict.add_argument("--params", help="fitted parameter JSON (default: Table X)")
+    p_predict.set_defaults(func=_cmd_predict)
+
+    p_validate = sub.add_parser("validate", help="fit + Fig 12 validation")
+    p_validate.add_argument("--trace", required=True)
+    p_validate.add_argument("--seed", type=int, default=0)
+    p_validate.set_defaults(func=_cmd_validate)
+
+    p_simulate = sub.add_parser("simulate", help="run the Fig 15 utility experiment")
+    p_simulate.add_argument("--trace", required=True)
+    p_simulate.add_argument("--seed", type=int, default=0)
+    p_simulate.set_defaults(func=_cmd_simulate)
+
+    p_figures = sub.add_parser("figures", help="export figure data series as CSVs")
+    p_figures.add_argument("--trace", required=True)
+    p_figures.add_argument("--out", required=True, help="output directory")
+    p_figures.add_argument(
+        "--fit",
+        action="store_true",
+        help="use parameters fitted from the trace for the forecasts "
+        "(default: Table X)",
+    )
+    p_figures.set_defaults(func=_cmd_figures)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

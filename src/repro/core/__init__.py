@@ -1,0 +1,54 @@
+"""The paper's primary contribution: the correlated end-host resource model.
+
+The model (Section V of the paper) is assembled from:
+
+* :class:`~repro.core.laws.ExponentialLaw` — the ``a e^{b(year-2006)}`` trend
+  law every quantity follows.
+* :class:`~repro.core.parameters.ModelParameters` — the full parameter set
+  (Table X), with :meth:`~repro.core.parameters.ModelParameters.paper_reference`
+  giving the published values.
+* :class:`~repro.core.ratios.RatioChain` — turns pairwise class ratios into a
+  discrete probability distribution (core counts, per-core memory).
+* :class:`~repro.core.correlation.CorrelatedNormalSampler` — Cholesky-based
+  correlated sampling (Section V-F).
+* Per-resource models (:mod:`cores <repro.core.cores>`,
+  :mod:`memory <repro.core.memory>`, :mod:`speed <repro.core.speed>`,
+  :mod:`disk <repro.core.disk>`).
+* :class:`~repro.core.generator.CorrelatedHostGenerator` — the Fig 11 host
+  creation flow.
+* :mod:`repro.core.prediction` — forward extrapolation (Figs 13/14, §VI-C).
+"""
+
+from repro.core.correlation import CorrelatedNormalSampler
+from repro.core.cores import CoreCountModel
+from repro.core.disk import DiskModel
+from repro.core.generator import CorrelatedHostGenerator
+from repro.core.laws import ExponentialLaw
+from repro.core.memory import PerCoreMemoryModel
+from repro.core.parameters import ModelParameters
+from repro.core.prediction import (
+    ScalarPrediction,
+    extreme_hosts,
+    predict_core_fractions,
+    predict_memory_fractions,
+    predict_scalars,
+)
+from repro.core.ratios import RatioChain
+from repro.core.speed import SpeedModel
+
+__all__ = [
+    "CoreCountModel",
+    "CorrelatedHostGenerator",
+    "CorrelatedNormalSampler",
+    "DiskModel",
+    "ExponentialLaw",
+    "ModelParameters",
+    "PerCoreMemoryModel",
+    "RatioChain",
+    "ScalarPrediction",
+    "SpeedModel",
+    "extreme_hosts",
+    "predict_core_fractions",
+    "predict_memory_fractions",
+    "predict_scalars",
+]

@@ -1,0 +1,73 @@
+"""Core-count model (Section V-D, Table IV, Figs 4/5/13).
+
+The number of processing cores is a power of two; the relative population of
+adjacent classes follows exponential ratio laws.  This model wraps the core
+:class:`~repro.core.ratios.RatioChain` with the operations the paper performs
+on it: class probabilities over time, the multicore fraction bands of Fig 4,
+and sampling for host generation.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+import numpy as np
+
+from repro.core.ratios import RatioChain
+
+
+class CoreCountModel:
+    """Discrete power-of-two core-count distribution evolving in time."""
+
+    def __init__(self, chain: RatioChain):
+        self._chain = chain
+
+    @property
+    def chain(self) -> RatioChain:
+        """The underlying ratio chain."""
+        return self._chain
+
+    @property
+    def class_values(self) -> tuple[float, ...]:
+        """The modelled core counts (ascending)."""
+        return self._chain.class_values
+
+    def probabilities(self, when: "_dt.date | float") -> np.ndarray:
+        """Probability of each core-count class at the given time."""
+        return self._chain.probabilities(when)
+
+    def mean(self, when: "_dt.date | float") -> float:
+        """Average number of cores per host at the given time."""
+        return self._chain.mean(when)
+
+    def std(self, when: "_dt.date | float") -> float:
+        """Standard deviation of the core count at the given time."""
+        return float(np.sqrt(self._chain.variance(when)))
+
+    def fraction_with_at_least(self, when: "_dt.date | float", cores: int) -> float:
+        """Fraction of hosts with ``>= cores`` cores (Fig 13 band curves)."""
+        return self._chain.fraction_at_least(when, cores)
+
+    def fraction_bands(
+        self, when: "_dt.date | float", band_edges: "tuple[int, ...]" = (1, 2, 4, 8, 16)
+    ) -> dict[str, float]:
+        """Fractions per band ``[edge, next_edge)`` as in Fig 4's legend."""
+        probs = self._chain.probabilities(when)
+        values = np.asarray(self._chain.class_values)
+        bands: dict[str, float] = {}
+        for i, low in enumerate(band_edges):
+            high = band_edges[i + 1] if i + 1 < len(band_edges) else None
+            if high is None:
+                mask = values >= low
+                label = f"{low}+ cores"
+            else:
+                mask = (values >= low) & (values < high)
+                label = f"{low}-{high - 1} cores" if high - low > 1 else f"{low} core"
+            bands[label] = float(probs[mask].sum())
+        return bands
+
+    def sample(
+        self, when: "_dt.date | float", size: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``size`` core counts (as integers) at the given time."""
+        return self._chain.sample(when, size, rng).astype(int)

@@ -1,0 +1,55 @@
+"""Available-disk-space model (Section V-G, Table VI, Fig 9).
+
+Available disk is uncorrelated with every other resource (Table III), so it
+is sampled independently from a log-normal distribution whose *linear-space*
+mean and variance follow exponential trend laws.  The paper models available
+rather than total disk because total disk is equally uncorrelated, harder to
+model, and less relevant for applications (§V-G).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+import numpy as np
+
+from repro.core.laws import ExponentialLaw
+from repro.stats.moments import lognormal_params_from_moments
+from repro.timeutil import model_time
+
+
+class DiskModel:
+    """Time-evolving log-normal distribution of available disk space (GB)."""
+
+    def __init__(self, mean_law: ExponentialLaw, variance_law: ExponentialLaw):
+        self._mean_law = mean_law
+        self._variance_law = variance_law
+
+    def moments(self, when: "_dt.date | float") -> tuple[float, float]:
+        """Predicted linear-space (mean, std) of available disk in GB."""
+        t = model_time(when)
+        return float(self._mean_law.at(t)), float(np.sqrt(self._variance_law.at(t)))
+
+    def lognormal_params(self, when: "_dt.date | float") -> tuple[float, float]:
+        """Log-normal ``(mu, sigma)`` matching the predicted moments."""
+        t = model_time(when)
+        return lognormal_params_from_moments(
+            float(self._mean_law.at(t)), float(self._variance_law.at(t))
+        )
+
+    def median(self, when: "_dt.date | float") -> float:
+        """Predicted median available disk (GB); ``exp(mu)`` for a log-normal."""
+        mu, _ = self.lognormal_params(when)
+        return float(np.exp(mu))
+
+    def sample(
+        self, when: "_dt.date | float", size: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``size`` available-disk values (GB) at the given time."""
+        mu, sigma = self.lognormal_params(when)
+        return rng.lognormal(mean=mu, sigma=sigma, size=size)
+
+    def from_normals(self, when: "_dt.date | float", z: np.ndarray) -> np.ndarray:
+        """Map standard normals to disk values (for common-random-number use)."""
+        mu, sigma = self.lognormal_params(when)
+        return np.exp(mu + sigma * np.asarray(z, dtype=float))

@@ -1,0 +1,164 @@
+"""GPU coprocessor model — the paper's §VIII extension, built from §V-H data.
+
+The paper declines to fold GPUs into the 2010 model because BOINC only
+started recording them in September 2009, but publishes one year of
+adoption, type-share and memory data (Table VII, Fig 10) and names a GPU
+model as future work.  This module implements that extension:
+
+* **Adoption** — the share of hosts reporting a GPU grows from 12.7 %
+  (Sep 2009) to 23.8 % (Sep 2010); we fit the implied exponential adoption
+  law and extrapolate it with a saturation cap.
+* **Type shares** — GeForce/Radeon/Quadro/Other shares interpolate between
+  the two published columns and extrapolate along the linear trend, clipped
+  and renormalised.
+* **GPU memory** — the discrete Fig 10 distribution, interpolated and
+  extrapolated the same way.
+
+Everything extrapolated is clearly marked: the model refuses dates before
+the recording epoch and caps adoption below 95 %.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hosts import platforms as _platforms
+from repro.timeutil import model_time
+
+#: Epoch-relative time of the first GPU records (September 2009).
+GPU_EPOCH_T = _platforms.GPU_RECORDING_START - 2006.0
+
+#: Adoption never extrapolates beyond this share of hosts.
+ADOPTION_CAP = 0.95
+
+
+@dataclass(frozen=True)
+class GpuPopulation:
+    """GPU attributes for a generated host population."""
+
+    has_gpu: np.ndarray
+    gpu_type: np.ndarray
+    gpu_memory_mb: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.has_gpu.size)
+
+    @property
+    def adoption(self) -> float:
+        """Fraction of hosts carrying a GPU."""
+        if self.has_gpu.size == 0:
+            return 0.0
+        return float(self.has_gpu.mean())
+
+
+class GpuModel:
+    """Time-evolving GPU adoption, type and memory model."""
+
+    def __init__(
+        self,
+        adoption_anchors: "dict[float, float] | None" = None,
+        type_shares: "dict[float, tuple[float, ...]] | None" = None,
+        memory_pmfs: "dict[float, tuple[float, ...]] | None" = None,
+        memory_classes_mb: "tuple[int, ...] | None" = None,
+    ):
+        self._adoption = dict(
+            adoption_anchors
+            if adoption_anchors is not None
+            else _platforms.GPU_HOST_FRACTION_BY_DATE
+        )
+        self._types = dict(
+            type_shares if type_shares is not None else _platforms.GPU_SHARES_BY_DATE
+        )
+        self._memory = dict(
+            memory_pmfs if memory_pmfs is not None else _platforms.GPU_MEMORY_PMF_BY_DATE
+        )
+        self._classes = (
+            memory_classes_mb
+            if memory_classes_mb is not None
+            else _platforms.GPU_MEMORY_CLASSES_MB
+        )
+        if len(self._adoption) < 2 or len(self._types) < 2 or len(self._memory) < 2:
+            raise ValueError("GPU model needs at least two anchor dates")
+
+    # -- adoption ---------------------------------------------------------
+
+    def adoption_fraction(self, when: "_dt.date | float") -> float:
+        """Fraction of hosts reporting a GPU at ``when``.
+
+        Zero before the recording epoch; exponential growth through the
+        anchors afterwards, capped at :data:`ADOPTION_CAP`.
+        """
+        year = model_time(when) + 2006.0
+        if year < _platforms.GPU_RECORDING_START:
+            return 0.0
+        dates = sorted(self._adoption)
+        t0, t1 = dates[0], dates[-1]
+        f0, f1 = self._adoption[t0], self._adoption[t1]
+        growth = np.log(f1 / f0) / (t1 - t0)
+        fraction = f0 * np.exp(growth * (year - t0))
+        return float(min(fraction, ADOPTION_CAP))
+
+    # -- composition ---------------------------------------------------------
+
+    def _interpolate(self, table: "dict[float, tuple[float, ...]]", year: float) -> np.ndarray:
+        dates = sorted(table)
+        t0, t1 = dates[0], dates[-1]
+        v0 = np.asarray(table[t0], dtype=float)
+        v1 = np.asarray(table[t1], dtype=float)
+        v0 = v0 / v0.sum()
+        v1 = v1 / v1.sum()
+        w = (year - t0) / (t1 - t0)  # may extrapolate beyond [0, 1]
+        values = np.clip((1 - w) * v0 + w * v1, 0.0, None)
+        total = values.sum()
+        if total <= 0:
+            return v1
+        return values / total
+
+    def type_shares(self, when: "_dt.date | float") -> dict[str, float]:
+        """GPU type shares among GPU-equipped hosts at ``when``."""
+        year = model_time(when) + 2006.0
+        shares = self._interpolate(self._types, year)
+        return dict(zip(_platforms.GPU_TYPES, shares))
+
+    def memory_distribution(self, when: "_dt.date | float") -> dict[int, float]:
+        """GPU memory PMF over the discrete classes at ``when``."""
+        year = model_time(when) + 2006.0
+        pmf = self._interpolate(self._memory, year)
+        return dict(zip(self._classes, pmf))
+
+    def memory_mean_mb(self, when: "_dt.date | float") -> float:
+        """Mean GPU memory among GPU-equipped hosts at ``when``."""
+        pmf = self.memory_distribution(when)
+        return float(sum(size * prob for size, prob in pmf.items()))
+
+    # -- sampling -------------------------------------------------------------
+
+    def sample(
+        self, when: "_dt.date | float", size: int, rng: np.random.Generator
+    ) -> GpuPopulation:
+        """Draw GPU attributes for ``size`` hosts at ``when``.
+
+        Hosts without GPUs get type ``"none"`` and zero memory.
+        """
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        fraction = self.adoption_fraction(when)
+        has_gpu = rng.random(size) < fraction
+
+        gpu_type = np.full(size, "none", dtype=object)
+        gpu_memory = np.zeros(size)
+        n_gpu = int(has_gpu.sum())
+        if n_gpu:
+            year = model_time(when) + 2006.0
+            type_probs = self._interpolate(self._types, year)
+            mem_probs = self._interpolate(self._memory, year)
+            gpu_type[has_gpu] = rng.choice(
+                np.asarray(_platforms.GPU_TYPES, dtype=object), size=n_gpu, p=type_probs
+            )
+            gpu_memory[has_gpu] = rng.choice(
+                np.asarray(self._classes, dtype=float), size=n_gpu, p=mem_probs
+            )
+        return GpuPopulation(has_gpu=has_gpu, gpu_type=gpu_type, gpu_memory_mb=gpu_memory)

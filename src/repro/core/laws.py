@@ -1,0 +1,76 @@
+"""The exponential trend law ``a * exp(b * (year - 2006))``.
+
+Every time-varying quantity in the paper's model is governed by this law
+(Table X): class ratios for core counts and per-core memory, the mean and
+variance of the benchmark speeds, and the mean and variance of available
+disk space.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.timeutil import model_time
+
+
+@dataclass(frozen=True)
+class ExponentialLaw:
+    """``value(t) = a * exp(b * t)`` with ``t`` in years since 2006-01-01.
+
+    ``r`` optionally records the goodness of fit (log-space Pearson
+    correlation) when the law came from data, as in the paper's tables.
+    """
+
+    a: float
+    b: float
+    r: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.a <= 0:
+            raise ValueError(f"law coefficient 'a' must be positive, got {self.a}")
+
+    def at(self, t: "float | np.ndarray") -> "float | np.ndarray":
+        """Evaluate at epoch-relative time ``t`` (years since 2006)."""
+        result = self.a * np.exp(self.b * np.asarray(t, dtype=float))
+        if np.ndim(t) == 0:
+            return float(result)
+        return result
+
+    def at_date(self, when: "_dt.date | float") -> float:
+        """Evaluate at a calendar date (or calendar-year float)."""
+        return float(self.at(model_time(when)))
+
+    def doubling_time(self) -> float:
+        """Years for the value to double (negative for decaying laws).
+
+        Raises
+        ------
+        ZeroDivisionError
+            For a constant law (``b == 0``).
+        """
+        return float(np.log(2) / self.b)
+
+    def scaled(self, factor: float) -> "ExponentialLaw":
+        """Return a copy with ``a`` multiplied by ``factor``."""
+        return ExponentialLaw(a=self.a * factor, b=self.b, r=self.r)
+
+    def shifted(self, delta_years: float) -> "ExponentialLaw":
+        """Return the law evaluated at ``t + delta_years`` (time shift)."""
+        return ExponentialLaw(
+            a=self.a * float(np.exp(self.b * delta_years)), b=self.b, r=self.r
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        payload = {"a": self.a, "b": self.b}
+        if self.r is not None:
+            payload["r"] = self.r
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExponentialLaw":
+        """Inverse of :meth:`to_dict`."""
+        return cls(a=float(payload["a"]), b=float(payload["b"]), r=payload.get("r"))

@@ -1,0 +1,83 @@
+"""Per-core-memory model (Section V-E, Table V, Figs 6/7/14).
+
+Total host memory is strongly correlated with core count (r ≈ 0.6), but
+*memory per core* is nearly uncorrelated with cores — so the paper models
+per-core memory as its own discrete ratio chain and multiplies by the
+independently drawn core count.  The per-core classes are the dominant
+values {256, 512, 768, 1024, 1536, 2048(, 4096)} MB covering > 80 % of
+observed hosts.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+import numpy as np
+
+from repro.core.ratios import RatioChain
+
+
+class PerCoreMemoryModel:
+    """Discrete per-core-memory distribution evolving in time."""
+
+    def __init__(self, chain: RatioChain):
+        self._chain = chain
+
+    @property
+    def chain(self) -> RatioChain:
+        """The underlying ratio chain."""
+        return self._chain
+
+    @property
+    def class_values_mb(self) -> tuple[float, ...]:
+        """The modelled per-core memory sizes in MB (ascending)."""
+        return self._chain.class_values
+
+    def probabilities(self, when: "_dt.date | float") -> np.ndarray:
+        """Probability of each per-core-memory class at the given time."""
+        return self._chain.probabilities(when)
+
+    def mean_mb(self, when: "_dt.date | float") -> float:
+        """Average per-core memory (MB) at the given time."""
+        return self._chain.mean(when)
+
+    def fraction_at_most(self, when: "_dt.date | float", mb: float) -> float:
+        """Fraction of hosts with per-core memory ``<= mb`` (Fig 7 bands)."""
+        probs = self._chain.probabilities(when)
+        values = np.asarray(self._chain.class_values)
+        return float(probs[values <= mb].sum())
+
+    def from_uniform(
+        self, when: "_dt.date | float", u: "float | np.ndarray"
+    ) -> np.ndarray:
+        """Select per-core-memory classes from uniforms (correlated path).
+
+        The host generator feeds Φ(correlated normal) through this, so hosts
+        whose memory-component normal is high receive large per-core memory —
+        preserving the memory/speed correlation of Section V-F.
+        """
+        return self._chain.quantile_class(when, u)
+
+    def sample(
+        self, when: "_dt.date | float", size: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``size`` independent per-core-memory values (MB)."""
+        return self._chain.sample(when, size, rng)
+
+    def total_memory_distribution(
+        self, when: "_dt.date | float", core_probabilities: np.ndarray,
+        core_values: "tuple[float, ...]",
+    ) -> dict[float, float]:
+        """Joint distribution of *total* memory (MB) given a core distribution.
+
+        Cores and per-core memory are independent in the model, so the total
+        memory PMF is the product-convolution of the two discrete
+        distributions.  Used for the Fig 14 forecast bands.
+        """
+        mem_probs = self.probabilities(when)
+        totals: dict[float, float] = {}
+        for pc_val, pc_prob in zip(self._chain.class_values, mem_probs):
+            for core_val, core_prob in zip(core_values, core_probabilities):
+                total = float(pc_val * core_val)
+                totals[total] = totals.get(total, 0.0) + float(pc_prob * core_prob)
+        return dict(sorted(totals.items()))

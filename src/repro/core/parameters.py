@@ -1,0 +1,175 @@
+"""The full model parameter set (the paper's Table X).
+
+:class:`ModelParameters` bundles every law and constant the correlated host
+model needs:
+
+* core-count ratio chain (Table IV, plus the 8:16 law of §VI-C),
+* per-core-memory ratio chain (Table V),
+* Dhrystone/Whetstone mean and variance laws (Table VI),
+* available-disk mean and variance laws (Table VI),
+* the (mem/core, Whetstone, Dhrystone) correlation matrix (§V-F),
+* the Weibull host-lifetime parameters (Fig 1).
+
+:meth:`ModelParameters.paper_reference` returns the published values, and the
+whole object round-trips through JSON so fitted models can be saved and
+reloaded (the paper's "tool for automated model generation").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.laws import ExponentialLaw
+from repro.core.ratios import RatioChain
+
+#: Canonical core-count classes (powers of two; §V-D).
+CORE_CLASSES: tuple[int, ...] = (1, 2, 4, 8, 16)
+
+#: Canonical per-core-memory classes in MB (§V-E; 4096 closes the 2G:4G law).
+PERCORE_MEMORY_CLASSES_MB: tuple[int, ...] = (256, 512, 768, 1024, 1536, 2048, 4096)
+
+#: Order of the correlated components in the §V-F correlation matrix.
+CORRELATED_COMPONENTS: tuple[str, str, str] = ("mem_per_core", "whetstone", "dhrystone")
+
+
+@dataclass(frozen=True)
+class ModelParameters:
+    """Every parameter of the correlated host resource model (Table X)."""
+
+    core_chain: RatioChain
+    percore_memory_chain: RatioChain
+    dhrystone_mean: ExponentialLaw
+    dhrystone_variance: ExponentialLaw
+    whetstone_mean: ExponentialLaw
+    whetstone_variance: ExponentialLaw
+    disk_mean: ExponentialLaw
+    disk_variance: ExponentialLaw
+    #: 3×3 correlation of (mem/core, Whetstone, Dhrystone).
+    correlation: np.ndarray = field(
+        default_factory=lambda: np.array(
+            [[1.0, 0.250, 0.306], [0.250, 1.0, 0.639], [0.306, 0.639, 1.0]]
+        )
+    )
+    #: Weibull lifetime shape ``k`` (Fig 1).
+    lifetime_shape: float = 0.58
+    #: Weibull lifetime scale ``λ`` in days (Fig 1).
+    lifetime_scale_days: float = 135.0
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.correlation, dtype=float)
+        if matrix.shape != (3, 3):
+            raise ValueError(f"correlation must be 3x3, got {matrix.shape}")
+        object.__setattr__(self, "correlation", matrix)
+        if self.lifetime_shape <= 0 or self.lifetime_scale_days <= 0:
+            raise ValueError("lifetime parameters must be positive")
+
+    @classmethod
+    def paper_reference(cls) -> "ModelParameters":
+        """The published parameter values (Table X; 8:16 law from §VI-C)."""
+        core_chain = RatioChain(
+            class_values=tuple(float(c) for c in CORE_CLASSES),
+            ratio_laws=(
+                ExponentialLaw(3.369, -0.5004, r=-0.9984),   # 1:2 cores
+                ExponentialLaw(17.49, -0.3217, r=-0.9730),   # 2:4 cores
+                ExponentialLaw(12.8, -0.2377, r=-0.9557),    # 4:8 cores
+                ExponentialLaw(12.0, -0.2),                  # 8:16 cores (§VI-C estimate)
+            ),
+        )
+        percore_chain = RatioChain(
+            class_values=tuple(float(m) for m in PERCORE_MEMORY_CLASSES_MB),
+            ratio_laws=(
+                ExponentialLaw(0.5829, -0.2517, r=-0.9984),  # 256MB:512MB
+                ExponentialLaw(4.89, -0.1292, r=-0.9748),    # 512MB:768MB
+                ExponentialLaw(0.3821, -0.1709, r=-0.9801),  # 768MB:1GB
+                ExponentialLaw(3.98, -0.1367, r=-0.9833),    # 1GB:1.5GB
+                ExponentialLaw(1.51, -0.0925, r=-0.9897),    # 1.5GB:2GB
+                ExponentialLaw(4.951, -0.1008, r=-0.9880),   # 2GB:4GB
+            ),
+        )
+        return cls(
+            core_chain=core_chain,
+            percore_memory_chain=percore_chain,
+            dhrystone_mean=ExponentialLaw(2064.0, 0.1709, r=0.9946),
+            dhrystone_variance=ExponentialLaw(1.379e6, 0.3313, r=0.9937),
+            whetstone_mean=ExponentialLaw(1179.0, 0.1157, r=0.9981),
+            whetstone_variance=ExponentialLaw(3.237e5, 0.1057, r=0.8795),
+            disk_mean=ExponentialLaw(31.59, 0.2691, r=0.9955),
+            disk_variance=ExponentialLaw(2890.0, 0.5224, r=0.9954),
+        )
+
+    def with_correlation(self, correlation: np.ndarray) -> "ModelParameters":
+        """Copy with a replaced (mem/core, Whet, Dhry) correlation matrix."""
+        return replace(self, correlation=np.asarray(correlation, dtype=float))
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation of the whole parameter set."""
+        return {
+            "core_chain": self.core_chain.to_dict(),
+            "percore_memory_chain": self.percore_memory_chain.to_dict(),
+            "dhrystone_mean": self.dhrystone_mean.to_dict(),
+            "dhrystone_variance": self.dhrystone_variance.to_dict(),
+            "whetstone_mean": self.whetstone_mean.to_dict(),
+            "whetstone_variance": self.whetstone_variance.to_dict(),
+            "disk_mean": self.disk_mean.to_dict(),
+            "disk_variance": self.disk_variance.to_dict(),
+            "correlation": self.correlation.tolist(),
+            "lifetime_shape": self.lifetime_shape,
+            "lifetime_scale_days": self.lifetime_scale_days,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ModelParameters":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            core_chain=RatioChain.from_dict(payload["core_chain"]),
+            percore_memory_chain=RatioChain.from_dict(payload["percore_memory_chain"]),
+            dhrystone_mean=ExponentialLaw.from_dict(payload["dhrystone_mean"]),
+            dhrystone_variance=ExponentialLaw.from_dict(payload["dhrystone_variance"]),
+            whetstone_mean=ExponentialLaw.from_dict(payload["whetstone_mean"]),
+            whetstone_variance=ExponentialLaw.from_dict(payload["whetstone_variance"]),
+            disk_mean=ExponentialLaw.from_dict(payload["disk_mean"]),
+            disk_variance=ExponentialLaw.from_dict(payload["disk_variance"]),
+            correlation=np.asarray(payload["correlation"], dtype=float),
+            lifetime_shape=float(payload["lifetime_shape"]),
+            lifetime_scale_days=float(payload["lifetime_scale_days"]),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ModelParameters":
+        """Deserialise from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def summary_rows(self) -> list[tuple[str, str, str, float, float]]:
+        """Rows of the Table X summary: (resource, value, method, a, b)."""
+        rows: list[tuple[str, str, str, float, float]] = []
+        core_values = self.core_chain.class_values
+        for i, law in enumerate(self.core_chain.ratio_laws):
+            label = f"{int(core_values[i])}:{int(core_values[i + 1])} Core"
+            rows.append(("Cores", label, "Relative Ratio", law.a, law.b))
+        mem_values = self.percore_memory_chain.class_values
+        for i, law in enumerate(self.percore_memory_chain.ratio_laws):
+            lo, hi = int(mem_values[i]), int(mem_values[i + 1])
+            label = f"{_fmt_mb(lo)}:{_fmt_mb(hi)}"
+            rows.append(("Mem/Core", label, "Relative Ratio", law.a, law.b))
+        rows.append(("Dhrystone", "Mean (MIPS)", "Normal Dist.", self.dhrystone_mean.a, self.dhrystone_mean.b))
+        rows.append(("Dhrystone", "Variance", "Normal Dist.", self.dhrystone_variance.a, self.dhrystone_variance.b))
+        rows.append(("Whetstone", "Mean (MIPS)", "Normal Dist.", self.whetstone_mean.a, self.whetstone_mean.b))
+        rows.append(("Whetstone", "Variance", "Normal Dist.", self.whetstone_variance.a, self.whetstone_variance.b))
+        rows.append(("Disk Space", "Mean (GB)", "Lognorm Dist.", self.disk_mean.a, self.disk_mean.b))
+        rows.append(("Disk Space", "Variance", "Lognorm Dist.", self.disk_variance.a, self.disk_variance.b))
+        return rows
+
+
+def _fmt_mb(mb: int) -> str:
+    """Format a memory size the way the paper's tables do (768MB, 1.5GB)."""
+    if mb < 1024:
+        return f"{mb}MB"
+    gb = mb / 1024
+    return f"{gb:g}GB"

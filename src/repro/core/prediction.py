@@ -1,0 +1,198 @@
+"""Forward extrapolation of the model (Section VI-C, Figs 13 and 14).
+
+The ratio and moment laws extend naturally beyond the fitted window; the
+paper uses them to forecast the 2011–2014 host mix: single-core hosts
+becoming negligible, two-core hosts still ≈ 40 % in 2014, a mean of 4.6
+cores, and the scalar 2014 predictions Dhrystone (8100, 4419) MIPS,
+Whetstone (2975, 868) MIPS and disk (272.0, 434.5) GB.
+
+This module also implements the paper's unfinished "best and worst hosts"
+item (§VI-C carries a ``**TODO`` marker) as percentile-host prediction:
+the resource vector of a host at a chosen quantile of each marginal.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as _sps
+
+from repro.core.cores import CoreCountModel
+from repro.core.disk import DiskModel
+from repro.core.memory import PerCoreMemoryModel
+from repro.core.parameters import ModelParameters
+from repro.core.speed import SpeedModel
+from repro.hosts.host import Host
+from repro.timeutil import calendar_year, model_time
+
+
+@dataclass(frozen=True)
+class ScalarPrediction:
+    """Point predictions of the model's scalar aggregates at one date."""
+
+    when: float
+    cores_mean: float
+    memory_mean_mb: float
+    dhrystone_mean: float
+    dhrystone_std: float
+    whetstone_mean: float
+    whetstone_std: float
+    disk_mean_gb: float
+    disk_std_gb: float
+
+
+def predict_scalars(
+    params: ModelParameters,
+    when: "_dt.date | float",
+    percore_max_mb: "float | None" = 2048.0,
+) -> ScalarPrediction:
+    """Predict mean resources at ``when`` (the §VI-C scalar forecasts).
+
+    ``percore_max_mb`` applies §V-E's simplified per-core-memory value set
+    (truncation at 2048 MB reproduces the paper's 6.8 GB 2014 forecast);
+    pass ``None`` to keep the full Table V chain.
+    """
+    cores = CoreCountModel(params.core_chain)
+    memory = PerCoreMemoryModel(_percore_chain(params, percore_max_mb))
+    speed = SpeedModel(
+        params.dhrystone_mean,
+        params.dhrystone_variance,
+        params.whetstone_mean,
+        params.whetstone_variance,
+    )
+    disk = DiskModel(params.disk_mean, params.disk_variance)
+
+    dhry_mean, dhry_std = speed.dhrystone_moments(when)
+    whet_mean, whet_std = speed.whetstone_moments(when)
+    disk_mean, disk_std = disk.moments(when)
+    core_mean = cores.mean(when)
+    # Cores and per-core memory are independent, so the mean total memory is
+    # the product of the two means.
+    memory_mean = core_mean * memory.mean_mb(when)
+    return ScalarPrediction(
+        when=calendar_year(model_time(when)),
+        cores_mean=core_mean,
+        memory_mean_mb=memory_mean,
+        dhrystone_mean=dhry_mean,
+        dhrystone_std=dhry_std,
+        whetstone_mean=whet_mean,
+        whetstone_std=whet_std,
+        disk_mean_gb=disk_mean,
+        disk_std_gb=disk_std,
+    )
+
+
+def predict_core_fractions(
+    params: ModelParameters,
+    years: "np.ndarray | list[float]",
+    thresholds: tuple[int, ...] = (1, 2, 4, 8, 16),
+) -> dict[str, np.ndarray]:
+    """Fig 13 band curves: fraction of hosts with exactly 1 / ≥ k cores.
+
+    Returns a mapping from band label (``"1 core"``, ``">=2 cores"``, …) to
+    the fraction series over ``years`` (calendar-year floats).
+    """
+    cores = CoreCountModel(params.core_chain)
+    years_arr = np.asarray(years, dtype=float)
+    result: dict[str, np.ndarray] = {}
+    for threshold in thresholds:
+        series = np.array(
+            [cores.fraction_with_at_least(year, threshold) for year in years_arr]
+        )
+        label = "1 core" if threshold == 1 else f">={threshold} cores"
+        if threshold == 1:
+            exact_one = np.array(
+                [cores.probabilities(year)[0] for year in years_arr]
+            )
+            result[label] = exact_one
+        else:
+            result[label] = series
+    return result
+
+
+def predict_memory_fractions(
+    params: ModelParameters,
+    years: "np.ndarray | list[float]",
+    thresholds_gb: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0),
+    percore_max_mb: "float | None" = 2048.0,
+) -> dict[str, np.ndarray]:
+    """Fig 14 band curves: fraction of hosts with total memory ≤ k GB.
+
+    The final band ``"> {last} GB"`` is appended automatically.  Total
+    memory is the product-convolution of the independent core-count and
+    per-core-memory distributions.
+    """
+    cores = CoreCountModel(params.core_chain)
+    memory = PerCoreMemoryModel(_percore_chain(params, percore_max_mb))
+    years_arr = np.asarray(years, dtype=float)
+
+    bands: dict[str, list[float]] = {f"<={g:g}GB": [] for g in thresholds_gb}
+    over_label = f">{thresholds_gb[-1]:g}GB"
+    bands[over_label] = []
+
+    for year in years_arr:
+        core_probs = cores.probabilities(year)
+        totals = memory.total_memory_distribution(
+            year, core_probs, cores.class_values
+        )
+        values_mb = np.array(list(totals.keys()))
+        probs = np.array(list(totals.values()))
+        for threshold in thresholds_gb:
+            mask = values_mb <= threshold * 1024
+            bands[f"<={threshold:g}GB"].append(float(probs[mask].sum()))
+        bands[over_label].append(float(probs[values_mb > thresholds_gb[-1] * 1024].sum()))
+
+    return {label: np.asarray(series) for label, series in bands.items()}
+
+
+def extreme_hosts(
+    params: ModelParameters,
+    when: "_dt.date | float",
+    quantile: float = 0.95,
+    percore_max_mb: "float | None" = 2048.0,
+) -> tuple[Host, Host]:
+    """Predict the "best and worst" hosts available at a date (§VI-C TODO).
+
+    Returns ``(worst, best)`` where *best* takes each resource at the given
+    marginal quantile and *worst* at ``1 - quantile``.  Because the model's
+    correlations are moderate, per-marginal quantiles are a reasonable proxy
+    for the joint extremes; this completes the item the published text left
+    as a TODO.
+    """
+    if not 0.5 <= quantile < 1.0:
+        raise ValueError("quantile should be in [0.5, 1)")
+    cores = CoreCountModel(params.core_chain)
+    memory = PerCoreMemoryModel(_percore_chain(params, percore_max_mb))
+    speed = SpeedModel(
+        params.dhrystone_mean,
+        params.dhrystone_variance,
+        params.whetstone_mean,
+        params.whetstone_variance,
+    )
+    disk = DiskModel(params.disk_mean, params.disk_variance)
+
+    def host_at(q: float) -> Host:
+        core_val = int(cores.chain.quantile_class(when, q)[0])
+        percore = float(memory.from_uniform(when, q)[0])
+        z = float(_sps.norm.ppf(q))
+        whet, dhry = speed.from_normals(when, np.array([z]), np.array([z]))
+        mu, sigma = disk.lognormal_params(when)
+        disk_gb = float(np.exp(mu + sigma * z))
+        return Host(
+            cores=core_val,
+            memory_mb=percore * core_val,
+            dhrystone_mips=float(dhry[0]),
+            whetstone_mips=float(whet[0]),
+            disk_gb=disk_gb,
+        )
+
+    return host_at(1.0 - quantile), host_at(quantile)
+
+def _percore_chain(params: ModelParameters, percore_max_mb: "float | None"):
+    """Per-core-memory chain, optionally truncated to the simplified set."""
+    chain = params.percore_memory_chain
+    if percore_max_mb is None:
+        return chain
+    return chain.truncated(percore_max_mb)

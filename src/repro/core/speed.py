@@ -1,0 +1,89 @@
+"""Processor-speed model (Section V-F, Table VI, Fig 8).
+
+Dhrystone (integer) and Whetstone (floating-point) MIPS are each normally
+distributed at any instant; the mean and the variance of both follow
+exponential trend laws.  Samples are produced by rescaling standard normals
+(possibly correlated with each other and with per-core memory) to the
+predicted moments, and truncated below at a small positive floor since a
+physical benchmark score cannot be negative.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+import numpy as np
+
+from repro.core.laws import ExponentialLaw
+from repro.timeutil import model_time
+
+#: Benchmarks cannot report speeds at or below zero; the normal model's left
+#: tail is clipped here (affects well under 1 % of draws at 2006 parameters).
+SPEED_FLOOR_MIPS = 1.0
+
+
+class SpeedModel:
+    """Time-evolving normal distributions for Dhrystone and Whetstone MIPS."""
+
+    def __init__(
+        self,
+        dhrystone_mean: ExponentialLaw,
+        dhrystone_variance: ExponentialLaw,
+        whetstone_mean: ExponentialLaw,
+        whetstone_variance: ExponentialLaw,
+    ):
+        self._dhry_mean = dhrystone_mean
+        self._dhry_var = dhrystone_variance
+        self._whet_mean = whetstone_mean
+        self._whet_var = whetstone_variance
+
+    def dhrystone_moments(self, when: "_dt.date | float") -> tuple[float, float]:
+        """Predicted (mean, std) of Dhrystone MIPS at the given time."""
+        t = model_time(when)
+        return float(self._dhry_mean.at(t)), float(np.sqrt(self._dhry_var.at(t)))
+
+    def whetstone_moments(self, when: "_dt.date | float") -> tuple[float, float]:
+        """Predicted (mean, std) of Whetstone MIPS at the given time."""
+        t = model_time(when)
+        return float(self._whet_mean.at(t)), float(np.sqrt(self._whet_var.at(t)))
+
+    def from_normals(
+        self,
+        when: "_dt.date | float",
+        z_whetstone: np.ndarray,
+        z_dhrystone: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Rescale standard normals to (Whetstone, Dhrystone) MIPS.
+
+        The inputs are the correlated components produced by
+        :class:`~repro.core.correlation.CorrelatedNormalSampler`; the paper
+        "renormalises them to the predicted mean and variance" (§V-F).
+        """
+        whet_mean, whet_std = self.whetstone_moments(when)
+        dhry_mean, dhry_std = self.dhrystone_moments(when)
+        whet = whet_mean + whet_std * np.asarray(z_whetstone, dtype=float)
+        dhry = dhry_mean + dhry_std * np.asarray(z_dhrystone, dtype=float)
+        return (
+            np.maximum(whet, SPEED_FLOOR_MIPS),
+            np.maximum(dhry, SPEED_FLOOR_MIPS),
+        )
+
+    def sample(
+        self,
+        when: "_dt.date | float",
+        size: int,
+        rng: np.random.Generator,
+        correlation: float = 0.0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``size`` (Whetstone, Dhrystone) pairs with optional coupling.
+
+        ``correlation`` is the target Pearson correlation between the two
+        benchmark scores (0 gives independent draws; the paper's empirical
+        value is ≈ 0.64).
+        """
+        if not -1.0 <= correlation <= 1.0:
+            raise ValueError(f"correlation must be in [-1, 1], got {correlation}")
+        z1 = rng.standard_normal(size)
+        noise = rng.standard_normal(size)
+        z2 = correlation * z1 + np.sqrt(1 - correlation**2) * noise
+        return self.from_normals(when, z1, z2)

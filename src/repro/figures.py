@@ -1,0 +1,175 @@
+"""Figure-data export: every figure's series as plain CSV files.
+
+The benches assert shapes and print paper-vs-measured numbers; this module
+writes the underlying *series* to disk so they can be plotted with any tool
+(the repository deliberately has no plotting dependency).  Used by
+``resmodel figures``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.composition import (
+    cpu_shares_table,
+    gpu_memory_distribution,
+    gpu_type_shares,
+    os_shares_table,
+)
+from repro.analysis.overview import (
+    creation_lifetime_trend,
+    lifetime_distribution,
+    resource_overview,
+)
+from repro.analysis.resources import (
+    core_ratio_series,
+    multicore_fractions,
+    percore_fraction_bands,
+)
+from repro.core.parameters import ModelParameters
+from repro.core.prediction import predict_core_fractions, predict_memory_fractions
+from repro.traces.dataset import TraceDataset
+
+
+def _write_csv(path: Path, header: list[str], rows) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_figure_data(
+    trace: TraceDataset,
+    out_dir: "str | Path",
+    parameters: "ModelParameters | None" = None,
+) -> list[Path]:
+    """Write one CSV per figure into ``out_dir``; returns the paths written."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    params = parameters if parameters is not None else ModelParameters.paper_reference()
+    written: list[Path] = []
+
+    # Fig 1 — lifetime PDF/CDF.
+    lifetimes = lifetime_distribution(trace)
+    path = out / "fig01_lifetimes.csv"
+    _write_csv(
+        path,
+        ["days", "pdf_density", "cdf"],
+        zip(
+            lifetimes.pdf_days,
+            lifetimes.pdf_density,
+            lifetimes.cdf(lifetimes.pdf_days),
+        ),
+    )
+    written.append(path)
+
+    # Fig 2 — overview series.
+    overview = resource_overview(trace)
+    path = out / "fig02_overview.csv"
+    labels = list(overview.means)
+    rows = []
+    for i, date in enumerate(overview.dates):
+        row = [date, overview.active_counts[i]]
+        for label in labels:
+            row.extend([overview.means[label][i], overview.stds[label][i]])
+        rows.append(row)
+    header = ["date", "active_hosts"]
+    for label in labels:
+        header.extend([f"{label}_mean", f"{label}_std"])
+    _write_csv(path, header, rows)
+    written.append(path)
+
+    # Fig 3 — creation vs lifetime.
+    centres, means = creation_lifetime_trend(trace)
+    path = out / "fig03_creation_lifetime.csv"
+    _write_csv(path, ["cohort_centre", "mean_lifetime_days"], zip(centres, means))
+    written.append(path)
+
+    # Tables I/II — composition.
+    for name, table in (
+        ("tab01_processors.csv", cpu_shares_table(trace)),
+        ("tab02_os.csv", os_shares_table(trace)),
+    ):
+        path = out / name
+        years = [2006, 2007, 2008, 2009, 2010]
+        _write_csv(
+            path,
+            ["label", *[str(y) for y in years]],
+            ([label, *row] for label, row in table.items()),
+        )
+        written.append(path)
+
+    # Figs 4/5 — multicore bands and core ratios.
+    dates = np.linspace(2006.05, 2010.5, 19)
+    bands = multicore_fractions(trace, dates)
+    path = out / "fig04_multicore_bands.csv"
+    _write_csv(
+        path,
+        ["date", *bands.keys()],
+        zip(dates, *(bands[label] for label in bands)),
+    )
+    written.append(path)
+
+    ratios = core_ratio_series(trace, dates)
+    path = out / "fig05_core_ratios.csv"
+    _write_csv(
+        path,
+        ["date", *ratios.keys()],
+        zip(dates, *(ratios[label] for label in ratios)),
+    )
+    written.append(path)
+
+    # Fig 7 — per-core memory bands.
+    percore = percore_fraction_bands(trace, dates)
+    path = out / "fig07_percore_bands.csv"
+    _write_csv(
+        path,
+        ["date", *percore.keys()],
+        zip(dates, *(percore[label] for label in percore)),
+    )
+    written.append(path)
+
+    # Table VII / Fig 10 — GPUs.
+    gpu_types = gpu_type_shares(trace)
+    path = out / "tab07_gpu_types.csv"
+    _write_csv(
+        path,
+        ["label", "sep2009_pct", "sep2010_pct"],
+        ([label, *row] for label, row in gpu_types.items()),
+    )
+    written.append(path)
+
+    path = out / "fig10_gpu_memory.csv"
+    dist09 = gpu_memory_distribution(trace, 2009.667)
+    dist10 = gpu_memory_distribution(trace, 2010.667)
+    _write_csv(
+        path,
+        ["memory_mb", "fraction_sep2009", "fraction_sep2010"],
+        zip(dist09.classes_mb, dist09.fractions, dist10.fractions),
+    )
+    written.append(path)
+
+    # Figs 13/14 — forecasts (from the model, not the trace).
+    years = np.arange(2009.0, 2014.01, 0.25)
+    cores_forecast = predict_core_fractions(params, years)
+    path = out / "fig13_core_forecast.csv"
+    _write_csv(
+        path,
+        ["year", *cores_forecast.keys()],
+        zip(years, *(cores_forecast[label] for label in cores_forecast)),
+    )
+    written.append(path)
+
+    memory_forecast = predict_memory_fractions(params, years)
+    path = out / "fig14_memory_forecast.csv"
+    _write_csv(
+        path,
+        ["year", *memory_forecast.keys()],
+        zip(years, *(memory_forecast[label] for label in memory_forecast)),
+    )
+    written.append(path)
+
+    return written

@@ -1,0 +1,30 @@
+"""The automated model-generation tool: fit the model from a trace.
+
+This subpackage reproduces the paper's model-building pipeline (§V): clean
+the trace, measure class fractions and moments on a date grid, fit the
+exponential trend laws, select distribution families by subsampled KS, fit
+the lifetime Weibull, and assemble a full
+:class:`~repro.core.parameters.ModelParameters`.
+"""
+
+from repro.fitting.lifetimes import WeibullLifetimeFit, fit_weibull_lifetimes
+from repro.fitting.pipeline import FitReport, default_fit_dates, fit_model_from_trace
+from repro.fitting.ratios import (
+    class_fraction_series,
+    fit_ratio_chain,
+    snap_to_classes,
+)
+from repro.fitting.scalars import fit_moment_laws, moment_series
+
+__all__ = [
+    "FitReport",
+    "WeibullLifetimeFit",
+    "class_fraction_series",
+    "default_fit_dates",
+    "fit_model_from_trace",
+    "fit_moment_laws",
+    "fit_ratio_chain",
+    "fit_weibull_lifetimes",
+    "moment_series",
+    "snap_to_classes",
+]

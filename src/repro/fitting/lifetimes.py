@@ -1,0 +1,62 @@
+"""Weibull lifetime fitting (Fig 1).
+
+The paper reports a maximum-likelihood Weibull fit of host lifetimes with
+k = 0.58 and λ = 135 days, noting the shape below 1 indicates a decreasing
+dropout rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as _sps
+
+from repro.stats.moments import weibull_mean, weibull_median
+
+
+@dataclass(frozen=True)
+class WeibullLifetimeFit:
+    """MLE Weibull fit of a lifetime sample (days)."""
+
+    shape: float
+    scale_days: float
+    sample_mean_days: float
+    sample_median_days: float
+
+    @property
+    def fitted_mean_days(self) -> float:
+        """Mean implied by the fitted parameters."""
+        return weibull_mean(self.shape, self.scale_days)
+
+    @property
+    def fitted_median_days(self) -> float:
+        """Median implied by the fitted parameters."""
+        return weibull_median(self.shape, self.scale_days)
+
+    @property
+    def decreasing_dropout_rate(self) -> bool:
+        """True when k < 1 — the paper's headline observation on lifetimes."""
+        return self.shape < 1.0
+
+
+def fit_weibull_lifetimes(lifetime_days: np.ndarray) -> WeibullLifetimeFit:
+    """Maximum-likelihood Weibull fit with location pinned at zero.
+
+    Zero lifetimes (hosts seen exactly once) are shifted to half a day — a
+    host that connected once was alive for some fraction of a day, and the
+    Weibull likelihood is undefined at zero.
+    """
+    days = np.asarray(lifetime_days, dtype=float)
+    if days.size < 10:
+        raise ValueError("need at least 10 lifetimes for a stable Weibull fit")
+    if np.any(days < 0):
+        raise ValueError("lifetimes cannot be negative")
+    days = np.maximum(days, 0.5)
+    shape, _, scale = _sps.weibull_min.fit(days, floc=0.0)
+    return WeibullLifetimeFit(
+        shape=float(shape),
+        scale_days=float(scale),
+        sample_mean_days=float(days.mean()),
+        sample_median_days=float(np.median(days)),
+    )

@@ -1,0 +1,125 @@
+"""Fitting ratio chains from class-fraction time series (Tables IV and V).
+
+The paper measures, at a grid of dates, the fraction of active hosts in each
+discrete class (1/2/4/8/16 cores; 256…4096 MB per core), forms the ratios of
+adjacent classes, and fits each ratio series to ``a·e^{b(year-2006)}``.
+Values outside the canonical class set are snapped to the nearest class
+(per-core memory) or excluded (non-power-of-two core counts), following
+§V-D/§V-E's simplifications.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.laws import ExponentialLaw
+from repro.core.ratios import RatioChain
+from repro.stats.explaw import fit_exponential_law
+from repro.timeutil import model_time
+
+
+def snap_to_classes(
+    values: np.ndarray,
+    class_values: "tuple[float, ...] | np.ndarray",
+    max_relative_distance: "float | None" = None,
+) -> np.ndarray:
+    """Snap each value to the nearest class; distant values become NaN.
+
+    ``max_relative_distance`` bounds ``|value - class| / class``; ``None``
+    accepts any distance (plain nearest-class assignment).
+    """
+    classes = np.asarray(class_values, dtype=float)
+    vals = np.asarray(values, dtype=float)
+    idx = np.abs(vals[:, None] - classes[None, :]).argmin(axis=1)
+    snapped = classes[idx]
+    if max_relative_distance is not None:
+        far = np.abs(vals - snapped) / snapped > max_relative_distance
+        snapped = np.where(far, np.nan, snapped)
+    return snapped
+
+
+def class_fraction_series(
+    dates: "np.ndarray | list[float]",
+    value_arrays: "list[np.ndarray]",
+    class_values: "tuple[float, ...]",
+    exact: bool = False,
+) -> np.ndarray:
+    """Fraction of hosts per class at each date.
+
+    Parameters
+    ----------
+    dates:
+        Calendar-year floats, one per entry of ``value_arrays``.
+    value_arrays:
+        For each date, the resource values of the active (cleaned) hosts.
+    class_values:
+        The canonical class set.
+    exact:
+        If True, only exact class membership counts (non-members are
+        dropped, as with non-power-of-two cores); otherwise values snap to
+        the nearest class (per-core memory).
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(len(dates), len(class_values))``; rows sum to 1 where any
+        host matched, else 0.
+    """
+    if len(value_arrays) != len(list(dates)):
+        raise ValueError("one value array per date required")
+    classes = np.asarray(class_values, dtype=float)
+    fractions = np.zeros((len(value_arrays), classes.size))
+    for i, values in enumerate(value_arrays):
+        vals = np.asarray(values, dtype=float)
+        if exact:
+            member = np.isin(vals, classes)
+            vals = vals[member]
+        else:
+            vals = snap_to_classes(vals, classes)
+            vals = vals[~np.isnan(vals)]
+        if vals.size == 0:
+            continue
+        counts = np.array([(vals == c).sum() for c in classes], dtype=float)
+        fractions[i] = counts / counts.sum()
+    return fractions
+
+
+def fit_ratio_chain(
+    dates: "np.ndarray | list[float]",
+    fractions: np.ndarray,
+    class_values: "tuple[float, ...]",
+    min_fraction: float = 1e-4,
+    fallback_laws: "dict[int, ExponentialLaw] | None" = None,
+) -> RatioChain:
+    """Fit adjacent-class ratio laws from a fraction time series.
+
+    Each adjacent pair's ratio ``frac[lower]/frac[upper]`` is fitted to an
+    exponential law over the dates where both classes carry at least
+    ``min_fraction`` of hosts.  Pairs with fewer than two usable dates take
+    the corresponding entry of ``fallback_laws`` (keyed by pair index) — the
+    paper itself estimates the 8:16 law (a = 12, b = −0.2) this way because
+    16-core hosts are too rare to fit.
+    """
+    t = np.array([model_time(d) for d in dates])
+    fractions = np.asarray(fractions, dtype=float)
+    if fractions.shape != (t.size, len(class_values)):
+        raise ValueError(
+            f"fractions shape {fractions.shape} does not match "
+            f"({t.size}, {len(class_values)})"
+        )
+    laws: list[ExponentialLaw] = []
+    for i in range(len(class_values) - 1):
+        lower, upper = fractions[:, i], fractions[:, i + 1]
+        usable = (lower >= min_fraction) & (upper >= min_fraction)
+        if usable.sum() >= 2:
+            ratio = lower[usable] / upper[usable]
+            fit = fit_exponential_law(t[usable], ratio)
+            laws.append(ExponentialLaw(a=fit.a, b=fit.b, r=fit.r))
+        elif fallback_laws is not None and i in fallback_laws:
+            laws.append(fallback_laws[i])
+        else:
+            raise ValueError(
+                f"ratio {class_values[i]}:{class_values[i + 1]} has fewer than "
+                "two usable dates and no fallback law"
+            )
+    return RatioChain(class_values=tuple(float(c) for c in class_values), ratio_laws=tuple(laws))

@@ -1,0 +1,77 @@
+"""Fitting moment trend laws and selecting distribution families (Table VI).
+
+The paper fits the mean and the variance of the benchmark speeds and of
+available disk space to exponential laws over the observation window, and
+justifies the distribution family (normal for speeds, log-normal for disk)
+with the subsampled KS procedure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.laws import ExponentialLaw
+from repro.stats.explaw import fit_exponential_law
+from repro.stats.kstest import KSSelectionResult, select_distribution
+from repro.timeutil import model_time
+
+
+@dataclass(frozen=True)
+class MomentSeries:
+    """Mean/variance series of one resource over the fit dates."""
+
+    dates: np.ndarray
+    means: np.ndarray
+    variances: np.ndarray
+
+
+def moment_series(
+    dates: "np.ndarray | list[float]",
+    value_arrays: "list[np.ndarray]",
+) -> MomentSeries:
+    """Mean and variance of a resource at each date."""
+    dates_arr = np.asarray(list(dates), dtype=float)
+    if len(value_arrays) != dates_arr.size:
+        raise ValueError("one value array per date required")
+    means = np.empty(dates_arr.size)
+    variances = np.empty(dates_arr.size)
+    for i, values in enumerate(value_arrays):
+        vals = np.asarray(values, dtype=float)
+        if vals.size < 2:
+            raise ValueError(f"date index {i} has fewer than two hosts")
+        means[i] = vals.mean()
+        variances[i] = vals.var()
+    return MomentSeries(dates=dates_arr, means=means, variances=variances)
+
+
+def fit_moment_laws(series: MomentSeries) -> tuple[ExponentialLaw, ExponentialLaw]:
+    """Fit exponential laws to a mean series and a variance series."""
+    t = np.array([model_time(d) for d in series.dates])
+    mean_fit = fit_exponential_law(t, series.means)
+    var_fit = fit_exponential_law(t, series.variances)
+    return (
+        ExponentialLaw(a=mean_fit.a, b=mean_fit.b, r=mean_fit.r),
+        ExponentialLaw(a=var_fit.a, b=var_fit.b, r=var_fit.r),
+    )
+
+
+def select_family_per_date(
+    value_arrays: "list[np.ndarray]",
+    rng: np.random.Generator,
+    max_sample: int = 20_000,
+) -> list[KSSelectionResult]:
+    """Run the subsampled KS family selection at each date.
+
+    Large snapshots are subsampled to ``max_sample`` before fitting — the
+    selection itself only ever looks at 50-value subsets, so this affects
+    only the MLE fits, and keeps the procedure fast at full trace scale.
+    """
+    results = []
+    for values in value_arrays:
+        vals = np.asarray(values, dtype=float)
+        if vals.size > max_sample:
+            vals = rng.choice(vals, size=max_sample, replace=False)
+        results.append(select_distribution(vals, rng))
+    return results

@@ -1,0 +1,9 @@
+"""Host records, populations, sanity filtering and platform catalogues."""
+
+from repro.hosts.filters import SanityFilter
+from repro.hosts.host import Host
+from repro.hosts.population import HostPopulation, RESOURCE_LABELS
+
+from repro.hosts import platforms
+
+__all__ = ["Host", "HostPopulation", "RESOURCE_LABELS", "SanityFilter", "platforms"]

@@ -1,0 +1,79 @@
+"""Data-sanity filtering (Section V-B).
+
+The paper discards hosts reporting more than 128 cores, 10^5 Whetstone MIPS,
+10^5 Dhrystone MIPS, 10^2 GB memory or 10^4 GB available disk — values
+attributable to storage/transmission errors or tampered clients — which
+removed 3361 hosts (0.12 % of the total).  :class:`SanityFilter` implements
+those rules plus basic positivity checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hosts.population import HostPopulation
+
+
+@dataclass(frozen=True)
+class SanityFilter:
+    """Bounds on believable host measurements (paper defaults)."""
+
+    max_cores: float = 128.0
+    max_whetstone_mips: float = 1e5
+    max_dhrystone_mips: float = 1e5
+    max_memory_mb: float = 100.0 * 1024  # 10^2 GB
+    max_disk_gb: float = 1e4
+
+    def keep_mask(
+        self,
+        cores: np.ndarray,
+        memory_mb: np.ndarray,
+        dhrystone: np.ndarray,
+        whetstone: np.ndarray,
+        disk_gb: np.ndarray,
+    ) -> np.ndarray:
+        """Boolean mask of hosts passing every sanity rule."""
+        cores = np.asarray(cores, dtype=float)
+        memory_mb = np.asarray(memory_mb, dtype=float)
+        dhrystone = np.asarray(dhrystone, dtype=float)
+        whetstone = np.asarray(whetstone, dtype=float)
+        disk_gb = np.asarray(disk_gb, dtype=float)
+        keep = (
+            (cores >= 1)
+            & (cores <= self.max_cores)
+            & (memory_mb > 0)
+            & (memory_mb <= self.max_memory_mb)
+            & (dhrystone > 0)
+            & (dhrystone <= self.max_dhrystone_mips)
+            & (whetstone > 0)
+            & (whetstone <= self.max_whetstone_mips)
+            & (disk_gb >= 0)
+            & (disk_gb <= self.max_disk_gb)
+        )
+        return keep
+
+    def apply(self, population: HostPopulation) -> tuple[HostPopulation, int]:
+        """Filter a population; returns ``(clean_population, n_discarded)``."""
+        keep = self.keep_mask(
+            population.cores,
+            population.memory_mb,
+            population.dhrystone,
+            population.whetstone,
+            population.disk_gb,
+        )
+        return population.subset(keep), int((~keep).sum())
+
+    def discard_fraction(self, population: HostPopulation) -> float:
+        """Fraction of hosts the filter would discard."""
+        keep = self.keep_mask(
+            population.cores,
+            population.memory_mb,
+            population.dhrystone,
+            population.whetstone,
+            population.disk_gb,
+        )
+        if keep.size == 0:
+            return 0.0
+        return float((~keep).mean())

@@ -1,0 +1,83 @@
+"""The per-host resource record (Section V-A).
+
+A host carries the five key resources the paper models — core count, total
+memory, Dhrystone/Whetstone speed and available disk — plus the optional
+platform metadata (CPU family, OS, GPU) used by the composition analyses
+(Tables I, II, VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Host:
+    """One Internet end host's resources.
+
+    The five required fields are the paper's modelled resources; the optional
+    metadata fields mirror what the BOINC server records about platforms.
+    """
+
+    #: Number of primary processing cores (GPU cores excluded).
+    cores: int
+    #: Volatile memory in MB.
+    memory_mb: float
+    #: Integer speed per core, Dhrystone 2.1 MIPS.
+    dhrystone_mips: float
+    #: Floating-point speed per core, Whetstone MIPS.
+    whetstone_mips: float
+    #: Available (not total) non-volatile storage in GB.
+    disk_gb: float
+
+    #: Processor family label (Table I rows), if known.
+    cpu_family: "str | None" = None
+    #: Operating-system label (Table II rows), if known.
+    os_name: "str | None" = None
+    #: Whether the host reports a GPU coprocessor.
+    has_gpu: bool = False
+    #: GPU family label (Table VII rows), if a GPU is present.
+    gpu_type: "str | None" = None
+    #: GPU memory in MB, if a GPU is present.
+    gpu_memory_mb: "float | None" = None
+    #: Creation time as a fractional calendar year, if known.
+    created: "float | None" = field(default=None, compare=False)
+    #: Observed lifetime in days, if known.
+    lifetime_days: "float | None" = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"a host needs at least one core, got {self.cores}")
+        if self.memory_mb <= 0:
+            raise ValueError(f"memory must be positive, got {self.memory_mb}")
+        if self.dhrystone_mips <= 0 or self.whetstone_mips <= 0:
+            raise ValueError("benchmark speeds must be positive")
+        if self.disk_gb < 0:
+            raise ValueError(f"available disk cannot be negative, got {self.disk_gb}")
+        if self.has_gpu and self.gpu_memory_mb is not None and self.gpu_memory_mb <= 0:
+            raise ValueError("GPU memory, when present, must be positive")
+
+    @property
+    def memory_per_core_mb(self) -> float:
+        """Memory per core in MB — the paper's decorrelated memory quantity."""
+        return self.memory_mb / self.cores
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        parts = [
+            f"{self.cores} core(s)",
+            f"{self.memory_mb:.0f} MB RAM",
+            f"{self.dhrystone_mips:.0f} Dhrystone MIPS",
+            f"{self.whetstone_mips:.0f} Whetstone MIPS",
+            f"{self.disk_gb:.1f} GB free disk",
+        ]
+        if self.cpu_family:
+            parts.append(self.cpu_family)
+        if self.os_name:
+            parts.append(self.os_name)
+        if self.has_gpu:
+            gpu = self.gpu_type or "GPU"
+            if self.gpu_memory_mb:
+                gpu += f" ({self.gpu_memory_mb:.0f} MB)"
+            parts.append(gpu)
+        return ", ".join(parts)

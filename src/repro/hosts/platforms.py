@@ -1,0 +1,167 @@
+"""Platform catalogues: CPU families, operating systems and GPUs.
+
+The paper reports the yearly composition of processor families (Table I),
+operating systems (Table II) and GPU types/memory (Table VII, Fig 10).
+These compositions are not part of the generative resource model — the
+authors explicitly exclude processor identity because future models cannot
+be predicted — but they drive the synthetic trace's metadata so the
+composition analyses have realistic input.
+
+Shares are stored exactly as published (percent of total per calendar
+year); :func:`composition_at` interpolates piecewise-linearly between the
+yearly columns and renormalises, clamping outside the observed range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Processor family labels, in Table I row order.
+CPU_FAMILIES: tuple[str, ...] = (
+    "PowerPC G3/G4/G5",
+    "Athlon XP",
+    "Athlon 64",
+    "Other AMD",
+    "Pentium 4",
+    "Pentium M",
+    "Pentium D",
+    "Other Pentium",
+    "Intel Core 2",
+    "Intel Celeron",
+    "Intel Xeon",
+    "Other x86",
+    "Other",
+)
+
+#: Table I — processor family shares (% of total) per calendar year.
+CPU_SHARES_BY_YEAR: dict[int, tuple[float, ...]] = {
+    2006: (5.1, 12.3, 6.5, 8.3, 36.8, 5.4, 0.7, 4.1, 0.9, 5.6, 2.1, 9.9, 2.3),
+    2007: (6.5, 9.0, 9.5, 8.2, 33.0, 5.5, 3.0, 2.6, 3.3, 6.4, 2.8, 7.7, 2.6),
+    2008: (4.7, 6.2, 11.4, 7.8, 27.2, 4.3, 4.2, 2.1, 13.2, 6.3, 3.3, 7.6, 1.6),
+    2009: (3.5, 4.0, 11.6, 7.9, 20.7, 3.1, 3.9, 3.3, 24.8, 5.9, 3.9, 6.1, 1.3),
+    2010: (2.7, 2.5, 10.2, 9.5, 15.5, 2.1, 3.1, 5.2, 32.0, 4.9, 4.3, 5.1, 2.9),
+}
+
+#: Operating-system labels, in Table II row order.
+OS_NAMES: tuple[str, ...] = (
+    "Windows XP",
+    "Windows Vista",
+    "Windows 7",
+    "Windows 2000",
+    "Other Windows",
+    "Mac OS X",
+    "Linux",
+    "Other",
+)
+
+#: Table II — OS shares (% of total) per calendar year.
+OS_SHARES_BY_YEAR: dict[int, tuple[float, ...]] = {
+    2006: (69.8, 0.0, 0.0, 12.9, 6.3, 5.4, 5.1, 0.4),
+    2007: (71.5, 0.0, 0.0, 8.5, 6.1, 7.8, 5.7, 0.4),
+    2008: (68.6, 6.7, 0.0, 5.5, 4.8, 7.9, 6.0, 0.4),
+    2009: (62.5, 14.0, 0.0, 3.4, 4.8, 8.5, 6.4, 0.3),
+    2010: (52.9, 15.9, 9.2, 2.0, 3.4, 9.0, 7.3, 0.3),
+}
+
+#: GPU family labels, in Table VII row order.
+GPU_TYPES: tuple[str, ...] = ("GeForce", "Radeon", "Quadro", "Other")
+
+#: Table VII — GPU type shares among GPU-equipped hosts (% of GPU hosts).
+GPU_SHARES_BY_DATE: dict[float, tuple[float, ...]] = {
+    2009.667: (82.5, 12.2, 4.7, 0.6),  # September 2009
+    2010.667: (63.6, 31.5, 4.0, 0.8),  # September 2010
+}
+
+#: Fraction of active hosts reporting a GPU at the two anchor dates (§V-A).
+GPU_HOST_FRACTION_BY_DATE: dict[float, float] = {2009.667: 0.127, 2010.667: 0.238}
+
+#: Date at which BOINC started recording GPU statistics (September 2009).
+GPU_RECORDING_START: float = 2009.667
+
+#: Discrete GPU memory sizes (MB) used by the Fig 10 distribution.
+GPU_MEMORY_CLASSES_MB: tuple[int, ...] = (128, 256, 512, 768, 1024, 1536, 2048)
+
+#: GPU memory PMFs at the Fig 10 anchors, calibrated to the published
+#: moments (mean 592.7 → 659.4 MB, median 512 MB, P(>=1GB) 19 % → 31 %,
+#: P(>1GB) below ~2 %).
+GPU_MEMORY_PMF_BY_DATE: dict[float, tuple[float, ...]] = {
+    2009.667: (0.05, 0.23, 0.40, 0.13, 0.175, 0.010, 0.005),
+    2010.667: (0.035, 0.175, 0.375, 0.115, 0.280, 0.012, 0.008),
+}
+
+
+def composition_at(
+    shares_by_time: "dict[int, tuple[float, ...]] | dict[float, tuple[float, ...]]",
+    when: float,
+) -> np.ndarray:
+    """Interpolated, renormalised share vector (fractions) at time ``when``.
+
+    ``when`` is a calendar-year float.  Between tabulated columns the shares
+    are interpolated linearly; outside the tabulated range the nearest
+    column is used (technology shares are not extrapolated).
+    """
+    times = sorted(shares_by_time)
+    if not times:
+        raise ValueError("no composition columns given")
+    table = np.array([shares_by_time[t] for t in times], dtype=float)
+    t_arr = np.array(times, dtype=float)
+
+    if when <= t_arr[0]:
+        shares = table[0]
+    elif when >= t_arr[-1]:
+        shares = table[-1]
+    else:
+        hi = int(np.searchsorted(t_arr, when, side="right"))
+        lo = hi - 1
+        span = t_arr[hi] - t_arr[lo]
+        frac = (when - t_arr[lo]) / span
+        shares = (1 - frac) * table[lo] + frac * table[hi]
+
+    total = shares.sum()
+    if total <= 0:
+        raise ValueError("composition column sums to zero")
+    return shares / total
+
+
+def gpu_fraction_at(when: float) -> float:
+    """Fraction of active hosts reporting a GPU at ``when`` (calendar year).
+
+    Zero before recording started (September 2009); linear between the two
+    anchors; held at the 2010 level afterwards (no published data beyond).
+    """
+    if when < GPU_RECORDING_START:
+        return 0.0
+    t0, t1 = sorted(GPU_HOST_FRACTION_BY_DATE)
+    f0, f1 = GPU_HOST_FRACTION_BY_DATE[t0], GPU_HOST_FRACTION_BY_DATE[t1]
+    if when >= t1:
+        return f1
+    return f0 + (f1 - f0) * (when - t0) / (t1 - t0)
+
+
+def sample_labels(
+    labels: tuple[str, ...],
+    probabilities: np.ndarray,
+    size: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw ``size`` labels according to ``probabilities``."""
+    if len(labels) != probabilities.size:
+        raise ValueError("label/probability length mismatch")
+    idx = rng.choice(len(labels), size=size, p=probabilities)
+    return np.asarray(labels, dtype=object)[idx]
+
+
+#: CPU families that imply Mac OS X (used by the synthetic trace's
+#: platform-affinity logic).
+MAC_CPU_FAMILIES: frozenset[str] = frozenset({"PowerPC G3/G4/G5"})
+
+#: CPU families that were predominantly multicore-era parts; the synthetic
+#: trace biases these towards hosts with more cores.
+MULTICORE_CPU_FAMILIES: frozenset[str] = frozenset(
+    {"Intel Core 2", "Intel Xeon", "Pentium D", "Athlon 64"}
+)
+
+#: CPU families that are strictly single-core-era parts.
+SINGLECORE_CPU_FAMILIES: frozenset[str] = frozenset(
+    {"Athlon XP", "Pentium M", "Pentium 4", "Intel Celeron"}
+)

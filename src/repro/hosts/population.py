@@ -1,0 +1,188 @@
+"""Numpy-backed host populations.
+
+Analyses in the paper operate on hundreds of thousands of hosts at a time,
+so the library keeps populations as column arrays rather than lists of
+objects.  :class:`HostPopulation` provides the aggregate operations the
+paper's figures need — means, standard deviations, correlation matrices of
+the six resource quantities (including the derived memory-per-core column of
+Table III) — plus conversion to/from :class:`~repro.hosts.host.Host` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hosts.host import Host
+from repro.stats.correlation import CorrelationMatrix, pearson_matrix
+
+#: Canonical resource column order used across the library.
+RESOURCE_LABELS: tuple[str, ...] = (
+    "cores",
+    "memory_mb",
+    "dhrystone",
+    "whetstone",
+    "disk_gb",
+)
+
+#: Table III's six quantities: the five resources plus memory-per-core.
+CORRELATION_LABELS: tuple[str, ...] = (
+    "cores",
+    "memory_mb",
+    "mem_per_core",
+    "whetstone",
+    "dhrystone",
+    "disk_gb",
+)
+
+
+@dataclass(frozen=True)
+class HostPopulation:
+    """A set of hosts stored as parallel resource columns."""
+
+    cores: np.ndarray
+    memory_mb: np.ndarray
+    dhrystone: np.ndarray
+    whetstone: np.ndarray
+    disk_gb: np.ndarray
+
+    def __post_init__(self) -> None:
+        columns = {
+            "cores": np.asarray(self.cores, dtype=float),
+            "memory_mb": np.asarray(self.memory_mb, dtype=float),
+            "dhrystone": np.asarray(self.dhrystone, dtype=float),
+            "whetstone": np.asarray(self.whetstone, dtype=float),
+            "disk_gb": np.asarray(self.disk_gb, dtype=float),
+        }
+        size = columns["cores"].size
+        for name, column in columns.items():
+            if column.ndim != 1:
+                raise ValueError(f"column {name!r} must be one-dimensional")
+            if column.size != size:
+                raise ValueError(
+                    f"column {name!r} has {column.size} rows; expected {size}"
+                )
+            object.__setattr__(self, name, column)
+
+    def __len__(self) -> int:
+        return int(self.cores.size)
+
+    @classmethod
+    def from_hosts(cls, hosts: "list[Host]") -> "HostPopulation":
+        """Build a population from a list of host records."""
+        return cls(
+            cores=np.array([h.cores for h in hosts], dtype=float),
+            memory_mb=np.array([h.memory_mb for h in hosts], dtype=float),
+            dhrystone=np.array([h.dhrystone_mips for h in hosts], dtype=float),
+            whetstone=np.array([h.whetstone_mips for h in hosts], dtype=float),
+            disk_gb=np.array([h.disk_gb for h in hosts], dtype=float),
+        )
+
+    def to_hosts(self) -> "list[Host]":
+        """Materialise the population as host records (use sparingly)."""
+        return [
+            Host(
+                cores=int(round(c)),
+                memory_mb=float(m),
+                dhrystone_mips=float(d),
+                whetstone_mips=float(w),
+                disk_gb=float(g),
+            )
+            for c, m, d, w, g in zip(
+                self.cores, self.memory_mb, self.dhrystone, self.whetstone, self.disk_gb
+            )
+        ]
+
+    @property
+    def mem_per_core(self) -> np.ndarray:
+        """Derived memory-per-core column (MB).
+
+        Hosts with zero cores (possible in naive baseline pools) yield
+        ``inf``; correlation code treats the resulting non-finite entries
+        as "no measurable association".
+        """
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return self.memory_mb / self.cores
+
+    def column(self, label: str) -> np.ndarray:
+        """Fetch a column by its canonical label (including derived ones)."""
+        if label == "mem_per_core":
+            return self.mem_per_core
+        if label not in RESOURCE_LABELS:
+            raise KeyError(f"unknown resource {label!r}; have {RESOURCE_LABELS}")
+        return getattr(self, label)
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """All six Table III columns keyed by label."""
+        return {label: self.column(label) for label in CORRELATION_LABELS}
+
+    def means(self) -> dict[str, float]:
+        """Mean of each of the five primary resources."""
+        return {label: float(self.column(label).mean()) for label in RESOURCE_LABELS}
+
+    def stds(self) -> dict[str, float]:
+        """Standard deviation of each of the five primary resources."""
+        return {label: float(self.column(label).std()) for label in RESOURCE_LABELS}
+
+    def medians(self) -> dict[str, float]:
+        """Median of each of the five primary resources."""
+        return {
+            label: float(np.median(self.column(label))) for label in RESOURCE_LABELS
+        }
+
+    def correlation_matrix(self) -> CorrelationMatrix:
+        """Table III-style 6×6 Pearson matrix (resources + mem/core)."""
+        if len(self) < 2:
+            raise ValueError("need at least two hosts for a correlation matrix")
+        return pearson_matrix(self.columns())
+
+    def subset(self, mask: np.ndarray) -> "HostPopulation":
+        """Population restricted to the rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (len(self),):
+            raise ValueError(f"mask shape {mask.shape} does not match {len(self)} hosts")
+        return HostPopulation(
+            cores=self.cores[mask],
+            memory_mb=self.memory_mb[mask],
+            dhrystone=self.dhrystone[mask],
+            whetstone=self.whetstone[mask],
+            disk_gb=self.disk_gb[mask],
+        )
+
+    def sample(self, size: int, rng: np.random.Generator) -> "HostPopulation":
+        """Random subsample (without replacement if possible)."""
+        replace = size > len(self)
+        idx = rng.choice(len(self), size=size, replace=replace)
+        mask_cols = {
+            "cores": self.cores[idx],
+            "memory_mb": self.memory_mb[idx],
+            "dhrystone": self.dhrystone[idx],
+            "whetstone": self.whetstone[idx],
+            "disk_gb": self.disk_gb[idx],
+        }
+        return HostPopulation(**mask_cols)
+
+    @classmethod
+    def concatenate(cls, populations: "list[HostPopulation]") -> "HostPopulation":
+        """Stack several populations into one."""
+        if not populations:
+            raise ValueError("nothing to concatenate")
+        return cls(
+            cores=np.concatenate([p.cores for p in populations]),
+            memory_mb=np.concatenate([p.memory_mb for p in populations]),
+            dhrystone=np.concatenate([p.dhrystone for p in populations]),
+            whetstone=np.concatenate([p.whetstone for p in populations]),
+            disk_gb=np.concatenate([p.disk_gb for p in populations]),
+        )
+
+    def summary_table(self) -> str:
+        """Aligned text table of mean/median/std per resource."""
+        means, medians, stds = self.means(), self.medians(), self.stds()
+        lines = [f"{'resource':>12} {'mean':>12} {'median':>12} {'std':>12}"]
+        for label in RESOURCE_LABELS:
+            lines.append(
+                f"{label:>12} {means[label]:>12.2f} "
+                f"{medians[label]:>12.2f} {stds[label]:>12.2f}"
+            )
+        return "\n".join(lines)

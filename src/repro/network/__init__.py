@@ -1,0 +1,23 @@
+"""Network extension (§VIII future work: "tied to models of network topology").
+
+The paper's host model covers computation and storage; its conclusion
+proposes tying it to network models.  This subpackage adds:
+
+* :mod:`~repro.network.bandwidth` — a residential-broadband access-link
+  model (log-normal asymmetric down/up rates with an exponential uptake
+  trend, in the spirit of the paper's ref [9], Dischinger et al.).
+* :mod:`~repro.network.overlay` — P2P overlay construction over a generated
+  host population (networkx graphs) and a fluid-model estimate of content
+  distribution time, connecting the resource model to the P2P application
+  class the paper's §III motivates.
+"""
+
+from repro.network.bandwidth import BandwidthModel, HostBandwidth
+from repro.network.overlay import build_overlay, swarm_distribution_time
+
+__all__ = [
+    "BandwidthModel",
+    "HostBandwidth",
+    "build_overlay",
+    "swarm_distribution_time",
+]

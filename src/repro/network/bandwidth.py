@@ -1,0 +1,103 @@
+"""Residential access-link bandwidth model.
+
+Measurement studies of residential broadband in the paper's era (its
+ref [9], Dischinger et al., IMC 2007) report heavily asymmetric links with
+roughly log-normal rate distributions: median downlink in the low Mbit/s,
+uplink an order of magnitude below, and both growing year over year.  This
+module models exactly that, with the same ``a·e^{b(year-2006)}`` trend
+convention as the rest of the library.
+
+Bandwidth is sampled independently of the host's computational resources —
+consistent with the paper's finding that disk (the other
+consumer-behaviour-driven resource) is uncorrelated with hardware — but a
+single host's down/up rates are strongly coupled (same access technology).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.laws import ExponentialLaw
+from repro.stats.moments import lognormal_params_from_moments
+from repro.timeutil import model_time
+
+#: Correlation between a host's log-down and log-up rates (same ISP tier).
+DOWN_UP_CORRELATION = 0.75
+
+
+@dataclass(frozen=True)
+class HostBandwidth:
+    """One host's access-link rates in Mbit/s."""
+
+    downlink_mbps: float
+    uplink_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.downlink_mbps <= 0 or self.uplink_mbps <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    @property
+    def asymmetry(self) -> float:
+        """Down/up ratio (≈ 6–12 for the era's residential links)."""
+        return self.downlink_mbps / self.uplink_mbps
+
+
+class BandwidthModel:
+    """Time-evolving log-normal down/up access rates."""
+
+    def __init__(
+        self,
+        down_mean: "ExponentialLaw | None" = None,
+        down_cv: float = 1.0,
+        asymmetry_mean: float = 8.0,
+        asymmetry_cv: float = 0.4,
+    ):
+        # Mean downlink ≈ 2.5 Mbit/s in 2006 growing ~28 %/yr (broadband
+        # uptake through the late 2000s).
+        self._down_mean = (
+            down_mean if down_mean is not None else ExponentialLaw(2.5, 0.25)
+        )
+        if down_cv <= 0 or asymmetry_mean <= 1 or asymmetry_cv <= 0:
+            raise ValueError("spread parameters must be positive (asymmetry > 1)")
+        self._down_cv = down_cv
+        self._asym_mean = asymmetry_mean
+        self._asym_cv = asymmetry_cv
+
+    def downlink_moments(self, when: "_dt.date | float") -> tuple[float, float]:
+        """(mean, std) of downlink Mbit/s at ``when``."""
+        mean = self._down_mean.at(model_time(when))
+        return float(mean), float(mean * self._down_cv)
+
+    def sample(
+        self, when: "_dt.date | float", size: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw (downlink, uplink) Mbit/s arrays for ``size`` hosts."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        mean, std = self.downlink_moments(when)
+        mu_d, sigma_d = lognormal_params_from_moments(mean, std**2)
+        mu_a, sigma_a = lognormal_params_from_moments(
+            self._asym_mean, (self._asym_mean * self._asym_cv) ** 2
+        )
+
+        z_down = rng.standard_normal(size)
+        z_mix = rng.standard_normal(size)
+        # Asymmetry correlates negatively with link quality in log space:
+        # premium links are more symmetric.
+        rho = DOWN_UP_CORRELATION
+        z_asym = -rho * z_down + np.sqrt(1 - rho**2) * z_mix
+
+        down = np.exp(mu_d + sigma_d * z_down)
+        asymmetry = np.maximum(np.exp(mu_a + sigma_a * z_asym), 1.0)
+        up = down / asymmetry
+        return down, up
+
+    def sample_host(
+        self, when: "_dt.date | float", rng: np.random.Generator
+    ) -> HostBandwidth:
+        """Draw a single host's link rates."""
+        down, up = self.sample(when, 1, rng)
+        return HostBandwidth(downlink_mbps=float(down[0]), uplink_mbps=float(up[0]))

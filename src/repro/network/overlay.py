@@ -1,0 +1,130 @@
+"""P2P overlay construction and swarm throughput estimation.
+
+Connects the resource model to the P2P application class (§III): hosts
+become overlay nodes carrying their disk and bandwidth attributes, linked
+into a random regular-ish graph, and a fluid model estimates how fast a
+piece of content can be distributed through the swarm.
+
+The fluid model is the standard one for BitTorrent-like swarms: with one
+initial seed of uplink ``u_s``, ``n`` leechers of aggregate uplink ``U`` and
+aggregate downlink capacity ``D``, the distribution time of a file of size
+``F`` is bounded by the slowest of the seed bottleneck, the per-leecher
+download bottleneck and the swarm-wide upload bottleneck:
+
+    T = max(F / u_s,  F / d_min,  n·F / (u_s + U))
+
+(Kumar & Ross style analysis); capacity-limited hosts — those whose free
+disk cannot hold the content — are excluded from the swarm.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.hosts.population import HostPopulation
+
+#: Bits in a megabit / bytes in a gigabyte, for rate/size conversions.
+_MBIT = 1e6
+_GBYTE = 8e9  # in bits
+
+
+def build_overlay(
+    population: HostPopulation,
+    downlink_mbps: np.ndarray,
+    uplink_mbps: np.ndarray,
+    degree: int,
+    rng: np.random.Generator,
+) -> nx.Graph:
+    """Build a random overlay over the population.
+
+    Each node carries ``disk_gb``, ``downlink_mbps`` and ``uplink_mbps``
+    attributes.  The topology is a random ``degree``-regular graph when the
+    parity constraints allow, falling back to an Erdős–Rényi graph of the
+    same average degree otherwise (e.g. odd ``n·degree``).
+    """
+    n = len(population)
+    if n == 0:
+        raise ValueError("population is empty")
+    if degree < 1:
+        raise ValueError("degree must be at least 1")
+    downlink = np.asarray(downlink_mbps, dtype=float)
+    uplink = np.asarray(uplink_mbps, dtype=float)
+    if downlink.shape != (n,) or uplink.shape != (n,):
+        raise ValueError("bandwidth arrays must have one entry per host")
+
+    if degree < n and (n * degree) % 2 == 0:
+        seed = int(rng.integers(0, 2**31))
+        graph = nx.random_regular_graph(degree, n, seed=seed)
+    else:
+        probability = min(degree / max(n - 1, 1), 1.0)
+        seed = int(rng.integers(0, 2**31))
+        graph = nx.fast_gnp_random_graph(n, probability, seed=seed)
+
+    for node in graph.nodes:
+        graph.nodes[node]["disk_gb"] = float(population.disk_gb[node])
+        graph.nodes[node]["downlink_mbps"] = float(downlink[node])
+        graph.nodes[node]["uplink_mbps"] = float(uplink[node])
+    return graph
+
+
+def swarm_distribution_time(
+    graph: nx.Graph,
+    content_gb: float,
+    seed_node: "int | None" = None,
+) -> float:
+    """Fluid-model distribution time (hours) of content through the swarm.
+
+    Hosts whose free disk cannot hold the content do not participate (they
+    neither download nor upload).  Returns ``inf`` when nobody can hold the
+    content besides the seed.
+    """
+    if content_gb <= 0:
+        raise ValueError("content size must be positive")
+    if graph.number_of_nodes() == 0:
+        raise ValueError("empty overlay")
+
+    nodes = list(graph.nodes)
+    seed = nodes[0] if seed_node is None else seed_node
+    if seed not in graph:
+        raise KeyError(f"seed node {seed} not in overlay")
+
+    leechers = [
+        node
+        for node in nodes
+        if node != seed and graph.nodes[node]["disk_gb"] >= content_gb
+    ]
+    if not leechers:
+        return float("inf")
+
+    seed_up = graph.nodes[seed]["uplink_mbps"] * _MBIT
+    total_up = seed_up + sum(
+        graph.nodes[node]["uplink_mbps"] * _MBIT for node in leechers
+    )
+    slowest_down = min(
+        graph.nodes[node]["downlink_mbps"] * _MBIT for node in leechers
+    )
+
+    file_bits = content_gb * _GBYTE
+    n = len(leechers)
+    bottleneck_seconds = max(
+        file_bits / seed_up,
+        file_bits / slowest_down,
+        n * file_bits / total_up,
+    )
+    return bottleneck_seconds / 3600.0
+
+
+def swarm_capacity_fraction(graph: nx.Graph, content_gb: float) -> float:
+    """Fraction of overlay nodes whose free disk can hold the content.
+
+    This is where the resource model's disk distribution bites: the paper's
+    log-normal available-disk model implies a heavy small-disk tail that
+    shrinks the effective swarm.
+    """
+    if graph.number_of_nodes() == 0:
+        raise ValueError("empty overlay")
+    capable = sum(
+        1 for node in graph.nodes if graph.nodes[node]["disk_gb"] >= content_gb
+    )
+    return capable / graph.number_of_nodes()

@@ -1,0 +1,53 @@
+"""Statistics substrate: fitting, testing and sampling utilities.
+
+This subpackage contains the generic statistical machinery the paper's
+modelling pipeline is built from:
+
+* :mod:`repro.stats.explaw` — fitting the ubiquitous ``a * exp(b t)`` law.
+* :mod:`repro.stats.distributions` — the seven candidate distribution
+  families the paper compares (normal, log-normal, exponential, Weibull,
+  Pareto, gamma, log-gamma).
+* :mod:`repro.stats.kstest` — the subsampled Kolmogorov–Smirnov selection
+  procedure (average p-value of 100 tests on 50-sample subsets).
+* :mod:`repro.stats.correlation` — labelled Pearson correlation matrices.
+* :mod:`repro.stats.ecdf` — empirical CDF / histogram / QQ helpers.
+* :mod:`repro.stats.moments` — moment conversions (log-normal, Weibull).
+"""
+
+from repro.stats.correlation import CorrelationMatrix, pearson_matrix
+from repro.stats.distributions import (
+    CANDIDATE_FAMILIES,
+    DistributionFamily,
+    FittedDistribution,
+    get_family,
+)
+from repro.stats.ecdf import ECDF, histogram_density, qq_points
+from repro.stats.explaw import ExponentialLawFit, fit_exponential_law
+from repro.stats.kstest import KSSelectionResult, select_distribution, subsampled_ks_pvalue
+from repro.stats.moments import (
+    lognormal_params_from_moments,
+    lognormal_moments_from_params,
+    weibull_mean,
+    weibull_median,
+)
+
+__all__ = [
+    "CANDIDATE_FAMILIES",
+    "CorrelationMatrix",
+    "DistributionFamily",
+    "ECDF",
+    "ExponentialLawFit",
+    "FittedDistribution",
+    "KSSelectionResult",
+    "fit_exponential_law",
+    "get_family",
+    "histogram_density",
+    "lognormal_moments_from_params",
+    "lognormal_params_from_moments",
+    "pearson_matrix",
+    "qq_points",
+    "select_distribution",
+    "subsampled_ks_pvalue",
+    "weibull_mean",
+    "weibull_median",
+]

@@ -1,0 +1,96 @@
+"""Labelled Pearson correlation matrices (Tables III and VIII).
+
+The paper's central empirical observation is the correlation structure of
+host resources — cores vs memory (r ≈ 0.6), Whetstone vs Dhrystone
+(r ≈ 0.64), disk vs everything (r ≈ 0).  This module computes those matrices
+with resource labels attached so analysis and validation code can address
+entries by name instead of index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CorrelationMatrix:
+    """A Pearson correlation matrix with named rows/columns."""
+
+    labels: tuple[str, ...]
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.values, dtype=float)
+        n = len(self.labels)
+        if matrix.shape != (n, n):
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match {n} labels"
+            )
+        object.__setattr__(self, "values", matrix)
+
+    def get(self, row: str, col: str) -> float:
+        """Correlation between the resources named ``row`` and ``col``."""
+        try:
+            i = self.labels.index(row)
+            j = self.labels.index(col)
+        except ValueError as exc:
+            raise KeyError(
+                f"unknown label in ({row!r}, {col!r}); have {self.labels}"
+            ) from exc
+        return float(self.values[i, j])
+
+    def submatrix(self, labels: "tuple[str, ...] | list[str]") -> "CorrelationMatrix":
+        """Extract the correlation matrix restricted to ``labels`` (in order)."""
+        idx = [self.labels.index(label) for label in labels]
+        return CorrelationMatrix(
+            labels=tuple(labels), values=self.values[np.ix_(idx, idx)]
+        )
+
+    def max_abs_difference(self, other: "CorrelationMatrix") -> float:
+        """Largest absolute entry-wise difference on the common label order."""
+        aligned = other.submatrix(self.labels)
+        return float(np.max(np.abs(self.values - aligned.values)))
+
+    def format_table(self, width: "int | None" = None, digits: int = 3) -> str:
+        """Render the matrix as an aligned text table (paper-style)."""
+        if width is None:
+            width = max(max(len(label) for label in self.labels), digits + 4) + 2
+        header = " " * width + "".join(f"{label:>{width}}" for label in self.labels)
+        rows = [header]
+        for label, row in zip(self.labels, self.values):
+            cells = "".join(f"{value:>{width}.{digits}f}" for value in row)
+            rows.append(f"{label:>{width}}" + cells)
+        return "\n".join(rows)
+
+
+def pearson_matrix(columns: "dict[str, np.ndarray]") -> CorrelationMatrix:
+    """Pearson correlation matrix of the given named columns.
+
+    Columns must share a common length of at least two.  Constant columns
+    produce NaN correlations in :func:`numpy.corrcoef`; those entries are
+    replaced by 0 (no linear association measurable), with the diagonal
+    restored to 1.
+    """
+    if not columns:
+        raise ValueError("no columns given")
+    labels = tuple(columns.keys())
+    arrays = [np.asarray(columns[label], dtype=float) for label in labels]
+    length = arrays[0].size
+    if length < 2:
+        raise ValueError("need at least two observations per column")
+    for label, arr in zip(labels, arrays):
+        if arr.ndim != 1 or arr.size != length:
+            raise ValueError(f"column {label!r} has shape {arr.shape}; expected ({length},)")
+
+    stacked = np.vstack(arrays)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        matrix = np.corrcoef(stacked)
+    matrix = np.atleast_2d(matrix)
+    bad = ~np.isfinite(matrix)
+    if bad.any():
+        matrix = matrix.copy()
+        matrix[bad] = 0.0
+        np.fill_diagonal(matrix, 1.0)
+    return CorrelationMatrix(labels=labels, values=matrix)

@@ -1,0 +1,184 @@
+"""The seven candidate distribution families compared in the paper.
+
+Section V-F/V-G of the paper tests processor-speed and disk-space samples
+against seven families — normal, log-normal, exponential, Weibull, Pareto,
+gamma and log-gamma — using maximum-likelihood fits and subsampled
+Kolmogorov–Smirnov tests.  This module wraps the corresponding
+:mod:`scipy.stats` distributions behind a uniform interface so the selection
+procedure (:mod:`repro.stats.kstest`) can treat them interchangeably.
+
+"Log-gamma" here follows the measurement-modelling convention (as in the
+paper's availability references): ``X`` is log-gamma when ``log X`` is
+gamma-distributed — the multiplicative analogue of the log-normal.  (This is
+*not* :data:`scipy.stats.loggamma`, which is the distribution of the log of
+a gamma variate and converges to a normal, making it indistinguishable from
+the normal family in a goodness-of-fit contest.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as _sps
+
+
+@dataclass(frozen=True)
+class DistributionFamily:
+    """One of the candidate families, wrapping a scipy distribution.
+
+    ``fixed_loc`` pins the location parameter during fitting, which is the
+    standard choice for the positive-support families (their MLE is unstable
+    and often degenerate when ``loc`` floats freely on benchmark-style data).
+
+    ``log_transformed`` families model ``log X`` with ``scipy_dist``; their
+    support is ``x`` such that ``log x`` lies in the inner support.
+    """
+
+    name: str
+    scipy_dist: "_sps.rv_continuous"
+    fixed_loc: "float | None" = None
+    log_transformed: bool = False
+
+    def supports(self, data: np.ndarray) -> bool:
+        """Whether this family can possibly describe ``data``."""
+        if self.log_transformed:
+            if np.any(data <= 0):
+                return False
+            inner = np.log(data)
+        else:
+            inner = data
+        if self.fixed_loc is not None and np.any(inner <= self.fixed_loc):
+            return False
+        return True
+
+    def fit(self, sample: np.ndarray) -> "FittedDistribution":
+        """Maximum-likelihood fit of this family to ``sample``."""
+        data = np.asarray(sample, dtype=float)
+        if data.size < 2:
+            raise ValueError("need at least two observations to fit")
+        if not self.supports(data):
+            raise ValueError(f"family {self.name!r} cannot describe this sample")
+        inner = np.log(data) if self.log_transformed else data
+        if self.fixed_loc is None:
+            params = self.scipy_dist.fit(inner)
+        else:
+            params = self.scipy_dist.fit(inner, floc=self.fixed_loc)
+        return FittedDistribution(family=self, params=tuple(float(p) for p in params))
+
+    # -- evaluation given parameters -------------------------------------
+
+    def cdf(self, x: "np.ndarray | float", params: tuple[float, ...]) -> np.ndarray:
+        """CDF at ``x`` for the given parameters."""
+        if self.log_transformed:
+            x_arr = np.asarray(x, dtype=float)
+            with np.errstate(divide="ignore"):
+                inner = np.where(x_arr > 0, np.log(np.maximum(x_arr, 1e-300)), -np.inf)
+            return self.scipy_dist.cdf(inner, *params)
+        return self.scipy_dist.cdf(x, *params)
+
+    def pdf(self, x: "np.ndarray | float", params: tuple[float, ...]) -> np.ndarray:
+        """PDF at ``x`` for the given parameters."""
+        if self.log_transformed:
+            x_arr = np.asarray(x, dtype=float)
+            safe = np.maximum(x_arr, 1e-300)
+            return np.where(
+                x_arr > 0, self.scipy_dist.pdf(np.log(safe), *params) / safe, 0.0
+            )
+        return self.scipy_dist.pdf(x, *params)
+
+    def sample(
+        self, params: tuple[float, ...], size: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``size`` variates for the given parameters."""
+        draws = self.scipy_dist.rvs(*params, size=size, random_state=rng)
+        return np.exp(draws) if self.log_transformed else draws
+
+    def mean(self, params: tuple[float, ...]) -> float:
+        """Distribution mean (``inf`` where the moment diverges)."""
+        if self.log_transformed:
+            return self._exp_moment(params, order=1)
+        return float(self.scipy_dist.mean(*params))
+
+    def std(self, params: tuple[float, ...]) -> float:
+        """Distribution standard deviation (``inf`` where it diverges)."""
+        if self.log_transformed:
+            m1 = self._exp_moment(params, order=1)
+            m2 = self._exp_moment(params, order=2)
+            if not np.isfinite(m1) or not np.isfinite(m2):
+                return float("inf")
+            return float(np.sqrt(max(m2 - m1 * m1, 0.0)))
+        return float(self.scipy_dist.std(*params))
+
+    def _exp_moment(self, params: tuple[float, ...], order: int) -> float:
+        """``E[X^order] = E[e^{order · Y}]``, the inner MGF at ``order``."""
+        try:
+            return float(self.scipy_dist.expect(
+                lambda y: np.exp(order * y), args=params[:-2] or (),
+                loc=params[-2], scale=params[-1],
+            ))
+        except Exception:  # noqa: BLE001 - divergent integrals
+            return float("inf")
+
+
+@dataclass(frozen=True)
+class FittedDistribution:
+    """A distribution family together with MLE parameters for a sample."""
+
+    family: DistributionFamily
+    params: tuple[float, ...]
+
+    @property
+    def name(self) -> str:
+        """Name of the underlying family (e.g. ``"lognormal"``)."""
+        return self.family.name
+
+    def cdf(self, x: "np.ndarray | float") -> np.ndarray:
+        """Cumulative distribution function at ``x``."""
+        return self.family.cdf(x, self.params)
+
+    def pdf(self, x: "np.ndarray | float") -> np.ndarray:
+        """Probability density function at ``x``."""
+        return self.family.pdf(x, self.params)
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``size`` variates using ``rng``."""
+        return self.family.sample(self.params, size, rng)
+
+    def mean(self) -> float:
+        """Distribution mean (may be ``inf`` for heavy-tailed fits)."""
+        return self.family.mean(self.params)
+
+    def std(self) -> float:
+        """Distribution standard deviation (may be ``inf``)."""
+        return self.family.std(self.params)
+
+
+#: The candidate families of Section V-F, keyed by name.
+CANDIDATE_FAMILIES: dict[str, DistributionFamily] = {
+    "normal": DistributionFamily("normal", _sps.norm),
+    "lognormal": DistributionFamily("lognormal", _sps.lognorm, fixed_loc=0.0),
+    "exponential": DistributionFamily("exponential", _sps.expon, fixed_loc=0.0),
+    "weibull": DistributionFamily("weibull", _sps.weibull_min, fixed_loc=0.0),
+    "pareto": DistributionFamily("pareto", _sps.pareto, fixed_loc=0.0),
+    "gamma": DistributionFamily("gamma", _sps.gamma, fixed_loc=0.0),
+    # log X ~ gamma: the multiplicative analogue of the log-normal.
+    "loggamma": DistributionFamily(
+        "loggamma", _sps.gamma, fixed_loc=0.0, log_transformed=True
+    ),
+}
+
+
+def get_family(name: str) -> DistributionFamily:
+    """Look up a candidate family by name.
+
+    Raises
+    ------
+    KeyError
+        With the list of known names, if ``name`` is not a candidate.
+    """
+    try:
+        return CANDIDATE_FAMILIES[name]
+    except KeyError:
+        known = ", ".join(sorted(CANDIDATE_FAMILIES))
+        raise KeyError(f"unknown distribution family {name!r}; known: {known}") from None

@@ -1,0 +1,111 @@
+"""Empirical CDF, density-histogram and QQ-plot utilities.
+
+These back the distribution figures of the paper: Fig 1 (lifetime PDF/CDF),
+Fig 8 (benchmark histograms), Fig 9 (disk-space PDF/CDF) and Fig 12
+(generated-vs-actual CDF comparison).  The QQ helper reproduces the
+"visually confirmed QQ-plots" mentioned in Section VI-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ECDF:
+    """Empirical cumulative distribution function of a 1-D sample."""
+
+    #: Sorted unique sample values.
+    x: np.ndarray
+    #: Cumulative fraction at each value of ``x`` (right-continuous).
+    y: np.ndarray
+
+    @classmethod
+    def from_sample(cls, sample: "np.ndarray | list[float]") -> "ECDF":
+        """Build the ECDF of ``sample`` (must be non-empty)."""
+        data = np.sort(np.asarray(sample, dtype=float))
+        if data.size == 0:
+            raise ValueError("cannot build an ECDF from an empty sample")
+        values, counts = np.unique(data, return_counts=True)
+        cumulative = np.cumsum(counts) / data.size
+        return cls(x=values, y=cumulative)
+
+    def __call__(self, points: "np.ndarray | float") -> np.ndarray:
+        """Evaluate the ECDF at ``points``."""
+        pts = np.asarray(points, dtype=float)
+        idx = np.searchsorted(self.x, pts, side="right")
+        padded = np.concatenate(([0.0], self.y))
+        return padded[idx]
+
+    def quantile(self, q: "np.ndarray | float") -> np.ndarray:
+        """Empirical quantile function (inverse CDF) at probabilities ``q``."""
+        probs = np.asarray(q, dtype=float)
+        if np.any((probs < 0) | (probs > 1)):
+            raise ValueError("quantile probabilities must lie in [0, 1]")
+        idx = np.searchsorted(self.y, probs, side="left")
+        idx = np.clip(idx, 0, self.x.size - 1)
+        return self.x[idx]
+
+    def max_distance(self, other: "ECDF") -> float:
+        """Kolmogorov–Smirnov distance between two ECDFs."""
+        grid = np.union1d(self.x, other.x)
+        return float(np.max(np.abs(self(grid) - other(grid))))
+
+
+def histogram_density(
+    sample: "np.ndarray | list[float]",
+    bins: "int | np.ndarray" = 50,
+    value_range: "tuple[float, float] | None" = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Density-normalised histogram: returns ``(bin_centres, density)``.
+
+    Thin wrapper over :func:`numpy.histogram` that hands back bin centres
+    instead of edges, which is what the figure-reproduction benches print.
+    """
+    data = np.asarray(sample, dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot histogram an empty sample")
+    density, edges = np.histogram(data, bins=bins, range=value_range, density=True)
+    centres = 0.5 * (edges[:-1] + edges[1:])
+    return centres, density
+
+
+def qq_points(
+    sample_a: "np.ndarray | list[float]",
+    sample_b: "np.ndarray | list[float]",
+    n_points: int = 100,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Quantile–quantile point series for two samples.
+
+    Returns matched quantiles ``(qa, qb)`` at ``n_points`` evenly spaced
+    probabilities in (0, 1).  Points near the diagonal indicate the samples
+    share a distribution; this reproduces the QQ validation of Section VI-B.
+    """
+    if n_points < 2:
+        raise ValueError("need at least two QQ points")
+    probs = np.linspace(0.5 / n_points, 1 - 0.5 / n_points, n_points)
+    qa = np.quantile(np.asarray(sample_a, dtype=float), probs)
+    qb = np.quantile(np.asarray(sample_b, dtype=float), probs)
+    return qa, qb
+
+
+def qq_max_relative_deviation(
+    sample_a: "np.ndarray | list[float]",
+    sample_b: "np.ndarray | list[float]",
+    n_points: int = 100,
+    trim: float = 0.05,
+) -> float:
+    """Largest relative deviation |qa-qb|/|qa| over central QQ quantiles.
+
+    The ``trim`` fraction of extreme quantiles on each side is ignored, as
+    tails of finite samples are noisy.  Used by validation tests as a scalar
+    "the QQ plot looks straight" check.
+    """
+    qa, qb = qq_points(sample_a, sample_b, n_points=n_points)
+    lo = int(n_points * trim)
+    hi = n_points - lo
+    qa, qb = qa[lo:hi], qb[lo:hi]
+    scale = np.maximum(np.abs(qa), 1e-12)
+    return float(np.max(np.abs(qa - qb) / scale))

@@ -1,0 +1,82 @@
+"""Fitting the paper's exponential trend law ``value(t) = a * exp(b * t)``.
+
+Every time-dependent quantity in the paper — core-count ratios, per-core
+memory ratios, benchmark means and variances, disk-space moments — is
+modelled with this two-parameter law (Tables IV, V, VI, X).  Fitting is done
+in log space, where the law is linear, via ordinary least squares.  The
+quality measure ``r`` reported alongside ``a`` and ``b`` is the Pearson
+correlation coefficient between ``log(value)`` and ``t``, matching the ``r``
+columns of the paper's tables (negative for decaying ratios).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ExponentialLawFit:
+    """Result of fitting ``a * exp(b t)`` to a series of positive values."""
+
+    a: float
+    b: float
+    #: Pearson correlation of (t, log value); sign follows the trend's slope.
+    r: float
+
+    def value(self, t: "float | np.ndarray") -> "float | np.ndarray":
+        """Evaluate the fitted law at epoch-relative time ``t``."""
+        return self.a * np.exp(self.b * np.asarray(t, dtype=float))
+
+
+def fit_exponential_law(
+    t: "np.ndarray | list[float]",
+    values: "np.ndarray | list[float]",
+) -> ExponentialLawFit:
+    """Fit ``values ~ a * exp(b * t)`` by least squares on ``log(values)``.
+
+    Parameters
+    ----------
+    t:
+        Sample times (epoch-relative years).  At least two distinct times
+        are required.
+    values:
+        Strictly positive observations, one per entry of ``t``.
+
+    Returns
+    -------
+    ExponentialLawFit
+        The fitted ``a``, ``b`` and the log-space Pearson ``r``.
+
+    Raises
+    ------
+    ValueError
+        If fewer than two points are given, the lengths disagree, any value
+        is non-positive, or all times coincide.
+    """
+    t_arr = np.asarray(t, dtype=float)
+    v_arr = np.asarray(values, dtype=float)
+    if t_arr.ndim != 1 or v_arr.ndim != 1:
+        raise ValueError("t and values must be one-dimensional")
+    if t_arr.size != v_arr.size:
+        raise ValueError(
+            f"length mismatch: {t_arr.size} times vs {v_arr.size} values"
+        )
+    if t_arr.size < 2:
+        raise ValueError("need at least two points to fit an exponential law")
+    if np.any(v_arr <= 0):
+        raise ValueError("exponential law requires strictly positive values")
+    if np.ptp(t_arr) == 0:
+        raise ValueError("all sample times coincide; slope is undefined")
+
+    log_v = np.log(v_arr)
+    b, log_a = np.polyfit(t_arr, log_v, 1)
+
+    if np.allclose(log_v, log_v[0]):
+        # A perfectly flat series is a valid (b == 0) law; correlation with
+        # time is undefined, so report 0 rather than dividing by zero.
+        r = 0.0
+    else:
+        r = float(np.corrcoef(t_arr, log_v)[0, 1])
+    return ExponentialLawFit(a=float(np.exp(log_a)), b=float(b), r=r)

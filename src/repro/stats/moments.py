@@ -1,0 +1,64 @@
+"""Moment conversions for the model's parametric families.
+
+The paper's Table VI/X parameterises the disk-space distribution by its
+*linear-space* mean and variance while sampling from a log-normal; the
+conversions live here.  Weibull helpers back the lifetime model of Fig 1
+(k = 0.58, λ = 135 days ⇒ mean 192–213 days, median ≈ 71 days).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def lognormal_params_from_moments(mean: float, variance: float) -> tuple[float, float]:
+    """Convert a linear-space (mean, variance) to log-normal ``(mu, sigma)``.
+
+    ``X ~ LogNormal(mu, sigma)`` has ``E[X] = exp(mu + sigma^2/2)`` and
+    ``Var[X] = (exp(sigma^2) - 1) exp(2 mu + sigma^2)``; this inverts those
+    relations.
+
+    Raises
+    ------
+    ValueError
+        If ``mean`` is not positive or ``variance`` is negative.
+    """
+    if mean <= 0:
+        raise ValueError(f"log-normal mean must be positive, got {mean}")
+    if variance < 0:
+        raise ValueError(f"variance must be non-negative, got {variance}")
+    sigma_sq = math.log1p(variance / (mean * mean))
+    mu = math.log(mean) - sigma_sq / 2
+    return mu, math.sqrt(sigma_sq)
+
+
+def lognormal_moments_from_params(mu: float, sigma: float) -> tuple[float, float]:
+    """Convert log-normal ``(mu, sigma)`` back to linear (mean, variance)."""
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    mean = math.exp(mu + sigma * sigma / 2)
+    variance = math.expm1(sigma * sigma) * math.exp(2 * mu + sigma * sigma)
+    return mean, variance
+
+
+def weibull_mean(shape: float, scale: float) -> float:
+    """Mean of a Weibull(shape ``k``, scale ``λ``): ``λ Γ(1 + 1/k)``."""
+    if shape <= 0 or scale <= 0:
+        raise ValueError("Weibull shape and scale must be positive")
+    return scale * math.gamma(1 + 1 / shape)
+
+
+def weibull_median(shape: float, scale: float) -> float:
+    """Median of a Weibull(k, λ): ``λ (ln 2)^(1/k)``."""
+    if shape <= 0 or scale <= 0:
+        raise ValueError("Weibull shape and scale must be positive")
+    return scale * math.log(2) ** (1 / shape)
+
+
+def weibull_variance(shape: float, scale: float) -> float:
+    """Variance of a Weibull(k, λ)."""
+    if shape <= 0 or scale <= 0:
+        raise ValueError("Weibull shape and scale must be positive")
+    g1 = math.gamma(1 + 1 / shape)
+    g2 = math.gamma(1 + 2 / shape)
+    return scale * scale * (g2 - g1 * g1)

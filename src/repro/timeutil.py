@@ -1,0 +1,91 @@
+"""Date and time conventions used throughout the library.
+
+The paper parameterises every trend law as ``a * exp(b * (year - 2006))``.
+Internally all model code therefore works with *fractional years since
+2006-01-01* (the "epoch").  This module centralises the conversions between
+:class:`datetime.date` objects, calendar year floats (e.g. ``2010.667``) and
+epoch-relative offsets so that no other module has to reimplement leap-year
+arithmetic.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+#: Calendar year of the model epoch (t == 0).
+EPOCH_YEAR = 2006
+
+#: The model epoch as a date.
+EPOCH_DATE = _dt.date(EPOCH_YEAR, 1, 1)
+
+
+def year_fraction(when: _dt.date) -> float:
+    """Return ``when`` as a fractional calendar year.
+
+    The fraction interpolates linearly across the actual number of days in
+    the year, so ``date(2010, 7, 2)`` is roughly ``2010.5`` and Jan 1 of any
+    year is exactly that integer year.
+
+    >>> year_fraction(datetime.date(2006, 1, 1))
+    2006.0
+    """
+    start = _dt.date(when.year, 1, 1)
+    end = _dt.date(when.year + 1, 1, 1)
+    elapsed = (when - start).days
+    total = (end - start).days
+    return when.year + elapsed / total
+
+
+def from_year_fraction(year: float) -> _dt.date:
+    """Invert :func:`year_fraction` (to day resolution)."""
+    whole = int(year)
+    start = _dt.date(whole, 1, 1)
+    end = _dt.date(whole + 1, 1, 1)
+    total = (end - start).days
+    days = round((year - whole) * total)
+    return start + _dt.timedelta(days=min(days, total - 1))
+
+
+def model_time(when: "_dt.date | float") -> float:
+    """Convert a date (or calendar-year float) to epoch-relative years.
+
+    This is the ``t`` appearing in every ``a * exp(b * t)`` law.  Accepts
+    either a :class:`datetime.date` or an already-fractional calendar year
+    such as ``2010.667``.
+    """
+    if isinstance(when, _dt.date):
+        return year_fraction(when) - EPOCH_YEAR
+    return float(when) - EPOCH_YEAR
+
+
+def calendar_year(t: float) -> float:
+    """Convert epoch-relative years back to a calendar-year float."""
+    return t + EPOCH_YEAR
+
+
+def parse_date(text: str) -> _dt.date:
+    """Parse ``YYYY-MM-DD`` (or a bare ``YYYY``/``YYYY.f`` year) to a date."""
+    stripped = text.strip()
+    try:
+        return _dt.date.fromisoformat(stripped)
+    except ValueError:
+        pass
+    try:
+        return from_year_fraction(float(stripped))
+    except ValueError as exc:
+        raise ValueError(
+            f"expected 'YYYY-MM-DD' or a fractional year, got {text!r}"
+        ) from exc
+
+
+DAYS_PER_YEAR = 365.25
+
+
+def days_to_years(days: float) -> float:
+    """Convert a duration in days to (Julian) years."""
+    return days / DAYS_PER_YEAR
+
+
+def years_to_days(years: float) -> float:
+    """Convert a duration in years to days."""
+    return years * DAYS_PER_YEAR

@@ -1,0 +1,40 @@
+"""Synthetic SETI@home-like trace substrate.
+
+The paper's raw material is the public SETI@home host file: 2.7 M hosts
+measured between 2006 and 2010.  That file is not available offline, so this
+subpackage synthesises a statistically equivalent trace (see DESIGN.md §2 and
+§5 for the substitution argument):
+
+* :mod:`~repro.traces.config` — all knobs of the synthetic world.
+* :mod:`~repro.traces.lifetimes` — Weibull lifetimes with the observed
+  creation-date decay (Figs 1 and 3).
+* :mod:`~repro.traces.arrivals` — solves cohort arrival intensities so the
+  active-host count tracks the paper's 300–350 k band (Fig 2 top panel).
+* :mod:`~repro.traces.calibration` — age-mixing compensation so *population*
+  statistics match the paper's trend laws even though each host's resources
+  are frozen at creation.
+* :mod:`~repro.traces.synthesis` — draws the hosts themselves (resources,
+  platforms, GPUs, corruption).
+* :mod:`~repro.traces.dataset` — the queryable trace table.
+* :mod:`~repro.traces.io` — CSV(.gz) persistence.
+"""
+
+from repro.traces.arrivals import solve_arrival_schedule
+from repro.traces.calibration import CohortCalibration
+from repro.traces.config import TraceConfig
+from repro.traces.dataset import TraceDataset
+from repro.traces.io import read_trace_csv, write_trace_csv
+from repro.traces.lifetimes import LifetimeModel
+from repro.traces.synthesis import SyntheticTraceGenerator, generate_trace
+
+__all__ = [
+    "CohortCalibration",
+    "LifetimeModel",
+    "SyntheticTraceGenerator",
+    "TraceConfig",
+    "TraceDataset",
+    "generate_trace",
+    "read_trace_csv",
+    "solve_arrival_schedule",
+    "write_trace_csv",
+]

@@ -1,0 +1,243 @@
+"""Age-mixing calibration: making population statistics match cohort laws.
+
+Host resources are frozen at creation, so the statistic of the *active
+population* at time T is an age-mixture of cohort statistics and lags behind
+the technology trend (old hosts drag the average down — this is exactly why
+the paper's Fig 2 growth is "less than would be expected from Moore's law").
+
+The paper's laws describe the *population*.  To make the synthetic trace's
+population match them, cohort resources must run *ahead* of the population
+law.  For a law ``a·e^{bt}`` the population value is
+
+    pop(T) = a·e^{bT} · E_active[e^{−b·age}],
+
+so evaluating the cohort law at ``creation + δ(b)`` with
+
+    δ(b) = −ln(E_active[e^{−b·age}]) / b
+
+makes the population match in expectation.  :class:`CohortCalibration`
+computes these expectations from the actual simulated arrival/lifetime
+schedule (pooled over the observation window), plus the between-cohort
+variance correction needed for the variance laws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.laws import ExponentialLaw
+from repro.core.ratios import RatioChain
+from repro.traces.arrivals import ArrivalSchedule, SurvivalFn
+from repro.timeutil import EPOCH_YEAR
+
+
+@dataclass
+class CohortCalibration:
+    """Pooled age-mixture moments of the active population.
+
+    Parameters
+    ----------
+    ages:
+        Flattened host ages (years) observed at the sample dates.
+    weights:
+        Matching expected-count weights (arrivals × survival).
+    sample_times:
+        Epoch-relative times of the pooled samples (one per age entry).
+    """
+
+    ages: np.ndarray
+    weights: np.ndarray
+    sample_times: np.ndarray
+
+    @classmethod
+    def from_schedule(
+        cls,
+        schedule: ArrivalSchedule,
+        survival: SurvivalFn,
+        window_start: float,
+        window_end: float,
+        age_cap_years: float = 4.0,
+        n_samples: int = 24,
+    ) -> "CohortCalibration":
+        """Build the pooled age distribution over an observation window.
+
+        Ages beyond ``age_cap_years`` are excluded: with a k < 1 Weibull the
+        exponential moments are dominated by a handful of very old cohorts,
+        which makes the raw estimate unstable, and such hosts are rare in
+        the real population anyway.
+        """
+        sample_dates = np.linspace(window_start, window_end, n_samples)
+        ages_list, weights_list, times_list = [], [], []
+        for when in sample_dates:
+            ages = when - schedule.cohort_times
+            valid = (ages >= 0) & (ages <= age_cap_years)
+            if not np.any(valid):
+                continue
+            alive = survival(ages[valid], schedule.cohort_times[valid])
+            w = schedule.arrivals[valid] * alive
+            ages_list.append(ages[valid])
+            weights_list.append(w)
+            times_list.append(np.full(valid.sum(), when - EPOCH_YEAR))
+        if not ages_list:
+            raise ValueError("no active cohorts inside the observation window")
+        return cls(
+            ages=np.concatenate(ages_list),
+            weights=np.concatenate(weights_list),
+            sample_times=np.concatenate(times_list),
+        )
+
+    def mean_age(self) -> float:
+        """Weight-averaged age of active hosts (years)."""
+        return float(np.average(self.ages, weights=self.weights))
+
+    def lag_factor(self, b: float) -> float:
+        """``E[e^{−b·age}]`` weighted by host count *and* the law's own size.
+
+        Weighting by ``e^{b·t}`` (the law's value at each pooled sample
+        time) makes the resulting δ(b) cancel age-mixing exactly for the
+        pooled weighted average of an ``a·e^{bt}`` law, not just
+        approximately: later sample dates, where the law is larger, count
+        for more of the pooled error.
+        """
+        law_size = np.exp(b * self.sample_times)
+        return float(
+            np.average(np.exp(-b * self.ages), weights=self.weights * law_size)
+        )
+
+    def delta(self, b: float) -> float:
+        """Time lead δ(b) such that cohort law at ``t+δ`` matches population.
+
+        The ``b → 0`` limit is the mean age.
+        """
+        if abs(b) < 1e-9:
+            return self.mean_age()
+        return float(-np.log(self.lag_factor(b)) / b)
+
+    def lead_law(self, law: ExponentialLaw) -> ExponentialLaw:
+        """The cohort-side law whose age-mixture reproduces ``law``."""
+        return law.shifted(self.delta(law.b))
+
+    def variance_shrink(
+        self, mean_law: ExponentialLaw, variance_law: ExponentialLaw
+    ) -> float:
+        """Fraction of the population variance carried *within* cohorts.
+
+        The population variance decomposes as within-cohort plus
+        between-cohort (the spread of cohort means across ages).  Cohort
+        variances must therefore be shrunk by this factor so the mixture
+        reproduces the target variance law.  Clipped to [0.1, 1].
+        """
+        lead_mean = self.lead_law(mean_law)
+        cohort_means = lead_mean.at(self.sample_times - self.ages)
+        pop_means = mean_law.at(self.sample_times)
+        between = float(
+            np.average((cohort_means - pop_means) ** 2, weights=self.weights)
+        )
+        target_var = float(np.average(variance_law.at(self.sample_times), weights=self.weights))
+        if target_var <= 0:
+            return 1.0
+        return float(np.clip(1.0 - between / target_var, 0.1, 1.0))
+
+    def chain_time_shift(self, chain: "RatioChain", max_shift: float = 4.0) -> float:
+        """Scalar time lead δ for a ratio chain's *shares*.
+
+        Unlike the scalar laws, a chain's class shares are ratios of
+        exponentials (they renormalise per cohort), so the clean per-law
+        ``δ(b)`` algebra does not apply.  Instead we pick the single shift δ
+        at which the age-mixture of cohort *mean class values* reproduces
+        the chain's population mean, pooled over the observation window.
+        Because the chain mean is smooth and monotone in time, this single
+        shift also brings the individual class shares close (the residual
+        is second order in the age spread).
+        """
+        from scipy.optimize import brentq
+
+        base = np.asarray(chain.weights(0.0))
+        growth = np.asarray(chain.class_growth_exponents())
+        values = np.asarray(chain.class_values, dtype=float)
+
+        def mean_at(times: np.ndarray) -> np.ndarray:
+            weights = base * np.exp(np.outer(times, growth))
+            probs = weights / weights.sum(axis=1, keepdims=True)
+            return probs @ values
+
+        target = float(np.average(mean_at(self.sample_times), weights=self.weights))
+        creation_times = self.sample_times - self.ages
+
+        def gap(delta: float) -> float:
+            mixed = float(
+                np.average(mean_at(creation_times + delta), weights=self.weights)
+            )
+            return mixed - target
+
+        if gap(0.0) >= 0.0:
+            return 0.0  # population already at or ahead of target
+        if gap(max_shift) <= 0.0:
+            return max_shift  # cannot catch up within the allowed lead
+        return float(brentq(gap, 0.0, max_shift, xtol=1e-6))
+
+    def split(self, at_time: "float | None" = None) -> tuple["CohortCalibration", "CohortCalibration"]:
+        """Split the pooled samples into early/late halves by sample time.
+
+        Used to build creation-date-dependent shifts: the pooled-over-window
+        shift over-leads the window start (where the population is young)
+        and under-leads the end.
+        """
+        split = float(np.median(self.sample_times)) if at_time is None else at_time
+        early = self.sample_times <= split
+        if not np.any(early) or np.all(early):
+            raise ValueError("split time leaves an empty half")
+        return (
+            CohortCalibration(
+                ages=self.ages[early],
+                weights=self.weights[early],
+                sample_times=self.sample_times[early],
+            ),
+            CohortCalibration(
+                ages=self.ages[~early],
+                weights=self.weights[~early],
+                sample_times=self.sample_times[~early],
+            ),
+        )
+
+    def mean_creation_time(self) -> float:
+        """Weight-averaged creation time (epoch-relative) of active hosts."""
+        return float(
+            np.average(self.sample_times - self.ages, weights=self.weights)
+        )
+
+    def chain_shift_anchors(
+        self, chain: "RatioChain"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(creation_times, shifts) anchors for per-cohort chain shifts.
+
+        Each half-window contributes one anchor: the shift solved on that
+        half, placed at the half's mean host creation time.  Interpolating
+        between the anchors (and clamping outside) gives each cohort a shift
+        appropriate to the dates at which it is actually observed.
+        """
+        early, late = self.split()
+        anchors_t = np.array(
+            [early.mean_creation_time(), late.mean_creation_time()]
+        )
+        anchors_d = np.array(
+            [early.chain_time_shift(chain), late.chain_time_shift(chain)]
+        )
+        return anchors_t, anchors_d
+
+    def shifted_chain_weights(
+        self, chain: "RatioChain", creation_times: np.ndarray
+    ) -> np.ndarray:
+        """Per-host class weights at ``creation + shift(creation)``.
+
+        Returns an (n_hosts, n_classes) matrix of unnormalised weights ready
+        for row-wise inverse-CDF sampling.
+        """
+        anchors_t, anchors_d = self.chain_shift_anchors(chain)
+        base = np.asarray(chain.weights(0.0))
+        growth = np.asarray(chain.class_growth_exponents())
+        creation = np.asarray(creation_times, dtype=float)
+        deltas = np.interp(creation, anchors_t, anchors_d)
+        return base * np.exp((creation + deltas)[:, None] * growth[None, :])

@@ -1,0 +1,144 @@
+"""Configuration of the synthetic trace world.
+
+Defaults are calibrated so that the *observation window* (Jan 2006 – Sep
+2010) reproduces the paper's published aggregates at a configurable scale:
+the paper's SETI@home population fluctuates between roughly 300 k and 350 k
+active hosts; ``scale`` multiplies that target (the default 0.02 gives
+≈ 6.5 k active hosts, which keeps analyses fast while leaving thousands of
+hosts per snapshot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.parameters import ModelParameters
+
+#: Calendar-year bounds of the paper's observation window.
+OBSERVATION_START = 2006.0
+OBSERVATION_END = 2010.667  # September 1, 2010
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """All knobs of the synthetic SETI@home-like world."""
+
+    # -- simulation window -------------------------------------------------
+    #: Trace begins before the observation window so 2006 snapshots contain
+    #: hosts of realistic ages.
+    start: float = 2004.0
+    #: Trace end (records are censored here), just past the validation date.
+    end: float = 2010.75
+
+    # -- population size ---------------------------------------------------
+    #: Fraction of the paper's population to simulate.
+    scale: float = 0.02
+    #: Mid-band active host count at full scale (paper: 300–350 k).
+    target_active_base: float = 325_000.0
+    #: Seasonal wobble amplitude at full scale.
+    target_active_amplitude: float = 25_000.0
+    #: Wobble period in years.
+    target_active_period: float = 2.5
+    #: Years over which the pre-2006 population ramps up from near zero.
+    ramp_years: float = 2.0
+
+    # -- lifetimes (Fig 1 / Fig 3) ------------------------------------------
+    #: Weibull shape k; the paper fits k = 0.58.
+    lifetime_shape: float = 0.58
+    #: Weibull scale (days) for hosts created at the 2006 epoch.  Chosen so
+    #: that the arrival-weighted mixture over 2006-2010 cohorts reproduces
+    #: the paper's pooled fit (λ ≈ 135 d, mean 192 d, median 71 d).
+    lifetime_scale_2006_days: float = 175.0
+    #: Exponential decay rate of the lifetime scale per year of creation
+    #: date (Fig 3: later hosts live shorter lives).
+    lifetime_decay_per_year: float = 0.18
+    #: Strength of the "better hosts die younger" effect (§V-B): lifetime
+    #: scale is multiplied by ``1 + eta * (0.5 - quality_percentile)``.
+    lifetime_quality_effect: float = 0.2
+
+    # -- resource realism knobs ---------------------------------------------
+    #: Ground-truth population laws the world evolves along.
+    params: ModelParameters = field(default_factory=ModelParameters.paper_reference)
+    #: Fraction of hosts with non-power-of-two core counts (paper: < 0.3 %).
+    nonpow2_core_fraction: float = 0.003
+    #: Fraction of hosts carrying intermediate per-core-memory values such
+    #: as 1280/1792 MB (the values §V-E discards from the simplified model).
+    intermediate_percore_fraction: float = 0.10
+    #: Per-core-memory truncation used for the canonical classes (2048 MB is
+    #: §V-E's simplified value set; the trace adds a small ">2048MB" band on
+    #: top via ``high_percore_fraction`` to populate Fig 7's last band).
+    percore_max_mb: float = 2048.0
+    #: Fraction of (few-core) hosts given 4096 MB per core.
+    high_percore_fraction: float = 0.02
+    #: Mild negative coupling between core count and per-core memory: the
+    #: memory-selection uniform is shifted by ``-x * (log2(cores) - 1)``.
+    #: Under exact independence the cores/total-memory correlation is
+    #: mechanically ≈ 0.79; the paper's observed 0.606 implies many-core
+    #: hosts carry somewhat less memory per core.
+    core_memory_anticorrelation: float = 0.08
+    #: Boost applied to the latent memory↔speed correlations before the
+    #: per-core-memory classes discretise them.  Snapping to the six
+    #: canonical classes attenuates a latent correlation by ≈ 0.75–0.8, so
+    #: reproducing Table III's measured 0.250/0.306 needs a stronger latent
+    #: coupling.
+    latent_memory_speed_boost: float = 1.3
+    #: Fraction of hosts in the mid-distribution benchmark "spike" (Fig 8).
+    speed_spike_fraction: float = 0.15
+    #: Spike centre as a fraction of the cohort mean speed.
+    speed_spike_location: float = 0.9
+    #: Spike width as a fraction of the cohort speed std.
+    speed_spike_width: float = 0.15
+    #: Coupling between host quality (lifetime) and speed, in [0, 1).
+    speed_quality_coupling: float = 0.15
+    #: Fraction of hosts whose reported available disk is rounded to one
+    #: significant digit (produces the right-side spikes of Fig 9).
+    disk_round_fraction: float = 0.15
+    #: Bounds of the uniform available/total disk fraction (§V-C notes the
+    #: available fraction of total disk is roughly uniform).
+    disk_fraction_low: float = 0.02
+    disk_fraction_high: float = 0.98
+    #: Fraction of hosts with corrupted measurements (paper discards 0.12 %).
+    corrupt_fraction: float = 0.0012
+
+    # -- platform metadata ---------------------------------------------------
+    #: Extra years added to creation time when sampling platform composition
+    #: (compensates population-vs-cohort lag for Tables I/II shares).
+    platform_lead_years: float = 0.7
+
+    # -- calibration ---------------------------------------------------------
+    #: Ages above this cap are excluded from the age-mixing moment
+    #: calibration (heavy Weibull tails make the raw moments unstable).
+    calibration_age_cap_years: float = 4.0
+
+    # -- reproducibility ------------------------------------------------------
+    seed: int = 20110611
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("trace end must come after start")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if not 0 <= self.corrupt_fraction < 1:
+            raise ValueError("corrupt_fraction must be in [0, 1)")
+        if not 0 <= self.speed_quality_coupling < 1:
+            raise ValueError("speed_quality_coupling must be in [0, 1)")
+        if not 0 < self.disk_fraction_low < self.disk_fraction_high <= 1:
+            raise ValueError("disk fraction bounds must satisfy 0 < low < high <= 1")
+
+    def target_active(self, when: float) -> float:
+        """Target number of active hosts at calendar year ``when``.
+
+        A sinusoidal band (300–350 k at full scale) with a linear ramp from
+        the trace start so the pre-2006 warm-up population builds up
+        gradually.
+        """
+        import math
+
+        band = self.target_active_base + self.target_active_amplitude * math.sin(
+            2 * math.pi * (when - OBSERVATION_START) / self.target_active_period
+        )
+        if when < OBSERVATION_START:
+            ramp_start = OBSERVATION_START - self.ramp_years
+            ramp = (when - ramp_start) / self.ramp_years
+            band *= min(max(ramp, 0.02), 1.0)
+        return band * self.scale

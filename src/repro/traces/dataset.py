@@ -1,0 +1,173 @@
+"""The queryable synthetic trace table.
+
+A :class:`TraceDataset` is the stand-in for the public SETI@home host file:
+one row per host with creation/last-contact times, the five modelled
+resources, platform metadata and GPU information.  The paper's analyses all
+reduce to "statistics of the hosts active at time T"; :meth:`active_mask`
+implements the paper's activity definition (first contact before T, most
+recent contact after T) and :meth:`snapshot` materialises the corresponding
+resource population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.hosts.population import HostPopulation
+from repro.hosts import platforms as _platforms
+from repro.timeutil import DAYS_PER_YEAR
+
+
+@dataclass(frozen=True)
+class TraceDataset:
+    """Column-oriented host trace (one row per host)."""
+
+    #: Host identifiers (dense ints).
+    host_id: np.ndarray
+    #: First contact, calendar-year float.
+    created: np.ndarray
+    #: Most recent contact, calendar-year float (censored at the trace end).
+    last_contact: np.ndarray
+    #: True where the host was still alive at the trace end (lifetime censored).
+    censored: np.ndarray
+
+    #: Resources (frozen at creation; see DESIGN.md §5).
+    cores: np.ndarray
+    memory_mb: np.ndarray
+    dhrystone: np.ndarray
+    whetstone: np.ndarray
+    disk_avail_gb: np.ndarray
+    disk_total_gb: np.ndarray
+
+    #: Platform metadata.
+    cpu_family: np.ndarray
+    os_name: np.ndarray
+
+    #: GPU adoption threshold: the host reports a GPU at date T when
+    #: ``gpu_uniform < gpu_fraction_at(T)`` (monotone adoption).
+    gpu_uniform: np.ndarray
+    gpu_type: np.ndarray
+    gpu_memory_mb: np.ndarray
+
+    #: Ground-truth marker for injected measurement corruption.
+    corrupt: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = np.asarray(self.host_id).size
+        for field in fields(self):
+            column = np.asarray(getattr(self, field.name))
+            if column.ndim != 1 or column.size != n:
+                raise ValueError(
+                    f"column {field.name!r} has shape {column.shape}; expected ({n},)"
+                )
+            object.__setattr__(self, field.name, column)
+
+    def __len__(self) -> int:
+        return int(self.host_id.size)
+
+    # -- activity ---------------------------------------------------------
+
+    def active_mask(self, when: float) -> np.ndarray:
+        """Hosts active at calendar year ``when`` (§V-A definition)."""
+        return (self.created <= when) & (self.last_contact >= when)
+
+    def active_count(self, when: float) -> int:
+        """Number of active hosts at ``when``."""
+        return int(self.active_mask(when).sum())
+
+    def active_index(self, when: float) -> np.ndarray:
+        """Row indices of hosts active at ``when``."""
+        return np.flatnonzero(self.active_mask(when))
+
+    # -- views --------------------------------------------------------------
+
+    def subset(self, mask: np.ndarray) -> "TraceDataset":
+        """Dataset restricted to rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (len(self),):
+            raise ValueError(f"mask shape {mask.shape} does not match {len(self)} hosts")
+        return TraceDataset(
+            **{f.name: getattr(self, f.name)[mask] for f in fields(self)}
+        )
+
+    def snapshot(self, when: float) -> HostPopulation:
+        """Resource population of the hosts active at ``when``."""
+        mask = self.active_mask(when)
+        return HostPopulation(
+            cores=self.cores[mask],
+            memory_mb=self.memory_mb[mask],
+            dhrystone=self.dhrystone[mask],
+            whetstone=self.whetstone[mask],
+            disk_gb=self.disk_avail_gb[mask],
+        )
+
+    # -- lifetimes (Fig 1 / Fig 3) -------------------------------------------
+
+    def lifetime_days(self) -> np.ndarray:
+        """Observed lifetime of every host in days (censored at trace end)."""
+        return (self.last_contact - self.created) * DAYS_PER_YEAR
+
+    def lifetime_sample(
+        self, exclude_created_after: "float | None" = None
+    ) -> np.ndarray:
+        """Lifetimes for distribution fitting, with the paper's exclusion.
+
+        Fig 1 excludes hosts that first connected after July 1 2010 to avoid
+        biasing the distribution towards short lifetimes.
+        """
+        mask = np.ones(len(self), dtype=bool)
+        if exclude_created_after is not None:
+            mask &= self.created <= exclude_created_after
+        return self.lifetime_days()[mask]
+
+    def mean_lifetime_by_cohort(
+        self, cohort_edges: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Average observed lifetime per creation cohort (Fig 3).
+
+        Returns (cohort_centres, mean_lifetime_days); empty cohorts yield
+        NaN means.
+        """
+        edges = np.asarray(cohort_edges, dtype=float)
+        if edges.size < 2:
+            raise ValueError("need at least two cohort edges")
+        lifetimes = self.lifetime_days()
+        centres = 0.5 * (edges[:-1] + edges[1:])
+        means = np.full(centres.size, np.nan)
+        idx = np.digitize(self.created, edges) - 1
+        for i in range(centres.size):
+            in_cohort = idx == i
+            if np.any(in_cohort):
+                means[i] = float(lifetimes[in_cohort].mean())
+        return centres, means
+
+    # -- GPUs (Table VII / Fig 10) ---------------------------------------------
+
+    def gpu_mask(self, when: float) -> np.ndarray:
+        """Hosts that are active *and* report a GPU at ``when``."""
+        fraction = _platforms.gpu_fraction_at(when)
+        return self.active_mask(when) & (self.gpu_uniform < fraction)
+
+    def gpu_share(self, when: float) -> float:
+        """Fraction of active hosts reporting a GPU at ``when``."""
+        active = self.active_mask(when)
+        n_active = int(active.sum())
+        if n_active == 0:
+            return 0.0
+        return float(self.gpu_mask(when).sum() / n_active)
+
+    # -- composition (Tables I/II) -----------------------------------------------
+
+    def label_shares(self, column: str, when: float) -> dict[str, float]:
+        """Share of each label among active hosts (``cpu_family``/``os_name``)."""
+        if column not in {"cpu_family", "os_name", "gpu_type"}:
+            raise KeyError(f"not a label column: {column!r}")
+        labels = getattr(self, column)[self.active_mask(when)]
+        if labels.size == 0:
+            return {}
+        unique, counts = np.unique(labels.astype(str), return_counts=True)
+        return {
+            label: float(count / labels.size) for label, count in zip(unique, counts)
+        }

@@ -1,0 +1,105 @@
+"""Trace persistence: CSV with optional gzip compression.
+
+The real SETI@home host files are flat text tables; we keep the same spirit
+so traces can be inspected, diffed and versioned.  A header row names the
+columns; booleans are stored as 0/1 and labels as raw strings.
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import io
+from dataclasses import fields
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.dataset import TraceDataset
+
+#: Column order in the CSV (matches the TraceDataset fields).
+_COLUMNS = [f.name for f in fields(TraceDataset)]
+_BOOL_COLUMNS = {"censored", "corrupt"}
+_LABEL_COLUMNS = {"cpu_family", "os_name", "gpu_type"}
+_INT_COLUMNS = {"host_id"}
+
+
+def write_trace_csv(trace: TraceDataset, path: "str | Path") -> None:
+    """Write a trace to ``path``; ``.gz`` suffix enables gzip compression."""
+    path = Path(path)
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "wt", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_COLUMNS)
+        columns = []
+        for name in _COLUMNS:
+            column = getattr(trace, name)
+            if name in _BOOL_COLUMNS:
+                columns.append(column.astype(int).astype(str))
+            elif name in _INT_COLUMNS:
+                columns.append(column.astype(np.int64).astype(str))
+            elif name in _LABEL_COLUMNS:
+                columns.append(column.astype(str))
+            else:
+                columns.append(np.char.mod("%.10g", column.astype(float)))
+        for row in zip(*columns):
+            writer.writerow(row)
+
+
+def read_trace_csv(path: "str | Path") -> TraceDataset:
+    """Read a trace written by :func:`write_trace_csv`.
+
+    Raises
+    ------
+    ValueError
+        If the header does not match the expected schema.
+    """
+    path = Path(path)
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "rt", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != _COLUMNS:
+            raise ValueError(
+                f"unexpected trace header {header!r}; expected {_COLUMNS!r}"
+            )
+        rows = list(reader)
+
+    if rows:
+        table = {name: [row[i] for row in rows] for i, name in enumerate(_COLUMNS)}
+    else:
+        table = {name: [] for name in _COLUMNS}
+
+    arrays: dict[str, np.ndarray] = {}
+    for name in _COLUMNS:
+        raw = table[name]
+        if name in _BOOL_COLUMNS:
+            arrays[name] = np.array([v == "1" for v in raw], dtype=bool)
+        elif name in _INT_COLUMNS:
+            arrays[name] = np.array(raw, dtype=np.int64)
+        elif name in _LABEL_COLUMNS:
+            arrays[name] = np.array(raw, dtype=object)
+        else:
+            arrays[name] = np.array(raw, dtype=float)
+    return TraceDataset(**arrays)
+
+
+def trace_to_csv_text(trace: TraceDataset) -> str:
+    """Render a trace as CSV text (useful for docs and round-trip tests)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_COLUMNS)
+    for i in range(len(trace)):
+        row = []
+        for name in _COLUMNS:
+            value = getattr(trace, name)[i]
+            if name in _BOOL_COLUMNS:
+                row.append(str(int(value)))
+            elif name in _INT_COLUMNS:
+                row.append(str(int(value)))
+            elif name in _LABEL_COLUMNS:
+                row.append(str(value))
+            else:
+                row.append(f"{float(value):.10g}")
+        writer.writerow(row)
+    return buffer.getvalue()

@@ -1,0 +1,90 @@
+"""Host lifetime model: Weibull with creation-date decay (Figs 1 and 3).
+
+The paper fits host lifetimes to Weibull(k = 0.58, λ = 135 d) — a heavily
+front-loaded distribution (median 71 d, mean ≈ 200 d) with decreasing dropout
+rate — and separately observes (Fig 3) that hosts created later have shorter
+average lifetimes, and that better-equipped hosts tend to die younger.
+
+We model the Weibull *scale* as decaying exponentially in the creation date,
+with an optional multiplicative "quality" effect, so that the pooled fit over
+the observation window recovers the paper's parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.timeutil import DAYS_PER_YEAR
+
+
+@dataclass(frozen=True)
+class LifetimeModel:
+    """Weibull lifetimes whose scale decays with the host creation date."""
+
+    #: Weibull shape ``k`` (constant across cohorts).
+    shape: float = 0.58
+    #: Weibull scale λ in *days* for hosts created at calendar year 2006.
+    scale_2006_days: float = 175.0
+    #: Exponential decay of λ per creation year after 2006.
+    decay_per_year: float = 0.18
+    #: λ multiplier = ``1 + effect * (0.5 - quality)`` for quality in [0, 1].
+    quality_effect: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.shape <= 0 or self.scale_2006_days <= 0:
+            raise ValueError("Weibull parameters must be positive")
+        if not 0 <= self.quality_effect < 2:
+            raise ValueError("quality_effect must be in [0, 2)")
+
+    def scale_days(self, creation_year: "float | np.ndarray") -> "float | np.ndarray":
+        """Weibull scale (days) for hosts created at ``creation_year``."""
+        t = np.asarray(creation_year, dtype=float) - 2006.0
+        scale = self.scale_2006_days * np.exp(-self.decay_per_year * t)
+        if np.ndim(creation_year) == 0:
+            return float(scale)
+        return scale
+
+    def mean_days(self, creation_year: float) -> float:
+        """Expected lifetime (days) of a cohort, quality-averaged."""
+        from math import gamma
+
+        return self.scale_days(creation_year) * gamma(1 + 1 / self.shape)
+
+    def sample_days(
+        self,
+        creation_year: np.ndarray,
+        quality: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Draw one lifetime (days) per host.
+
+        ``quality`` is each host's resource-quality percentile in [0, 1];
+        higher quality shortens life (§V-B's empirical observation).
+        """
+        creation = np.asarray(creation_year, dtype=float)
+        q = np.asarray(quality, dtype=float)
+        if creation.shape != q.shape:
+            raise ValueError("creation_year and quality must align")
+        if np.any((q < 0) | (q > 1)):
+            raise ValueError("quality percentiles must lie in [0, 1]")
+        scale = self.scale_days(creation) * (1 + self.quality_effect * (0.5 - q))
+        return scale * rng.weibull(self.shape, size=creation.shape)
+
+    def survival(
+        self,
+        age_years: "float | np.ndarray",
+        creation_year: "float | np.ndarray",
+    ) -> "float | np.ndarray":
+        """P(lifetime > age) for hosts created at ``creation_year``.
+
+        Ages are in years (the arrival solver's natural unit); negative ages
+        (host not yet created) survive with probability 1.
+        """
+        age_days = np.maximum(np.asarray(age_years, dtype=float), 0.0) * DAYS_PER_YEAR
+        scale = np.asarray(self.scale_days(creation_year), dtype=float)
+        value = np.exp(-((age_days / scale) ** self.shape))
+        if np.ndim(age_years) == 0 and np.ndim(creation_year) == 0:
+            return float(value)
+        return value

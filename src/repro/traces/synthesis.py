@@ -1,0 +1,447 @@
+"""Synthesising the SETI@home-like host trace.
+
+This is the offline substitute for the paper's public trace files (see
+DESIGN.md §2).  The generator:
+
+1. solves a monthly arrival schedule so the active population tracks the
+   300–350 k band (scaled),
+2. draws per-host lifetimes from the creation-date-decaying Weibull model,
+3. draws per-host resources *at creation* from the population trend laws,
+   led by the age-mixing calibration of :mod:`repro.traces.calibration` so
+   that active-population statistics match the paper's published curves,
+4. adds the messy-reality features the paper reports: non-power-of-two core
+   counts, intermediate per-core-memory values, the mid-distribution
+   benchmark spike (Fig 8), rounded disk sizes (Fig 9 spikes), platform/OS
+   labels (Tables I/II), GPU adoption (Table VII, Fig 10) and a 0.12 %
+   corruption rate (§V-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as _sps
+
+from repro.core.correlation import CorrelatedNormalSampler
+from repro.core.ratios import RatioChain
+from repro.hosts import platforms as _platforms
+from repro.timeutil import DAYS_PER_YEAR, EPOCH_YEAR
+from repro.traces.arrivals import solve_arrival_schedule
+from repro.traces.calibration import CohortCalibration
+from repro.traces.config import OBSERVATION_END, OBSERVATION_START, TraceConfig
+from repro.traces.dataset import TraceDataset
+from repro.traces.lifetimes import LifetimeModel
+
+#: Non-power-of-two core counts present in the real data (< 0.3 % of hosts).
+NONPOW2_CORE_VALUES = np.array([3.0, 6.0, 12.0])
+NONPOW2_CORE_PROBS = np.array([0.6, 0.3, 0.1])
+
+#: Intermediate per-core-memory values the paper's simplified model discards.
+INTERMEDIATE_PERCORE_MB = (1280.0, 1792.0)
+
+
+def mix_rho(shared: np.ndarray, own: np.ndarray, rho: float) -> np.ndarray:
+    """Blend a shared and an individual standard normal to correlation ``rho``.
+
+    Two variates built this way from the same ``shared`` component have
+    pairwise correlation ``rho`` while keeping N(0, 1) margins.
+    """
+    if not 0.0 <= rho <= 1.0:
+        raise ValueError(f"rho must be in [0, 1], got {rho}")
+    return np.sqrt(rho) * shared + np.sqrt(1.0 - rho) * own
+
+
+class SyntheticTraceGenerator:
+    """Builds a :class:`~repro.traces.dataset.TraceDataset` from a config."""
+
+    def __init__(self, config: "TraceConfig | None" = None):
+        self._config = config if config is not None else TraceConfig()
+
+    @property
+    def config(self) -> TraceConfig:
+        """The world configuration."""
+        return self._config
+
+    def generate(self) -> TraceDataset:
+        """Synthesise the full trace (deterministic given the config seed)."""
+        cfg = self._config
+        rng = np.random.default_rng(cfg.seed)
+        lifetime_model = LifetimeModel(
+            shape=cfg.lifetime_shape,
+            scale_2006_days=cfg.lifetime_scale_2006_days,
+            decay_per_year=cfg.lifetime_decay_per_year,
+            quality_effect=cfg.lifetime_quality_effect,
+        )
+
+        schedule = solve_arrival_schedule(
+            cfg.start, cfg.end, cfg.target_active, lifetime_model.survival
+        )
+        calibration = CohortCalibration.from_schedule(
+            schedule,
+            lifetime_model.survival,
+            window_start=OBSERVATION_START,
+            window_end=min(cfg.end, OBSERVATION_END),
+            age_cap_years=cfg.calibration_age_cap_years,
+        )
+
+        # ---- arrivals, lifetimes --------------------------------------
+        counts = rng.poisson(schedule.arrivals)
+        n = int(counts.sum())
+        created = np.repeat(schedule.cohort_times, counts)
+        created = created + (rng.random(n) - 0.5) * schedule.cohort_width
+        quality = rng.random(n)
+        lifetime_days = lifetime_model.sample_days(created, quality, rng)
+        death = created + lifetime_days / DAYS_PER_YEAR
+        last_contact = np.minimum(death, cfg.end)
+        censored = death > cfg.end
+
+        # ---- resources (frozen at creation, age-lead calibrated) -------
+        t_created = created - EPOCH_YEAR
+        cores, expected_log2_cores = self._sample_cores(t_created, rng, calibration)
+
+        latent = cfg.params.correlation.copy()
+        latent[0, 1] = latent[1, 0] = min(latent[0, 1] * cfg.latent_memory_speed_boost, 0.99)
+        latent[0, 2] = latent[2, 0] = min(latent[0, 2] * cfg.latent_memory_speed_boost, 0.99)
+        correlated = CorrelatedNormalSampler(latent).sample(n, rng)
+        z_mem, z_whet, z_dhry = correlated[:, 0], correlated[:, 1], correlated[:, 2]
+
+        percore_mb = self._sample_percore_memory(
+            t_created, z_mem, cores, expected_log2_cores, rng, calibration
+        )
+        memory_mb = percore_mb * cores
+
+        whetstone, dhrystone = self._sample_speeds(
+            t_created, z_whet, z_dhry, quality, rng, calibration
+        )
+        disk_avail, disk_total = self._sample_disk(t_created, rng, calibration)
+
+        # ---- platform metadata -----------------------------------------
+        cpu_family, os_name = self._sample_platforms(created, rng)
+        gpu_uniform = rng.random(n)
+        gpu_type, gpu_memory = self._sample_gpus(created, rng)
+
+        # ---- measurement corruption --------------------------------------
+        corrupt = rng.random(n) < cfg.corrupt_fraction
+        self._inject_corruption(
+            corrupt, rng, cores, memory_mb, dhrystone, whetstone, disk_avail
+        )
+
+        return TraceDataset(
+            host_id=np.arange(n, dtype=np.int64),
+            created=created,
+            last_contact=last_contact,
+            censored=censored,
+            cores=cores,
+            memory_mb=memory_mb,
+            dhrystone=dhrystone,
+            whetstone=whetstone,
+            disk_avail_gb=disk_avail,
+            disk_total_gb=disk_total,
+            cpu_family=cpu_family,
+            os_name=os_name,
+            gpu_uniform=gpu_uniform,
+            gpu_type=gpu_type,
+            gpu_memory_mb=gpu_memory,
+            corrupt=corrupt,
+        )
+
+    # ------------------------------------------------------------------
+    # resource samplers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _pick_classes(
+        weights: np.ndarray, values: np.ndarray, u: np.ndarray
+    ) -> np.ndarray:
+        """Row-wise inverse-CDF pick: weights (n, k), uniforms u (n,)."""
+        probs = weights / weights.sum(axis=1, keepdims=True)
+        cumulative = np.cumsum(probs, axis=1)
+        cumulative[:, -1] = 1.0
+        idx = (u[:, None] > cumulative).sum(axis=1)
+        return values[np.clip(idx, 0, values.size - 1)]
+
+    def _chain_weights(
+        self,
+        chain: RatioChain,
+        t_created: np.ndarray,
+        calibration: CohortCalibration,
+    ) -> np.ndarray:
+        """Calibrated per-host class weights for a ratio chain."""
+        return calibration.shifted_chain_weights(chain, t_created)
+
+    def _sample_cores(
+        self,
+        t_created: np.ndarray,
+        rng: np.random.Generator,
+        calibration: CohortCalibration,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Returns (cores, expected_log2_cores) per host.
+
+        The expectation is against each host's own cohort distribution; the
+        per-core-memory sampler needs it to centre the core/memory
+        anti-correlation shift so the memory marginal stays unbiased.
+        """
+        chain = self._config.params.core_chain
+        weights = self._chain_weights(chain, t_created, calibration)
+        values = np.asarray(chain.class_values, dtype=float)
+        probs = weights / weights.sum(axis=1, keepdims=True)
+        expected_log2 = probs @ np.log2(values)
+        cores = self._pick_classes(weights, values, rng.random(t_created.size))
+        # A sliver of real hosts report 3/6/12 cores (§V-D ignores them).
+        odd = rng.random(t_created.size) < self._config.nonpow2_core_fraction
+        if np.any(odd):
+            cores[odd] = rng.choice(
+                NONPOW2_CORE_VALUES, size=int(odd.sum()), p=NONPOW2_CORE_PROBS
+            )
+        return cores, expected_log2
+
+    def _sample_percore_memory(
+        self,
+        t_created: np.ndarray,
+        z_mem: np.ndarray,
+        cores: np.ndarray,
+        expected_log2_cores: np.ndarray,
+        rng: np.random.Generator,
+        calibration: CohortCalibration,
+    ) -> np.ndarray:
+        cfg = self._config
+        chain = cfg.params.percore_memory_chain.truncated(cfg.percore_max_mb)
+        weights = self._chain_weights(chain, t_created, calibration)
+        values = np.asarray(chain.class_values, dtype=float)
+        u = CorrelatedNormalSampler.normals_to_uniforms(z_mem)
+        # Many-core hosts carry slightly less memory per core (the paper's
+        # cores/memory correlation of 0.606 is below the ≈ 0.79 that exact
+        # independence of cores and per-core memory would imply).  The shift
+        # is centred on each cohort's expected log2(cores) so the per-core
+        # memory marginal stays unbiased.
+        u = np.clip(
+            u
+            - cfg.core_memory_anticorrelation
+            * (np.log2(cores) - expected_log2_cores),
+            1e-9,
+            1.0 - 1e-9,
+        )
+        percore = self._pick_classes(weights, values, u)
+
+        # Intermediate values (1280/1792 MB) that §V-E's simplified value
+        # set discards; they sit between the canonical classes.
+        intermediate = rng.random(t_created.size) < cfg.intermediate_percore_fraction
+        lower, upper = INTERMEDIATE_PERCORE_MB
+        take_low = intermediate & (percore == 1024.0)
+        take_mid = intermediate & (percore == 1536.0)
+        take_high = intermediate & (percore == 2048.0)
+        percore = percore.copy()
+        percore[take_low] = lower
+        percore[take_mid] = np.where(rng.random(int(take_mid.sum())) < 0.5, lower, upper)
+        percore[take_high] = upper
+
+        # A thin ">2048 MB per core" band (Fig 7's top band): memory-rich
+        # workstations, restricted to few-core hosts so totals stay in the
+        # plausible 2010 range.
+        high = (rng.random(t_created.size) < cfg.high_percore_fraction) & (cores <= 4)
+        percore[high] = 4096.0
+        return percore
+
+    def _sample_speeds(
+        self,
+        t_created: np.ndarray,
+        z_whet: np.ndarray,
+        z_dhry: np.ndarray,
+        quality: np.ndarray,
+        rng: np.random.Generator,
+        calibration: CohortCalibration,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        cfg = self._config
+        params = cfg.params
+
+        # Blend in the host-quality normal so better hosts are faster (and,
+        # through the lifetime model, die younger — §V-B's observation).
+        kappa = cfg.speed_quality_coupling
+        z_quality = _sps.norm.ppf(np.clip(quality, 1e-9, 1 - 1e-9))
+        mix = np.sqrt(1 - kappa**2)
+        z_whet = mix * z_whet + kappa * z_quality
+        z_dhry = mix * z_dhry + kappa * z_quality
+
+        spike = rng.random(t_created.size) < cfg.speed_spike_fraction
+        # The spike sits below the mean, so the main component is scaled up
+        # slightly to keep the population mean on the law.
+        p, loc = cfg.speed_spike_fraction, cfg.speed_spike_location
+        main_scale = (1 - p * loc) / (1 - p)
+        # Spike draws carry the same whet/dhry coupling as the main body so
+        # the population correlation stays at the Table III level.
+        rho = float(params.correlation[1, 2])
+        z_spike_shared = rng.standard_normal(t_created.size)
+        z_spikes = {
+            "whet": mix_rho(z_spike_shared, rng.standard_normal(t_created.size), rho),
+            "dhry": mix_rho(z_spike_shared, rng.standard_normal(t_created.size), rho),
+        }
+
+        def one_benchmark(mean_law, var_law, z_main, z_spike):
+            lead_mean = calibration.lead_law(mean_law)
+            shrink = calibration.variance_shrink(mean_law, var_law)
+            lead_var = calibration.lead_law(var_law).scaled(shrink)
+            mean = lead_mean.at(t_created)
+            std = np.sqrt(lead_var.at(t_created))
+            values = mean * main_scale + std * z_main
+            spike_values = mean * loc + std * cfg.speed_spike_width * z_spike
+            values = np.where(spike, spike_values, values)
+            return np.maximum(values, 1.0)
+
+        whet = one_benchmark(
+            params.whetstone_mean, params.whetstone_variance, z_whet, z_spikes["whet"]
+        )
+        dhry = one_benchmark(
+            params.dhrystone_mean, params.dhrystone_variance, z_dhry, z_spikes["dhry"]
+        )
+        return whet, dhry
+
+    def _sample_disk(
+        self,
+        t_created: np.ndarray,
+        rng: np.random.Generator,
+        calibration: CohortCalibration,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        cfg = self._config
+        lead_mean = calibration.lead_law(cfg.params.disk_mean)
+        shrink = calibration.variance_shrink(cfg.params.disk_mean, cfg.params.disk_variance)
+        lead_var = calibration.lead_law(cfg.params.disk_variance).scaled(shrink)
+
+        mean = lead_mean.at(t_created)
+        variance = lead_var.at(t_created)
+        sigma_sq = np.log1p(variance / (mean * mean))
+        mu = np.log(mean) - sigma_sq / 2
+        avail = np.exp(mu + np.sqrt(sigma_sq) * rng.standard_normal(t_created.size))
+
+        # Reported sizes cluster on round numbers (Fig 9's right-side spikes).
+        rounded = rng.random(t_created.size) < cfg.disk_round_fraction
+        if np.any(rounded):
+            magnitude = 10.0 ** np.floor(np.log10(avail[rounded]))
+            avail[rounded] = np.maximum(
+                np.round(avail[rounded] / magnitude) * magnitude, 0.1
+            )
+
+        # Available space is a uniform fraction of total (§V-C).
+        fraction = rng.uniform(
+            cfg.disk_fraction_low, cfg.disk_fraction_high, size=t_created.size
+        )
+        total = avail / fraction
+        return avail, total
+
+    # ------------------------------------------------------------------
+    # metadata samplers
+    # ------------------------------------------------------------------
+
+    def _sample_platforms(
+        self, created: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        cfg = self._config
+        n = created.size
+        cpu = np.empty(n, dtype=object)
+        os_name = np.empty(n, dtype=object)
+        # Bucket hosts by creation month so composition lookups vectorise.
+        months = np.floor((created - cfg.start) * 12).astype(int)
+        for month in np.unique(months):
+            in_bucket = months == month
+            when = cfg.start + (month + 0.5) / 12 + cfg.platform_lead_years
+            cpu_probs = _platforms.composition_at(_platforms.CPU_SHARES_BY_YEAR, when)
+            os_probs = _platforms.composition_at(_platforms.OS_SHARES_BY_YEAR, when)
+            size = int(in_bucket.sum())
+            cpu[in_bucket] = _platforms.sample_labels(
+                _platforms.CPU_FAMILIES, cpu_probs, size, rng
+            )
+            os_name[in_bucket] = _platforms.sample_labels(
+                _platforms.OS_NAMES, os_probs, size, rng
+            )
+        # PowerPC machines run Mac OS X, whatever the OS table said.
+        powerpc = np.array([family in _platforms.MAC_CPU_FAMILIES for family in cpu])
+        os_name[powerpc] = "Mac OS X"
+        return cpu, os_name
+
+    @staticmethod
+    def _extrapolate_pmf(pmf0: np.ndarray, pmf1: np.ndarray, factor: float) -> np.ndarray:
+        """Continue the pmf0→pmf1 trend by ``factor`` more steps, clipped."""
+        extended = np.clip(pmf1 + factor * (pmf1 - pmf0), 0.0, None)
+        return extended / extended.sum()
+
+    def _sample_gpus(
+        self, created: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """GPU type and memory for every host (used only once adopted).
+
+        Anchored at the published Sep 2009 / Sep 2010 distributions, with a
+        short extrapolated third anchor so that the *age-mixed active
+        population* (not the creation cohort) reproduces the published
+        values at the second anchor — the same lead principle the resource
+        calibration uses.
+        """
+        cfg = self._config
+        n = created.size
+        anchors = sorted(_platforms.GPU_SHARES_BY_DATE)
+        t0, t1 = anchors[0], anchors[-1]
+        t2 = t1 + cfg.platform_lead_years
+        extend = cfg.platform_lead_years / (t1 - t0)
+
+        shares0 = np.array(_platforms.GPU_SHARES_BY_DATE[t0], dtype=float)
+        shares1 = np.array(_platforms.GPU_SHARES_BY_DATE[t1], dtype=float)
+        shares0 /= shares0.sum()
+        shares1 /= shares1.sum()
+        shares2 = self._extrapolate_pmf(shares0, shares1, extend)
+        pmf0 = np.array(_platforms.GPU_MEMORY_PMF_BY_DATE[t0], dtype=float)
+        pmf1 = np.array(_platforms.GPU_MEMORY_PMF_BY_DATE[t1], dtype=float)
+        pmf2 = self._extrapolate_pmf(pmf0, pmf1, extend)
+
+        when = np.clip(created + cfg.platform_lead_years, t0, t2)
+        grid = np.array([t0, t1, t2])
+        type_probs = np.column_stack(
+            [np.interp(when, grid, [shares0[i], shares1[i], shares2[i]])
+             for i in range(shares0.size)]
+        )
+        mem_probs = np.column_stack(
+            [np.interp(when, grid, [pmf0[i], pmf1[i], pmf2[i]])
+             for i in range(pmf0.size)]
+        )
+        type_probs /= type_probs.sum(axis=1, keepdims=True)
+        mem_probs /= mem_probs.sum(axis=1, keepdims=True)
+
+        type_values = np.arange(len(_platforms.GPU_TYPES))
+        type_idx = self._pick_classes(type_probs, type_values.astype(float), rng.random(n))
+        gpu_type = np.asarray(_platforms.GPU_TYPES, dtype=object)[type_idx.astype(int)]
+
+        mem_values = np.asarray(_platforms.GPU_MEMORY_CLASSES_MB, dtype=float)
+        gpu_memory = self._pick_classes(mem_probs, mem_values, rng.random(n))
+        return gpu_type, gpu_memory
+
+    # ------------------------------------------------------------------
+    # corruption
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _inject_corruption(
+        corrupt: np.ndarray,
+        rng: np.random.Generator,
+        cores: np.ndarray,
+        memory_mb: np.ndarray,
+        dhrystone: np.ndarray,
+        whetstone: np.ndarray,
+        disk_avail: np.ndarray,
+    ) -> None:
+        """Blow up one random measurement per corrupted host, in place.
+
+        The injected values all exceed the §V-B sanity bounds, so the
+        :class:`~repro.hosts.filters.SanityFilter` should discard exactly
+        these hosts.
+        """
+        indices = np.flatnonzero(corrupt)
+        if indices.size == 0:
+            return
+        which = rng.integers(0, 5, size=indices.size)
+        u = rng.random(indices.size)
+        cores[indices[which == 0]] = np.round(129 + 900 * u[which == 0])
+        memory_mb[indices[which == 1]] = 110_000 + 400_000 * u[which == 1]
+        dhrystone[indices[which == 2]] = 1.1e5 + 9e5 * u[which == 2]
+        whetstone[indices[which == 3]] = 1.1e5 + 9e5 * u[which == 3]
+        disk_avail[indices[which == 4]] = 1.1e4 + 9e4 * u[which == 4]
+
+
+def generate_trace(config: "TraceConfig | None" = None) -> TraceDataset:
+    """Convenience wrapper: synthesise a trace with the given (or default) config."""
+    return SyntheticTraceGenerator(config).generate()

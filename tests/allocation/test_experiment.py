@@ -1,0 +1,124 @@
+"""Tests for the Fig 15 utility experiment.
+
+The headline assertions reproduce the paper's qualitative findings: the
+correlated model tracks the actual hosts best; the Grid model's exponential
+disk law wrecks its P2P prediction; the naive normal model misses worst on
+the multi-resource applications.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation.experiment import (
+    DEFAULT_EXPERIMENT_DATES,
+    run_utility_experiment,
+    total_utilities,
+)
+from repro.allocation.utility import APPLICATIONS
+from repro.baselines.grid import KeeGridModel
+from repro.baselines.normal import UncorrelatedNormalModel
+from repro.core.generator import CorrelatedHostGenerator
+from repro.fitting.pipeline import fit_model_from_trace
+from repro.hosts.filters import SanityFilter
+
+
+@pytest.fixture(scope="module")
+def experiment_setup():
+    from repro.traces.config import TraceConfig
+    from repro.traces.synthesis import generate_trace
+
+    trace = generate_trace(TraceConfig(scale=0.015))
+    fitted = fit_model_from_trace(trace).parameters
+    models = [
+        UncorrelatedNormalModel.from_trace(trace),
+        KeeGridModel.from_trace(trace),
+        CorrelatedHostGenerator(fitted),
+    ]
+    result = run_utility_experiment(
+        trace, models, rng=np.random.default_rng(1234)
+    )
+    return trace, result
+
+
+class TestExperimentMechanics:
+    def test_default_dates_are_monthly_2010(self):
+        assert len(DEFAULT_EXPERIMENT_DATES) == 9
+        assert DEFAULT_EXPERIMENT_DATES[0] == 2010.0
+        assert DEFAULT_EXPERIMENT_DATES[-1] == pytest.approx(2010.667, abs=0.001)
+
+    def test_result_shape(self, experiment_setup):
+        _, result = experiment_setup
+        assert set(result.applications) == set(APPLICATIONS)
+        assert set(result.models) == {"normal", "grid", "correlated"}
+        for app in result.applications:
+            for model in result.models:
+                series = result.series(app, model)
+                assert series.shape == (9,)
+                assert np.all(series >= 0)
+
+    def test_format_table_lists_everything(self, experiment_setup):
+        _, result = experiment_setup
+        table = result.format_table()
+        for token in ("P2P", "normal", "grid", "correlated"):
+            assert token in table
+
+    def test_total_utilities_positive(self, experiment_setup):
+        trace, _ = experiment_setup
+        population, _ = SanityFilter().apply(trace.snapshot(2010.25))
+        totals = total_utilities(population, APPLICATIONS)
+        assert all(value > 0 for value in totals.values())
+
+    def test_requires_models(self, experiment_setup):
+        trace, _ = experiment_setup
+        with pytest.raises(ValueError, match="at least one model"):
+            run_utility_experiment(trace, [])
+
+    def test_max_hosts_caps_pool(self, experiment_setup):
+        trace, _ = experiment_setup
+        result = run_utility_experiment(
+            trace,
+            [CorrelatedHostGenerator()],
+            dates=(2010.25,),
+            rng=np.random.default_rng(0),
+            max_hosts=500,
+        )
+        assert result.series("P2P", "correlated").shape == (1,)
+
+
+class TestFig15Shape:
+    """The paper's qualitative results (§VII / Fig 15)."""
+
+    def test_correlated_model_close_to_actual_everywhere(self, experiment_setup):
+        _, result = experiment_setup
+        for app in result.applications:
+            assert result.mean_difference(app, "correlated") < 12.0, app
+
+    def test_correlated_beats_normal_on_every_application(self, experiment_setup):
+        _, result = experiment_setup
+        for app in result.applications:
+            assert result.mean_difference(app, "correlated") < result.mean_difference(
+                app, "normal"
+            ), app
+
+    def test_grid_p2p_blowup(self, experiment_setup):
+        # Paper: 46-57 % difference for the Grid model on P2P, far above
+        # every other (app, model) pair.
+        _, result = experiment_setup
+        grid_p2p = result.mean_difference("P2P", "grid")
+        assert grid_p2p > 30.0
+        assert grid_p2p > result.mean_difference("P2P", "correlated") * 4
+
+    def test_grid_beats_normal_on_compute_apps(self, experiment_setup):
+        _, result = experiment_setup
+        for app in ("SETI@home", "Folding@home", "Climate Prediction"):
+            assert result.mean_difference(app, "grid") < result.mean_difference(
+                app, "normal"
+            ), app
+
+    def test_normal_suffers_on_multiresource_apps(self, experiment_setup):
+        # Paper: 20-31 % for Folding@home, 14-28 % for Climate Prediction.
+        _, result = experiment_setup
+        assert result.mean_difference("Folding@home", "normal") > 8.0
+        assert result.mean_difference("Climate Prediction", "normal") > 10.0

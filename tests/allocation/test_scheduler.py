@@ -1,0 +1,86 @@
+"""Tests for the greedy round-robin allocator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation.scheduler import greedy_round_robin
+
+
+class TestValidation:
+    def test_rejects_1d_utilities(self):
+        with pytest.raises(ValueError, match="2-D"):
+            greedy_round_robin(np.array([1.0, 2.0]), ("a",))
+
+    def test_rejects_label_mismatch(self):
+        with pytest.raises(ValueError, match="applications"):
+            greedy_round_robin(np.ones((2, 3)), ("a",))
+
+    def test_rejects_no_applications(self):
+        with pytest.raises(ValueError, match="at least one"):
+            greedy_round_robin(np.ones((0, 3)), ())
+
+
+class TestAllocation:
+    def test_every_host_assigned_exactly_once(self):
+        rng = np.random.default_rng(5)
+        utilities = rng.random((3, 100))
+        result = greedy_round_robin(utilities, ("a", "b", "c"))
+        all_hosts = np.concatenate([result.assignments[k] for k in ("a", "b", "c")])
+        assert sorted(all_hosts.tolist()) == list(range(100))
+        assert result.n_hosts == 100
+
+    def test_round_robin_fairness_in_count(self):
+        rng = np.random.default_rng(6)
+        utilities = rng.random((4, 102))
+        result = greedy_round_robin(utilities, ("a", "b", "c", "d"))
+        counts = [result.assignments[k].size for k in ("a", "b", "c", "d")]
+        assert max(counts) - min(counts) <= 1
+
+    def test_first_app_gets_global_best_host(self):
+        utilities = np.array(
+            [
+                [1.0, 5.0, 2.0],
+                [4.0, 9.0, 1.0],
+            ]
+        )
+        result = greedy_round_robin(utilities, ("first", "second"))
+        # "first" picks host 1 (its best); "second" then picks host 0.
+        assert 1 in result.assignments["first"]
+        assert 0 in result.assignments["second"]
+
+    def test_total_utility_sums_assigned(self):
+        utilities = np.array([[3.0, 1.0], [2.0, 2.0]])
+        result = greedy_round_robin(utilities, ("a", "b"))
+        assert result.total_utility["a"] == pytest.approx(3.0)
+        assert result.total_utility["b"] == pytest.approx(2.0)
+
+    def test_single_app_takes_everything(self):
+        utilities = np.array([[1.0, 2.0, 3.0]])
+        result = greedy_round_robin(utilities, ("only",))
+        assert result.assignments["only"].size == 3
+        assert result.total_utility["only"] == pytest.approx(6.0)
+
+    def test_permutation_invariant_totals(self):
+        """Shuffling host order must not change any app's total utility."""
+        rng = np.random.default_rng(7)
+        utilities = rng.random((3, 60))
+        base = greedy_round_robin(utilities, ("a", "b", "c"))
+        perm = rng.permutation(60)
+        shuffled = greedy_round_robin(utilities[:, perm], ("a", "b", "c"))
+        for app in ("a", "b", "c"):
+            assert shuffled.total_utility[app] == pytest.approx(
+                base.total_utility[app]
+            )
+
+    def test_zero_hosts(self):
+        result = greedy_round_robin(np.ones((2, 0)), ("a", "b"))
+        assert result.n_hosts == 0
+        assert result.total_utility["a"] == 0.0
+
+    def test_identical_utilities_split_evenly(self):
+        utilities = np.ones((2, 10))
+        result = greedy_round_robin(utilities, ("a", "b"))
+        assert result.assignments["a"].size == 5
+        assert result.assignments["b"].size == 5

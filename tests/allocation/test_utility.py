@@ -1,0 +1,98 @@
+"""Tests for Cobb–Douglas utility (Table IX)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation.utility import APPLICATIONS, CobbDouglasUtility
+from repro.hosts.host import Host
+from repro.hosts.population import HostPopulation
+
+
+def host(cores=2, memory=2048.0, dhry=4000.0, whet=2000.0, disk=100.0) -> Host:
+    return Host(
+        cores=cores,
+        memory_mb=memory,
+        dhrystone_mips=dhry,
+        whetstone_mips=whet,
+        disk_gb=disk,
+    )
+
+
+class TestTableIX:
+    def test_all_four_applications_present(self):
+        assert set(APPLICATIONS) == {
+            "SETI@home",
+            "Folding@home",
+            "Climate Prediction",
+            "P2P",
+        }
+
+    def test_seti_exponents(self):
+        seti = APPLICATIONS["SETI@home"]
+        assert seti.exponents == (0.05, 0.1, 0.2, 0.4, 0.05)
+
+    def test_p2p_disk_heavy(self):
+        p2p = APPLICATIONS["P2P"]
+        assert p2p.disk == 0.7
+        assert p2p.disk > max(p2p.cores, p2p.memory, p2p.dhrystone, p2p.whetstone)
+
+    def test_folding_cores_heavy(self):
+        folding = APPLICATIONS["Folding@home"]
+        assert folding.cores == 0.4
+
+
+class TestUtilityComputation:
+    def test_of_host_matches_formula(self):
+        utility = CobbDouglasUtility("test", 0.5, 0.0, 0.0, 0.0, 0.5)
+        value = utility.of_host(host(cores=4, disk=25.0))
+        assert value == pytest.approx(4**0.5 * 25**0.5)
+
+    def test_population_matches_per_host(self):
+        population = HostPopulation(
+            cores=np.array([1.0, 4.0]),
+            memory_mb=np.array([512.0, 4096.0]),
+            dhrystone=np.array([2000.0, 6000.0]),
+            whetstone=np.array([1000.0, 3000.0]),
+            disk_gb=np.array([10.0, 200.0]),
+        )
+        seti = APPLICATIONS["SETI@home"]
+        values = seti.of_population(population)
+        for i, h in enumerate(population.to_hosts()):
+            assert values[i] == pytest.approx(seti.of_host(h))
+
+    def test_monotone_in_each_resource(self):
+        base = host()
+        seti = APPLICATIONS["SETI@home"]
+        u0 = seti.of_host(base)
+        assert seti.of_host(host(cores=4)) > u0
+        assert seti.of_host(host(memory=4096.0)) > u0
+        assert seti.of_host(host(dhry=8000.0)) > u0
+        assert seti.of_host(host(whet=4000.0)) > u0
+        assert seti.of_host(host(disk=200.0)) > u0
+
+    def test_zero_resource_zeroes_utility(self):
+        population = HostPopulation(
+            cores=np.array([0.0]),
+            memory_mb=np.array([2048.0]),
+            dhrystone=np.array([4000.0]),
+            whetstone=np.array([2000.0]),
+            disk_gb=np.array([100.0]),
+        )
+        assert APPLICATIONS["Folding@home"].of_population(population)[0] == 0.0
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CobbDouglasUtility("bad", -0.1, 0.1, 0.1, 0.1, 0.1)
+
+    def test_returns_to_scale(self):
+        # Folding/Climate/P2P exponents sum to 1: doubling every resource
+        # doubles utility.
+        for name in ("Folding@home", "Climate Prediction", "P2P"):
+            app = APPLICATIONS[name]
+            small = app.of_host(host())
+            big = app.of_host(
+                host(cores=4, memory=4096.0, dhry=8000.0, whet=4000.0, disk=200.0)
+            )
+            assert big == pytest.approx(2 * small)

@@ -1,0 +1,82 @@
+"""Tests for the Tables I/II/VII and Fig 10 analyses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.composition import (
+    cpu_shares_table,
+    format_shares_table,
+    gpu_memory_distribution,
+    gpu_type_shares,
+    os_shares_table,
+)
+
+
+class TestCpuShares:
+    def test_columns_sum_to_100(self, small_trace):
+        table = cpu_shares_table(small_trace)
+        for i in range(5):
+            total = sum(row[i] for row in table.values())
+            assert total == pytest.approx(100.0, abs=0.5)
+
+    def test_pentium4_declines_core2_rises(self, small_trace):
+        table = cpu_shares_table(small_trace)
+        assert table["Pentium 4"][0] > table["Pentium 4"][-1]
+        assert table["Intel Core 2"][-1] > table["Intel Core 2"][0]
+
+    def test_2006_pentium4_dominant(self, small_trace):
+        table = cpu_shares_table(small_trace)
+        assert table["Pentium 4"][0] == pytest.approx(36.8, abs=10.0)
+
+
+class TestOsShares:
+    def test_windows_xp_declines(self, small_trace):
+        table = os_shares_table(small_trace)
+        assert table["Windows XP"][0] > 55.0
+        assert table["Windows XP"][-1] < table["Windows XP"][0]
+
+    def test_vista_and_seven_appear(self, small_trace):
+        table = os_shares_table(small_trace)
+        assert table["Windows Vista"][0] < 2.0
+        assert table["Windows Vista"][-1] > 8.0
+        assert table["Windows 7"][-1] > 1.0
+
+    def test_mac_linux_grow(self, small_trace):
+        table = os_shares_table(small_trace)
+        assert table["Mac OS X"][-1] >= table["Mac OS X"][0] - 1.0
+        assert table["Linux"][-1] >= table["Linux"][0] - 1.0
+
+
+class TestGpuAnalyses:
+    def test_type_shares_shift(self, small_trace):
+        table = gpu_type_shares(small_trace)
+        assert table["GeForce"][0] > table["GeForce"][1]
+        assert table["Radeon"][1] > table["Radeon"][0]
+        assert table["GeForce"][0] == pytest.approx(82.5, abs=10.0)
+
+    def test_memory_distribution_fig10(self, small_trace):
+        dist09 = gpu_memory_distribution(small_trace, 2009.667)
+        dist10 = gpu_memory_distribution(small_trace, 2010.667)
+        assert dist09.mean_mb == pytest.approx(592.7, rel=0.08)
+        assert dist10.mean_mb > dist09.mean_mb
+        assert dist09.median_mb == 512.0
+        assert dist09.fractions.sum() == pytest.approx(1.0)
+
+    def test_gpu_share_of_hosts(self, small_trace):
+        dist09 = gpu_memory_distribution(small_trace, 2009.667)
+        dist10 = gpu_memory_distribution(small_trace, 2010.667)
+        assert dist09.gpu_share_of_hosts == pytest.approx(0.127, abs=0.03)
+        assert dist10.gpu_share_of_hosts == pytest.approx(0.238, abs=0.04)
+
+    def test_no_gpus_before_recording(self, small_trace):
+        dist = gpu_memory_distribution(small_trace, 2008.0)
+        assert dist.gpu_share_of_hosts == 0.0
+        assert dist.mean_mb == 0.0
+
+
+class TestFormatting:
+    def test_format_shares_table(self, small_trace):
+        text = format_shares_table(os_shares_table(small_trace))
+        assert "Windows XP" in text
+        assert "2006" in text

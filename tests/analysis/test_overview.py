@@ -1,0 +1,78 @@
+"""Tests for the Fig 1/2/3 analyses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.overview import (
+    creation_lifetime_trend,
+    lifetime_distribution,
+    resource_overview,
+)
+
+
+class TestLifetimeDistribution:
+    def test_moments_match_fig1(self, small_trace):
+        dist = lifetime_distribution(small_trace)
+        assert dist.mean_days == pytest.approx(192.4, rel=0.10)
+        assert dist.median_days == pytest.approx(71.1, rel=0.12)
+
+    def test_weibull_fit_near_paper(self, small_trace):
+        dist = lifetime_distribution(small_trace)
+        assert dist.weibull.shape == pytest.approx(0.58, abs=0.06)
+        assert dist.weibull.scale_days == pytest.approx(135.0, rel=0.15)
+
+    def test_pdf_integrates_to_one_within_range(self, small_trace):
+        dist = lifetime_distribution(small_trace)
+        width = dist.pdf_days[1] - dist.pdf_days[0]
+        assert float((dist.pdf_density * width).sum()) == pytest.approx(1.0, abs=0.05)
+
+    def test_cdf_monotone(self, small_trace):
+        dist = lifetime_distribution(small_trace)
+        assert np.all(np.diff(dist.cdf.y) >= 0)
+
+    def test_exclusion_empty_rejected(self, small_trace):
+        with pytest.raises(ValueError, match="exclusion"):
+            lifetime_distribution(small_trace, exclude_created_after=1990.0)
+
+
+class TestResourceOverview:
+    @pytest.fixture(scope="class")
+    def overview(self, small_trace):
+        return resource_overview(small_trace)
+
+    def test_all_resources_grow(self, overview):
+        for label in ("cores", "memory_mb", "dhrystone", "whetstone", "disk_gb"):
+            assert overview.growth_factor(label) > 1.3, label
+
+    def test_paper_growth_factors(self, overview):
+        # Fig 2 commentary: cores +70 %, memory +181 %, Whetstone +55 %,
+        # Dhrystone +90 %, disk +198 % over 2006-2010.
+        assert overview.growth_factor("cores") == pytest.approx(1.70, abs=0.25)
+        assert overview.growth_factor("whetstone") == pytest.approx(1.55, abs=0.20)
+        assert overview.growth_factor("dhrystone") == pytest.approx(1.90, abs=0.30)
+        assert overview.growth_factor("disk_gb") == pytest.approx(2.98, abs=0.75)
+
+    def test_stds_increase_over_time(self, overview):
+        # Fig 2: "The standard deviation of all resources increased".
+        for label in ("memory_mb", "dhrystone", "whetstone", "disk_gb"):
+            assert overview.stds[label][-1] > overview.stds[label][0], label
+
+    def test_active_counts_in_band(self, overview, small_trace_config):
+        lo = (small_trace_config.target_active_base - 1.8 * small_trace_config.target_active_amplitude) * small_trace_config.scale
+        hi = (small_trace_config.target_active_base + 1.8 * small_trace_config.target_active_amplitude) * small_trace_config.scale
+        assert np.all(overview.active_counts >= lo)
+        assert np.all(overview.active_counts <= hi)
+
+
+class TestCreationLifetimeTrend:
+    def test_negative_slope(self, small_trace):
+        centres, means = creation_lifetime_trend(small_trace)
+        valid = ~np.isnan(means)
+        slope = np.polyfit(centres[valid], means[valid], 1)[0]
+        assert slope < 0
+
+    def test_early_cohorts_live_longer(self, small_trace):
+        centres, means = creation_lifetime_trend(small_trace)
+        assert means[0] > means[-2]

@@ -1,0 +1,102 @@
+"""Tests for the Figs 4-9 analyses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.resources import (
+    core_ratio_series,
+    disk_distribution,
+    multicore_fractions,
+    percore_distribution,
+    percore_fraction_bands,
+    speed_distribution,
+)
+
+
+class TestMulticoreFractions:
+    def test_bands_sum_to_one(self, small_trace):
+        bands = multicore_fractions(small_trace, [2007.0, 2009.0])
+        totals = sum(bands[label] for label in bands)
+        np.testing.assert_allclose(totals, 1.0, atol=0.01)
+
+    def test_single_core_declines(self, small_trace):
+        bands = multicore_fractions(small_trace, np.linspace(2006.0, 2010.5, 10))
+        single = bands["1 core"]
+        assert single[0] > 0.6  # 2006: mostly single core
+        assert single[-1] < 0.35
+        assert single[-1] < single[0]
+
+    def test_multicore_rises(self, small_trace):
+        bands = multicore_fractions(small_trace, np.linspace(2006.0, 2010.5, 10))
+        assert bands["4-7 cores"][-1] > bands["4-7 cores"][0]
+
+
+class TestCoreRatioSeries:
+    def test_one_two_ratio_inverts(self, small_trace):
+        series = core_ratio_series(small_trace, np.linspace(2006.1, 2010.5, 9))
+        ratio_12 = series["1:2"]
+        assert ratio_12[0] > 2.0  # ≈ 3.3 in 2006
+        assert ratio_12[-1] < 1.0  # inverted by late 2010
+
+    def test_two_four_ratio_declines(self, small_trace):
+        series = core_ratio_series(small_trace, np.linspace(2006.1, 2010.5, 9))
+        assert series["2:4"][-1] < series["2:4"][0]
+
+
+class TestPercoreDistributions:
+    def test_distribution_sums_to_one(self, small_trace):
+        dist = percore_distribution(small_trace, 2008.0)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_low_memory_shrinks_over_time(self, small_trace):
+        early = percore_distribution(small_trace, 2006.1)
+        late = percore_distribution(small_trace, 2010.3)
+        assert late[256.0] < early[256.0]
+
+    def test_bands_match_fig7_shape(self, small_trace):
+        bands = percore_fraction_bands(small_trace, np.linspace(2006.1, 2010.5, 9))
+        assert bands["<=256MB"][0] > bands["<=256MB"][-1]
+        assert bands[">2048MB"][-1] < 0.08  # thin top band
+        totals = sum(bands[label] for label in bands)
+        np.testing.assert_allclose(totals, 1.0, atol=0.01)
+
+
+class TestSpeedDistribution:
+    def test_moments_grow_between_2006_and_2010(self, small_trace, rng):
+        early = speed_distribution(small_trace, 2006.2, "dhrystone", rng, run_ks=False)
+        late = speed_distribution(small_trace, 2010.2, "dhrystone", rng, run_ks=False)
+        assert late.mean > early.mean
+        assert late.std > early.std
+
+    def test_normal_family_scores_well(self, small_trace, rng):
+        dist = speed_distribution(small_trace, 2009.0, "whetstone", rng)
+        assert dist.ks_selection is not None
+        # §V-F: the normal fit's average p-value lies in the 0.19-0.43 band;
+        # clearly wrong families are rejected.
+        assert dist.ks_selection.p_values["normal"] > 0.1
+        assert dist.ks_selection.p_values["exponential"] < 0.01
+
+    def test_rejects_unknown_benchmark(self, small_trace):
+        with pytest.raises(ValueError, match="dhrystone/whetstone"):
+            speed_distribution(small_trace, 2009.0, "linpack", run_ks=False)
+
+
+class TestDiskDistribution:
+    def test_lognormal_wins_ks(self, small_trace, rng):
+        dist = disk_distribution(small_trace, 2008.0, rng)
+        assert dist.ks_selection is not None
+        ranking = dict(dist.ks_selection.ranking())
+        assert ranking["lognormal"] > ranking.get("normal", 0.0)
+        assert dist.ks_selection.p_values["lognormal"] > 0.15
+
+    def test_median_below_mean(self, small_trace, rng):
+        dist = disk_distribution(small_trace, 2010.0, rng, run_ks=False)
+        assert dist.median < dist.mean
+
+    def test_fig9_moment_checkpoints(self, small_trace, rng):
+        # Fig 9(a): 2006 mean 32.9 GB, median 15.6 GB.
+        dist = disk_distribution(small_trace, 2006.1, rng, run_ks=False)
+        assert dist.mean == pytest.approx(32.9, rel=0.2)
+        assert dist.median == pytest.approx(15.6, rel=0.3)

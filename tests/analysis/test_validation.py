@@ -1,0 +1,99 @@
+"""Tests for the Fig 12 / Table VIII validation analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import (
+    VALIDATION_DATE,
+    compare_populations,
+    validate_generated,
+)
+from repro.core.generator import CorrelatedHostGenerator
+from repro.fitting.pipeline import fit_model_from_trace
+
+
+@pytest.fixture(scope="module")
+def validation_report(validation_trace):
+    fitted = fit_model_from_trace(validation_trace).parameters
+    generator = CorrelatedHostGenerator(fitted)
+    return validate_generated(
+        validation_trace, generator, rng=np.random.default_rng(99)
+    )
+
+
+@pytest.fixture(scope="module")
+def validation_trace():
+    from repro.traces.config import TraceConfig
+    from repro.traces.synthesis import generate_trace
+
+    return generate_trace(TraceConfig(scale=0.015))
+
+
+class TestValidationReport:
+    def test_validation_date_is_september_2010(self):
+        assert VALIDATION_DATE == pytest.approx(2010.667)
+
+    def test_pool_sizes_match(self, validation_report):
+        assert validation_report.n_generated == validation_report.n_actual
+
+    def test_mean_differences_small(self, validation_report):
+        # Fig 12: the paper's mean differences range 0.5 % (cores) to 13 %
+        # (memory).  Our fit is on the same generative family, so every
+        # resource should come back within ~15 %.
+        for label, row in validation_report.resources.items():
+            assert row.mean_difference_pct < 15.0, label
+
+    def test_std_differences_bounded(self, validation_report):
+        # Paper: 3.5 % (Whetstone) to 32.7 % (memory).
+        for label, row in validation_report.resources.items():
+            assert row.std_difference_pct < 35.0, label
+
+    def test_ks_distances_small(self, validation_report):
+        for label, row in validation_report.resources.items():
+            assert row.ks_distance < 0.25, label
+
+    def test_table_viii_correlations(self, validation_report):
+        generated = validation_report.generated_correlations
+        assert generated.get("cores", "memory_mb") == pytest.approx(0.727, abs=0.12)
+        assert generated.get("whetstone", "dhrystone") == pytest.approx(0.6, abs=0.15)
+        assert abs(generated.get("disk_gb", "memory_mb")) < 0.05
+
+    def test_generated_matches_actual_correlation_structure(self, validation_report):
+        difference = validation_report.generated_correlations.max_abs_difference(
+            validation_report.actual_correlations
+        )
+        assert difference < 0.25
+
+    def test_worst_mean_difference(self, validation_report):
+        assert validation_report.worst_mean_difference() < 15.0
+
+    def test_format_table(self, validation_report):
+        text = validation_report.format_table()
+        assert "disk_gb" in text
+        assert "mu_act" in text
+
+
+class TestComparePopulations:
+    def test_identical_pools_zero_difference(self, validation_trace):
+        from repro.hosts.filters import SanityFilter
+
+        population, _ = SanityFilter().apply(validation_trace.snapshot(2009.0))
+        report = compare_populations(population, population, 2009.0)
+        for row in report.resources.values():
+            assert row.mean_difference_pct == 0.0
+            assert row.ks_distance == 0.0
+
+    def test_requires_two_hosts(self, validation_trace):
+        from repro.hosts.population import HostPopulation
+
+        tiny = HostPopulation(
+            cores=np.array([1.0]),
+            memory_mb=np.array([512.0]),
+            dhrystone=np.array([2000.0]),
+            whetstone=np.array([1000.0]),
+            disk_gb=np.array([10.0]),
+        )
+        with pytest.raises(ValueError, match="two hosts"):
+            compare_populations(tiny, tiny, 2009.0)

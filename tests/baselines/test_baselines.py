@@ -1,0 +1,134 @@
+"""Tests for the two baseline host models (§VII)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import HostModel
+from repro.baselines.grid import KeeGridModel
+from repro.baselines.normal import LinearTrend, UncorrelatedNormalModel
+from repro.core.generator import CorrelatedHostGenerator
+
+
+@pytest.fixture(scope="module")
+def normal_model(small_trace_mod):
+    return UncorrelatedNormalModel.from_trace(small_trace_mod)
+
+
+@pytest.fixture(scope="module")
+def grid_model(small_trace_mod):
+    return KeeGridModel.from_trace(small_trace_mod)
+
+
+@pytest.fixture(scope="module")
+def small_trace_mod():
+    from repro.traces.config import TraceConfig
+    from repro.traces.synthesis import generate_trace
+
+    return generate_trace(TraceConfig(scale=0.015))
+
+
+class TestLinearTrend:
+    def test_fit_recovers_line(self):
+        t = np.array([0.0, 1.0, 2.0, 3.0])
+        trend = LinearTrend.fit(t, 2.0 + 0.5 * t)
+        assert trend.intercept == pytest.approx(2.0)
+        assert trend.slope == pytest.approx(0.5)
+        assert trend.at(4.0) == pytest.approx(4.0)
+
+    def test_floor_applied(self):
+        trend = LinearTrend(intercept=1.0, slope=-1.0, floor=0.5)
+        assert trend.at(10.0) == 0.5
+
+
+class TestProtocolConformance:
+    def test_all_models_are_host_models(self, normal_model, grid_model):
+        assert isinstance(normal_model, HostModel)
+        assert isinstance(grid_model, HostModel)
+        assert isinstance(CorrelatedHostGenerator(), HostModel)
+
+    def test_names_distinct(self, normal_model, grid_model):
+        names = {normal_model.name, grid_model.name, CorrelatedHostGenerator().name}
+        assert names == {"normal", "grid", "correlated"}
+
+
+class TestUncorrelatedNormalModel:
+    def test_requires_all_trends(self):
+        with pytest.raises(ValueError, match="missing trends"):
+            UncorrelatedNormalModel({}, {})
+
+    def test_moments_track_trace(self, normal_model, small_trace_mod, rng):
+        from repro.hosts.filters import SanityFilter
+
+        actual, _ = SanityFilter().apply(small_trace_mod.snapshot(2009.0))
+        generated = normal_model.generate(2009.0, 30_000, rng)
+        assert generated.dhrystone.mean() == pytest.approx(
+            actual.dhrystone.mean(), rel=0.05
+        )
+        assert generated.disk_gb.mean() == pytest.approx(
+            actual.disk_gb.mean(), rel=0.15
+        )
+
+    def test_resources_uncorrelated(self, normal_model, rng):
+        generated = normal_model.generate(2010.0, 50_000, rng)
+        matrix = generated.correlation_matrix()
+        assert abs(matrix.get("cores", "memory_mb")) < 0.05
+        assert abs(matrix.get("whetstone", "dhrystone")) < 0.05
+
+    def test_dead_hosts_present(self, normal_model, rng):
+        # The naive model's rounded normal produces zero-core hosts.
+        generated = normal_model.generate(2010.5, 20_000, rng)
+        dead = float((generated.cores == 0).mean())
+        assert 0.02 < dead < 0.35
+
+    def test_negative_size_rejected(self, normal_model, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            normal_model.generate(2010.0, -1, rng)
+
+
+class TestKeeGridModel:
+    def test_cores_positive_integers(self, grid_model, rng):
+        generated = grid_model.generate(2010.0, 10_000, rng)
+        assert np.all(generated.cores >= 1)
+        np.testing.assert_allclose(generated.cores, np.round(generated.cores))
+
+    def test_memory_scales_with_cores(self, grid_model, rng):
+        generated = grid_model.generate(2010.0, 50_000, rng)
+        matrix = generated.correlation_matrix()
+        # Kee's structure couples memory to processor count.
+        assert matrix.get("cores", "memory_mb") > 0.3
+
+    def test_disk_overestimates_late_dates(self, grid_model, small_trace_mod, rng):
+        """The Fig 15 P2P failure mode: exponential 'capacity' growth."""
+        from repro.hosts.filters import SanityFilter
+
+        actual, _ = SanityFilter().apply(small_trace_mod.snapshot(2010.5))
+        generated = grid_model.generate(2010.5, 30_000, rng)
+        assert generated.disk_gb.mean() > 1.4 * actual.disk_gb.mean()
+
+    def test_speed_reasonable(self, grid_model, small_trace_mod, rng):
+        from repro.hosts.filters import SanityFilter
+
+        actual, _ = SanityFilter().apply(small_trace_mod.snapshot(2009.0))
+        generated = grid_model.generate(2009.0, 30_000, rng)
+        # Age mixing drags the mean a little low, but stays in range.
+        assert generated.dhrystone.mean() == pytest.approx(
+            actual.dhrystone.mean(), rel=0.25
+        )
+
+    def test_age_mixing_present(self, grid_model, rng):
+        # Generating for two nearby dates should reuse older cohorts: the
+        # 2010 pool must contain hosts with 2008-level disk.
+        generated = grid_model.generate(2010.0, 30_000, rng)
+        p = grid_model.parameters
+        disk_2010 = p.disk_anchor_gb * np.exp(p.disk_growth * 4.0)
+        assert float(np.median(generated.disk_gb)) < disk_2010
+
+    def test_parameters_exposed(self, grid_model):
+        assert grid_model.parameters.disk_growth == pytest.approx(0.42)
+        assert 0.1 < grid_model.parameters.mean_age_years < 1.5
+
+    def test_negative_size_rejected(self, grid_model, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            grid_model.generate(2010.0, -1, rng)

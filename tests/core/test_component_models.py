@@ -1,0 +1,171 @@
+"""Tests for the per-resource component models (cores, memory, speed, disk)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cores import CoreCountModel
+from repro.core.disk import DiskModel
+from repro.core.memory import PerCoreMemoryModel
+from repro.core.speed import SPEED_FLOOR_MIPS, SpeedModel
+
+
+@pytest.fixture
+def cores(paper_params) -> CoreCountModel:
+    return CoreCountModel(paper_params.core_chain)
+
+
+@pytest.fixture
+def memory(paper_params) -> PerCoreMemoryModel:
+    return PerCoreMemoryModel(paper_params.percore_memory_chain)
+
+
+@pytest.fixture
+def speed(paper_params) -> SpeedModel:
+    return SpeedModel(
+        paper_params.dhrystone_mean,
+        paper_params.dhrystone_variance,
+        paper_params.whetstone_mean,
+        paper_params.whetstone_variance,
+    )
+
+
+@pytest.fixture
+def disk(paper_params) -> DiskModel:
+    return DiskModel(paper_params.disk_mean, paper_params.disk_variance)
+
+
+class TestCoreCountModel:
+    def test_2006_single_core_ratio_matches_paper(self, cores):
+        # §V-D: in 2006 the 1-core:2-core ratio was about 3.3:1.
+        probs = cores.probabilities(2006.0)
+        assert probs[0] / probs[1] == pytest.approx(3.369, rel=0.001)
+
+    def test_2010_ratio_inversion(self, cores):
+        # §V-D: "by 2010 the ratio inverted to 1 to 2.5" (an observed-data
+        # statement).  The Table IV law reaches 2.2 at Jan 2010 and crosses
+        # 2.5 during spring 2010.
+        probs_jan = cores.probabilities(2010.0)
+        assert probs_jan[1] / probs_jan[0] > 2.0
+        probs_spring = cores.probabilities(2010.35)
+        assert probs_spring[1] / probs_spring[0] == pytest.approx(2.5, abs=0.2)
+
+    def test_2010_more_than_four_cores_share(self, cores):
+        # §V-D: 18 % of hosts had more than 4 cores by 2010... the text
+        # counts ">4" as the 4+ band of Fig 4 (4-7 and 8-15); our chain at
+        # Jan 2010 puts the >=4 share near that figure.
+        share = cores.fraction_with_at_least(2010.0, 4)
+        assert share == pytest.approx(0.18, abs=0.05)
+
+    def test_mean_2010_within_fig2_range(self, cores):
+        # Fig 2: average cores rose to 2.17 by 2010.
+        assert cores.mean(2010.0) == pytest.approx(2.17, abs=0.15)
+
+    def test_sample_returns_power_of_two_ints(self, cores, rng):
+        draws = cores.sample(2010.667, 5_000, rng)
+        assert draws.dtype.kind == "i"
+        assert set(np.unique(draws)) <= {1, 2, 4, 8, 16}
+
+    def test_fraction_bands_sum_to_one(self, cores):
+        bands = cores.fraction_bands(2009.0)
+        assert sum(bands.values()) == pytest.approx(1.0)
+
+    def test_std_positive(self, cores):
+        assert cores.std(2010.0) > 0
+
+
+class TestPerCoreMemoryModel:
+    def test_mean_grows_over_time(self, memory):
+        assert memory.mean_mb(2010.0) > memory.mean_mb(2006.0)
+
+    def test_2006_low_memory_share_matches_fig6(self, memory):
+        # Fig 6: hosts with <= 256 MB per core were 19 % of 2006 totals.
+        share = memory.fraction_at_most(2006.0, 256)
+        assert share == pytest.approx(0.19, abs=0.06)
+
+    def test_2010_low_memory_share_shrinks(self, memory):
+        # ... dropping to 4 % by 2010.
+        share = memory.fraction_at_most(2010.0, 256)
+        assert share == pytest.approx(0.04, abs=0.03)
+
+    def test_from_uniform_monotone(self, memory):
+        classes = memory.from_uniform(2010.0, np.array([0.01, 0.3, 0.6, 0.99]))
+        assert np.all(np.diff(classes) >= 0)
+
+    def test_sample_uses_canonical_classes(self, memory, rng):
+        draws = memory.sample(2008.0, 2_000, rng)
+        assert set(np.unique(draws)) <= set(memory.class_values_mb)
+
+    def test_total_memory_distribution_sums_to_one(self, memory, cores):
+        core_probs = cores.probabilities(2012.0)
+        totals = memory.total_memory_distribution(2012.0, core_probs, cores.class_values)
+        assert sum(totals.values()) == pytest.approx(1.0)
+        # Product values: smallest is 256 MB x 1 core.
+        assert min(totals) == pytest.approx(256.0)
+
+
+class TestSpeedModel:
+    def test_moments_match_table_vi_2014(self, speed):
+        dhry_mean, dhry_std = speed.dhrystone_moments(2014.0)
+        whet_mean, whet_std = speed.whetstone_moments(2014.0)
+        assert dhry_mean == pytest.approx(8100.0, rel=0.001)
+        assert dhry_std == pytest.approx(4419.0, rel=0.001)
+        assert whet_mean == pytest.approx(2975.0, rel=0.001)
+        assert whet_std == pytest.approx(868.0, rel=0.001)
+
+    def test_sample_moments(self, speed, rng):
+        # The positivity floor trims the lower normal tail, nudging the
+        # sample mean up and std down slightly (Dhrystone's CV is ≈ 0.55 at
+        # this date, so ~3 % of mass sits below zero).
+        whet, dhry = speed.sample(2010.667, 100_000, rng)
+        w_mean, w_std = speed.whetstone_moments(2010.667)
+        d_mean, d_std = speed.dhrystone_moments(2010.667)
+        assert whet.mean() == pytest.approx(w_mean, rel=0.01)
+        assert dhry.mean() == pytest.approx(d_mean, rel=0.01)
+        assert whet.std() == pytest.approx(w_std, rel=0.02)
+        assert dhry.std() == pytest.approx(d_std, rel=0.05)
+        assert dhry.std() < d_std  # truncation can only shrink the spread
+
+    def test_sample_correlation_honoured(self, speed, rng):
+        whet, dhry = speed.sample(2010.0, 100_000, rng, correlation=0.639)
+        assert np.corrcoef(whet, dhry)[0, 1] == pytest.approx(0.639, abs=0.02)
+
+    def test_correlation_bounds_checked(self, speed, rng):
+        with pytest.raises(ValueError, match=r"\[-1, 1\]"):
+            speed.sample(2010.0, 10, rng, correlation=1.5)
+
+    def test_floor_applied(self, speed):
+        z = np.array([-100.0])
+        whet, dhry = speed.from_normals(2006.0, z, z)
+        assert whet[0] == SPEED_FLOOR_MIPS
+        assert dhry[0] == SPEED_FLOOR_MIPS
+
+
+class TestDiskModel:
+    def test_moments_match_table_vi_2006(self, disk):
+        mean, std = disk.moments(2006.0)
+        assert mean == pytest.approx(31.59, rel=0.001)
+        assert std == pytest.approx(np.sqrt(2890.0), rel=0.001)
+
+    def test_median_below_mean(self, disk):
+        # Log-normals are right-skewed: Fig 9 reports 2010 median 43.7 GB
+        # versus mean 98.1 GB.
+        assert disk.median(2010.0) < disk.moments(2010.0)[0]
+
+    def test_2010_median_close_to_fig9(self, disk):
+        assert disk.median(2010.0) == pytest.approx(43.7, rel=0.15)
+
+    def test_sample_moments(self, disk, rng):
+        draws = disk.sample(2008.0, 400_000, rng)
+        mean, std = disk.moments(2008.0)
+        assert draws.mean() == pytest.approx(mean, rel=0.02)
+        assert draws.std() == pytest.approx(std, rel=0.05)
+
+    def test_samples_positive(self, disk, rng):
+        assert np.all(disk.sample(2006.0, 10_000, rng) > 0)
+
+    def test_from_normals_median_at_zero(self, disk):
+        assert disk.from_normals(2010.0, np.array([0.0]))[0] == pytest.approx(
+            disk.median(2010.0)
+        )

@@ -1,0 +1,117 @@
+"""Tests for the Cholesky-based correlated sampler (§V-F)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import CorrelatedNormalSampler, nearest_correlation_psd
+
+PAPER_R = np.array([[1.0, 0.250, 0.306], [0.250, 1.0, 0.639], [0.306, 0.639, 1.0]])
+
+
+class TestConstruction:
+    def test_paper_matrix_cholesky_matches_section_vf(self):
+        # The paper prints U = [[1,0,0],[0.250,0.968,0],[0.306,0.581,0.754]].
+        sampler = CorrelatedNormalSampler(PAPER_R)
+        factor = sampler.cholesky_factor
+        expected = np.array(
+            [[1.0, 0.0, 0.0], [0.250, 0.968, 0.0], [0.306, 0.581, 0.754]]
+        )
+        np.testing.assert_allclose(factor, expected, atol=0.001)
+
+    def test_factor_reconstructs_matrix(self):
+        sampler = CorrelatedNormalSampler(PAPER_R)
+        factor = sampler.cholesky_factor
+        np.testing.assert_allclose(factor @ factor.T, PAPER_R, atol=1e-12)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            CorrelatedNormalSampler(np.ones((2, 3)))
+
+    def test_rejects_non_unit_diagonal(self):
+        bad = np.array([[2.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(ValueError, match="unit diagonal"):
+            CorrelatedNormalSampler(bad)
+
+    def test_rejects_asymmetric(self):
+        bad = np.array([[1.0, 0.5], [0.1, 1.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            CorrelatedNormalSampler(bad)
+
+    def test_rejects_out_of_range_entries(self):
+        bad = np.array([[1.0, 1.5], [1.5, 1.0]])
+        with pytest.raises(ValueError, match=r"\[-1, 1\]"):
+            CorrelatedNormalSampler(bad)
+
+    def test_indefinite_matrix_repaired(self):
+        # Pairwise-assembled matrices can be indefinite; construction should
+        # repair rather than crash.
+        indefinite = np.array(
+            [[1.0, 0.9, -0.9], [0.9, 1.0, 0.9], [-0.9, 0.9, 1.0]]
+        )
+        sampler = CorrelatedNormalSampler(indefinite)
+        factor = sampler.cholesky_factor
+        assert np.all(np.isfinite(factor))
+
+
+class TestSampling:
+    def test_sample_shape(self, rng):
+        sampler = CorrelatedNormalSampler(PAPER_R)
+        out = sampler.sample(100, rng)
+        assert out.shape == (100, 3)
+
+    def test_zero_size(self, rng):
+        assert CorrelatedNormalSampler(PAPER_R).sample(0, rng).shape == (0, 3)
+
+    def test_negative_size_rejected(self, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            CorrelatedNormalSampler(PAPER_R).sample(-1, rng)
+
+    def test_empirical_correlation_matches_target(self, rng):
+        sampler = CorrelatedNormalSampler(PAPER_R)
+        draws = sampler.sample(200_000, rng)
+        empirical = np.corrcoef(draws.T)
+        np.testing.assert_allclose(empirical, PAPER_R, atol=0.01)
+
+    def test_margins_are_standard_normal(self, rng):
+        sampler = CorrelatedNormalSampler(PAPER_R)
+        draws = sampler.sample(200_000, rng)
+        np.testing.assert_allclose(draws.mean(axis=0), 0.0, atol=0.02)
+        np.testing.assert_allclose(draws.std(axis=0), 1.0, atol=0.02)
+
+    def test_identity_gives_independent_columns(self, rng):
+        sampler = CorrelatedNormalSampler(np.eye(3))
+        draws = sampler.sample(100_000, rng)
+        empirical = np.corrcoef(draws.T)
+        off_diag = empirical[~np.eye(3, dtype=bool)]
+        assert np.max(np.abs(off_diag)) < 0.02
+
+
+class TestUniformTransform:
+    def test_phi_maps_to_unit_interval(self, rng):
+        z = rng.standard_normal(10_000)
+        u = CorrelatedNormalSampler.normals_to_uniforms(z)
+        assert np.all((u >= 0) & (u <= 1))
+
+    def test_phi_output_uniform(self, rng):
+        z = rng.standard_normal(100_000)
+        u = CorrelatedNormalSampler.normals_to_uniforms(z)
+        hist, _ = np.histogram(u, bins=10, range=(0, 1))
+        np.testing.assert_allclose(hist / u.size, 0.1, atol=0.01)
+
+
+class TestNearestPSD:
+    def test_already_psd_unchanged(self):
+        repaired = nearest_correlation_psd(PAPER_R)
+        np.testing.assert_allclose(repaired, PAPER_R, atol=1e-8)
+
+    def test_repair_produces_valid_correlation(self):
+        indefinite = np.array(
+            [[1.0, 0.95, -0.95], [0.95, 1.0, 0.95], [-0.95, 0.95, 1.0]]
+        )
+        repaired = nearest_correlation_psd(indefinite)
+        eigenvalues = np.linalg.eigvalsh(repaired)
+        assert np.all(eigenvalues >= 0)
+        np.testing.assert_allclose(np.diag(repaired), 1.0)
+        assert np.all(np.abs(repaired) <= 1.0 + 1e-9)

@@ -1,0 +1,133 @@
+"""Tests for the correlated host generator (Fig 11 / Fig 12 / Table VIII)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.generator import CorrelatedHostGenerator
+from repro.hosts.host import Host
+
+SEPT_2010 = 2010.667
+
+
+@pytest.fixture(scope="module")
+def generated_sept2010(paper_generator_module):
+    rng = np.random.default_rng(1234)
+    return paper_generator_module.generate(SEPT_2010, 60_000, rng)
+
+
+@pytest.fixture(scope="module")
+def paper_generator_module():
+    return CorrelatedHostGenerator()
+
+
+class TestBasics:
+    def test_size_zero(self, paper_generator, rng):
+        assert len(paper_generator.generate(2010.0, 0, rng)) == 0
+
+    def test_negative_size_rejected(self, paper_generator, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            paper_generator.generate(2010.0, -5, rng)
+
+    def test_generate_host_returns_valid_record(self, paper_generator, rng):
+        host = paper_generator.generate_host(2010.667, rng)
+        assert isinstance(host, Host)
+        assert host.cores in {1, 2, 4, 8, 16}
+
+    def test_deterministic_with_seed(self, paper_generator):
+        a = paper_generator.generate(2009.0, 100, np.random.default_rng(7))
+        b = paper_generator.generate(2009.0, 100, np.random.default_rng(7))
+        np.testing.assert_array_equal(a.cores, b.cores)
+        np.testing.assert_array_equal(a.disk_gb, b.disk_gb)
+
+    def test_accepts_dates(self, paper_generator, rng):
+        import datetime as dt
+
+        pop = paper_generator.generate(dt.date(2010, 9, 1), 50, rng)
+        assert len(pop) == 50
+
+
+class TestInvariants:
+    def test_cores_are_modelled_powers_of_two(self, generated_sept2010):
+        assert set(np.unique(generated_sept2010.cores)) <= {1.0, 2.0, 4.0, 8.0, 16.0}
+
+    def test_memory_is_percore_class_times_cores(self, generated_sept2010, paper_params):
+        percore = generated_sept2010.memory_mb / generated_sept2010.cores
+        classes = set(paper_params.percore_memory_chain.class_values)
+        assert set(np.unique(percore)) <= classes
+
+    def test_speeds_positive(self, generated_sept2010):
+        assert np.all(generated_sept2010.dhrystone > 0)
+        assert np.all(generated_sept2010.whetstone > 0)
+
+    def test_disk_positive(self, generated_sept2010):
+        assert np.all(generated_sept2010.disk_gb > 0)
+
+
+class TestFig12Moments:
+    """The generated September 2010 columns of Fig 12."""
+
+    def test_cores_mean(self, generated_sept2010):
+        assert generated_sept2010.cores.mean() == pytest.approx(2.453, abs=0.06)
+
+    def test_memory_mean(self, generated_sept2010):
+        # Paper generated mean 3080 MB, σ 2741 MB; the §V-E six-value
+        # per-core set gives the analytic (2863, 2725) — the σ match is what
+        # pins down the truncation choice (see DESIGN.md).
+        assert generated_sept2010.memory_mb.mean() == pytest.approx(2863.0, rel=0.05)
+        assert generated_sept2010.memory_mb.std() == pytest.approx(2725.0, rel=0.06)
+
+    def test_whetstone_moments(self, generated_sept2010):
+        assert generated_sept2010.whetstone.mean() == pytest.approx(2033.0, rel=0.02)
+        assert generated_sept2010.whetstone.std() == pytest.approx(740.0, rel=0.05)
+
+    def test_dhrystone_moments(self, generated_sept2010):
+        # Mean matches the paper's generated 4644.  For the std the paper
+        # reports 2175, which is inconsistent with its own Table VI law
+        # (sqrt(1.379e6 * e^{0.3313 * 4.667}) = 2544); our generator follows
+        # the law and lands at ≈ 2460 after the positivity floor.
+        assert generated_sept2010.dhrystone.mean() == pytest.approx(4644.0, rel=0.02)
+        assert generated_sept2010.dhrystone.std() == pytest.approx(2460.0, rel=0.05)
+
+    def test_disk_moments(self, generated_sept2010):
+        assert generated_sept2010.disk_gb.mean() == pytest.approx(111.0, rel=0.05)
+        assert generated_sept2010.disk_gb.std() == pytest.approx(178.4, rel=0.10)
+
+
+class TestTableVIIICorrelations:
+    """Correlations between generated resources (Table VIII)."""
+
+    def test_cores_memory_strongly_correlated(self, generated_sept2010):
+        matrix = generated_sept2010.correlation_matrix()
+        assert matrix.get("cores", "memory_mb") == pytest.approx(0.727, abs=0.08)
+
+    def test_cores_independent_of_speed_and_disk(self, generated_sept2010):
+        matrix = generated_sept2010.correlation_matrix()
+        assert abs(matrix.get("cores", "whetstone")) < 0.05
+        assert abs(matrix.get("cores", "disk_gb")) < 0.05
+
+    def test_benchmarks_correlated(self, generated_sept2010):
+        matrix = generated_sept2010.correlation_matrix()
+        # Continuous-model coupling is 0.639; the paper's own generated
+        # value (0.505) is lower due to discretisation effects.
+        assert matrix.get("whetstone", "dhrystone") == pytest.approx(0.6, abs=0.1)
+
+    def test_memcore_speed_correlation_preserved(self, generated_sept2010):
+        matrix = generated_sept2010.correlation_matrix()
+        assert matrix.get("mem_per_core", "whetstone") == pytest.approx(0.24, abs=0.08)
+        assert matrix.get("mem_per_core", "dhrystone") == pytest.approx(0.27, abs=0.08)
+
+    def test_disk_uncorrelated_with_everything(self, generated_sept2010):
+        matrix = generated_sept2010.correlation_matrix()
+        for other in ("cores", "memory_mb", "mem_per_core", "whetstone", "dhrystone"):
+            assert abs(matrix.get("disk_gb", other)) < 0.05
+
+
+class TestComponentAccess:
+    def test_exposes_component_models(self, paper_generator):
+        assert paper_generator.core_model.mean(2010.0) > 1
+        assert paper_generator.memory_model.mean_mb(2010.0) > 256
+        assert paper_generator.speed_model.dhrystone_moments(2010.0)[0] > 0
+        assert paper_generator.disk_model.moments(2010.0)[0] > 0
+        assert paper_generator.parameters is not None

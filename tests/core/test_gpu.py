@@ -1,0 +1,102 @@
+"""Tests for the GPU model extension (§V-H data, §VIII future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gpu import ADOPTION_CAP, GpuModel
+
+
+@pytest.fixture(scope="module")
+def model() -> GpuModel:
+    return GpuModel()
+
+
+class TestAdoption:
+    def test_zero_before_recording_epoch(self, model):
+        assert model.adoption_fraction(2008.0) == 0.0
+        assert model.adoption_fraction(2009.5) == 0.0
+
+    def test_anchor_values(self, model):
+        assert model.adoption_fraction(2009.667) == pytest.approx(0.127, abs=0.002)
+        assert model.adoption_fraction(2010.667) == pytest.approx(0.238, abs=0.002)
+
+    def test_growth_between_anchors(self, model):
+        mid = model.adoption_fraction(2010.167)
+        assert 0.127 < mid < 0.238
+
+    def test_extrapolation_grows_then_saturates(self, model):
+        assert model.adoption_fraction(2012.0) > 0.238
+        assert model.adoption_fraction(2030.0) == ADOPTION_CAP
+
+    def test_requires_two_anchors(self):
+        with pytest.raises(ValueError, match="two anchor"):
+            GpuModel(adoption_anchors={2009.667: 0.127})
+
+
+class TestComposition:
+    def test_type_shares_sum_to_one(self, model):
+        for when in (2009.667, 2010.2, 2010.667, 2012.0):
+            shares = model.type_shares(when)
+            assert sum(shares.values()) == pytest.approx(1.0), when
+
+    def test_radeon_overtakes_along_trend(self, model):
+        early = model.type_shares(2009.667)
+        late = model.type_shares(2011.5)
+        assert late["Radeon"] > early["Radeon"]
+        assert late["GeForce"] < early["GeForce"]
+
+    def test_extrapolated_shares_remain_valid(self, model):
+        # Far extrapolation clips negative shares and renormalises.
+        far = model.type_shares(2015.0)
+        assert all(share >= 0 for share in far.values())
+        assert sum(far.values()) == pytest.approx(1.0)
+
+    def test_memory_distribution_normalised(self, model):
+        pmf = model.memory_distribution(2010.3)
+        assert sum(pmf.values()) == pytest.approx(1.0)
+
+    def test_memory_mean_matches_fig10_anchors(self, model):
+        assert model.memory_mean_mb(2009.667) == pytest.approx(592.7, rel=0.05)
+        assert model.memory_mean_mb(2010.667) == pytest.approx(659.4, rel=0.05)
+
+    def test_memory_grows_over_time(self, model):
+        assert model.memory_mean_mb(2011.5) > model.memory_mean_mb(2010.667)
+
+
+class TestSampling:
+    def test_sample_shapes(self, model, rng):
+        gpus = model.sample(2010.667, 5_000, rng)
+        assert len(gpus) == 5_000
+        assert gpus.gpu_type.shape == (5_000,)
+        assert gpus.gpu_memory_mb.shape == (5_000,)
+
+    def test_adoption_share_matches(self, model, rng):
+        gpus = model.sample(2010.667, 50_000, rng)
+        assert gpus.adoption == pytest.approx(0.238, abs=0.01)
+
+    def test_nonowners_have_no_gpu_attributes(self, model, rng):
+        gpus = model.sample(2010.0, 5_000, rng)
+        without = ~gpus.has_gpu
+        assert np.all(gpus.gpu_type[without] == "none")
+        assert np.all(gpus.gpu_memory_mb[without] == 0.0)
+
+    def test_owners_have_valid_attributes(self, model, rng):
+        gpus = model.sample(2010.667, 20_000, rng)
+        owners = gpus.has_gpu
+        assert set(np.unique(gpus.gpu_type[owners].astype(str))) <= {
+            "GeForce",
+            "Radeon",
+            "Quadro",
+            "Other",
+        }
+        assert np.all(gpus.gpu_memory_mb[owners] >= 128)
+
+    def test_before_epoch_nobody_has_gpu(self, model, rng):
+        gpus = model.sample(2008.0, 1_000, rng)
+        assert gpus.adoption == 0.0
+
+    def test_negative_size_rejected(self, model, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            model.sample(2010.0, -1, rng)

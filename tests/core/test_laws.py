@@ -1,0 +1,68 @@
+"""Tests for the exponential trend law."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.core.laws import ExponentialLaw
+
+
+class TestExponentialLaw:
+    def test_value_at_epoch_is_a(self):
+        law = ExponentialLaw(a=2064.0, b=0.1709)
+        assert law.at(0.0) == pytest.approx(2064.0)
+
+    def test_paper_dhrystone_2014_prediction(self):
+        # §VI-C: Dhrystone mean in 2014 (t = 8) is 8100 MIPS.
+        law = ExponentialLaw(a=2064.0, b=0.1709)
+        assert law.at(8.0) == pytest.approx(8100.0, rel=0.001)
+
+    def test_paper_disk_2014_prediction(self):
+        # §VI-C: disk mean 272.0 GB, std sqrt(var) = 434.5 GB in 2014.
+        mean_law = ExponentialLaw(a=31.59, b=0.2691)
+        var_law = ExponentialLaw(a=2890.0, b=0.5224)
+        assert mean_law.at(8.0) == pytest.approx(272.0, rel=0.001)
+        assert np.sqrt(var_law.at(8.0)) == pytest.approx(434.5, rel=0.001)
+
+    def test_at_date_uses_epoch_2006(self):
+        law = ExponentialLaw(a=10.0, b=0.5)
+        assert law.at_date(dt.date(2006, 1, 1)) == pytest.approx(10.0)
+        assert law.at_date(2008.0) == pytest.approx(10.0 * np.exp(1.0))
+
+    def test_vectorised_evaluation(self):
+        law = ExponentialLaw(a=1.0, b=1.0)
+        np.testing.assert_allclose(law.at(np.array([0.0, 1.0])), [1.0, np.e])
+
+    def test_doubling_time(self):
+        law = ExponentialLaw(a=1.0, b=np.log(2))
+        assert law.doubling_time() == pytest.approx(1.0)
+
+    def test_scaled(self):
+        law = ExponentialLaw(a=3.0, b=0.2, r=0.99)
+        scaled = law.scaled(2.0)
+        assert scaled.a == pytest.approx(6.0)
+        assert scaled.b == law.b
+        assert scaled.r == law.r
+
+    def test_shifted_equals_time_translation(self):
+        law = ExponentialLaw(a=3.0, b=-0.4)
+        shifted = law.shifted(1.5)
+        assert shifted.at(0.0) == pytest.approx(law.at(1.5))
+        assert shifted.at(2.0) == pytest.approx(law.at(3.5))
+
+    def test_rejects_nonpositive_a(self):
+        with pytest.raises(ValueError, match="positive"):
+            ExponentialLaw(a=0.0, b=1.0)
+
+    def test_dict_round_trip(self):
+        law = ExponentialLaw(a=17.49, b=-0.3217, r=-0.973)
+        assert ExponentialLaw.from_dict(law.to_dict()) == law
+
+    def test_dict_round_trip_without_r(self):
+        law = ExponentialLaw(a=12.0, b=-0.2)
+        restored = ExponentialLaw.from_dict(law.to_dict())
+        assert restored == law
+        assert restored.r is None

@@ -1,0 +1,95 @@
+"""Tests for the Table X parameter set."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import (
+    CORE_CLASSES,
+    PERCORE_MEMORY_CLASSES_MB,
+    ModelParameters,
+)
+
+
+class TestPaperReference:
+    def test_core_chain_matches_table_iv(self, paper_params):
+        laws = paper_params.core_chain.ratio_laws
+        assert laws[0].a == pytest.approx(3.369)
+        assert laws[0].b == pytest.approx(-0.5004)
+        assert laws[1].a == pytest.approx(17.49)
+        assert laws[2].b == pytest.approx(-0.2377)
+        # The 8:16 law is the §VI-C estimate.
+        assert laws[3].a == pytest.approx(12.0)
+        assert laws[3].b == pytest.approx(-0.2)
+
+    def test_percore_chain_matches_table_v(self, paper_params):
+        laws = paper_params.percore_memory_chain.ratio_laws
+        assert laws[0].a == pytest.approx(0.5829)
+        assert laws[-1].a == pytest.approx(4.951)
+        assert laws[-1].b == pytest.approx(-0.1008)
+
+    def test_moment_laws_match_table_vi(self, paper_params):
+        assert paper_params.dhrystone_mean.a == pytest.approx(2064.0)
+        assert paper_params.dhrystone_variance.a == pytest.approx(1.379e6)
+        assert paper_params.whetstone_mean.b == pytest.approx(0.1157)
+        assert paper_params.disk_variance.b == pytest.approx(0.5224)
+
+    def test_correlation_matrix_matches_section_vf(self, paper_params):
+        expected = np.array(
+            [[1.0, 0.250, 0.306], [0.250, 1.0, 0.639], [0.306, 0.639, 1.0]]
+        )
+        np.testing.assert_allclose(paper_params.correlation, expected)
+
+    def test_lifetime_parameters_match_fig1(self, paper_params):
+        assert paper_params.lifetime_shape == pytest.approx(0.58)
+        assert paper_params.lifetime_scale_days == pytest.approx(135.0)
+
+    def test_class_catalogues(self):
+        assert CORE_CLASSES == (1, 2, 4, 8, 16)
+        assert PERCORE_MEMORY_CLASSES_MB == (256, 512, 768, 1024, 1536, 2048, 4096)
+
+
+class TestValidation:
+    def test_rejects_bad_correlation_shape(self, paper_params):
+        with pytest.raises(ValueError, match="3x3"):
+            paper_params.with_correlation(np.eye(2))
+
+    def test_rejects_bad_lifetime(self, paper_params):
+        import dataclasses
+
+        with pytest.raises(ValueError, match="positive"):
+            dataclasses.replace(paper_params, lifetime_shape=-1.0)
+
+
+class TestSerialisation:
+    def test_json_round_trip(self, paper_params):
+        restored = ModelParameters.from_json(paper_params.to_json())
+        assert restored.core_chain.class_values == paper_params.core_chain.class_values
+        assert restored.dhrystone_mean == paper_params.dhrystone_mean
+        assert restored.disk_variance == paper_params.disk_variance
+        np.testing.assert_allclose(restored.correlation, paper_params.correlation)
+        assert restored.lifetime_scale_days == paper_params.lifetime_scale_days
+
+    def test_with_correlation_replaces_matrix(self, paper_params):
+        new = paper_params.with_correlation(np.eye(3))
+        np.testing.assert_allclose(new.correlation, np.eye(3))
+        # original untouched
+        assert paper_params.correlation[1, 2] == pytest.approx(0.639)
+
+
+class TestSummaryRows:
+    def test_row_count_matches_table_x(self, paper_params):
+        rows = paper_params.summary_rows()
+        # 4 core ratios + 6 memory ratios + 6 moment laws.
+        assert len(rows) == 16
+
+    def test_memory_labels_formatted_like_paper(self, paper_params):
+        labels = [row[1] for row in paper_params.summary_rows()]
+        assert "256MB:512MB" in labels
+        assert "1.5GB:2GB" in labels
+        assert "2GB:4GB" in labels
+
+    def test_moment_rows_present(self, paper_params):
+        resources = {row[0] for row in paper_params.summary_rows()}
+        assert {"Cores", "Mem/Core", "Dhrystone", "Whetstone", "Disk Space"} <= resources

@@ -1,0 +1,116 @@
+"""Tests for forward extrapolation (§VI-C, Figs 13/14)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import (
+    extreme_hosts,
+    predict_core_fractions,
+    predict_memory_fractions,
+    predict_scalars,
+)
+
+
+class TestScalarPredictions:
+    def test_2014_values_match_section_vic(self, paper_params):
+        pred = predict_scalars(paper_params, 2014.0)
+        assert pred.dhrystone_mean == pytest.approx(8100.0, rel=0.001)
+        assert pred.dhrystone_std == pytest.approx(4419.0, rel=0.001)
+        assert pred.whetstone_mean == pytest.approx(2975.0, rel=0.001)
+        assert pred.whetstone_std == pytest.approx(868.0, rel=0.001)
+        assert pred.disk_mean_gb == pytest.approx(272.0, rel=0.001)
+        assert pred.disk_std_gb == pytest.approx(434.5, rel=0.001)
+
+    def test_2014_cores_mean_is_4_6(self, paper_params):
+        pred = predict_scalars(paper_params, 2014.0)
+        assert pred.cores_mean == pytest.approx(4.6, abs=0.1)
+
+    def test_2014_memory_mean_matches_paper(self, paper_params):
+        # §VI-C quotes 6.8 GB ("very close to the 6.6 GB extrapolation");
+        # the six-value per-core set gives 6.49 GB.
+        pred = predict_scalars(paper_params, 2014.0)
+        assert pred.memory_mean_mb / 1024 == pytest.approx(6.8, rel=0.06)
+
+    def test_2014_memory_mean_with_full_chain(self, paper_params):
+        # Keeping the Table X 2G:4G law in the sampled chain inflates the
+        # 2014 mean to ≈ 8.0 GB — evidence the paper's generator truncated.
+        pred = predict_scalars(paper_params, 2014.0, percore_max_mb=None)
+        assert pred.memory_mean_mb / 1024 == pytest.approx(8.05, abs=0.3)
+
+    def test_when_field_reports_calendar_year(self, paper_params):
+        assert predict_scalars(paper_params, 2012.5).when == pytest.approx(2012.5)
+
+
+class TestCoreFractionForecast:
+    def test_single_core_becomes_negligible_by_2014(self, paper_params):
+        bands = predict_core_fractions(paper_params, [2014.0])
+        assert bands["1 core"][0] < 0.05
+
+    def test_two_core_share_about_40_percent_2014(self, paper_params):
+        bands = predict_core_fractions(paper_params, [2014.0])
+        two_plus = bands[">=2 cores"][0]
+        four_plus = bands[">=4 cores"][0]
+        assert two_plus - four_plus == pytest.approx(0.42, abs=0.05)
+
+    def test_bands_nested(self, paper_params):
+        years = np.linspace(2009, 2014, 11)
+        bands = predict_core_fractions(paper_params, years)
+        assert np.all(bands[">=2 cores"] >= bands[">=4 cores"])
+        assert np.all(bands[">=4 cores"] >= bands[">=8 cores"])
+        assert np.all(bands[">=8 cores"] >= bands[">=16 cores"])
+
+    def test_multicore_shares_grow(self, paper_params):
+        years = np.linspace(2009, 2014, 11)
+        bands = predict_core_fractions(paper_params, years)
+        assert np.all(np.diff(bands[">=4 cores"]) > 0)
+        assert np.all(np.diff(bands["1 core"]) < 0)
+
+
+class TestMemoryFractionForecast:
+    def test_bands_are_distribution(self, paper_params):
+        bands = predict_memory_fractions(paper_params, [2012.0])
+        top = bands["<=8GB"][0] + bands[">8GB"][0]
+        assert top == pytest.approx(1.0)
+
+    def test_bands_nested_and_monotone(self, paper_params):
+        years = np.linspace(2009, 2014, 6)
+        bands = predict_memory_fractions(paper_params, years)
+        assert np.all(bands["<=1GB"] <= bands["<=2GB"])
+        assert np.all(bands["<=2GB"] <= bands["<=4GB"])
+        assert np.all(bands["<=4GB"] <= bands["<=8GB"])
+        # Small-memory hosts die out over time.
+        assert np.all(np.diff(bands["<=1GB"]) < 0)
+        # Big-memory hosts grow.
+        assert np.all(np.diff(bands[">8GB"]) > 0)
+
+    def test_2014_le_1gb_negligible(self, paper_params):
+        bands = predict_memory_fractions(paper_params, [2014.0])
+        assert bands["<=1GB"][0] < 0.05
+
+
+class TestExtremeHosts:
+    def test_best_dominates_worst(self, paper_params):
+        worst, best = extreme_hosts(paper_params, 2010.667, quantile=0.95)
+        assert best.cores >= worst.cores
+        assert best.memory_mb > worst.memory_mb
+        assert best.dhrystone_mips > worst.dhrystone_mips
+        assert best.whetstone_mips > worst.whetstone_mips
+        assert best.disk_gb > worst.disk_gb
+
+    def test_best_improves_over_time(self, paper_params):
+        _, best_2010 = extreme_hosts(paper_params, 2010.0)
+        _, best_2014 = extreme_hosts(paper_params, 2014.0)
+        assert best_2014.dhrystone_mips > best_2010.dhrystone_mips
+        assert best_2014.memory_mb >= best_2010.memory_mb
+
+    def test_quantile_validated(self, paper_params):
+        with pytest.raises(ValueError, match="quantile"):
+            extreme_hosts(paper_params, 2010.0, quantile=0.2)
+
+    def test_median_host_sensible(self, paper_params):
+        worst, best = extreme_hosts(paper_params, 2010.667, quantile=0.5)
+        # At the median quantile both hosts coincide.
+        assert worst.cores == best.cores
+        assert worst.disk_gb == pytest.approx(best.disk_gb)

@@ -1,0 +1,118 @@
+"""Round-trip tests: fit the model from the synthetic trace, compare Table X.
+
+This is the reproduction's keystone check — the synthetic world evolves
+along the published laws, so the fitting pipeline run on it must recover
+parameters close to Table X, exactly as the paper's pipeline recovered them
+from the real trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import ModelParameters
+from repro.fitting.pipeline import default_fit_dates, fit_model_from_trace
+
+
+@pytest.fixture(scope="module")
+def fit_report(small_trace_module):
+    return fit_model_from_trace(small_trace_module)
+
+
+@pytest.fixture(scope="module")
+def small_trace_module():
+    from repro.traces.config import TraceConfig
+    from repro.traces.synthesis import generate_trace
+
+    return generate_trace(TraceConfig(scale=0.015))
+
+
+class TestDefaultDates:
+    def test_quarterly_grid(self):
+        dates = default_fit_dates()
+        assert dates[0] == 2006.0
+        assert dates[-1] == 2010.0
+        assert dates.size == 17
+
+
+class TestRoundTrip:
+    def test_core_ratio_slopes_recovered(self, fit_report):
+        ref = ModelParameters.paper_reference()
+        fitted = fit_report.parameters.core_chain.ratio_laws
+        reference = ref.core_chain.ratio_laws
+        # The first two ratios are abundantly populated; slopes should come
+        # back within ~25 % (age-mixing calibration residual plus noise).
+        assert fitted[0].b == pytest.approx(reference[0].b, rel=0.30)
+        assert fitted[1].b == pytest.approx(reference[1].b, rel=0.30)
+        assert fitted[0].a == pytest.approx(reference[0].a, rel=0.30)
+
+    def test_core_ratio_fits_are_tight(self, fit_report):
+        # Table IV reports |r| ≥ 0.95 for the populated ratios.
+        for law in fit_report.parameters.core_chain.ratio_laws[:2]:
+            assert law.r is not None and law.r < -0.9
+
+    def test_percore_ratio_slopes_recovered(self, fit_report):
+        ref = ModelParameters.paper_reference()
+        fitted = fit_report.parameters.percore_memory_chain.ratio_laws
+        reference = ref.percore_memory_chain.ratio_laws
+        # Middle ratios (512:768 through 1.5G:2G) are the well-populated ones.
+        for i in (1, 2, 3):
+            assert fitted[i].a == pytest.approx(reference[i].a, rel=0.35), i
+            assert fitted[i].b == pytest.approx(reference[i].b, abs=0.08), i
+
+    def test_moment_laws_recovered(self, fit_report):
+        ref = ModelParameters.paper_reference()
+        fitted = fit_report.parameters
+        for name, rel_a, abs_b in (
+            ("dhrystone_mean", 0.10, 0.04),
+            ("whetstone_mean", 0.10, 0.04),
+            ("disk_mean", 0.15, 0.06),
+            ("dhrystone_variance", 0.40, 0.08),
+            ("whetstone_variance", 0.40, 0.08),
+            ("disk_variance", 0.50, 0.12),
+        ):
+            fit_law = getattr(fitted, name)
+            ref_law = getattr(ref, name)
+            assert fit_law.a == pytest.approx(ref_law.a, rel=rel_a), name
+            assert fit_law.b == pytest.approx(ref_law.b, abs=abs_b), name
+
+    def test_moment_fits_are_tight(self, fit_report):
+        # Table VI reports r ≥ 0.88 for every law.
+        for name in ("dhrystone_mean", "whetstone_mean", "disk_mean"):
+            assert getattr(fit_report.parameters, name).r > 0.95
+
+    def test_correlation_matrix_near_table_iii(self, fit_report):
+        corr = fit_report.parameters.correlation
+        assert corr[0, 1] == pytest.approx(0.250, abs=0.10)  # mem/core-whet
+        assert corr[0, 2] == pytest.approx(0.306, abs=0.10)  # mem/core-dhry
+        assert corr[1, 2] == pytest.approx(0.639, abs=0.10)  # whet-dhry
+
+    def test_lifetime_fit_near_fig1(self, fit_report):
+        assert fit_report.parameters.lifetime_shape == pytest.approx(0.58, abs=0.06)
+        assert fit_report.parameters.lifetime_scale_days == pytest.approx(135.0, rel=0.15)
+        assert fit_report.lifetime_fit.decreasing_dropout_rate
+
+    def test_discard_rate_near_paper(self, fit_report):
+        # The paper discards 0.12 % of hosts; per-snapshot rates match.
+        total_hosts = fit_report.n_hosts_per_date.sum() + fit_report.n_discarded
+        rate = fit_report.n_discarded / total_hosts
+        assert rate == pytest.approx(0.0012, rel=0.6)
+
+    def test_fitted_model_generates_sane_hosts(self, fit_report, rng):
+        from repro.core.generator import CorrelatedHostGenerator
+
+        generator = CorrelatedHostGenerator(fit_report.parameters)
+        population = generator.generate(2010.667, 5_000, rng)
+        assert population.cores.mean() == pytest.approx(2.44, abs=0.35)
+        assert population.dhrystone.mean() == pytest.approx(4408.0, rel=0.10)
+
+    def test_parameters_serialise(self, fit_report):
+        restored = ModelParameters.from_json(fit_report.parameters.to_json())
+        assert restored.dhrystone_mean == fit_report.parameters.dhrystone_mean
+
+
+class TestValidationErrors:
+    def test_date_outside_trace_rejected(self, small_trace_module):
+        with pytest.raises(ValueError, match="clean hosts"):
+            fit_model_from_trace(small_trace_module, dates=np.array([1999.0, 2000.0]))

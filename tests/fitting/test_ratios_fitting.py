@@ -1,0 +1,101 @@
+"""Tests for class-fraction measurement and ratio-chain fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.laws import ExponentialLaw
+from repro.core.parameters import ModelParameters
+from repro.fitting.ratios import class_fraction_series, fit_ratio_chain, snap_to_classes
+
+
+class TestSnapToClasses:
+    def test_exact_values_unchanged(self):
+        classes = (256.0, 512.0, 1024.0)
+        np.testing.assert_allclose(
+            snap_to_classes(np.array([256.0, 1024.0]), classes), [256.0, 1024.0]
+        )
+
+    def test_nearest_class_chosen(self):
+        snapped = snap_to_classes(np.array([300.0, 700.0, 900.0]), (256.0, 512.0, 1024.0))
+        np.testing.assert_allclose(snapped, [256.0, 512.0, 1024.0])
+
+    def test_distance_bound_produces_nan(self):
+        snapped = snap_to_classes(
+            np.array([256.0, 5000.0]), (256.0, 512.0), max_relative_distance=0.5
+        )
+        assert snapped[0] == 256.0
+        assert np.isnan(snapped[1])
+
+
+class TestClassFractionSeries:
+    def test_fractions_sum_to_one(self):
+        rng = np.random.default_rng(3)
+        arrays = [rng.choice([1.0, 2.0, 4.0], size=500) for _ in range(3)]
+        fractions = class_fraction_series([2006.0, 2007.0, 2008.0], arrays, (1.0, 2.0, 4.0))
+        np.testing.assert_allclose(fractions.sum(axis=1), 1.0)
+
+    def test_exact_mode_drops_nonmembers(self):
+        arrays = [np.array([1.0, 2.0, 3.0, 3.0])]
+        fractions = class_fraction_series([2006.0], arrays, (1.0, 2.0, 4.0), exact=True)
+        np.testing.assert_allclose(fractions[0], [0.5, 0.5, 0.0])
+
+    def test_snap_mode_keeps_intermediates(self):
+        arrays = [np.array([1280.0, 1792.0])]
+        fractions = class_fraction_series([2006.0], arrays, (1024.0, 1536.0, 2048.0))
+        np.testing.assert_allclose(fractions[0], [0.5, 0.5, 0.0])
+
+    def test_empty_snapshot_row_is_zero(self):
+        fractions = class_fraction_series(
+            [2006.0], [np.array([9.0])], (1.0, 2.0), exact=True
+        )
+        np.testing.assert_allclose(fractions[0], [0.0, 0.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="per date"):
+            class_fraction_series([2006.0, 2007.0], [np.array([1.0])], (1.0, 2.0))
+
+
+class TestFitRatioChain:
+    def test_recovers_known_laws(self):
+        """Generate exact fractions from Table IV laws, fit, compare."""
+        ref = ModelParameters.paper_reference().core_chain
+        dates = np.linspace(2006.0, 2010.0, 9)
+        fractions = np.array([ref.probabilities(d) for d in dates])
+        fitted = fit_ratio_chain(dates, fractions, ref.class_values)
+        for fit_law, ref_law in zip(fitted.ratio_laws, ref.ratio_laws):
+            assert fit_law.a == pytest.approx(ref_law.a, rel=1e-6)
+            assert fit_law.b == pytest.approx(ref_law.b, abs=1e-6)
+
+    def test_noisy_fractions_recover_slopes(self):
+        rng = np.random.default_rng(4)
+        ref = ModelParameters.paper_reference().core_chain
+        dates = np.linspace(2006.0, 2010.0, 17)
+        fractions = np.array([ref.probabilities(d) for d in dates])
+        noisy = fractions * np.exp(rng.normal(0, 0.05, fractions.shape))
+        noisy /= noisy.sum(axis=1, keepdims=True)
+        fitted = fit_ratio_chain(dates, noisy, ref.class_values)
+        for fit_law, ref_law in zip(fitted.ratio_laws[:3], ref.ratio_laws[:3]):
+            assert fit_law.b == pytest.approx(ref_law.b, abs=0.08)
+
+    def test_fallback_used_for_empty_class(self):
+        dates = np.array([2006.0, 2007.0, 2008.0])
+        # Third class never observed.
+        fractions = np.array([[0.6, 0.4, 0.0], [0.5, 0.5, 0.0], [0.4, 0.6, 0.0]])
+        fallback = ExponentialLaw(a=12.0, b=-0.2)
+        chain = fit_ratio_chain(
+            dates, fractions, (1.0, 2.0, 4.0), fallback_laws={1: fallback}
+        )
+        assert chain.ratio_laws[1] == fallback
+        assert chain.ratio_laws[0].b < 0
+
+    def test_missing_fallback_raises(self):
+        dates = np.array([2006.0, 2007.0])
+        fractions = np.array([[0.7, 0.3, 0.0], [0.6, 0.4, 0.0]])
+        with pytest.raises(ValueError, match="fallback"):
+            fit_ratio_chain(dates, fractions, (1.0, 2.0, 4.0))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="match"):
+            fit_ratio_chain(np.array([2006.0]), np.ones((2, 3)), (1.0, 2.0, 4.0))

@@ -1,0 +1,93 @@
+"""Tests for moment-law fitting, family selection and lifetime fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fitting.lifetimes import fit_weibull_lifetimes
+from repro.fitting.scalars import fit_moment_laws, moment_series, select_family_per_date
+
+
+class TestMomentSeries:
+    def test_means_and_variances(self):
+        arrays = [np.array([1.0, 3.0]), np.array([2.0, 4.0, 6.0])]
+        series = moment_series([2006.0, 2007.0], arrays)
+        np.testing.assert_allclose(series.means, [2.0, 4.0])
+        np.testing.assert_allclose(series.variances, [1.0, 8.0 / 3.0])
+
+    def test_requires_matching_lengths(self):
+        with pytest.raises(ValueError, match="per date"):
+            moment_series([2006.0], [np.array([1.0, 2.0]), np.array([3.0, 4.0])])
+
+    def test_requires_two_hosts(self):
+        with pytest.raises(ValueError, match="fewer than two"):
+            moment_series([2006.0], [np.array([1.0])])
+
+
+class TestFitMomentLaws:
+    def test_recovers_table_vi_laws(self, rng):
+        """Sampling from the Table VI laws and refitting recovers them."""
+        dates = np.linspace(2006.0, 2010.0, 9)
+        t = dates - 2006.0
+        arrays = []
+        for ti in t:
+            mean = 2064.0 * np.exp(0.1709 * ti)
+            std = np.sqrt(1.379e6 * np.exp(0.3313 * ti))
+            arrays.append(rng.normal(mean, std, size=30_000))
+        mean_law, var_law = fit_moment_laws(moment_series(dates, arrays))
+        assert mean_law.a == pytest.approx(2064.0, rel=0.02)
+        assert mean_law.b == pytest.approx(0.1709, abs=0.02)
+        assert var_law.a == pytest.approx(1.379e6, rel=0.10)
+        assert var_law.b == pytest.approx(0.3313, abs=0.05)
+        assert mean_law.r > 0.99
+
+
+class TestFamilySelection:
+    def test_normal_scores_well_lognormal_wins_for_disk_style(self, rng):
+        speeds = [rng.normal(2000, 400, 3_000)]
+        disks = [rng.lognormal(np.log(30), 1.1, 3_000)]
+        speed_result = select_family_per_date(speeds, rng)[0]
+        disk_result = select_family_per_date(disks, rng)[0]
+        assert speed_result.p_values["normal"] > 0.2
+        assert disk_result.best_name == "lognormal"
+
+    def test_large_snapshots_subsampled(self, rng):
+        big = [rng.normal(0, 1, 60_000)]
+        results = select_family_per_date(big, rng, max_sample=2_000)
+        assert results[0].p_values["normal"] > 0.1
+
+
+class TestWeibullLifetimes:
+    def test_recovers_paper_parameters(self, rng):
+        sample = 135.0 * rng.weibull(0.58, size=50_000)
+        fit = fit_weibull_lifetimes(sample)
+        assert fit.shape == pytest.approx(0.58, abs=0.03)
+        assert fit.scale_days == pytest.approx(135.0, rel=0.05)
+        assert fit.decreasing_dropout_rate
+
+    def test_fitted_moments_consistent(self, rng):
+        sample = 135.0 * rng.weibull(0.58, size=50_000)
+        fit = fit_weibull_lifetimes(sample)
+        assert fit.fitted_mean_days == pytest.approx(sample.mean(), rel=0.05)
+        assert fit.fitted_median_days == pytest.approx(np.median(sample), rel=0.08)
+
+    def test_zero_lifetimes_handled(self, rng):
+        sample = np.concatenate([np.zeros(100), 135.0 * rng.weibull(0.58, size=5_000)])
+        fit = fit_weibull_lifetimes(sample)
+        assert np.isfinite(fit.shape)
+        assert fit.shape < 1.0
+
+    def test_rejects_tiny_samples(self):
+        with pytest.raises(ValueError, match="10 lifetimes"):
+            fit_weibull_lifetimes(np.ones(5))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            fit_weibull_lifetimes(np.array([-1.0] * 20))
+
+    def test_exponential_sample_has_unit_shape(self, rng):
+        sample = rng.exponential(100.0, size=50_000)
+        fit = fit_weibull_lifetimes(sample)
+        assert fit.shape == pytest.approx(1.0, abs=0.05)
+        assert not fit.decreasing_dropout_rate

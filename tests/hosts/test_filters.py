@@ -1,0 +1,88 @@
+"""Tests for the §V-B sanity filter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hosts.filters import SanityFilter
+from repro.hosts.population import HostPopulation
+
+
+def population_with(**overrides) -> HostPopulation:
+    base = dict(
+        cores=np.array([1.0, 2.0, 4.0, 8.0]),
+        memory_mb=np.array([512.0, 1024.0, 2048.0, 8192.0]),
+        dhrystone=np.array([2000.0, 3000.0, 4000.0, 5000.0]),
+        whetstone=np.array([1000.0, 1500.0, 2000.0, 2500.0]),
+        disk_gb=np.array([10.0, 50.0, 100.0, 500.0]),
+    )
+    base.update(overrides)
+    return HostPopulation(**base)
+
+
+class TestKeepMask:
+    def test_clean_population_fully_kept(self):
+        population = population_with()
+        clean, discarded = SanityFilter().apply(population)
+        assert discarded == 0
+        assert len(clean) == 4
+
+    def test_discards_too_many_cores(self):
+        population = population_with(cores=np.array([1.0, 2.0, 4.0, 129.0]))
+        clean, discarded = SanityFilter().apply(population)
+        assert discarded == 1
+        assert 129.0 not in clean.cores
+
+    def test_boundary_values_kept(self):
+        # The paper discards hosts *exceeding* the bounds.
+        population = population_with(
+            cores=np.array([128.0, 1.0, 1.0, 1.0]),
+            dhrystone=np.array([1e5, 1.0, 1.0, 1.0]),
+            whetstone=np.array([1e5, 1.0, 1.0, 1.0]),
+            memory_mb=np.array([102400.0, 1.0, 1.0, 1.0]),
+            disk_gb=np.array([1e4, 1.0, 1.0, 1.0]),
+        )
+        _, discarded = SanityFilter().apply(population)
+        assert discarded == 0
+
+    def test_discards_excess_speeds(self):
+        population = population_with(whetstone=np.array([1e6, 1500.0, 2000.0, 2500.0]))
+        _, discarded = SanityFilter().apply(population)
+        assert discarded == 1
+
+    def test_discards_excess_memory_and_disk(self):
+        population = population_with(
+            memory_mb=np.array([512.0, 200_000.0, 2048.0, 8192.0]),
+            disk_gb=np.array([10.0, 50.0, 99_999.0, 500.0]),
+        )
+        _, discarded = SanityFilter().apply(population)
+        assert discarded == 2
+
+    def test_discards_nonpositive_measurements(self):
+        population = population_with(
+            cores=np.array([0.0, 2.0, 4.0, 8.0]),
+            dhrystone=np.array([2000.0, -5.0, 4000.0, 5000.0]),
+        )
+        _, discarded = SanityFilter().apply(population)
+        assert discarded == 2
+
+    def test_discard_fraction(self):
+        population = population_with(cores=np.array([1.0, 2.0, 4.0, 500.0]))
+        assert SanityFilter().discard_fraction(population) == pytest.approx(0.25)
+
+    def test_discard_fraction_empty_population(self):
+        empty = HostPopulation(
+            cores=np.array([]),
+            memory_mb=np.array([]),
+            dhrystone=np.array([]),
+            whetstone=np.array([]),
+            disk_gb=np.array([]),
+        )
+        assert SanityFilter().discard_fraction(empty) == 0.0
+
+    def test_custom_thresholds(self):
+        strict = SanityFilter(max_cores=4)
+        population = population_with()
+        _, discarded = strict.apply(population)
+        assert discarded == 1

@@ -1,0 +1,77 @@
+"""Tests for the Host record."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hosts.host import Host
+
+
+def make_host(**overrides) -> Host:
+    defaults = dict(
+        cores=2,
+        memory_mb=2048.0,
+        dhrystone_mips=4000.0,
+        whetstone_mips=2000.0,
+        disk_gb=100.0,
+    )
+    defaults.update(overrides)
+    return Host(**defaults)
+
+
+class TestValidation:
+    def test_valid_host(self):
+        host = make_host()
+        assert host.cores == 2
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError, match="core"):
+            make_host(cores=0)
+
+    def test_rejects_nonpositive_memory(self):
+        with pytest.raises(ValueError, match="memory"):
+            make_host(memory_mb=0.0)
+
+    def test_rejects_nonpositive_speeds(self):
+        with pytest.raises(ValueError, match="speeds"):
+            make_host(dhrystone_mips=-1.0)
+        with pytest.raises(ValueError, match="speeds"):
+            make_host(whetstone_mips=0.0)
+
+    def test_rejects_negative_disk(self):
+        with pytest.raises(ValueError, match="disk"):
+            make_host(disk_gb=-0.1)
+
+    def test_zero_disk_allowed(self):
+        # A full disk is a legitimate measurement.
+        assert make_host(disk_gb=0.0).disk_gb == 0.0
+
+    def test_rejects_nonpositive_gpu_memory(self):
+        with pytest.raises(ValueError, match="GPU"):
+            make_host(has_gpu=True, gpu_memory_mb=0.0)
+
+    def test_gpu_memory_optional(self):
+        host = make_host(has_gpu=True, gpu_type="GeForce")
+        assert host.gpu_memory_mb is None
+
+
+class TestDerived:
+    def test_memory_per_core(self):
+        assert make_host(cores=4, memory_mb=4096.0).memory_per_core_mb == 1024.0
+
+    def test_describe_mentions_key_resources(self):
+        text = make_host(cpu_family="Intel Core 2", os_name="Windows XP").describe()
+        assert "2 core(s)" in text
+        assert "2048 MB" in text
+        assert "Intel Core 2" in text
+        assert "Windows XP" in text
+
+    def test_describe_includes_gpu(self):
+        text = make_host(has_gpu=True, gpu_type="Radeon", gpu_memory_mb=512.0).describe()
+        assert "Radeon" in text
+        assert "512" in text
+
+    def test_equality_ignores_provenance_fields(self):
+        a = make_host(created=2008.0, lifetime_days=100.0)
+        b = make_host(created=2009.5, lifetime_days=3.0)
+        assert a == b

@@ -1,0 +1,110 @@
+"""Tests for platform catalogues (Tables I/II/VII, Fig 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hosts import platforms
+
+
+class TestCatalogueConsistency:
+    def test_cpu_table_rows_match_labels(self):
+        for year, shares in platforms.CPU_SHARES_BY_YEAR.items():
+            assert len(shares) == len(platforms.CPU_FAMILIES), year
+
+    def test_os_table_rows_match_labels(self):
+        for year, shares in platforms.OS_SHARES_BY_YEAR.items():
+            assert len(shares) == len(platforms.OS_NAMES), year
+
+    def test_cpu_shares_approximately_percentages(self):
+        for year, shares in platforms.CPU_SHARES_BY_YEAR.items():
+            assert sum(shares) == pytest.approx(100.0, abs=1.0), year
+
+    def test_gpu_pmfs_sum_to_one(self):
+        for date, pmf in platforms.GPU_MEMORY_PMF_BY_DATE.items():
+            assert sum(pmf) == pytest.approx(1.0), date
+            assert len(pmf) == len(platforms.GPU_MEMORY_CLASSES_MB)
+
+    def test_gpu_memory_moments_match_fig10(self):
+        classes = np.array(platforms.GPU_MEMORY_CLASSES_MB, dtype=float)
+        pmf_2009 = np.array(platforms.GPU_MEMORY_PMF_BY_DATE[2009.667])
+        pmf_2010 = np.array(platforms.GPU_MEMORY_PMF_BY_DATE[2010.667])
+        assert float(pmf_2009 @ classes) == pytest.approx(592.7, rel=0.05)
+        assert float(pmf_2010 @ classes) == pytest.approx(659.4, rel=0.05)
+        # P(>= 1 GB) rises from 19 % to 31 % (§V-H).
+        ge_1gb = classes >= 1024
+        assert float(pmf_2009[ge_1gb].sum()) == pytest.approx(0.19, abs=0.02)
+        assert float(pmf_2010[ge_1gb].sum()) == pytest.approx(0.31, abs=0.02)
+        # Hosts with more than 1 GB stay rare (< 2 % of GPU hosts).
+        gt_1gb = classes > 1024
+        assert float(pmf_2009[gt_1gb].sum()) < 0.02
+        assert float(pmf_2010[gt_1gb].sum()) <= 0.021
+
+
+class TestCompositionInterpolation:
+    def test_exact_years_reproduce_table(self):
+        shares = platforms.composition_at(platforms.CPU_SHARES_BY_YEAR, 2008.0)
+        p4_index = platforms.CPU_FAMILIES.index("Pentium 4")
+        assert shares[p4_index] == pytest.approx(0.272, abs=0.003)
+
+    def test_interpolation_between_years(self):
+        shares = platforms.composition_at(platforms.CPU_SHARES_BY_YEAR, 2008.5)
+        p4_index = platforms.CPU_FAMILIES.index("Pentium 4")
+        assert 0.207 < shares[p4_index] < 0.272
+
+    def test_clamped_outside_range(self):
+        early = platforms.composition_at(platforms.CPU_SHARES_BY_YEAR, 2000.0)
+        late = platforms.composition_at(platforms.CPU_SHARES_BY_YEAR, 2020.0)
+        np.testing.assert_allclose(
+            early, platforms.composition_at(platforms.CPU_SHARES_BY_YEAR, 2006.0)
+        )
+        np.testing.assert_allclose(
+            late, platforms.composition_at(platforms.CPU_SHARES_BY_YEAR, 2010.0)
+        )
+
+    def test_normalised(self):
+        shares = platforms.composition_at(platforms.OS_SHARES_BY_YEAR, 2009.3)
+        assert shares.sum() == pytest.approx(1.0)
+
+    def test_core2_rises_pentium4_falls(self):
+        core2 = platforms.CPU_FAMILIES.index("Intel Core 2")
+        p4 = platforms.CPU_FAMILIES.index("Pentium 4")
+        series_c2 = [
+            platforms.composition_at(platforms.CPU_SHARES_BY_YEAR, y)[core2]
+            for y in (2006, 2007, 2008, 2009, 2010)
+        ]
+        series_p4 = [
+            platforms.composition_at(platforms.CPU_SHARES_BY_YEAR, y)[p4]
+            for y in (2006, 2007, 2008, 2009, 2010)
+        ]
+        assert all(b > a for a, b in zip(series_c2, series_c2[1:]))
+        assert all(b < a for a, b in zip(series_p4, series_p4[1:]))
+
+
+class TestGpuFraction:
+    def test_zero_before_recording(self):
+        assert platforms.gpu_fraction_at(2009.0) == 0.0
+
+    def test_anchor_values(self):
+        assert platforms.gpu_fraction_at(2009.667) == pytest.approx(0.127)
+        assert platforms.gpu_fraction_at(2010.667) == pytest.approx(0.238)
+
+    def test_interpolates_between_anchors(self):
+        mid = platforms.gpu_fraction_at(2010.167)
+        assert 0.127 < mid < 0.238
+
+    def test_clamped_after_2010(self):
+        assert platforms.gpu_fraction_at(2012.0) == pytest.approx(0.238)
+
+
+class TestSampleLabels:
+    def test_sampling_respects_probabilities(self, rng):
+        probs = platforms.composition_at(platforms.OS_SHARES_BY_YEAR, 2010.0)
+        labels = platforms.sample_labels(platforms.OS_NAMES, probs, 50_000, rng)
+        xp_share = float((labels == "Windows XP").mean())
+        assert xp_share == pytest.approx(probs[0], abs=0.01)
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="mismatch"):
+            platforms.sample_labels(("a", "b"), np.array([1.0]), 10, rng)

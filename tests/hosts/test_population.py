@@ -1,0 +1,124 @@
+"""Tests for numpy-backed host populations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hosts.host import Host
+from repro.hosts.population import HostPopulation
+
+
+@pytest.fixture
+def small_population() -> HostPopulation:
+    return HostPopulation(
+        cores=np.array([1.0, 2.0, 4.0]),
+        memory_mb=np.array([512.0, 2048.0, 4096.0]),
+        dhrystone=np.array([2000.0, 4000.0, 6000.0]),
+        whetstone=np.array([1000.0, 2000.0, 3000.0]),
+        disk_gb=np.array([10.0, 50.0, 200.0]),
+    )
+
+
+class TestConstruction:
+    def test_len(self, small_population):
+        assert len(small_population) == 3
+
+    def test_rejects_ragged_columns(self):
+        with pytest.raises(ValueError, match="rows"):
+            HostPopulation(
+                cores=np.ones(3),
+                memory_mb=np.ones(2),
+                dhrystone=np.ones(3),
+                whetstone=np.ones(3),
+                disk_gb=np.ones(3),
+            )
+
+    def test_rejects_multidimensional(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            HostPopulation(
+                cores=np.ones((3, 1)),
+                memory_mb=np.ones(3),
+                dhrystone=np.ones(3),
+                whetstone=np.ones(3),
+                disk_gb=np.ones(3),
+            )
+
+    def test_round_trip_through_hosts(self, small_population):
+        hosts = small_population.to_hosts()
+        assert all(isinstance(h, Host) for h in hosts)
+        rebuilt = HostPopulation.from_hosts(hosts)
+        np.testing.assert_allclose(rebuilt.memory_mb, small_population.memory_mb)
+
+
+class TestStatistics:
+    def test_means(self, small_population):
+        means = small_population.means()
+        assert means["cores"] == pytest.approx(7 / 3)
+        assert means["disk_gb"] == pytest.approx(260 / 3)
+
+    def test_medians(self, small_population):
+        assert small_population.medians()["memory_mb"] == 2048.0
+
+    def test_stds_nonnegative(self, small_population):
+        assert all(v >= 0 for v in small_population.stds().values())
+
+    def test_mem_per_core(self, small_population):
+        np.testing.assert_allclose(
+            small_population.mem_per_core, [512.0, 1024.0, 1024.0]
+        )
+
+    def test_correlation_matrix_has_six_labels(self, small_population):
+        matrix = small_population.correlation_matrix()
+        assert len(matrix.labels) == 6
+        assert matrix.get("cores", "cores") == pytest.approx(1.0)
+
+    def test_correlation_needs_two_hosts(self):
+        single = HostPopulation(
+            cores=np.array([1.0]),
+            memory_mb=np.array([512.0]),
+            dhrystone=np.array([1000.0]),
+            whetstone=np.array([500.0]),
+            disk_gb=np.array([5.0]),
+        )
+        with pytest.raises(ValueError, match="two hosts"):
+            single.correlation_matrix()
+
+    def test_column_lookup(self, small_population):
+        np.testing.assert_allclose(
+            small_population.column("whetstone"), [1000.0, 2000.0, 3000.0]
+        )
+        with pytest.raises(KeyError, match="unknown resource"):
+            small_population.column("gpu")
+
+
+class TestSubsetsAndConcat:
+    def test_subset_by_mask(self, small_population):
+        subset = small_population.subset(np.array([True, False, True]))
+        assert len(subset) == 2
+        np.testing.assert_allclose(subset.cores, [1.0, 4.0])
+
+    def test_subset_mask_shape_checked(self, small_population):
+        with pytest.raises(ValueError, match="mask"):
+            small_population.subset(np.array([True, False]))
+
+    def test_concatenate(self, small_population):
+        doubled = HostPopulation.concatenate([small_population, small_population])
+        assert len(doubled) == 6
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(ValueError, match="concatenate"):
+            HostPopulation.concatenate([])
+
+    def test_sample_without_replacement(self, small_population, rng):
+        sampled = small_population.sample(2, rng)
+        assert len(sampled) == 2
+
+    def test_sample_with_replacement_when_oversized(self, small_population, rng):
+        sampled = small_population.sample(10, rng)
+        assert len(sampled) == 10
+
+    def test_summary_table_mentions_all_resources(self, small_population):
+        text = small_population.summary_table()
+        for label in ("cores", "memory_mb", "dhrystone", "whetstone", "disk_gb"):
+            assert label in text

@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) for the core model invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.correlation import CorrelatedNormalSampler, nearest_correlation_psd
+from repro.core.generator import CorrelatedHostGenerator
+from repro.core.laws import ExponentialLaw
+from repro.core.parameters import ModelParameters
+from repro.core.ratios import RatioChain
+from repro.stats.explaw import fit_exponential_law
+from repro.stats.moments import (
+    lognormal_moments_from_params,
+    lognormal_params_from_moments,
+)
+
+# Law parameters in the regime the paper uses.
+law_a = st.floats(min_value=1e-3, max_value=1e7, allow_nan=False, allow_infinity=False)
+law_b = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False, allow_infinity=False)
+years = st.floats(min_value=2004.0, max_value=2020.0)
+
+
+class TestExponentialLawProperties:
+    @given(a=law_a, b=law_b, t=st.floats(min_value=-5.0, max_value=10.0))
+    def test_law_always_positive(self, a, b, t):
+        assert ExponentialLaw(a=a, b=b).at(t) > 0
+
+    @given(a=law_a, b=law_b)
+    @settings(max_examples=50)
+    def test_fit_round_trip(self, a, b):
+        t = np.linspace(0.0, 4.0, 9)
+        law = ExponentialLaw(a=a, b=b)
+        values = np.asarray(law.at(t))
+        if np.any(~np.isfinite(values)) or np.any(values <= 0):
+            return  # overflow regime: nothing to fit
+        fit = fit_exponential_law(t, values)
+        assert fit.a == pytest.approx(a, rel=1e-6)
+        assert fit.b == pytest.approx(b, abs=1e-6)
+
+    @given(a=law_a, b=law_b, delta=st.floats(min_value=-3.0, max_value=3.0))
+    def test_shift_is_time_translation(self, a, b, delta):
+        law = ExponentialLaw(a=a, b=b)
+        shifted = law.shifted(delta)
+        lhs, rhs = shifted.at(1.0), law.at(1.0 + delta)
+        if np.isfinite(lhs) and np.isfinite(rhs) and rhs > 0:
+            assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+def chains(min_classes: int = 2, max_classes: int = 6) -> st.SearchStrategy[RatioChain]:
+    """Random ratio chains with paper-regime laws."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_classes, max_classes))
+        values = sorted(
+            draw(
+                st.lists(
+                    st.floats(min_value=1.0, max_value=1e5),
+                    min_size=n,
+                    max_size=n,
+                    unique=True,
+                )
+            )
+        )
+        laws = tuple(
+            ExponentialLaw(
+                a=draw(st.floats(min_value=0.01, max_value=100.0)),
+                b=draw(st.floats(min_value=-1.0, max_value=1.0)),
+            )
+            for _ in range(n - 1)
+        )
+        return RatioChain(class_values=tuple(values), ratio_laws=laws)
+
+    return build()
+
+
+class TestRatioChainProperties:
+    @given(chain=chains(), when=years)
+    @settings(max_examples=80)
+    def test_probabilities_form_distribution(self, chain, when):
+        probs = chain.probabilities(when)
+        assert np.all(probs >= 0)
+        assert probs.sum() == pytest.approx(1.0)
+
+    @given(chain=chains(), when=years)
+    @settings(max_examples=50)
+    def test_mean_within_class_range(self, chain, when):
+        mean = chain.mean(when)
+        assert chain.class_values[0] <= mean <= chain.class_values[-1]
+
+    @given(chain=chains(), when=years, u=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=80)
+    def test_quantile_class_is_valid_class(self, chain, when, u):
+        value = chain.quantile_class(when, u)[0]
+        assert value in chain.class_values
+
+    @given(chain=chains(min_classes=3), when=years)
+    @settings(max_examples=50)
+    def test_fraction_at_least_decreasing_in_threshold(self, chain, when):
+        fractions = [
+            chain.fraction_at_least(when, v) for v in chain.class_values
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(fractions, fractions[1:]))
+
+
+def correlations() -> st.SearchStrategy[np.ndarray]:
+    """Random valid 3x3 correlation matrices (via random factor loading)."""
+
+    @st.composite
+    def build(draw):
+        raw = np.array(
+            [
+                [draw(st.floats(-1.0, 1.0)) for _ in range(3)]
+                for _ in range(3)
+            ]
+        )
+        cov = raw @ raw.T + np.eye(3) * 0.5
+        d = np.sqrt(np.diag(cov))
+        return cov / np.outer(d, d)
+
+    return build()
+
+
+class TestCorrelatedSamplerProperties:
+    @given(matrix=correlations())
+    @settings(max_examples=40)
+    def test_any_valid_matrix_accepted(self, matrix):
+        sampler = CorrelatedNormalSampler(matrix)
+        factor = sampler.cholesky_factor
+        np.testing.assert_allclose(factor @ factor.T, matrix, atol=1e-8)
+
+    @given(matrix=correlations())
+    @settings(max_examples=30)
+    def test_nearest_psd_idempotent_on_valid(self, matrix):
+        repaired = nearest_correlation_psd(matrix)
+        again = nearest_correlation_psd(repaired)
+        np.testing.assert_allclose(repaired, again, atol=1e-8)
+
+
+class TestMomentProperties:
+    @given(
+        mean=st.floats(min_value=1e-3, max_value=1e6),
+        cv=st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=80)
+    def test_lognormal_round_trip(self, mean, cv):
+        variance = (mean * cv) ** 2
+        mu, sigma = lognormal_params_from_moments(mean, variance)
+        back_mean, back_var = lognormal_moments_from_params(mu, sigma)
+        assert back_mean == pytest.approx(mean, rel=1e-6)
+        assert back_var == pytest.approx(variance, rel=1e-6, abs=1e-12)
+
+
+class TestGeneratorProperties:
+    @given(
+        when=st.floats(min_value=2006.0, max_value=2016.0),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_generated_hosts_always_valid(self, when, seed):
+        generator = CorrelatedHostGenerator(ModelParameters.paper_reference())
+        population = generator.generate(when, 200, np.random.default_rng(seed))
+        chain_values = set(generator.core_model.class_values)
+        assert set(np.unique(population.cores)) <= chain_values
+        assert np.all(population.memory_mb > 0)
+        assert np.all(population.dhrystone > 0)
+        assert np.all(population.whetstone > 0)
+        assert np.all(population.disk_gb > 0)
+        percore = population.memory_mb / population.cores
+        assert set(np.unique(percore)) <= set(
+            generator.memory_model.class_values_mb
+        )

@@ -1,0 +1,126 @@
+"""Property-based tests for the trace substrate and fitting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.laws import ExponentialLaw
+from repro.core.ratios import RatioChain
+from repro.fitting.ratios import fit_ratio_chain, snap_to_classes
+from repro.stats.ecdf import ECDF
+from repro.traces.lifetimes import LifetimeModel
+
+
+class TestLifetimeModelProperties:
+    @given(
+        shape=st.floats(min_value=0.3, max_value=2.0),
+        scale=st.floats(min_value=20.0, max_value=500.0),
+        decay=st.floats(min_value=0.0, max_value=0.5),
+        age=st.floats(min_value=0.0, max_value=10.0),
+        creation=st.floats(min_value=2004.0, max_value=2011.0),
+    )
+    @settings(max_examples=60)
+    def test_survival_is_probability(self, shape, scale, decay, age, creation):
+        model = LifetimeModel(
+            shape=shape, scale_2006_days=scale, decay_per_year=decay
+        )
+        survival = model.survival(age, creation)
+        assert 0.0 <= survival <= 1.0
+
+    @given(
+        shape=st.floats(min_value=0.3, max_value=2.0),
+        scale=st.floats(min_value=20.0, max_value=500.0),
+    )
+    @settings(max_examples=40)
+    def test_survival_monotone_in_age(self, shape, scale):
+        model = LifetimeModel(shape=shape, scale_2006_days=scale)
+        ages = np.linspace(0.0, 6.0, 30)
+        survival = model.survival(ages, np.full(30, 2008.0))
+        assert np.all(np.diff(survival) <= 1e-12)
+
+    @given(decay=st.floats(min_value=0.01, max_value=0.5))
+    @settings(max_examples=30)
+    def test_decay_orders_cohorts(self, decay):
+        model = LifetimeModel(decay_per_year=decay)
+        assert model.scale_days(2010.0) < model.scale_days(2006.0)
+
+
+class TestSnapProperties:
+    @given(
+        values=st.lists(
+            st.floats(min_value=1.0, max_value=1e5), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=60)
+    def test_snapped_values_are_classes(self, values):
+        classes = (256.0, 512.0, 1024.0, 2048.0)
+        snapped = snap_to_classes(np.array(values), classes)
+        assert set(np.unique(snapped)) <= set(classes)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=1.0, max_value=1e5), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=60)
+    def test_snapping_idempotent(self, values):
+        classes = (256.0, 512.0, 1024.0, 2048.0)
+        once = snap_to_classes(np.array(values), classes)
+        twice = snap_to_classes(once, classes)
+        np.testing.assert_array_equal(once, twice)
+
+
+def law_params():
+    return st.tuples(
+        st.floats(min_value=0.05, max_value=50.0),
+        st.floats(min_value=-0.8, max_value=0.3),
+    )
+
+
+class TestRatioFitRoundTripProperties:
+    @given(params=st.tuples(law_params(), law_params()))
+    @settings(max_examples=40, deadline=None)
+    def test_fit_recovers_arbitrary_chain(self, params):
+        """Noiseless fractions from any chain refit to the same laws."""
+        chain = RatioChain(
+            class_values=(1.0, 2.0, 4.0),
+            ratio_laws=tuple(ExponentialLaw(a=a, b=b) for a, b in params),
+        )
+        dates = np.linspace(2006.0, 2010.0, 9)
+        fractions = np.array([chain.probabilities(d) for d in dates])
+        fitted = fit_ratio_chain(dates, fractions, chain.class_values, min_fraction=0.0)
+        for fit_law, ref_law in zip(fitted.ratio_laws, chain.ratio_laws):
+            assert fit_law.a == pytest.approx(ref_law.a, rel=1e-4)
+            assert fit_law.b == pytest.approx(ref_law.b, abs=1e-4)
+
+
+class TestEcdfProperties:
+    @given(
+        sample=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200
+        )
+    )
+    @settings(max_examples=60)
+    def test_ecdf_is_cdf(self, sample):
+        ecdf = ECDF.from_sample(sample)
+        assert np.all(np.diff(ecdf.y) >= 0)
+        assert 0 < ecdf.y[0] <= 1
+        assert ecdf.y[-1] == pytest.approx(1.0)
+        # Below the minimum the CDF is 0; at the maximum it is 1.
+        assert ecdf(min(sample) - 1.0) == 0.0
+        assert ecdf(max(sample)) == pytest.approx(1.0)
+
+    @given(
+        sample=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=200
+        ),
+        q=st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=60)
+    def test_quantile_value_is_sample_member(self, sample, q):
+        ecdf = ECDF.from_sample(sample)
+        value = float(ecdf.quantile(q))
+        assert value in set(float(x) for x in sample)

@@ -1,0 +1,88 @@
+"""Tests for labelled Pearson correlation matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.correlation import CorrelationMatrix, pearson_matrix
+
+
+class TestPearsonMatrix:
+    def test_perfectly_correlated_columns(self):
+        x = np.arange(100, dtype=float)
+        matrix = pearson_matrix({"a": x, "b": 2 * x + 1})
+        assert matrix.get("a", "b") == pytest.approx(1.0)
+
+    def test_anticorrelated_columns(self):
+        x = np.arange(100, dtype=float)
+        matrix = pearson_matrix({"a": x, "b": -x})
+        assert matrix.get("a", "b") == pytest.approx(-1.0)
+
+    def test_independent_columns_near_zero(self):
+        rng = np.random.default_rng(11)
+        matrix = pearson_matrix(
+            {"a": rng.normal(size=20_000), "b": rng.normal(size=20_000)}
+        )
+        assert abs(matrix.get("a", "b")) < 0.03
+
+    def test_diagonal_is_one(self):
+        rng = np.random.default_rng(12)
+        matrix = pearson_matrix({"a": rng.normal(size=50), "b": rng.normal(size=50)})
+        assert matrix.get("a", "a") == pytest.approx(1.0)
+        assert matrix.get("b", "b") == pytest.approx(1.0)
+
+    def test_constant_column_yields_zero_not_nan(self):
+        matrix = pearson_matrix({"a": np.ones(10), "b": np.arange(10.0)})
+        assert matrix.get("a", "b") == 0.0
+        assert matrix.get("a", "a") == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no columns"):
+            pearson_matrix({})
+
+    def test_rejects_short_columns(self):
+        with pytest.raises(ValueError, match="two observations"):
+            pearson_matrix({"a": np.array([1.0]), "b": np.array([2.0])})
+
+    def test_rejects_ragged_columns(self):
+        with pytest.raises(ValueError, match="shape"):
+            pearson_matrix({"a": np.arange(5.0), "b": np.arange(6.0)})
+
+
+class TestCorrelationMatrix:
+    def _example(self) -> CorrelationMatrix:
+        return CorrelationMatrix(
+            labels=("x", "y", "z"),
+            values=np.array([[1.0, 0.5, 0.1], [0.5, 1.0, 0.2], [0.1, 0.2, 1.0]]),
+        )
+
+    def test_get_by_label(self):
+        assert self._example().get("x", "z") == pytest.approx(0.1)
+
+    def test_get_unknown_label(self):
+        with pytest.raises(KeyError, match="unknown label"):
+            self._example().get("x", "nope")
+
+    def test_submatrix_reorders(self):
+        sub = self._example().submatrix(("z", "x"))
+        assert sub.labels == ("z", "x")
+        assert sub.get("z", "x") == pytest.approx(0.1)
+        assert sub.values.shape == (2, 2)
+
+    def test_max_abs_difference_aligns_labels(self):
+        a = self._example()
+        b = CorrelationMatrix(
+            labels=("z", "y", "x"),
+            values=np.array([[1.0, 0.2, 0.1], [0.2, 1.0, 0.5], [0.1, 0.5, 1.0]]),
+        )
+        assert a.max_abs_difference(b) == pytest.approx(0.0)
+
+    def test_shape_label_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="labels"):
+            CorrelationMatrix(labels=("a",), values=np.eye(2))
+
+    def test_format_table_contains_labels_and_values(self):
+        text = self._example().format_table()
+        assert "x" in text and "z" in text
+        assert "0.500" in text

@@ -1,0 +1,77 @@
+"""Tests for the seven candidate distribution families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.distributions import CANDIDATE_FAMILIES, get_family
+
+
+class TestCatalogue:
+    def test_exactly_the_papers_seven_families(self):
+        assert set(CANDIDATE_FAMILIES) == {
+            "normal",
+            "lognormal",
+            "exponential",
+            "weibull",
+            "pareto",
+            "gamma",
+            "loggamma",
+        }
+
+    def test_get_family_known(self):
+        assert get_family("normal").name == "normal"
+
+    def test_get_family_unknown_lists_names(self):
+        with pytest.raises(KeyError, match="lognormal"):
+            get_family("cauchy")
+
+
+class TestFitting:
+    def test_normal_fit_recovers_moments(self):
+        rng = np.random.default_rng(1)
+        sample = rng.normal(2000.0, 500.0, size=20_000)
+        fitted = get_family("normal").fit(sample)
+        assert fitted.mean() == pytest.approx(2000.0, rel=0.02)
+        assert fitted.std() == pytest.approx(500.0, rel=0.05)
+
+    def test_lognormal_fit_recovers_parameters(self):
+        rng = np.random.default_rng(2)
+        sample = rng.lognormal(mean=3.0, sigma=1.2, size=20_000)
+        fitted = get_family("lognormal").fit(sample)
+        shape, loc, scale = fitted.params
+        assert loc == 0.0  # pinned
+        assert np.log(scale) == pytest.approx(3.0, abs=0.05)
+        assert shape == pytest.approx(1.2, abs=0.05)
+
+    def test_weibull_fit_recovers_shape(self):
+        rng = np.random.default_rng(3)
+        sample = 135.0 * rng.weibull(0.58, size=20_000)
+        fitted = get_family("weibull").fit(sample)
+        shape = fitted.params[0]
+        assert shape == pytest.approx(0.58, abs=0.05)
+
+    def test_fit_rejects_tiny_samples(self):
+        with pytest.raises(ValueError, match="two observations"):
+            get_family("normal").fit(np.array([1.0]))
+
+    def test_cdf_monotone(self):
+        fitted = get_family("normal").fit(np.random.default_rng(4).normal(0, 1, 500))
+        xs = np.linspace(-3, 3, 50)
+        cdf = fitted.cdf(xs)
+        assert np.all(np.diff(cdf) >= 0)
+        assert 0.0 <= cdf[0] <= cdf[-1] <= 1.0
+
+    def test_sample_round_trip(self):
+        rng = np.random.default_rng(5)
+        fitted = get_family("gamma").fit(rng.gamma(3.0, 2.0, size=10_000))
+        fresh = fitted.sample(10_000, np.random.default_rng(6))
+        assert fresh.mean() == pytest.approx(6.0, rel=0.1)
+
+    def test_pdf_integrates_to_about_one(self):
+        rng = np.random.default_rng(7)
+        fitted = get_family("normal").fit(rng.normal(10, 2, 5_000))
+        xs = np.linspace(0, 20, 2_000)
+        integral = np.trapezoid(fitted.pdf(xs), xs)
+        assert integral == pytest.approx(1.0, abs=0.01)

@@ -1,0 +1,107 @@
+"""Tests for ECDF, histogram and QQ utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.ecdf import (
+    ECDF,
+    histogram_density,
+    qq_max_relative_deviation,
+    qq_points,
+)
+
+
+class TestECDF:
+    def test_simple_sample(self):
+        ecdf = ECDF.from_sample([1.0, 2.0, 2.0, 3.0])
+        assert ecdf(0.5) == 0.0
+        assert ecdf(1.0) == pytest.approx(0.25)
+        assert ecdf(2.0) == pytest.approx(0.75)
+        assert ecdf(3.0) == pytest.approx(1.0)
+        assert ecdf(10.0) == pytest.approx(1.0)
+
+    def test_vectorised_evaluation(self):
+        ecdf = ECDF.from_sample([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(ecdf(np.array([1.0, 2.5, 4.0])), [0.25, 0.5, 1.0])
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ECDF.from_sample([])
+
+    def test_quantile_inverts_cdf(self):
+        rng = np.random.default_rng(13)
+        ecdf = ECDF.from_sample(rng.normal(0, 1, 10_000))
+        assert ecdf.quantile(0.5) == pytest.approx(0.0, abs=0.05)
+        assert ecdf.quantile(0.975) == pytest.approx(1.96, abs=0.15)
+
+    def test_quantile_bounds_checked(self):
+        ecdf = ECDF.from_sample([1.0, 2.0])
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            ecdf.quantile(1.5)
+
+    def test_max_distance_identical_is_zero(self):
+        sample = np.arange(10.0)
+        assert ECDF.from_sample(sample).max_distance(ECDF.from_sample(sample)) == 0.0
+
+    def test_max_distance_disjoint_is_one(self):
+        a = ECDF.from_sample([1.0, 2.0])
+        b = ECDF.from_sample([10.0, 11.0])
+        assert a.max_distance(b) == pytest.approx(1.0)
+
+    def test_max_distance_matches_ks_statistic(self):
+        rng = np.random.default_rng(14)
+        x = rng.normal(0, 1, 500)
+        y = rng.normal(0.5, 1, 500)
+        from scipy.stats import ks_2samp
+
+        ours = ECDF.from_sample(x).max_distance(ECDF.from_sample(y))
+        theirs = ks_2samp(x, y).statistic
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+
+class TestHistogramDensity:
+    def test_density_integrates_to_one(self):
+        rng = np.random.default_rng(15)
+        centres, density = histogram_density(rng.normal(0, 1, 5_000), bins=40)
+        width = centres[1] - centres[0]
+        assert float((density * width).sum()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_centres_inside_range(self):
+        centres, _ = histogram_density([1.0, 2.0, 3.0], bins=3, value_range=(0.0, 6.0))
+        assert centres.min() > 0.0 and centres.max() < 6.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            histogram_density([])
+
+
+class TestQQ:
+    def test_identical_samples_on_diagonal(self):
+        rng = np.random.default_rng(16)
+        sample = rng.lognormal(1.0, 0.5, 2_000)
+        qa, qb = qq_points(sample, sample)
+        np.testing.assert_allclose(qa, qb)
+
+    def test_shifted_samples_off_diagonal(self):
+        rng = np.random.default_rng(17)
+        sample = rng.normal(0, 1, 2_000)
+        qa, qb = qq_points(sample, sample + 5.0)
+        assert np.all(qb - qa > 4.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError, match="two QQ points"):
+            qq_points([1.0, 2.0], [1.0, 2.0], n_points=1)
+
+    def test_relative_deviation_small_for_same_distribution(self):
+        rng = np.random.default_rng(18)
+        a = rng.normal(100, 10, 5_000)
+        b = rng.normal(100, 10, 5_000)
+        assert qq_max_relative_deviation(a, b) < 0.05
+
+    def test_relative_deviation_large_for_different_distribution(self):
+        rng = np.random.default_rng(19)
+        a = rng.normal(100, 10, 5_000)
+        b = rng.normal(200, 10, 5_000)
+        assert qq_max_relative_deviation(a, b) > 0.5

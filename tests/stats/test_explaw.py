@@ -1,0 +1,76 @@
+"""Tests for exponential-law fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.explaw import ExponentialLawFit, fit_exponential_law
+
+
+class TestFitExponentialLaw:
+    def test_recovers_exact_parameters_on_noiseless_data(self):
+        t = np.linspace(0, 4, 9)
+        values = 3.369 * np.exp(-0.5004 * t)
+        fit = fit_exponential_law(t, values)
+        assert fit.a == pytest.approx(3.369, rel=1e-9)
+        assert fit.b == pytest.approx(-0.5004, rel=1e-9)
+        assert abs(fit.r) == pytest.approx(1.0, abs=1e-9)
+
+    def test_r_sign_follows_slope(self):
+        t = np.linspace(0, 4, 5)
+        growing = fit_exponential_law(t, 2.0 * np.exp(0.3 * t))
+        decaying = fit_exponential_law(t, 2.0 * np.exp(-0.3 * t))
+        assert growing.r > 0.99
+        assert decaying.r < -0.99
+
+    def test_noisy_fit_close_to_truth(self):
+        rng = np.random.default_rng(7)
+        t = np.linspace(0, 4, 50)
+        values = 100.0 * np.exp(0.25 * t) * np.exp(rng.normal(0, 0.05, t.size))
+        fit = fit_exponential_law(t, values)
+        assert fit.a == pytest.approx(100.0, rel=0.1)
+        assert fit.b == pytest.approx(0.25, abs=0.03)
+        assert fit.r > 0.9
+
+    def test_constant_series_gives_zero_slope(self):
+        fit = fit_exponential_law([0.0, 1.0, 2.0], [5.0, 5.0, 5.0])
+        assert fit.b == pytest.approx(0.0, abs=1e-12)
+        assert fit.a == pytest.approx(5.0)
+        assert fit.r == 0.0
+
+    def test_value_evaluates_fitted_law(self):
+        fit = ExponentialLawFit(a=2.0, b=0.5, r=1.0)
+        assert fit.value(0.0) == pytest.approx(2.0)
+        assert fit.value(2.0) == pytest.approx(2.0 * np.exp(1.0))
+        np.testing.assert_allclose(fit.value(np.array([0.0, 1.0])), [2.0, 2.0 * np.e**0.5])
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError, match="two points"):
+            fit_exponential_law([1.0], [2.0])
+
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(ValueError, match="positive"):
+            fit_exponential_law([0.0, 1.0], [1.0, 0.0])
+        with pytest.raises(ValueError, match="positive"):
+            fit_exponential_law([0.0, 1.0], [1.0, -2.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            fit_exponential_law([0.0, 1.0, 2.0], [1.0, 2.0])
+
+    def test_rejects_coincident_times(self):
+        with pytest.raises(ValueError, match="coincide"):
+            fit_exponential_law([1.0, 1.0, 1.0], [1.0, 2.0, 3.0])
+
+    def test_rejects_two_dimensional_input(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            fit_exponential_law(np.zeros((2, 2)), np.ones((2, 2)))
+
+    def test_paper_table_iv_style_fit(self):
+        """Fitting yearly ratios sampled from a Table IV law recovers it."""
+        t = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        values = 17.49 * np.exp(-0.3217 * t)
+        fit = fit_exponential_law(t, values)
+        assert fit.a == pytest.approx(17.49, rel=1e-6)
+        assert fit.b == pytest.approx(-0.3217, abs=1e-6)

@@ -1,0 +1,97 @@
+"""Tests for the subsampled Kolmogorov–Smirnov selection (§V-F method)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.distributions import CANDIDATE_FAMILIES, get_family
+from repro.stats.kstest import select_distribution, subsampled_ks_pvalue
+
+
+class TestSubsampledPvalue:
+    def test_good_fit_has_high_average_pvalue(self, rng):
+        sample = rng.normal(1000.0, 200.0, size=5_000)
+        fitted = get_family("normal").fit(sample)
+        p = subsampled_ks_pvalue(sample, fitted, rng)
+        assert p > 0.3
+
+    def test_bad_fit_has_low_average_pvalue(self, rng):
+        sample = rng.lognormal(0.0, 1.5, size=5_000)
+        fitted = get_family("normal").fit(sample)
+        p = subsampled_ks_pvalue(sample, fitted, rng)
+        assert p < 0.1
+
+    def test_small_samples_fall_back_to_replacement(self, rng):
+        sample = rng.normal(0, 1, size=10)
+        fitted = get_family("normal").fit(sample)
+        p = subsampled_ks_pvalue(sample, fitted, rng, n_subsamples=5)
+        assert 0.0 <= p <= 1.0
+
+    def test_rejects_degenerate_sample(self, rng):
+        fitted = get_family("normal").fit(np.array([0.0, 1.0]))
+        with pytest.raises(ValueError, match="two observations"):
+            subsampled_ks_pvalue(np.array([1.0]), fitted, rng)
+
+
+class TestSelectDistribution:
+    def test_normal_fits_normal_data_well(self, rng):
+        # Benchmark-speed style data (§V-F).  At subsample size 50 the KS
+        # test cannot separate a normal from a mildly-skewed Weibull/gamma,
+        # so the discriminative claims are: normal scores a high average
+        # p-value (the paper reports 0.19-0.43) while clearly wrong
+        # families (exponential, Pareto) are rejected outright.
+        sample = rng.normal(2000.0, 450.0, size=4_000)
+        result = select_distribution(sample, rng)
+        assert result.p_values["normal"] > 0.3
+        assert result.p_values["exponential"] < 0.01
+        assert result.p_values["pareto"] < 0.01
+        top_families = {name for name, _ in result.ranking()[:4]}
+        assert "normal" in top_families
+
+    def test_normal_rejected_on_heavily_skewed_data(self, rng):
+        sample = rng.lognormal(np.log(30.0), 1.2, size=4_000)
+        result = select_distribution(sample, rng)
+        assert result.p_values["normal"] < 0.02
+        assert result.p_values["lognormal"] > 0.3
+
+    def test_selects_lognormal_for_lognormal_data(self, rng):
+        # Disk-space style data (§V-G conclusion).
+        sample = rng.lognormal(np.log(30.0), 1.1, size=4_000)
+        result = select_distribution(sample, rng)
+        assert result.best_name == "lognormal"
+
+    def test_selects_weibull_for_weibull_data(self, rng):
+        # Lifetime style data (Fig 1 conclusion).
+        sample = 135.0 * rng.weibull(0.58, size=4_000)
+        sample = sample[sample > 0]
+        result = select_distribution(sample, rng)
+        assert result.best_name in {"weibull", "gamma"}  # close cousins at k<1
+        assert result.p_values["weibull"] > 0.05
+
+    def test_positive_families_skipped_on_negative_data(self, rng):
+        sample = rng.normal(0.0, 1.0, size=2_000)  # straddles zero
+        result = select_distribution(sample, rng)
+        assert "lognormal" not in result.p_values
+        assert "pareto" not in result.p_values
+        assert result.best_name == "normal"
+
+    def test_ranking_is_sorted(self, rng):
+        sample = rng.normal(100.0, 10.0, size=2_000)
+        result = select_distribution(sample, rng)
+        ranked = result.ranking()
+        p_values = [p for _, p in ranked]
+        assert p_values == sorted(p_values, reverse=True)
+        assert ranked[0][0] == result.best_name
+
+    def test_restricting_families(self, rng):
+        sample = rng.lognormal(1.0, 0.8, size=2_000)
+        families = {name: CANDIDATE_FAMILIES[name] for name in ("normal", "lognormal")}
+        result = select_distribution(sample, rng, families=families)
+        assert set(result.p_values) <= {"normal", "lognormal"}
+        assert result.best_name == "lognormal"
+
+    def test_fits_are_reusable(self, rng):
+        sample = rng.normal(50.0, 5.0, size=1_000)
+        result = select_distribution(sample, rng)
+        assert result.best.mean() == pytest.approx(50.0, rel=0.05)

@@ -1,0 +1,73 @@
+"""Tests for moment conversions (log-normal, Weibull)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.moments import (
+    lognormal_moments_from_params,
+    lognormal_params_from_moments,
+    weibull_mean,
+    weibull_median,
+    weibull_variance,
+)
+
+
+class TestLognormalConversions:
+    def test_round_trip(self):
+        mu, sigma = lognormal_params_from_moments(32.89, 60.25**2)
+        mean, variance = lognormal_moments_from_params(mu, sigma)
+        assert mean == pytest.approx(32.89)
+        assert variance == pytest.approx(60.25**2)
+
+    def test_sampling_matches_target_moments(self):
+        rng = np.random.default_rng(20)
+        mu, sigma = lognormal_params_from_moments(100.0, 150.0**2)
+        sample = rng.lognormal(mu, sigma, size=400_000)
+        assert sample.mean() == pytest.approx(100.0, rel=0.02)
+        assert sample.std() == pytest.approx(150.0, rel=0.05)
+
+    def test_zero_variance_degenerates_to_log_mean(self):
+        mu, sigma = lognormal_params_from_moments(50.0, 0.0)
+        assert sigma == 0.0
+        assert mu == pytest.approx(np.log(50.0))
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError, match="positive"):
+            lognormal_params_from_moments(0.0, 1.0)
+
+    def test_rejects_negative_variance(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            lognormal_params_from_moments(1.0, -1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            lognormal_moments_from_params(0.0, -0.5)
+
+
+class TestWeibullHelpers:
+    def test_paper_lifetime_median(self):
+        # k = 0.58, λ = 135 days gives the paper's median of ≈ 71 days.
+        assert weibull_median(0.58, 135.0) == pytest.approx(71.1, abs=1.0)
+
+    def test_paper_lifetime_mean(self):
+        # The analytic mean of Weibull(0.58, 135) is ≈ 213 days; the paper's
+        # empirical mean (192.4) is slightly below its own fitted law.
+        assert weibull_mean(0.58, 135.0) == pytest.approx(212.6, abs=1.0)
+
+    def test_exponential_special_case(self):
+        # k = 1 is the exponential distribution: mean = λ, var = λ².
+        assert weibull_mean(1.0, 10.0) == pytest.approx(10.0)
+        assert weibull_variance(1.0, 10.0) == pytest.approx(100.0)
+
+    def test_monte_carlo_agreement(self):
+        rng = np.random.default_rng(21)
+        sample = 135.0 * rng.weibull(0.58, size=400_000)
+        assert sample.mean() == pytest.approx(weibull_mean(0.58, 135.0), rel=0.02)
+        assert np.median(sample) == pytest.approx(weibull_median(0.58, 135.0), rel=0.02)
+
+    def test_rejects_nonpositive_parameters(self):
+        for fn in (weibull_mean, weibull_median, weibull_variance):
+            with pytest.raises(ValueError, match="positive"):
+                fn(0.0, 1.0)
+            with pytest.raises(ValueError, match="positive"):
+                fn(1.0, -1.0)

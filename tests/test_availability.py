@@ -1,0 +1,130 @@
+"""Tests for the availability extension (§VIII future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.availability.experiment import availability_aware_utilities
+from repro.availability.model import AvailabilityModel, HostAvailability
+from repro.hosts.population import HostPopulation
+
+
+@pytest.fixture(scope="module")
+def model() -> AvailabilityModel:
+    return AvailabilityModel()
+
+
+class TestFractions:
+    def test_mean_fraction(self, model):
+        assert model.mean_fraction == pytest.approx(0.64, abs=0.01)
+
+    def test_sampled_fractions_in_unit_interval(self, model, rng):
+        fractions = model.sample_fractions(10_000, rng)
+        assert np.all((fractions > 0) & (fractions < 1))
+        assert fractions.mean() == pytest.approx(model.mean_fraction, abs=0.02)
+
+    def test_heterogeneity_u_shape(self, model, rng):
+        # Refs [26]/[27]: mass near both extremes.
+        fractions = model.sample_fractions(50_000, rng)
+        assert float((fractions > 0.9).mean()) > 0.15
+        assert float((fractions < 0.1).mean()) > 0.05
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="Beta"):
+            AvailabilityModel(fraction_alpha=0.0)
+        with pytest.raises(ValueError, match="ON-interval"):
+            AvailabilityModel(on_shape=-1.0)
+
+    def test_negative_size_rejected(self, model, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            model.sample_fractions(-1, rng)
+
+
+class TestProfiles:
+    def test_off_mean_consistent_with_fraction(self):
+        profile = HostAvailability(fraction=0.8, mean_on_hours=10.0)
+        assert profile.mean_off_hours == pytest.approx(2.5)
+
+    def test_sample_profiles(self, model, rng):
+        profiles = model.sample_profiles(100, rng)
+        assert len(profiles) == 100
+        assert all(0 < p.fraction < 1 for p in profiles)
+
+
+class TestIntervalSimulation:
+    def test_intervals_inside_horizon_and_ordered(self, model, rng):
+        profile = HostAvailability(fraction=0.6, mean_on_hours=8.0)
+        intervals = model.simulate_intervals(profile, 24 * 30, rng)
+        last_end = 0.0
+        for start, end in intervals:
+            assert 0.0 <= start <= end <= 24 * 30
+            assert start >= last_end
+            last_end = end
+
+    def test_empirical_fraction_matches_profile(self, model):
+        rng = np.random.default_rng(5)
+        profile = HostAvailability(fraction=0.7, mean_on_hours=10.0)
+        horizon = 24.0 * 365 * 4
+        intervals = model.simulate_intervals(profile, horizon, rng)
+        measured = model.empirical_fraction(intervals, horizon)
+        assert measured == pytest.approx(0.7, abs=0.06)
+
+    def test_always_off_host_has_few_intervals(self, model, rng):
+        profile = HostAvailability(fraction=0.02, mean_on_hours=2.0)
+        intervals = model.simulate_intervals(profile, 24 * 30, rng)
+        measured = model.empirical_fraction(intervals, 24 * 30)
+        assert measured < 0.2
+
+    def test_bad_horizon_rejected(self, model, rng):
+        profile = HostAvailability(fraction=0.5, mean_on_hours=5.0)
+        with pytest.raises(ValueError, match="horizon"):
+            model.simulate_intervals(profile, 0.0, rng)
+
+
+class TestAvailabilityAwareAllocation:
+    @pytest.fixture(scope="class")
+    def population(self) -> HostPopulation:
+        rng = np.random.default_rng(17)
+        n = 4_000
+        return HostPopulation(
+            cores=rng.choice([1.0, 2.0, 4.0, 8.0], n),
+            memory_mb=rng.lognormal(7.5, 0.8, n),
+            dhrystone=rng.normal(4_000, 1_500, n).clip(100),
+            whetstone=rng.normal(2_000, 600, n).clip(100),
+            disk_gb=rng.lognormal(3.5, 1.1, n),
+        )
+
+    def test_awareness_never_hurts_on_average(self, population, rng):
+        result = availability_aware_utilities(population, rng)
+        assert result.mean_improvement_pct() > 0.0
+
+    def test_each_application_scored(self, population, rng):
+        result = availability_aware_utilities(population, rng)
+        assert set(result.applications) == {
+            "SETI@home",
+            "Folding@home",
+            "Climate Prediction",
+            "P2P",
+        }
+        for app in result.applications:
+            assert result.blind[app] > 0
+            assert result.aware[app] > 0
+
+    def test_empty_population_rejected(self, rng):
+        empty = HostPopulation(
+            cores=np.array([]),
+            memory_mb=np.array([]),
+            dhrystone=np.array([]),
+            whetstone=np.array([]),
+            disk_gb=np.array([]),
+        )
+        with pytest.raises(ValueError, match="empty"):
+            availability_aware_utilities(empty, rng)
+
+    def test_improvement_is_meaningful(self, population, rng):
+        # With U-shaped availability, knowing fractions is worth a couple of
+        # percent of effective utility on average (individual applications
+        # can shift either way through round-robin interactions).
+        result = availability_aware_utilities(population, rng)
+        assert result.mean_improvement_pct() > 1.0

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    """A small trace CSV written via the CLI itself."""
+    path = tmp_path_factory.mktemp("cli") / "trace.csv.gz"
+    assert main(["trace", "--scale", "0.008", "--out", str(path)]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_generates_csv_rows(self, capsys):
+        assert main(["generate", "--date", "2010-09-01", "--hosts", "5"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out[0].startswith("cores,")
+        assert len(out) == 6
+
+    def test_accepts_year_date(self, capsys):
+        assert main(["generate", "--date", "2012", "--hosts", "2"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 3
+
+    def test_summary_flag(self, capsys):
+        assert main(["generate", "--hosts", "3", "--summary"]) == 0
+        captured = capsys.readouterr()
+        assert "resource" in captured.err
+
+    def test_deterministic_with_seed(self, capsys):
+        main(["generate", "--hosts", "4", "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["generate", "--hosts", "4", "--seed", "7"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestTraceAndFit:
+    def test_trace_file_written(self, trace_file):
+        assert trace_file.exists()
+
+    def test_fit_prints_table_x(self, trace_file, capsys, tmp_path):
+        out_path = tmp_path / "params.json"
+        assert main(["fit", "--trace", str(trace_file), "--out", str(out_path)]) == 0
+        captured = capsys.readouterr().out
+        assert "Relative Ratio" in captured
+        payload = json.loads(out_path.read_text())
+        assert "core_chain" in payload
+
+    def test_generate_with_fitted_params(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "params.json"
+        main(["fit", "--trace", str(trace_file), "--out", str(out_path)])
+        capsys.readouterr()
+        assert main(
+            ["generate", "--params", str(out_path), "--hosts", "3"]
+        ) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 4
+
+
+class TestPredict:
+    def test_2014_scalars_printed(self, capsys):
+        assert main(["predict", "--year", "2014"]) == 0
+        out = capsys.readouterr().out
+        assert "mean cores" in out
+        assert "8100" in out  # Dhrystone 2014 mean
+        assert "Multicore forecast" in out
+
+
+class TestValidateAndSimulate:
+    def test_validate(self, trace_file, capsys):
+        assert main(["validate", "--trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "mu_act" in out
+        assert "Table VIII" in out
+
+    def test_simulate(self, trace_file, capsys):
+        assert main(["simulate", "--trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 15" in out
+        assert "P2P" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

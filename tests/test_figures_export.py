@@ -1,0 +1,70 @@
+"""Tests for the figure-data CSV export."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.figures import export_figure_data
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory, small_trace):
+    out = tmp_path_factory.mktemp("figures")
+    paths = export_figure_data(small_trace, out)
+    return out, paths
+
+
+class TestExport:
+    def test_all_expected_files_written(self, exported):
+        out, paths = exported
+        names = {p.name for p in paths}
+        expected = {
+            "fig01_lifetimes.csv",
+            "fig02_overview.csv",
+            "fig03_creation_lifetime.csv",
+            "tab01_processors.csv",
+            "tab02_os.csv",
+            "fig04_multicore_bands.csv",
+            "fig05_core_ratios.csv",
+            "fig07_percore_bands.csv",
+            "tab07_gpu_types.csv",
+            "fig10_gpu_memory.csv",
+            "fig13_core_forecast.csv",
+            "fig14_memory_forecast.csv",
+        }
+        assert names == expected
+        for path in paths:
+            assert path.exists()
+            assert path.stat().st_size > 0
+
+    def test_overview_csv_well_formed(self, exported):
+        out, _ = exported
+        with open(out / "fig02_overview.csv", newline="") as handle:
+            rows = list(csv.reader(handle))
+        header, data = rows[0], rows[1:]
+        assert header[0] == "date"
+        assert "cores_mean" in header
+        assert len(data) >= 10
+        assert all(len(row) == len(header) for row in data)
+
+    def test_forecast_csv_spans_2009_2014(self, exported):
+        out, _ = exported
+        with open(out / "fig13_core_forecast.csv", newline="") as handle:
+            rows = list(csv.reader(handle))
+        years = [float(row[0]) for row in rows[1:]]
+        assert min(years) == pytest.approx(2009.0)
+        assert max(years) == pytest.approx(2014.0)
+
+    def test_cli_figures_command(self, small_trace, tmp_path, capsys):
+        from repro.cli import main
+        from repro.traces.io import write_trace_csv
+
+        trace_path = tmp_path / "t.csv.gz"
+        write_trace_csv(small_trace, trace_path)
+        out_dir = tmp_path / "figs"
+        assert main(["figures", "--trace", str(trace_path), "--out", str(out_dir)]) == 0
+        captured = capsys.readouterr().out
+        assert "fig13_core_forecast.csv" in captured
+        assert (out_dir / "fig01_lifetimes.csv").exists()

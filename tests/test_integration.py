@@ -1,0 +1,164 @@
+"""End-to-end integration tests: the full paper pipeline in one pass.
+
+trace → clean → fit → generate → validate → predict → simulate, plus
+failure-injection scenarios (corruption floods, degenerate configs, edge
+dates) that individual unit tests don't cover.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.allocation.experiment import run_utility_experiment
+from repro.analysis.validation import validate_generated
+from repro.baselines.grid import KeeGridModel
+from repro.baselines.normal import UncorrelatedNormalModel
+from repro.core.generator import CorrelatedHostGenerator
+from repro.core.prediction import predict_scalars
+from repro.fitting.pipeline import fit_model_from_trace
+from repro.hosts.filters import SanityFilter
+from repro.traces.config import TraceConfig
+from repro.traces.io import read_trace_csv, write_trace_csv
+from repro.traces.synthesis import generate_trace
+
+
+class TestFullPipeline:
+    """One pass through everything the paper does, at reduced scale."""
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        trace = generate_trace(TraceConfig(scale=0.01, seed=77))
+        report = fit_model_from_trace(trace)
+        return trace, report
+
+    def test_fit_produces_usable_generator(self, world):
+        trace, report = world
+        generator = CorrelatedHostGenerator(report.parameters)
+        population = generator.generate(2010.5, 2_000, np.random.default_rng(1))
+        assert len(population) == 2_000
+        assert SanityFilter().discard_fraction(population) == 0.0
+
+    def test_validation_round_trip(self, world):
+        trace, report = world
+        generator = CorrelatedHostGenerator(report.parameters)
+        validation = validate_generated(
+            trace, generator, rng=np.random.default_rng(2)
+        )
+        assert validation.worst_mean_difference() < 20.0
+
+    def test_prediction_from_fitted_model(self, world):
+        _, report = world
+        scalars = predict_scalars(report.parameters, 2014.0)
+        # The fitted laws extrapolate to the same regime as Table X.  The
+        # high-core tail laws carry little signal at this reduced scale (the
+        # paper hand-estimated the 8:16 law for the same reason), so the
+        # four-years-out core mean gets a wide band.
+        assert 3.2 < scalars.cores_mean < 5.6
+        assert scalars.dhrystone_mean == pytest.approx(8100.0, rel=0.25)
+
+    def test_simulation_with_all_models(self, world):
+        trace, report = world
+        models = [
+            UncorrelatedNormalModel.from_trace(trace),
+            KeeGridModel.from_trace(trace),
+            CorrelatedHostGenerator(report.parameters),
+        ]
+        result = run_utility_experiment(
+            trace, models, dates=(2010.25, 2010.5), rng=np.random.default_rng(3)
+        )
+        for app in result.applications:
+            assert result.mean_difference(app, "correlated") < 15.0
+
+    def test_trace_survives_serialisation_mid_pipeline(self, world, tmp_path):
+        trace, report = world
+        path = tmp_path / "roundtrip.csv.gz"
+        write_trace_csv(trace, path)
+        restored = read_trace_csv(path)
+        report2 = fit_model_from_trace(restored)
+        assert report2.parameters.dhrystone_mean.a == pytest.approx(
+            report.parameters.dhrystone_mean.a
+        )
+        assert report2.parameters.lifetime_shape == pytest.approx(
+            report.parameters.lifetime_shape
+        )
+
+
+class TestFailureInjection:
+    def test_heavy_corruption_still_fittable(self):
+        """A trace with 5 % corrupt measurements fits after cleaning."""
+        config = TraceConfig(scale=0.008, corrupt_fraction=0.05, seed=5)
+        trace = generate_trace(config)
+        report = fit_model_from_trace(trace)
+        # Cleaning removed roughly the corrupt share.
+        total = report.n_hosts_per_date.sum() + report.n_discarded
+        assert report.n_discarded / total == pytest.approx(0.05, rel=0.4)
+        # The fit is unharmed.
+        assert report.parameters.dhrystone_mean.b == pytest.approx(0.17, abs=0.05)
+
+    def test_fit_without_cleaning_is_visibly_worse(self):
+        """Skipping §V-B cleaning corrupts the variance laws."""
+        config = TraceConfig(scale=0.008, corrupt_fraction=0.05, seed=5)
+        trace = generate_trace(config)
+        permissive = SanityFilter(
+            max_cores=1e9,
+            max_whetstone_mips=1e12,
+            max_dhrystone_mips=1e12,
+            max_memory_mb=1e12,
+            max_disk_gb=1e12,
+        )
+        dirty = fit_model_from_trace(trace, sanity=permissive)
+        clean = fit_model_from_trace(trace)
+        assert dirty.parameters.dhrystone_variance.a > 2 * clean.parameters.dhrystone_variance.a
+
+    def test_zero_corruption_config(self):
+        trace = generate_trace(TraceConfig(scale=0.005, corrupt_fraction=0.0, seed=6))
+        assert not trace.corrupt.any()
+        report = fit_model_from_trace(trace)
+        assert report.n_discarded == 0
+
+    def test_flat_world_fits_flat_laws(self):
+        """A world with frozen technology yields b ≈ 0 moment laws."""
+        from repro.core.laws import ExponentialLaw
+        from repro.core.parameters import ModelParameters
+
+        reference = ModelParameters.paper_reference()
+        frozen = dataclasses.replace(
+            reference,
+            dhrystone_mean=ExponentialLaw(2064.0, 0.0),
+            dhrystone_variance=ExponentialLaw(1.379e6, 0.0),
+            whetstone_mean=ExponentialLaw(1179.0, 0.0),
+            whetstone_variance=ExponentialLaw(3.237e5, 0.0),
+            disk_mean=ExponentialLaw(31.59, 0.0),
+            disk_variance=ExponentialLaw(2890.0, 0.0),
+        )
+        config = TraceConfig(scale=0.006, params=frozen, seed=8)
+        trace = generate_trace(config)
+        report = fit_model_from_trace(trace)
+        assert abs(report.parameters.dhrystone_mean.b) < 0.03
+        assert abs(report.parameters.disk_mean.b) < 0.04
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="after start"):
+            TraceConfig(start=2010.0, end=2009.0)
+        with pytest.raises(ValueError, match="scale"):
+            TraceConfig(scale=0.0)
+        with pytest.raises(ValueError, match="corrupt_fraction"):
+            TraceConfig(corrupt_fraction=1.5)
+        with pytest.raises(ValueError, match="disk fraction"):
+            TraceConfig(disk_fraction_low=0.9, disk_fraction_high=0.5)
+
+    def test_tiny_scale_world_still_generates(self):
+        trace = generate_trace(TraceConfig(scale=0.001, seed=9))
+        assert len(trace) > 500
+        assert trace.active_count(2008.0) > 100
+
+    def test_short_window_world(self):
+        """A trace ending before Sep 2010 still supports fitting on its span."""
+        config = TraceConfig(scale=0.008, end=2009.0, seed=10)
+        trace = generate_trace(config)
+        dates = np.linspace(2006.0, 2008.8, 8)
+        report = fit_model_from_trace(trace, dates=dates)
+        assert report.parameters.whetstone_mean.b == pytest.approx(0.116, abs=0.06)

@@ -1,0 +1,131 @@
+"""Tests for the network extension (bandwidth + P2P overlay)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.generator import CorrelatedHostGenerator
+from repro.network.bandwidth import BandwidthModel, HostBandwidth
+from repro.network.overlay import (
+    build_overlay,
+    swarm_capacity_fraction,
+    swarm_distribution_time,
+)
+
+
+@pytest.fixture(scope="module")
+def bandwidth_model() -> BandwidthModel:
+    return BandwidthModel()
+
+
+@pytest.fixture(scope="module")
+def hosts_2010():
+    generator = CorrelatedHostGenerator()
+    return generator.generate(2010.0, 500, np.random.default_rng(31))
+
+
+class TestBandwidthModel:
+    def test_rates_positive(self, bandwidth_model, rng):
+        down, up = bandwidth_model.sample(2010.0, 5_000, rng)
+        assert np.all(down > 0)
+        assert np.all(up > 0)
+
+    def test_links_asymmetric(self, bandwidth_model, rng):
+        down, up = bandwidth_model.sample(2008.0, 20_000, rng)
+        ratio = down / up
+        assert np.median(ratio) > 3.0
+        assert np.all(ratio >= 1.0)
+
+    def test_rates_grow_over_time(self, bandwidth_model, rng):
+        down_2006, _ = bandwidth_model.sample(2006.0, 50_000, rng)
+        down_2010, _ = bandwidth_model.sample(2010.0, 50_000, rng)
+        assert down_2010.mean() > 1.5 * down_2006.mean()
+
+    def test_moments_match_trend(self, bandwidth_model, rng):
+        mean, _ = bandwidth_model.downlink_moments(2006.0)
+        down, _ = bandwidth_model.sample(2006.0, 200_000, rng)
+        assert down.mean() == pytest.approx(mean, rel=0.03)
+
+    def test_sample_host(self, bandwidth_model, rng):
+        host = bandwidth_model.sample_host(2009.0, rng)
+        assert isinstance(host, HostBandwidth)
+        assert host.asymmetry >= 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="spread"):
+            BandwidthModel(down_cv=0.0)
+        with pytest.raises(ValueError, match="spread"):
+            BandwidthModel(asymmetry_mean=0.5)
+
+    def test_invalid_host_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            HostBandwidth(downlink_mbps=0.0, uplink_mbps=1.0)
+
+
+class TestOverlay:
+    @pytest.fixture(scope="class")
+    def overlay(self, hosts_2010):
+        rng = np.random.default_rng(32)
+        down, up = BandwidthModel().sample(2010.0, len(hosts_2010), rng)
+        return build_overlay(hosts_2010, down, up, degree=6, rng=rng)
+
+    def test_every_host_is_a_node(self, overlay, hosts_2010):
+        assert overlay.number_of_nodes() == len(hosts_2010)
+
+    def test_regular_degree(self, overlay):
+        degrees = [d for _, d in overlay.degree]
+        assert all(d == 6 for d in degrees)
+
+    def test_node_attributes_attached(self, overlay):
+        attrs = overlay.nodes[0]
+        assert attrs["disk_gb"] > 0
+        assert attrs["downlink_mbps"] > 0
+        assert attrs["uplink_mbps"] > 0
+
+    def test_odd_parity_falls_back_to_gnp(self, hosts_2010, rng):
+        trimmed = hosts_2010.subset(np.arange(len(hosts_2010)) < 11)
+        down, up = BandwidthModel().sample(2010.0, 11, rng)
+        graph = build_overlay(trimmed, down, up, degree=3, rng=rng)  # 33 odd
+        assert graph.number_of_nodes() == 11
+
+    def test_bad_inputs_rejected(self, hosts_2010, rng):
+        down, up = BandwidthModel().sample(2010.0, len(hosts_2010), rng)
+        with pytest.raises(ValueError, match="degree"):
+            build_overlay(hosts_2010, down, up, degree=0, rng=rng)
+        with pytest.raises(ValueError, match="per host"):
+            build_overlay(hosts_2010, down[:5], up, degree=4, rng=rng)
+
+
+class TestSwarm:
+    @pytest.fixture(scope="class")
+    def overlay(self, hosts_2010):
+        rng = np.random.default_rng(33)
+        down, up = BandwidthModel().sample(2010.0, len(hosts_2010), rng)
+        return build_overlay(hosts_2010, down, up, degree=8, rng=rng)
+
+    def test_distribution_time_positive_and_finite(self, overlay):
+        hours = swarm_distribution_time(overlay, content_gb=1.0)
+        assert 0 < hours < np.inf
+
+    def test_bigger_content_takes_longer(self, overlay):
+        small = swarm_distribution_time(overlay, content_gb=0.5)
+        large = swarm_distribution_time(overlay, content_gb=4.0)
+        assert large > small
+
+    def test_oversized_content_unservable(self, overlay):
+        assert swarm_distribution_time(overlay, content_gb=1e9) == np.inf
+
+    def test_capacity_fraction_decreasing_in_size(self, overlay):
+        fractions = [
+            swarm_capacity_fraction(overlay, gb) for gb in (0.1, 10.0, 100.0, 1e6)
+        ]
+        assert all(b <= a for a, b in zip(fractions, fractions[1:]))
+        assert fractions[0] > 0.9
+        assert fractions[-1] < 0.05
+
+    def test_invalid_inputs_rejected(self, overlay):
+        with pytest.raises(ValueError, match="positive"):
+            swarm_distribution_time(overlay, content_gb=0.0)
+        with pytest.raises(KeyError, match="seed"):
+            swarm_distribution_time(overlay, 1.0, seed_node=10**9)

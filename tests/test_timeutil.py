@@ -1,0 +1,87 @@
+"""Tests for date/fractional-year conversions."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro import timeutil
+
+
+class TestYearFraction:
+    def test_january_first_is_integer_year(self):
+        assert timeutil.year_fraction(dt.date(2006, 1, 1)) == 2006.0
+        assert timeutil.year_fraction(dt.date(2010, 1, 1)) == 2010.0
+
+    def test_midyear_is_about_half(self):
+        frac = timeutil.year_fraction(dt.date(2009, 7, 2))
+        assert 2009.49 <= frac <= 2009.51
+
+    def test_september_first_2010_matches_paper_convention(self):
+        # The paper's validation date: Sep 1 2010 ≈ 2010.666.
+        frac = timeutil.year_fraction(dt.date(2010, 9, 1))
+        assert frac == pytest.approx(2010.666, abs=2e-3)
+
+    def test_end_of_year_close_to_next_integer(self):
+        frac = timeutil.year_fraction(dt.date(2007, 12, 31))
+        assert 2007.99 <= frac < 2008.0
+
+    def test_leap_year_handling(self):
+        # 2008 is a leap year: Jul 2 is day 183 of 366.
+        frac = timeutil.year_fraction(dt.date(2008, 7, 2))
+        assert frac == pytest.approx(2008 + 183 / 366)
+
+
+class TestFromYearFraction:
+    def test_round_trip_to_day_resolution(self):
+        for date in (dt.date(2006, 3, 15), dt.date(2008, 12, 31), dt.date(2010, 9, 1)):
+            assert timeutil.from_year_fraction(timeutil.year_fraction(date)) == date
+
+    def test_integer_year_gives_january_first(self):
+        assert timeutil.from_year_fraction(2009.0) == dt.date(2009, 1, 1)
+
+    def test_fraction_just_below_one_stays_in_year(self):
+        assert timeutil.from_year_fraction(2009.9999).year == 2009
+
+
+class TestModelTime:
+    def test_epoch_is_zero(self):
+        assert timeutil.model_time(dt.date(2006, 1, 1)) == 0.0
+
+    def test_accepts_calendar_year_float(self):
+        assert timeutil.model_time(2010.5) == pytest.approx(4.5)
+
+    def test_accepts_date(self):
+        assert timeutil.model_time(dt.date(2010, 1, 1)) == pytest.approx(4.0)
+
+    def test_calendar_year_inverts_model_time(self):
+        assert timeutil.calendar_year(timeutil.model_time(2012.25)) == pytest.approx(2012.25)
+
+    def test_pre_epoch_dates_are_negative(self):
+        assert timeutil.model_time(dt.date(2005, 1, 1)) == pytest.approx(-1.0)
+
+
+class TestParseDate:
+    def test_iso_format(self):
+        assert timeutil.parse_date("2010-09-01") == dt.date(2010, 9, 1)
+
+    def test_bare_year(self):
+        assert timeutil.parse_date("2014") == dt.date(2014, 1, 1)
+
+    def test_fractional_year(self):
+        parsed = timeutil.parse_date("2010.667")
+        assert parsed.year == 2010
+        assert parsed.month == 9
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="expected"):
+            timeutil.parse_date("not-a-date")
+
+
+class TestDurations:
+    def test_days_years_round_trip(self):
+        assert timeutil.days_to_years(timeutil.years_to_days(3.5)) == pytest.approx(3.5)
+
+    def test_one_year_is_365_and_a_quarter_days(self):
+        assert timeutil.years_to_days(1.0) == pytest.approx(365.25)

@@ -1,0 +1,76 @@
+"""Tests for the arrival-schedule solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.arrivals import solve_arrival_schedule
+from repro.traces.lifetimes import LifetimeModel
+
+
+def constant_target(level: float):
+    return lambda when: level
+
+
+class TestSolver:
+    def test_rejects_bad_window(self):
+        model = LifetimeModel()
+        with pytest.raises(ValueError, match="after start"):
+            solve_arrival_schedule(2008.0, 2006.0, constant_target(100), model.survival)
+
+    def test_monthly_grid_covers_window(self):
+        model = LifetimeModel()
+        schedule = solve_arrival_schedule(
+            2006.0, 2008.0, constant_target(1_000), model.survival
+        )
+        assert schedule.cohort_times.size == 24
+        assert schedule.cohort_times[0] == pytest.approx(2006.0 + 1 / 24)
+        assert schedule.cohort_width == pytest.approx(1 / 12)
+
+    def test_constant_target_met_at_midpoints(self):
+        model = LifetimeModel(decay_per_year=0.0)
+        schedule = solve_arrival_schedule(
+            2006.0, 2009.0, constant_target(5_000), model.survival
+        )
+        # After burn-in, the expected active count at cohort midpoints
+        # should sit on the target.
+        for when in schedule.cohort_times[12:]:
+            expected = schedule.expected_active(float(when), model.survival)
+            assert expected == pytest.approx(5_000, rel=0.01)
+
+    def test_growing_target_tracked(self):
+        model = LifetimeModel(decay_per_year=0.0)
+        target = lambda when: 1_000 + 500 * (when - 2006.0)
+        schedule = solve_arrival_schedule(2006.0, 2009.0, target, model.survival)
+        mid = schedule.cohort_times[20]
+        assert schedule.expected_active(float(mid), model.survival) == pytest.approx(
+            target(mid), rel=0.01
+        )
+
+    def test_steep_decline_floors_arrivals_at_zero(self):
+        model = LifetimeModel(decay_per_year=0.0)
+        # Target collapses 100x at 2007; churn cannot shed hosts that fast.
+        target = lambda when: 10_000 if when < 2007.0 else 100.0
+        schedule = solve_arrival_schedule(2006.0, 2008.0, target, model.survival)
+        assert np.all(schedule.arrivals >= 0)
+        # Some post-collapse months should be zero-arrival.
+        post = schedule.arrivals[schedule.cohort_times > 2007.0]
+        assert np.any(post == 0)
+
+    def test_total_arrivals_reflect_churn(self):
+        model = LifetimeModel(decay_per_year=0.0)
+        schedule = solve_arrival_schedule(
+            2006.0, 2010.0, constant_target(1_000), model.survival
+        )
+        # With ≈ 0.75-year mean lifetimes, keeping 1000 hosts active for
+        # 4 years requires several thousand arrivals.
+        assert schedule.total_arrivals > 4_000
+
+    def test_quarterly_cohorts(self):
+        model = LifetimeModel()
+        schedule = solve_arrival_schedule(
+            2006.0, 2008.0, constant_target(500), model.survival, months_per_cohort=3
+        )
+        assert schedule.cohort_times.size == 8
+        assert schedule.cohort_width == pytest.approx(0.25)

@@ -1,0 +1,115 @@
+"""Tests for the age-mixing calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.laws import ExponentialLaw
+from repro.core.parameters import ModelParameters
+from repro.traces.arrivals import solve_arrival_schedule
+from repro.traces.calibration import CohortCalibration
+from repro.traces.lifetimes import LifetimeModel
+
+
+@pytest.fixture(scope="module")
+def calibration() -> CohortCalibration:
+    model = LifetimeModel()
+    schedule = solve_arrival_schedule(
+        2004.0, 2010.75, lambda when: 5_000.0, model.survival
+    )
+    return CohortCalibration.from_schedule(
+        schedule, model.survival, window_start=2006.0, window_end=2010.667
+    )
+
+
+class TestMoments:
+    def test_mean_age_reasonable(self, calibration):
+        # Median lifetime is ~70 days but survivors skew old; the active
+        # population's mean age lands under a year.
+        assert 0.3 < calibration.mean_age() < 1.5
+
+    def test_lag_factor_one_at_b_zero(self, calibration):
+        assert calibration.lag_factor(0.0) == pytest.approx(1.0)
+
+    def test_lag_factor_below_one_for_growth(self, calibration):
+        assert calibration.lag_factor(0.3) < 1.0
+
+    def test_lag_factor_above_one_for_decay(self, calibration):
+        assert calibration.lag_factor(-0.3) > 1.0
+
+    def test_delta_limit_at_zero_is_mean_age(self, calibration):
+        assert calibration.delta(0.0) == pytest.approx(calibration.mean_age())
+        assert calibration.delta(1e-12) == pytest.approx(calibration.mean_age(), rel=0.01)
+
+    def test_delta_positive_for_all_relevant_slopes(self, calibration):
+        for b in (-1.3, -0.5, -0.1, 0.1, 0.33, 0.52):
+            assert calibration.delta(b) > 0
+
+
+class TestLeadLaw:
+    def test_lead_law_cancels_age_mixing(self, calibration):
+        # The defining property: averaging the lead law over the observed
+        # (age, time) mixture reproduces the target law's pooled average.
+        law = ExponentialLaw(a=2064.0, b=0.1709)
+        lead = calibration.lead_law(law)
+        mixed = np.average(
+            lead.at(calibration.sample_times - calibration.ages),
+            weights=calibration.weights,
+        )
+        target = np.average(
+            law.at(calibration.sample_times), weights=calibration.weights
+        )
+        assert mixed == pytest.approx(target, rel=1e-6)
+
+    def test_lead_law_runs_ahead_for_growth(self, calibration):
+        law = ExponentialLaw(a=100.0, b=0.25)
+        assert calibration.lead_law(law).at(0.0) > law.at(0.0)
+
+
+class TestVarianceShrink:
+    def test_shrink_in_unit_interval(self, calibration):
+        params = ModelParameters.paper_reference()
+        shrink = calibration.variance_shrink(
+            params.dhrystone_mean, params.dhrystone_variance
+        )
+        assert 0.1 <= shrink <= 1.0
+
+    def test_shrink_smaller_for_flatter_variance(self, calibration):
+        # If the target variance is small relative to the trend-driven
+        # between-cohort spread, more shrinking is needed.
+        mean_law = ExponentialLaw(a=1000.0, b=0.4)
+        wide = ExponentialLaw(a=1e6, b=0.4)
+        narrow = ExponentialLaw(a=3e4, b=0.4)
+        assert calibration.variance_shrink(mean_law, narrow) < calibration.variance_shrink(
+            mean_law, wide
+        )
+
+
+class TestChainShift:
+    def test_shift_positive_for_growing_chain(self, calibration):
+        chain = ModelParameters.paper_reference().core_chain
+        delta = calibration.chain_time_shift(chain)
+        assert 0.0 < delta < 3.0
+
+    def test_shifted_weights_shape(self, calibration):
+        chain = ModelParameters.paper_reference().core_chain
+        weights = calibration.shifted_chain_weights(chain, np.array([0.0, 2.0, 4.0]))
+        assert weights.shape == (3, len(chain.class_values))
+        assert np.all(weights > 0)
+
+    def test_shift_reproduces_population_mean(self, calibration):
+        # The defining property of the chain shift: the age-mixture of the
+        # shifted chain means equals the pooled population target.
+        chain = ModelParameters.paper_reference().core_chain
+        values = np.asarray(chain.class_values)
+        weights = calibration.shifted_chain_weights(
+            chain, calibration.sample_times - calibration.ages
+        )
+        probs = weights / weights.sum(axis=1, keepdims=True)
+        mixed = np.average(probs @ values, weights=calibration.weights)
+        target = np.average(
+            [chain.mean(2006.0 + t) for t in calibration.sample_times],
+            weights=calibration.weights,
+        )
+        assert mixed == pytest.approx(target, rel=0.01)

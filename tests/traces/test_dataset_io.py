@@ -1,0 +1,155 @@
+"""Tests for the trace dataset queries and CSV persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.dataset import TraceDataset
+from repro.traces.io import read_trace_csv, trace_to_csv_text, write_trace_csv
+
+
+def tiny_trace() -> TraceDataset:
+    """Three hand-built hosts with known activity windows."""
+    return TraceDataset(
+        host_id=np.array([0, 1, 2], dtype=np.int64),
+        created=np.array([2006.0, 2007.5, 2009.0]),
+        last_contact=np.array([2007.0, 2010.75, 2009.2]),
+        censored=np.array([False, True, False]),
+        cores=np.array([1.0, 2.0, 4.0]),
+        memory_mb=np.array([512.0, 2048.0, 4096.0]),
+        dhrystone=np.array([2000.0, 4000.0, 5000.0]),
+        whetstone=np.array([1000.0, 2000.0, 2500.0]),
+        disk_avail_gb=np.array([10.0, 50.0, 80.0]),
+        disk_total_gb=np.array([100.0, 100.0, 200.0]),
+        cpu_family=np.array(["Pentium 4", "Intel Core 2", "Intel Core 2"], dtype=object),
+        os_name=np.array(["Windows XP", "Windows Vista", "Linux"], dtype=object),
+        gpu_uniform=np.array([0.05, 0.5, 0.9]),
+        gpu_type=np.array(["GeForce", "Radeon", "GeForce"], dtype=object),
+        gpu_memory_mb=np.array([512.0, 1024.0, 256.0]),
+        corrupt=np.array([False, False, False]),
+    )
+
+
+class TestActivity:
+    def test_active_mask_boundaries_inclusive(self):
+        trace = tiny_trace()
+        assert trace.active_mask(2006.0)[0]
+        assert trace.active_mask(2007.0)[0]
+        assert not trace.active_mask(2007.01)[0]
+
+    def test_active_count(self):
+        trace = tiny_trace()
+        assert trace.active_count(2006.5) == 1
+        assert trace.active_count(2009.1) == 2
+        assert trace.active_count(2005.0) == 0
+
+    def test_active_index(self):
+        np.testing.assert_array_equal(tiny_trace().active_index(2009.1), [1, 2])
+
+    def test_snapshot_resources(self):
+        snap = tiny_trace().snapshot(2009.1)
+        assert len(snap) == 2
+        np.testing.assert_allclose(snap.disk_gb, [50.0, 80.0])
+
+
+class TestLifetimes:
+    def test_lifetime_days(self):
+        days = tiny_trace().lifetime_days()
+        assert days[0] == pytest.approx(365.25)
+
+    def test_lifetime_sample_exclusion(self):
+        trace = tiny_trace()
+        assert trace.lifetime_sample().size == 3
+        assert trace.lifetime_sample(exclude_created_after=2008.0).size == 2
+
+    def test_cohort_means(self):
+        trace = tiny_trace()
+        centres, means = trace.mean_lifetime_by_cohort(np.array([2006.0, 2008.0, 2010.0]))
+        assert centres.size == 2
+        # first cohort: hosts 0 and 1
+        expected = (365.25 + (2010.75 - 2007.5) * 365.25) / 2
+        assert means[0] == pytest.approx(expected)
+
+    def test_cohort_needs_two_edges(self):
+        with pytest.raises(ValueError, match="edges"):
+            tiny_trace().mean_lifetime_by_cohort(np.array([2006.0]))
+
+
+class TestSubsetsAndLabels:
+    def test_subset(self):
+        sub = tiny_trace().subset(np.array([True, False, True]))
+        assert len(sub) == 2
+        assert sub.cpu_family[1] == "Intel Core 2"
+
+    def test_subset_shape_checked(self):
+        with pytest.raises(ValueError, match="mask"):
+            tiny_trace().subset(np.array([True]))
+
+    def test_label_shares(self):
+        shares = tiny_trace().label_shares("cpu_family", 2009.1)
+        assert shares == {"Intel Core 2": 1.0}
+
+    def test_label_shares_rejects_numeric_columns(self):
+        with pytest.raises(KeyError, match="label column"):
+            tiny_trace().label_shares("cores", 2009.1)
+
+    def test_label_shares_empty_when_nobody_active(self):
+        assert tiny_trace().label_shares("os_name", 2000.0) == {}
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            TraceDataset(
+                **{
+                    **{f: getattr(tiny_trace(), f) for f in (
+                        "host_id created last_contact censored cores memory_mb "
+                        "dhrystone whetstone disk_avail_gb disk_total_gb cpu_family "
+                        "os_name gpu_uniform gpu_type gpu_memory_mb"
+                    ).split()},
+                    "corrupt": np.array([False]),
+                }
+            )
+
+
+class TestCsvRoundTrip:
+    def test_plain_csv(self, tmp_path):
+        trace = tiny_trace()
+        path = tmp_path / "trace.csv"
+        write_trace_csv(trace, path)
+        restored = read_trace_csv(path)
+        np.testing.assert_allclose(restored.created, trace.created)
+        np.testing.assert_array_equal(restored.cpu_family, trace.cpu_family)
+        np.testing.assert_array_equal(restored.censored, trace.censored)
+        assert restored.host_id.dtype == np.int64
+
+    def test_gzip_csv(self, tmp_path):
+        trace = tiny_trace()
+        path = tmp_path / "trace.csv.gz"
+        write_trace_csv(trace, path)
+        # The file really is gzip-compressed.
+        with open(path, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"
+        restored = read_trace_csv(path)
+        np.testing.assert_allclose(restored.disk_total_gb, trace.disk_total_gb)
+
+    def test_round_trip_preserves_statistics(self, tmp_path, small_trace):
+        path = tmp_path / "full.csv.gz"
+        write_trace_csv(small_trace, path)
+        restored = read_trace_csv(path)
+        assert len(restored) == len(small_trace)
+        assert restored.active_count(2009.0) == small_trace.active_count(2009.0)
+        np.testing.assert_allclose(
+            restored.dhrystone, small_trace.dhrystone, rtol=1e-9
+        )
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("not,a,trace\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            read_trace_csv(path)
+
+    def test_csv_text_rendering(self):
+        text = trace_to_csv_text(tiny_trace())
+        lines = text.strip().splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("host_id,created")

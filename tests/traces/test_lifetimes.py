@@ -1,0 +1,96 @@
+"""Tests for the host lifetime model (Figs 1 and 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.lifetimes import LifetimeModel
+
+
+class TestScale:
+    def test_scale_at_2006_is_reference(self):
+        model = LifetimeModel(scale_2006_days=175.0, decay_per_year=0.18)
+        assert model.scale_days(2006.0) == pytest.approx(175.0)
+
+    def test_scale_decays_with_creation_date(self):
+        model = LifetimeModel()
+        assert model.scale_days(2009.0) < model.scale_days(2007.0)
+
+    def test_scale_vectorised(self):
+        model = LifetimeModel()
+        scales = model.scale_days(np.array([2006.0, 2008.0]))
+        assert scales.shape == (2,)
+        assert scales[1] < scales[0]
+
+    def test_mean_days_uses_weibull_mean(self):
+        model = LifetimeModel(shape=1.0, scale_2006_days=100.0, decay_per_year=0.0)
+        # k = 1 is exponential: mean == scale.
+        assert model.mean_days(2008.0) == pytest.approx(100.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="positive"):
+            LifetimeModel(shape=0.0)
+        with pytest.raises(ValueError, match="quality_effect"):
+            LifetimeModel(quality_effect=2.5)
+
+
+class TestSampling:
+    def test_sample_shape_and_positivity(self, rng):
+        model = LifetimeModel()
+        creation = np.full(1_000, 2008.0)
+        quality = rng.random(1_000)
+        days = model.sample_days(creation, quality, rng)
+        assert days.shape == (1_000,)
+        assert np.all(days >= 0)
+
+    def test_sample_mean_tracks_cohort_scale(self, rng):
+        model = LifetimeModel(quality_effect=0.0)
+        creation = np.full(200_000, 2006.0)
+        quality = np.full(200_000, 0.5)
+        days = model.sample_days(creation, quality, rng)
+        assert days.mean() == pytest.approx(model.mean_days(2006.0), rel=0.02)
+
+    def test_quality_effect_shortens_good_hosts(self, rng):
+        model = LifetimeModel(quality_effect=0.5)
+        n = 200_000
+        creation = np.full(n, 2008.0)
+        good = model.sample_days(creation, np.full(n, 0.95), rng)
+        bad = model.sample_days(creation, np.full(n, 0.05), rng)
+        assert good.mean() < bad.mean()
+
+    def test_shape_mismatch_rejected(self, rng):
+        model = LifetimeModel()
+        with pytest.raises(ValueError, match="align"):
+            model.sample_days(np.zeros(3), np.zeros(4), rng)
+
+    def test_quality_bounds_checked(self, rng):
+        model = LifetimeModel()
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            model.sample_days(np.zeros(2), np.array([0.5, 1.5]), rng)
+
+
+class TestSurvival:
+    def test_survival_at_zero_age_is_one(self):
+        model = LifetimeModel()
+        assert model.survival(0.0, 2008.0) == pytest.approx(1.0)
+
+    def test_negative_age_survives(self):
+        model = LifetimeModel()
+        assert model.survival(-1.0, 2008.0) == pytest.approx(1.0)
+
+    def test_survival_decreasing_in_age(self):
+        model = LifetimeModel()
+        ages = np.linspace(0, 5, 20)
+        surv = model.survival(ages, np.full(20, 2007.0))
+        assert np.all(np.diff(surv) < 0)
+
+    def test_median_lifetime_matches_analytic(self):
+        model = LifetimeModel(shape=0.58, scale_2006_days=135.0, decay_per_year=0.0)
+        # Median of Weibull(0.58, 135 d) ≈ 71 days ≈ 0.195 years.
+        median_years = 71.1 / 365.25
+        assert model.survival(median_years, 2006.0) == pytest.approx(0.5, abs=0.01)
+
+    def test_later_cohorts_die_faster(self):
+        model = LifetimeModel()
+        assert model.survival(1.0, 2009.0) < model.survival(1.0, 2006.0)

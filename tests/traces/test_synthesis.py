@@ -1,0 +1,219 @@
+"""Tests for the synthetic trace generator — the SETI@home substitute.
+
+These assertions check the trace against the paper's *published aggregates*:
+active-count band, Fig 2 resource means, Table III correlations, Fig 1/3
+lifetimes, Tables I/II/VII composition and the §V-B corruption rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hosts.filters import SanityFilter
+from repro.traces.config import TraceConfig
+from repro.traces.synthesis import SyntheticTraceGenerator, generate_trace, mix_rho
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, small_trace_config):
+        a = generate_trace(small_trace_config)
+        b = generate_trace(small_trace_config)
+        np.testing.assert_array_equal(a.created, b.created)
+        np.testing.assert_array_equal(a.dhrystone, b.dhrystone)
+        np.testing.assert_array_equal(a.cpu_family, b.cpu_family)
+
+    def test_different_seed_different_trace(self, small_trace_config):
+        import dataclasses
+
+        other = dataclasses.replace(small_trace_config, seed=999)
+        a = generate_trace(small_trace_config)
+        b = generate_trace(other)
+        assert len(a) != len(b) or not np.array_equal(a.created, b.created)
+
+    def test_generator_exposes_config(self, small_trace_config):
+        assert SyntheticTraceGenerator(small_trace_config).config is small_trace_config
+
+
+class TestActivePopulation:
+    def test_active_counts_track_target_band(self, small_trace, small_trace_config):
+        for when in (2006.5, 2007.5, 2008.5, 2009.5, 2010.3):
+            target = small_trace_config.target_active(when)
+            assert small_trace.active_count(when) == pytest.approx(target, rel=0.12)
+
+    def test_population_fluctuates_not_monotone(self, small_trace):
+        counts = [small_trace.active_count(t) for t in np.arange(2006.0, 2010.6, 0.25)]
+        diffs = np.diff(counts)
+        assert np.any(diffs > 0) and np.any(diffs < 0)
+
+    def test_hosts_created_before_window_exist(self, small_trace):
+        assert np.any(small_trace.created < 2006.0)
+
+
+class TestResourceAggregates:
+    """Fig 2 checkpoints (after §V-B sanity filtering)."""
+
+    @pytest.fixture(scope="class")
+    def filtered(self, small_trace):
+        def snap(when):
+            population, _ = SanityFilter().apply(small_trace.snapshot(when))
+            return population
+
+        return snap
+
+    def test_2006_means_near_paper(self, filtered):
+        means = filtered(2006.05).means()
+        assert means["cores"] == pytest.approx(1.28, rel=0.08)
+        assert means["whetstone"] == pytest.approx(1200.0, rel=0.08)
+        assert means["dhrystone"] == pytest.approx(2168.0, rel=0.08)
+        assert means["disk_gb"] == pytest.approx(32.9, rel=0.15)
+        assert means["memory_mb"] == pytest.approx(846.0, rel=0.30)
+
+    def test_2010_means_near_paper(self, filtered):
+        means = filtered(2010.0).means()
+        assert means["cores"] == pytest.approx(2.17, rel=0.08)
+        assert means["whetstone"] == pytest.approx(1861.0, rel=0.08)
+        assert means["dhrystone"] == pytest.approx(4120.0, rel=0.08)
+        assert means["disk_gb"] == pytest.approx(98.0, rel=0.15)
+        assert means["memory_mb"] == pytest.approx(2376.0, rel=0.15)
+
+    def test_all_resources_grow_2006_to_2010(self, filtered):
+        early, late = filtered(2006.1).means(), filtered(2010.0).means()
+        for label in ("cores", "memory_mb", "dhrystone", "whetstone", "disk_gb"):
+            assert late[label] > early[label], label
+
+    def test_table_iii_correlations(self, filtered):
+        matrix = filtered(2010.0).correlation_matrix()
+        assert matrix.get("cores", "memory_mb") == pytest.approx(0.606, abs=0.15)
+        assert matrix.get("cores", "mem_per_core") == pytest.approx(0.0, abs=0.12)
+        assert matrix.get("whetstone", "dhrystone") == pytest.approx(0.639, abs=0.12)
+        assert matrix.get("mem_per_core", "whetstone") == pytest.approx(0.250, abs=0.10)
+        assert matrix.get("mem_per_core", "dhrystone") == pytest.approx(0.306, abs=0.10)
+        # "Essentially uncorrelated": the paper's own Table III disk row
+        # ranges from -0.016 to 0.114 (cohort trends induce a little).
+        for other in ("cores", "memory_mb", "whetstone", "dhrystone"):
+            assert abs(matrix.get("disk_gb", other)) < 0.12
+
+
+class TestLifetimes:
+    def test_pooled_lifetime_moments_match_fig1(self, small_trace):
+        lifetimes = small_trace.lifetime_sample(exclude_created_after=2010.5)
+        assert lifetimes.mean() == pytest.approx(192.4, rel=0.10)
+        assert np.median(lifetimes) == pytest.approx(71.1, rel=0.12)
+
+    def test_creation_vs_lifetime_negative_trend(self, small_trace):
+        centres, means = small_trace.mean_lifetime_by_cohort(
+            np.arange(2005.0, 2010.01, 1.0)
+        )
+        valid = ~np.isnan(means)
+        slope = np.polyfit(centres[valid], means[valid], 1)[0]
+        assert slope < -20.0  # days of lifetime lost per creation year
+
+
+class TestRealismFeatures:
+    def test_corrupt_fraction_near_paper(self, small_trace, small_trace_config):
+        assert small_trace.corrupt.mean() == pytest.approx(
+            small_trace_config.corrupt_fraction, rel=0.4
+        )
+
+    def test_sanity_filter_catches_all_injected_corruption(self, small_trace):
+        keep = SanityFilter().keep_mask(
+            small_trace.cores,
+            small_trace.memory_mb,
+            small_trace.dhrystone,
+            small_trace.whetstone,
+            small_trace.disk_avail_gb,
+        )
+        # Every injected corruption must be caught...
+        assert not np.any(keep & small_trace.corrupt)
+        # ... and nothing else discarded.
+        assert np.array_equal(~keep, small_trace.corrupt)
+
+    def test_nonpow2_cores_present_but_rare(self, small_trace):
+        clean = small_trace.subset(~small_trace.corrupt)
+        odd = np.isin(clean.cores, (3.0, 6.0, 12.0))
+        assert 0.0 < odd.mean() < 0.01
+
+    def test_intermediate_percore_values_present(self, small_trace):
+        clean = small_trace.subset(~small_trace.corrupt)
+        percore = clean.memory_mb / clean.cores
+        assert np.any(np.isin(percore, (1280.0, 1792.0)))
+
+    def test_high_percore_band_present(self, small_trace):
+        clean = small_trace.subset(~small_trace.corrupt)
+        percore = clean.memory_mb / clean.cores
+        share = float((percore > 2048.0).mean())
+        assert 0.0 < share < 0.05
+
+    def test_disk_fraction_roughly_uniform(self, small_trace):
+        clean = small_trace.subset(~small_trace.corrupt)
+        fraction = clean.disk_avail_gb / clean.disk_total_gb
+        assert fraction.min() >= 0.02 - 1e-9
+        assert fraction.max() <= 0.98 + 1e-9
+        assert fraction.mean() == pytest.approx(0.5, abs=0.02)
+        hist, _ = np.histogram(fraction, bins=8, range=(0.02, 0.98))
+        assert hist.max() / hist.min() < 1.3
+
+    def test_disk_round_values_create_spikes(self, small_trace):
+        clean = small_trace.subset(~small_trace.corrupt)
+        disk = clean.disk_avail_gb
+        # Rounded hosts make "nice" values (1 significant digit) common.
+        magnitude = 10.0 ** np.floor(np.log10(disk))
+        is_round = np.isclose(disk / magnitude, np.round(disk / magnitude))
+        assert is_round.mean() > 0.12
+
+
+class TestPlatformMetadata:
+    def test_cpu_trends_match_table_i(self, small_trace):
+        early = small_trace.label_shares("cpu_family", 2006.2)
+        late = small_trace.label_shares("cpu_family", 2010.3)
+        assert early.get("Pentium 4", 0) > late.get("Pentium 4", 0)
+        assert late.get("Intel Core 2", 0) > early.get("Intel Core 2", 0)
+        assert early.get("Pentium 4", 0) == pytest.approx(0.368, abs=0.12)
+
+    def test_os_trends_match_table_ii(self, small_trace):
+        early = small_trace.label_shares("os_name", 2006.2)
+        late = small_trace.label_shares("os_name", 2010.3)
+        assert early.get("Windows XP", 0) > 0.5
+        assert late.get("Windows XP", 0) < early.get("Windows XP", 0)
+        assert late.get("Windows Vista", 0) > 0.05
+
+    def test_powerpc_runs_mac(self, small_trace):
+        powerpc = small_trace.cpu_family == "PowerPC G3/G4/G5"
+        assert np.all(small_trace.os_name[powerpc] == "Mac OS X")
+
+    def test_gpu_share_rises(self, small_trace):
+        assert small_trace.gpu_share(2009.3) == 0.0
+        share_2009 = small_trace.gpu_share(2009.7)
+        share_2010 = small_trace.gpu_share(2010.6)
+        assert share_2009 == pytest.approx(0.127, abs=0.03)
+        assert share_2010 == pytest.approx(0.238, abs=0.04)
+
+    def test_gpu_types_shift_geforce_to_radeon(self, small_trace):
+        mask09 = small_trace.gpu_mask(2009.7)
+        mask10 = small_trace.gpu_mask(2010.6)
+        geforce09 = float((small_trace.gpu_type[mask09] == "GeForce").mean())
+        geforce10 = float((small_trace.gpu_type[mask10] == "GeForce").mean())
+        radeon09 = float((small_trace.gpu_type[mask09] == "Radeon").mean())
+        radeon10 = float((small_trace.gpu_type[mask10] == "Radeon").mean())
+        assert geforce10 < geforce09
+        assert radeon10 > radeon09
+
+    def test_gpu_memory_grows(self, small_trace):
+        mem09 = small_trace.gpu_memory_mb[small_trace.gpu_mask(2009.7)]
+        mem10 = small_trace.gpu_memory_mb[small_trace.gpu_mask(2010.6)]
+        assert mem09.mean() == pytest.approx(592.7, rel=0.08)
+        assert mem10.mean() > mem09.mean()
+
+
+class TestMixRho:
+    def test_correlation_achieved(self, rng):
+        shared = rng.standard_normal(100_000)
+        a = mix_rho(shared, rng.standard_normal(100_000), 0.639)
+        b = mix_rho(shared, rng.standard_normal(100_000), 0.639)
+        assert np.corrcoef(a, b)[0, 1] == pytest.approx(0.639, abs=0.02)
+        assert a.std() == pytest.approx(1.0, abs=0.02)
+
+    def test_rho_validated(self, rng):
+        with pytest.raises(ValueError, match="rho"):
+            mix_rho(np.zeros(2), np.zeros(2), -0.1)
