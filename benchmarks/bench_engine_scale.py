@@ -1,0 +1,113 @@
+"""Scale benchmark for the streaming/sharded fleet engine.
+
+Measures hosts/sec for single-process streaming accumulation versus
+``multiprocessing``-sharded generation, and verifies that the sharded
+one-pass :class:`~repro.engine.accumulate.CorrelationAccumulator` matrix
+matches the single-process one (and, for fleets small enough to
+materialise, the batch ``HostPopulation.correlation_matrix``) to 1e-6.
+
+Run standalone (this is also the CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_scale.py --size 50000
+    PYTHONPATH=src python benchmarks/bench_engine_scale.py \
+        --size 1000000 --shards 4 --assert-speedup 2.0
+
+``--assert-speedup`` makes the script exit non-zero unless the sharded run
+reaches the given multiple of single-process throughput; leave it off on
+single-core machines, where a process pool cannot win.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.core.generator import CorrelatedHostGenerator
+from repro.engine import generate_fleet, generate_sharded
+from repro.timeutil import parse_date, year_fraction
+
+#: Batch cross-check is only affordable when the fleet fits in memory.
+BATCH_CHECK_MAX_SIZE = 200_000
+
+#: Required agreement between streamed and batch correlation matrices.
+CORRELATION_TOLERANCE = 1e-6
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=1_000_000)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--chunk-size", type=int, default=65536)
+    parser.add_argument("--seed", type=int, default=20110611)
+    parser.add_argument("--date", default="2010-09-01")
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless sharded throughput >= X * single-process",
+    )
+    args = parser.parse_args(argv)
+
+    generator = CorrelatedHostGenerator()
+    when = year_fraction(parse_date(args.date))
+    print(
+        f"fleet engine benchmark: size={args.size} shards={args.shards} "
+        f"chunk={args.chunk_size} cpus={os.cpu_count()}"
+    )
+
+    single = generate_sharded(
+        generator, when, args.size, args.seed, shards=1, chunk_size=args.chunk_size
+    )
+    print(
+        f"  single-process : {single.elapsed_seconds:8.2f} s  "
+        f"{single.hosts_per_second:12,.0f} hosts/s"
+    )
+
+    sharded = generate_sharded(
+        generator,
+        when,
+        args.size,
+        args.seed,
+        shards=args.shards,
+        chunk_size=args.chunk_size,
+    )
+    speedup = sharded.hosts_per_second / single.hosts_per_second
+    print(
+        f"  sharded (n={sharded.shards})  : {sharded.elapsed_seconds:8.2f} s  "
+        f"{sharded.hosts_per_second:12,.0f} hosts/s  ({speedup:.2f}x)"
+    )
+
+    failures = 0
+    cross = sharded.correlation.matrix().max_abs_difference(
+        single.correlation.matrix()
+    )
+    print(f"  sharded vs single correlation |Δ|max = {cross:.2e}")
+    if cross > CORRELATION_TOLERANCE:
+        print("  FAIL: shard reduction drifted the correlation matrix")
+        failures += 1
+
+    if args.size <= BATCH_CHECK_MAX_SIZE and args.size >= 2:
+        batch = generate_fleet(generator, when, args.size, args.seed)
+        delta = sharded.correlation.matrix().max_abs_difference(
+            batch.correlation_matrix()
+        )
+        print(f"  sharded vs batch   correlation |Δ|max = {delta:.2e}")
+        if delta > CORRELATION_TOLERANCE:
+            print("  FAIL: streamed accumulator disagrees with batch statistics")
+            failures += 1
+
+    if args.assert_speedup is not None and speedup < args.assert_speedup:
+        print(
+            f"  FAIL: speedup {speedup:.2f}x below required "
+            f"{args.assert_speedup:.2f}x"
+        )
+        failures += 1
+
+    print("OK" if failures == 0 else f"{failures} check(s) failed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@ Subcommands
 ``trace``     synthesise a SETI@home-like trace and write it to CSV(.gz)
 ``fit``       fit model parameters from a trace file (JSON out)
 ``generate``  generate hosts for a date from Table X or fitted parameters
+``fleet``     stream/shard a large fleet through the engine (one-pass stats)
 ``predict``   print the Figs 13/14 forecasts and §VI-C scalar predictions
 ``validate``  fit on a trace, generate for Sep 2010, print Fig 12 comparison
 ``simulate``  run the Fig 15 utility experiment on a trace
@@ -14,6 +15,7 @@ Examples
 ::
 
     resmodel generate --date 2010-09-01 --hosts 1000
+    resmodel fleet --size 1000000 --shards 4 --correlation
     resmodel trace --scale 0.01 --out trace.csv.gz
     resmodel fit --trace trace.csv.gz --out params.json
     resmodel predict --year 2014
@@ -44,22 +46,111 @@ def _load_parameters(path: "str | None") -> ModelParameters:
         return ModelParameters.from_json(handle.read())
 
 
+#: Host CSV header and row format shared by ``generate`` and ``fleet``.
+_HOST_CSV_HEADER = "cores,memory_mb,dhrystone_mips,whetstone_mips,disk_gb\n"
+_HOST_CSV_FMT = "%d,%.1f,%.1f,%.1f,%.2f"
+
+
+def _write_population_csv(population, handle) -> None:
+    """Append a population's rows to an open text handle (vectorised)."""
+    np.savetxt(handle, population.to_matrix(), fmt=_HOST_CSV_FMT)
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     params = _load_parameters(args.params)
     generator = CorrelatedHostGenerator(params)
     when = year_fraction(parse_date(args.date))
     rng = np.random.default_rng(args.seed)
     population = generator.generate(when, args.hosts, rng)
-    writer = sys.stdout
-    writer.write("cores,memory_mb,dhrystone_mips,whetstone_mips,disk_gb\n")
-    for i in range(len(population)):
-        writer.write(
-            f"{int(population.cores[i])},{population.memory_mb[i]:.1f},"
-            f"{population.dhrystone[i]:.1f},{population.whetstone[i]:.1f},"
-            f"{population.disk_gb[i]:.2f}\n"
-        )
+    sys.stdout.write(_HOST_CSV_HEADER)
+    _write_population_csv(population, sys.stdout)
     if args.summary:
         sys.stderr.write(population.summary_table() + "\n")
+    return 0
+
+
+def _fleet_stats_writing_csv(generator, when, args):
+    """One streaming pass that writes the CSV *and* reduces the statistics.
+
+    CSV export is inherently one ordered stream, so there is no point paying
+    for a shard pool plus a second generation pass; the determinism contract
+    guarantees this sequential stream is the exact fleet any sharded run
+    would summarise.
+    """
+    import time
+
+    from repro.engine import (
+        CorrelationAccumulator,
+        FleetStatistics,
+        MomentAccumulator,
+        combine_block_digests,
+        iter_blocks,
+        population_digest,
+    )
+
+    if args.out.endswith(".gz"):
+        import gzip
+
+        handle = gzip.open(args.out, "wt", encoding="utf-8")
+    else:
+        handle = open(args.out, "w", encoding="utf-8")
+    moments = MomentAccumulator()
+    correlation = CorrelationAccumulator()
+    digests = []
+    start = time.perf_counter()
+    with handle:
+        handle.write(_HOST_CSV_HEADER)
+        for index, block in iter_blocks(generator, when, args.size, args.seed):
+            _write_population_csv(block, handle)
+            moments.update(block)
+            correlation.update(block)
+            if args.digest:
+                digests.append((index, bytes.fromhex(population_digest(block))))
+    return FleetStatistics(
+        size=args.size,
+        when=float(when),
+        shards=1,
+        moments=moments,
+        correlation=correlation,
+        elapsed_seconds=time.perf_counter() - start,
+        digest=combine_block_digests(digests) if args.digest else None,
+    )
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.engine import generate_sharded
+
+    if args.correlation and args.size < 2:
+        sys.stderr.write("fleet: --correlation needs --size of at least 2\n")
+        return 2
+    params = _load_parameters(args.params)
+    generator = CorrelatedHostGenerator(params)
+    when = year_fraction(parse_date(args.date))
+    if args.out:
+        stats = _fleet_stats_writing_csv(generator, when, args)
+    else:
+        stats = generate_sharded(
+            generator,
+            when,
+            args.size,
+            args.seed,
+            shards=args.shards,
+            chunk_size=args.chunk_size,
+            digest=args.digest,
+        )
+    print(
+        f"fleet of {stats.size} hosts @ {stats.when:.3f} "
+        f"({stats.shards} shard(s), {stats.elapsed_seconds:.2f} s, "
+        f"{stats.hosts_per_second:,.0f} hosts/s)"
+    )
+    print(stats.summary_table())
+    if args.correlation:
+        print("\nStreamed correlations (Table VIII):")
+        print(stats.correlation.matrix().format_table())
+    if args.digest:
+        print(f"\nfleet sha256: {stats.digest}")
+    if args.out:
+        print(f"\nwrote {args.size} hosts to {args.out}")
     return 0
 
 
@@ -194,6 +285,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_generate.add_argument("--seed", type=int, default=0)
     p_generate.add_argument("--summary", action="store_true", help="print summary to stderr")
     p_generate.set_defaults(func=_cmd_generate)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="stream/shard a large fleet with one-pass statistics"
+    )
+    p_fleet.add_argument("--size", type=int, default=100_000, help="number of hosts")
+    p_fleet.add_argument("--date", default="2010-09-01", help="YYYY-MM-DD or year")
+    p_fleet.add_argument("--params", help="fitted parameter JSON (default: Table X)")
+    p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.add_argument("--shards", type=int, default=1, help="worker processes")
+    p_fleet.add_argument(
+        "--chunk-size",
+        type=int,
+        default=65536,
+        help="hosts per accumulator chunk (bounds peak memory)",
+    )
+    p_fleet.add_argument(
+        "--correlation", action="store_true", help="print the streamed Table VIII matrix"
+    )
+    p_fleet.add_argument(
+        "--digest", action="store_true", help="print the fleet's sha256 identity"
+    )
+    p_fleet.add_argument(
+        "--out",
+        help="stream the fleet to this CSV(.gz) path while reducing statistics "
+        "(one ordered pass; --shards does not apply)",
+    )
+    p_fleet.set_defaults(func=_cmd_fleet)
 
     p_trace = sub.add_parser("trace", help="synthesise a SETI@home-like trace")
     p_trace.add_argument("--scale", type=float, default=0.02)

@@ -1,0 +1,47 @@
+"""Streaming, sharded fleet-generation engine.
+
+Layers
+------
+:mod:`~repro.engine.streaming`
+    Chunked generation under a block-based determinism contract
+    (``SeedSequence.spawn`` per fixed RNG block), plus fleet hashing.
+:mod:`~repro.engine.accumulate`
+    One-pass Welford/pairwise accumulators reproducing the batch
+    :class:`~repro.hosts.population.HostPopulation` statistics.
+:mod:`~repro.engine.sharding`
+    ``multiprocessing`` fan-out over RNG blocks with accumulator reduction.
+"""
+
+from repro.engine.accumulate import CorrelationAccumulator, MomentAccumulator
+from repro.engine.sharding import FleetStatistics, generate_sharded
+from repro.engine.streaming import (
+    DEFAULT_CHUNK_SIZE,
+    RNG_BLOCK_SIZE,
+    as_seed_sequence,
+    block_count,
+    block_seeds,
+    combine_block_digests,
+    fleet_digest,
+    generate_fleet,
+    iter_blocks,
+    population_digest,
+    stream_population,
+)
+
+__all__ = [
+    "CorrelationAccumulator",
+    "MomentAccumulator",
+    "FleetStatistics",
+    "generate_sharded",
+    "DEFAULT_CHUNK_SIZE",
+    "RNG_BLOCK_SIZE",
+    "as_seed_sequence",
+    "block_count",
+    "block_seeds",
+    "combine_block_digests",
+    "fleet_digest",
+    "generate_fleet",
+    "iter_blocks",
+    "population_digest",
+    "stream_population",
+]

@@ -1,0 +1,182 @@
+"""One-pass, mergeable statistics for streamed host fleets.
+
+The batch :class:`~repro.hosts.population.HostPopulation` computes means,
+standard deviations and the Table III/VIII correlation matrix from full
+column arrays.  These accumulators compute the same quantities from a
+stream of chunks using the pairwise (Chan et al.) update of Welford's
+algorithm, so a fleet of any size can be summarised in bounded memory, and
+shard results can be combined with :meth:`merge` — the machinery behind
+streaming-moment estimation in large measurement studies (cf. Park et al.'s
+dependence analysis of internet flows).
+
+Both accumulators reproduce the batch statistics to float precision:
+``MomentAccumulator`` matches :meth:`HostPopulation.means` /
+:meth:`HostPopulation.stds` (population standard deviation, ``ddof=0``), and
+``CorrelationAccumulator`` matches :meth:`HostPopulation.correlation_matrix`
+— including the derived ``mem_per_core`` column — to well within ``1e-6``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hosts.population import (
+    CORRELATION_LABELS,
+    RESOURCE_LABELS,
+    HostPopulation,
+)
+from repro.stats.correlation import CorrelationMatrix
+
+
+def _as_matrix(source, labels: "tuple[str, ...]") -> np.ndarray:
+    """Stack a population or ``{label: column}`` dict into an ``(n, k)`` array."""
+    if isinstance(source, HostPopulation):
+        columns = [source.column(label) for label in labels]
+    else:
+        columns = [np.asarray(source[label], dtype=float) for label in labels]
+    length = columns[0].size
+    for label, column in zip(labels, columns):
+        if column.ndim != 1 or column.size != length:
+            raise ValueError(
+                f"column {label!r} has shape {column.shape}; expected ({length},)"
+            )
+    return np.column_stack(columns) if length else np.empty((0, len(labels)))
+
+
+class MomentAccumulator:
+    """Streaming mean/std of the labelled resource columns.
+
+    Feed chunks with :meth:`update`, combine shards with :meth:`merge`; the
+    running state is ``(count, mean vector, M2 vector)`` where ``M2`` is the
+    sum of squared deviations from the running mean (Welford).
+    """
+
+    def __init__(self, labels: "tuple[str, ...]" = RESOURCE_LABELS):
+        self.labels = tuple(labels)
+        self.count = 0
+        self._mean = np.zeros(len(self.labels))
+        self._m2 = np.zeros(len(self.labels))
+
+    def update(self, source: "HostPopulation | dict") -> "MomentAccumulator":
+        """Fold one chunk (population or column dict) into the running state."""
+        data = _as_matrix(source, self.labels)
+        n_b = data.shape[0]
+        if n_b == 0:
+            return self
+        mean_b = data.mean(axis=0)
+        m2_b = np.square(data - mean_b).sum(axis=0)
+        self._combine(n_b, mean_b, m2_b)
+        return self
+
+    def merge(self, other: "MomentAccumulator") -> "MomentAccumulator":
+        """Fold another accumulator (e.g. a shard's) into this one."""
+        if other.labels != self.labels:
+            raise ValueError(f"label mismatch: {self.labels} vs {other.labels}")
+        if other.count:
+            self._combine(other.count, other._mean, other._m2)
+        return self
+
+    def _combine(self, n_b: int, mean_b: np.ndarray, m2_b: np.ndarray) -> None:
+        n_a = self.count
+        n = n_a + n_b
+        delta = mean_b - self._mean
+        self._mean = self._mean + delta * (n_b / n)
+        self._m2 = self._m2 + m2_b + np.square(delta) * (n_a * n_b / n)
+        self.count = n
+
+    def means(self) -> "dict[str, float]":
+        """Mean per column, matching :meth:`HostPopulation.means`."""
+        return {label: float(m) for label, m in zip(self.labels, self._mean)}
+
+    def variances(self) -> "dict[str, float]":
+        """Population variance (``ddof=0``) per column."""
+        if self.count == 0:
+            return {label: float("nan") for label in self.labels}
+        return {label: float(v) for label, v in zip(self.labels, self._m2 / self.count)}
+
+    def stds(self) -> "dict[str, float]":
+        """Population std per column, matching :meth:`HostPopulation.stds`."""
+        return {label: float(np.sqrt(v)) for label, v in self.variances().items()}
+
+    def summary_table(self) -> str:
+        """Aligned mean/std text table (streamed analogue of the batch one).
+
+        Medians need a second pass (or a quantile sketch) and are therefore
+        not part of the one-pass summary.
+        """
+        means, stds = self.means(), self.stds()
+        lines = [f"{'resource':>12} {'mean':>14} {'std':>14}"]
+        for label in self.labels:
+            lines.append(f"{label:>12} {means[label]:>14.2f} {stds[label]:>14.2f}")
+        return "\n".join(lines)
+
+
+class CorrelationAccumulator:
+    """Streaming Pearson matrix of the six Table III quantities.
+
+    Maintains ``(count, mean vector, co-moment matrix)`` where the co-moment
+    matrix is ``sum_i (x_i - mean)(x_i - mean)^T``, merged across chunks and
+    shards with the pairwise update.  :meth:`matrix` reproduces
+    :meth:`HostPopulation.correlation_matrix` semantics: non-finite entries
+    (constant or degenerate columns) become 0 with the diagonal restored
+    to 1.
+    """
+
+    def __init__(self, labels: "tuple[str, ...]" = CORRELATION_LABELS):
+        self.labels = tuple(labels)
+        k = len(self.labels)
+        self.count = 0
+        self._mean = np.zeros(k)
+        self._comoment = np.zeros((k, k))
+
+    def update(self, source: "HostPopulation | dict") -> "CorrelationAccumulator":
+        """Fold one chunk (population or column dict) into the running state."""
+        data = _as_matrix(source, self.labels)
+        n_b = data.shape[0]
+        if n_b == 0:
+            return self
+        mean_b = data.mean(axis=0)
+        deviations = data - mean_b
+        self._combine(n_b, mean_b, deviations.T @ deviations)
+        return self
+
+    def merge(self, other: "CorrelationAccumulator") -> "CorrelationAccumulator":
+        """Fold another accumulator (e.g. a shard's) into this one."""
+        if other.labels != self.labels:
+            raise ValueError(f"label mismatch: {self.labels} vs {other.labels}")
+        if other.count:
+            self._combine(other.count, other._mean, other._comoment)
+        return self
+
+    def _combine(self, n_b: int, mean_b: np.ndarray, comoment_b: np.ndarray) -> None:
+        n_a = self.count
+        n = n_a + n_b
+        delta = mean_b - self._mean
+        self._mean = self._mean + delta * (n_b / n)
+        self._comoment = self._comoment + comoment_b + np.outer(delta, delta) * (
+            n_a * n_b / n
+        )
+        self.count = n
+
+    def covariance(self) -> np.ndarray:
+        """Population covariance matrix (``ddof=0``) of the columns."""
+        if self.count < 1:
+            raise ValueError("no observations accumulated")
+        return self._comoment / self.count
+
+    def matrix(self) -> CorrelationMatrix:
+        """The streamed Table III/VIII-style labelled Pearson matrix."""
+        if self.count < 2:
+            raise ValueError("need at least two hosts for a correlation matrix")
+        covariance = self.covariance()
+        scale = np.sqrt(np.diag(covariance))
+        with np.errstate(invalid="ignore", divide="ignore"):
+            values = covariance / np.outer(scale, scale)
+        bad = ~np.isfinite(values)
+        if bad.any():
+            values = values.copy()
+            values[bad] = 0.0
+        np.fill_diagonal(values, 1.0)
+        # np.corrcoef clips rounding excursions outside [-1, 1]; match it.
+        np.clip(values, -1.0, 1.0, out=values)
+        return CorrelationMatrix(labels=self.labels, values=values)

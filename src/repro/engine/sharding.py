@@ -1,0 +1,176 @@
+"""Multiprocess sharded fleet generation with accumulator reduction.
+
+``generate_sharded`` fans the RNG blocks of a fleet out to N worker
+processes; each worker generates its blocks, folds them into
+:mod:`~repro.engine.accumulate` accumulators, and the parent merges the
+shard results.  Because blocks — not shards — own the random streams (see
+:mod:`~repro.engine.streaming`), the fleet (and its digest) is identical for
+every shard count, and peak memory per worker is bounded by ``chunk_size``
+hosts rather than the fleet size.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import multiprocessing
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.accumulate import CorrelationAccumulator, MomentAccumulator
+from repro.engine.streaming import (
+    DEFAULT_CHUNK_SIZE,
+    RNG_BLOCK_SIZE,
+    as_seed_sequence,
+    block_count,
+    block_seeds,
+    combine_block_digests,
+    population_digest,
+)
+from repro.hosts.population import HostPopulation
+
+
+@dataclass
+class FleetStatistics:
+    """Reduced one-pass statistics of a generated fleet."""
+
+    size: int
+    when: float
+    shards: int
+    moments: MomentAccumulator
+    correlation: CorrelationAccumulator
+    elapsed_seconds: float
+    digest: "str | None" = None
+
+    @property
+    def hosts_per_second(self) -> float:
+        """Generation + accumulation throughput."""
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.size / self.elapsed_seconds
+
+    def summary_table(self) -> str:
+        """Aligned mean/std table of the five primary resources."""
+        return self.moments.summary_table()
+
+
+def _shard_payloads(
+    generator, when, size, root, shards, chunk_size, want_digest
+) -> "list[tuple]":
+    return [
+        (generator, when, size, root, shard, shards, chunk_size, want_digest)
+        for shard in range(shards)
+    ]
+
+
+def _run_shard(payload: tuple):
+    """Generate every block with ``index % shards == shard`` and accumulate.
+
+    Module-level so it pickles under both fork and spawn start methods.
+    Blocks are buffered up to ``chunk_size`` hosts between accumulator
+    updates — larger chunks mean fewer, more vectorised updates at the cost
+    of a proportionally larger working set.
+    """
+    generator, when, size, root, shard, shards, chunk_size, want_digest = payload
+    moments = MomentAccumulator()
+    correlation = CorrelationAccumulator()
+    digests: "list[tuple[int, bytes]]" = []
+    batch: "list[HostPopulation]" = []
+    batch_rows = 0
+
+    def flush() -> None:
+        nonlocal batch, batch_rows
+        if not batch:
+            return
+        merged = batch[0] if len(batch) == 1 else HostPopulation.concatenate(batch)
+        moments.update(merged)
+        correlation.update(merged)
+        batch = []
+        batch_rows = 0
+
+    seeds = block_seeds(root, size)
+    for index in range(shard, len(seeds), shards):
+        lo = index * RNG_BLOCK_SIZE
+        block = generator.generate(
+            when, min(RNG_BLOCK_SIZE, size - lo), np.random.default_rng(seeds[index])
+        )
+        if want_digest:
+            digests.append((index, bytes.fromhex(population_digest(block))))
+        batch.append(block)
+        batch_rows += len(block)
+        if batch_rows >= chunk_size:
+            flush()
+    flush()
+    return shard, moments, correlation, digests
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap, POSIX) and fall back to spawn elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def generate_sharded(
+    generator,
+    when: "_dt.date | float",
+    size: int,
+    rng: "int | np.random.SeedSequence | np.random.Generator | None",
+    shards: int = 4,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    digest: bool = False,
+) -> FleetStatistics:
+    """Generate a fleet across ``shards`` worker processes and reduce.
+
+    The fleet content follows the streaming determinism contract, so the
+    optional ``digest`` is identical for every ``shards`` value; the
+    accumulator statistics agree across shard counts and with the batch
+    :class:`~repro.hosts.population.HostPopulation` statistics to float
+    merge precision (well under ``1e-6`` on correlation entries).
+
+    ``shards=1`` runs in-process (no pool), which is also the single-process
+    baseline the scale benchmark compares against.
+    """
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    root = as_seed_sequence(rng)
+    shards = min(shards, max(1, block_count(size)))
+    payloads = _shard_payloads(generator, when, size, root, shards, chunk_size, digest)
+
+    start = time.perf_counter()
+    if shards == 1:
+        results = [_run_shard(payloads[0])]
+    else:
+        with _pool_context().Pool(processes=shards) as pool:
+            results = pool.map(_run_shard, payloads)
+    elapsed = time.perf_counter() - start
+
+    results.sort(key=lambda item: item[0])
+    moments = MomentAccumulator()
+    correlation = CorrelationAccumulator()
+    all_digests: "list[tuple[int, bytes]]" = []
+    for _, shard_moments, shard_correlation, shard_digests in results:
+        moments.merge(shard_moments)
+        correlation.merge(shard_correlation)
+        all_digests.extend(shard_digests)
+
+    return FleetStatistics(
+        size=size,
+        when=_when_as_float(when),
+        shards=shards,
+        moments=moments,
+        correlation=correlation,
+        elapsed_seconds=elapsed,
+        digest=combine_block_digests(all_digests) if digest else None,
+    )
+
+
+def _when_as_float(when: "_dt.date | float") -> float:
+    """Calendar-year float of ``when`` for the result record."""
+    if isinstance(when, _dt.date):
+        from repro.timeutil import year_fraction
+
+        return float(year_fraction(when))
+    return float(when)

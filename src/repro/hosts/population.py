@@ -94,6 +94,19 @@ class HostPopulation:
             )
         ]
 
+    def to_matrix(self) -> np.ndarray:
+        """Rows as a contiguous ``(n, 5)`` float64 array.
+
+        Columns follow :data:`RESOURCE_LABELS`; this is the canonical
+        row-major layout shared by CSV export and fleet hashing.
+        """
+        return np.ascontiguousarray(
+            np.column_stack(
+                [self.column(label) for label in RESOURCE_LABELS]
+            ),
+            dtype=np.float64,
+        )
+
     @property
     def mem_per_core(self) -> np.ndarray:
         """Derived memory-per-core column (MB).
@@ -150,9 +163,26 @@ class HostPopulation:
             disk_gb=self.disk_gb[mask],
         )
 
-    def sample(self, size: int, rng: np.random.Generator) -> "HostPopulation":
-        """Random subsample (without replacement if possible)."""
-        replace = size > len(self)
+    def sample(
+        self,
+        size: int,
+        rng: np.random.Generator,
+        replace: "bool | None" = None,
+    ) -> "HostPopulation":
+        """Random subsample of ``size`` hosts.
+
+        ``replace=None`` (default) samples without replacement when
+        ``size <= len(self)`` and falls back to sampling with replacement
+        otherwise.  Pass ``replace=True`` or ``replace=False`` to force a
+        mode; ``replace=False`` with ``size > len(self)`` is impossible and
+        raises :class:`ValueError`.
+        """
+        if replace is None:
+            replace = size > len(self)
+        elif not replace and size > len(self):
+            raise ValueError(
+                f"cannot sample {size} hosts from {len(self)} without replacement"
+            )
         idx = rng.choice(len(self), size=size, replace=replace)
         mask_cols = {
             "cores": self.cores[idx],

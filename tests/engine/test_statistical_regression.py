@@ -1,0 +1,93 @@
+"""Statistical regression pins for the streamed fleet model.
+
+A 200 k-host fleet streamed at the paper's reference date (September 2010)
+must keep reproducing the Table VIII correlation structure and the Fig 12
+moments.  The tight tolerances pin the *model's* asymptotic values — the
+continuous Cholesky coupling lands slightly above the paper's generated
+numbers (cores/memory 0.80 vs 0.727, Whetstone/Dhrystone 0.64 vs 0.505,
+the latter depressed in the paper by discretisation; see
+tests/core/test_generator.py) — so a refactor of the generator, the
+streaming engine or the accumulators cannot silently drift the fleet
+statistics while staying green.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import CorrelationAccumulator, MomentAccumulator, stream_population
+
+SEPT_2010 = 2010.667
+SEED = 20110611
+SIZE = 200_000
+
+
+@pytest.fixture(scope="module")
+def streamed_stats(paper_generator_engine):
+    moments = MomentAccumulator()
+    correlation = CorrelationAccumulator()
+    for chunk in stream_population(
+        paper_generator_engine, SEPT_2010, SIZE, SEED, chunk_size=65_536
+    ):
+        moments.update(chunk)
+        correlation.update(chunk)
+    return moments, correlation.matrix()
+
+
+@pytest.fixture(scope="module")
+def paper_generator_engine():
+    from repro.core.generator import CorrelatedHostGenerator
+
+    return CorrelatedHostGenerator()
+
+
+class TestTableVIIICorrelationPins:
+    def test_cores_memory_in_paper_regime(self, streamed_stats):
+        _, matrix = streamed_stats
+        # Strong positive coupling, the paper's headline observation
+        # (Table VIII generated value 0.727).
+        assert 0.6 < matrix.get("cores", "memory_mb") < 0.9
+
+    def test_cores_memory_pinned(self, streamed_stats):
+        _, matrix = streamed_stats
+        assert matrix.get("cores", "memory_mb") == pytest.approx(0.800, abs=0.02)
+
+    def test_benchmarks_in_paper_regime(self, streamed_stats):
+        _, matrix = streamed_stats
+        # Table VIII reports 0.505; the continuous coupling is 0.639 and the
+        # generated value sits between the two.
+        assert 0.45 < matrix.get("whetstone", "dhrystone") < 0.75
+
+    def test_benchmarks_pinned(self, streamed_stats):
+        _, matrix = streamed_stats
+        assert matrix.get("whetstone", "dhrystone") == pytest.approx(0.637, abs=0.02)
+
+    def test_memcore_speed_coupling_pinned(self, streamed_stats):
+        _, matrix = streamed_stats
+        assert matrix.get("mem_per_core", "whetstone") == pytest.approx(0.235, abs=0.02)
+        assert matrix.get("mem_per_core", "dhrystone") == pytest.approx(0.289, abs=0.02)
+
+    def test_independent_pairs_stay_uncorrelated(self, streamed_stats):
+        _, matrix = streamed_stats
+        assert abs(matrix.get("cores", "whetstone")) < 0.02
+        assert abs(matrix.get("cores", "disk_gb")) < 0.02
+        assert abs(matrix.get("disk_gb", "memory_mb")) < 0.02
+
+
+class TestFig12MomentPins:
+    def test_means_pinned(self, streamed_stats):
+        moments, _ = streamed_stats
+        means = moments.means()
+        assert means["cores"] == pytest.approx(2.44, abs=0.03)
+        assert means["memory_mb"] == pytest.approx(2863.0, rel=0.02)
+        assert means["dhrystone"] == pytest.approx(4644.0, rel=0.02)
+        assert means["whetstone"] == pytest.approx(2033.0, rel=0.02)
+        assert means["disk_gb"] == pytest.approx(111.0, rel=0.03)
+
+    def test_stds_pinned(self, streamed_stats):
+        moments, _ = streamed_stats
+        stds = moments.stds()
+        assert stds["memory_mb"] == pytest.approx(2725.0, rel=0.03)
+        assert stds["dhrystone"] == pytest.approx(2460.0, rel=0.03)
+        assert stds["whetstone"] == pytest.approx(740.0, rel=0.03)
+        assert stds["disk_gb"] == pytest.approx(178.4, rel=0.05)

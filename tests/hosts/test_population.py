@@ -118,6 +118,26 @@ class TestSubsetsAndConcat:
         sampled = small_population.sample(10, rng)
         assert len(sampled) == 10
 
+    def test_sample_explicit_without_replacement_is_a_permutation(
+        self, small_population, rng
+    ):
+        sampled = small_population.sample(3, rng, replace=False)
+        assert sorted(sampled.cores) == sorted(small_population.cores)
+
+    def test_sample_explicit_without_replacement_oversized_rejected(
+        self, small_population, rng
+    ):
+        # Regression: the old signature silently switched to replacement when
+        # asked for more hosts than exist; forcing replace=False must fail.
+        with pytest.raises(ValueError, match="without replacement"):
+            small_population.sample(10, rng, replace=False)
+
+    def test_sample_explicit_with_replacement_allowed_when_small(
+        self, small_population, rng
+    ):
+        sampled = small_population.sample(2, rng, replace=True)
+        assert len(sampled) == 2
+
     def test_summary_table_mentions_all_resources(self, small_population):
         text = small_population.summary_table()
         for label in ("cores", "memory_mb", "dhrystone", "whetstone", "disk_gb"):

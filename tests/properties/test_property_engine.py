@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) for the streaming engine.
+
+Two families of invariants:
+
+* streaming is invisible — for any size/chunking/seed, the concatenated
+  stream equals the one-shot fleet exactly, and the one-pass accumulators
+  reproduce the batch :class:`HostPopulation` statistics;
+* the accumulators are correct mergeable summaries of arbitrary data, not
+  just generator output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.generator import CorrelatedHostGenerator
+from repro.engine import (
+    CorrelationAccumulator,
+    MomentAccumulator,
+    generate_fleet,
+    stream_population,
+)
+from repro.hosts.population import RESOURCE_LABELS, HostPopulation
+
+SEPT_2010 = 2010.667
+
+sizes = st.integers(min_value=1, max_value=3_000)
+chunk_sizes = st.integers(min_value=1, max_value=1_500)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return CorrelatedHostGenerator()
+
+
+class TestStreamEqualsBatch:
+    @given(size=sizes, chunk_size=chunk_sizes, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_concatenated_stream_equals_one_shot(self, generator, size, chunk_size, seed):
+        streamed = HostPopulation.concatenate(
+            list(
+                stream_population(
+                    generator, SEPT_2010, size, seed, chunk_size=chunk_size
+                )
+            )
+        )
+        one_shot = generate_fleet(generator, SEPT_2010, size, seed)
+        assert len(streamed) == size
+        for label in RESOURCE_LABELS:
+            np.testing.assert_array_equal(
+                streamed.column(label), one_shot.column(label)
+            )
+
+    @given(size=st.integers(min_value=2, max_value=3_000), chunk_size=chunk_sizes, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_accumulators_match_batch_statistics(self, generator, size, chunk_size, seed):
+        moments = MomentAccumulator()
+        correlation = CorrelationAccumulator()
+        for chunk in stream_population(
+            generator, SEPT_2010, size, seed, chunk_size=chunk_size
+        ):
+            moments.update(chunk)
+            correlation.update(chunk)
+        batch = generate_fleet(generator, SEPT_2010, size, seed)
+        assert moments.count == size
+        assert moments.means() == pytest.approx(batch.means(), rel=1e-9, abs=1e-9)
+        assert moments.stds() == pytest.approx(batch.stds(), rel=1e-9, abs=1e-9)
+        delta = correlation.matrix().max_abs_difference(batch.correlation_matrix())
+        assert delta < 1e-9
+
+
+class TestAccumulatorAlgebra:
+    @given(
+        n_left=st.integers(min_value=0, max_value=400),
+        n_right=st.integers(min_value=2, max_value=400),
+        seed=seeds,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_single_pass(self, n_left, n_right, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.lognormal(mean=1.0, sigma=1.5, size=(n_left + n_right, 5))
+        columns = {label: data[:, i] for i, label in enumerate(RESOURCE_LABELS)}
+        left_cols = {label: col[:n_left] for label, col in columns.items()}
+        right_cols = {label: col[n_left:] for label, col in columns.items()}
+
+        whole = MomentAccumulator(RESOURCE_LABELS).update(columns)
+        merged = (
+            MomentAccumulator(RESOURCE_LABELS)
+            .update(left_cols)
+            .merge(MomentAccumulator(RESOURCE_LABELS).update(right_cols))
+        )
+        assert merged.count == whole.count
+        assert merged.means() == pytest.approx(whole.means(), rel=1e-10)
+        assert merged.stds() == pytest.approx(whole.stds(), rel=1e-8, abs=1e-10)
+
+        whole_corr = CorrelationAccumulator(RESOURCE_LABELS).update(columns)
+        merged_corr = (
+            CorrelationAccumulator(RESOURCE_LABELS)
+            .update(left_cols)
+            .merge(CorrelationAccumulator(RESOURCE_LABELS).update(right_cols))
+        )
+        delta = merged_corr.matrix().max_abs_difference(whole_corr.matrix())
+        assert delta < 1e-8
+
+    @given(n=st.integers(min_value=2, max_value=500), seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_moments_match_numpy(self, n, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(n, 5)) * rng.lognormal(size=5)
+        columns = {label: data[:, i] for i, label in enumerate(RESOURCE_LABELS)}
+        acc = MomentAccumulator(RESOURCE_LABELS).update(columns)
+        for i, label in enumerate(RESOURCE_LABELS):
+            assert acc.means()[label] == pytest.approx(float(data[:, i].mean()), rel=1e-10, abs=1e-12)
+            assert acc.stds()[label] == pytest.approx(float(data[:, i].std()), rel=1e-8, abs=1e-12)
+
+    @given(n=st.integers(min_value=2, max_value=500), seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_correlation_matches_corrcoef(self, n, seed):
+        rng = np.random.default_rng(seed)
+        base = rng.normal(size=n)
+        data = np.column_stack(
+            [base + rng.normal(scale=s, size=n) for s in (0.1, 0.5, 1.0, 5.0, 50.0)]
+        )
+        columns = {label: data[:, i] for i, label in enumerate(RESOURCE_LABELS)}
+        acc = CorrelationAccumulator(RESOURCE_LABELS).update(columns)
+        expected = np.corrcoef(data.T)
+        np.testing.assert_allclose(acc.matrix().values, expected, atol=1e-9)
+
+    def test_constant_column_matches_batch_semantics(self):
+        columns = {label: np.ones(10) for label in RESOURCE_LABELS}
+        columns["memory_mb"] = np.arange(10.0)
+        acc = CorrelationAccumulator(RESOURCE_LABELS).update(columns)
+        matrix = acc.matrix()
+        assert matrix.get("cores", "memory_mb") == 0.0
+        assert matrix.get("cores", "cores") == 1.0
+
+    def test_empty_update_is_noop(self):
+        acc = MomentAccumulator(RESOURCE_LABELS)
+        acc.update({label: np.empty(0) for label in RESOURCE_LABELS})
+        assert acc.count == 0
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="label mismatch"):
+            MomentAccumulator(("a", "b")).merge(MomentAccumulator(("a",)))

@@ -41,6 +41,53 @@ class TestGenerate:
         assert first == second
 
 
+class TestFleet:
+    def test_fleet_summary(self, capsys):
+        assert main(["fleet", "--size", "5000", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "5000 hosts" in out
+        assert "resource" in out
+
+    def test_fleet_correlation_and_digest(self, capsys):
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--size",
+                    "5000",
+                    "--shards",
+                    "2",
+                    "--correlation",
+                    "--digest",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Table VIII" in out
+        assert "fleet sha256:" in out
+
+    def test_fleet_csv_out_matches_size(self, tmp_path, capsys):
+        out_path = tmp_path / "fleet.csv"
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--size",
+                    "1000",
+                    "--chunk-size",
+                    "300",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        lines = out_path.read_text().strip().splitlines()
+        assert lines[0].startswith("cores,")
+        assert len(lines) == 1001
+
+
 class TestTraceAndFit:
     def test_trace_file_written(self, trace_file):
         assert trace_file.exists()
