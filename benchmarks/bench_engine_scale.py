@@ -1,10 +1,18 @@
 """Scale benchmark for the streaming/sharded fleet engine.
 
-Measures hosts/sec for single-process streaming accumulation versus
-``multiprocessing``-sharded generation, and verifies that the sharded
-one-pass :class:`~repro.engine.accumulate.CorrelationAccumulator` matrix
-matches the single-process one (and, for fleets small enough to
-materialise, the batch ``HostPopulation.correlation_matrix``) to 1e-6.
+Measures hosts/sec for four execution paths of the same fleet —
+
+* ``batch``          — one-shot ``generate_fleet`` + batch statistics
+                       (skipped above ``--batch-max`` hosts),
+* ``streamed``       — single-process reducer pass (``shards=1``),
+* ``sharded``        — ``multiprocessing`` fan-out reducer pass,
+* ``sharded_export`` — ``export_fleet`` segment + manifest writer,
+
+verifies that the sharded one-pass correlation matrix matches the
+single-process one (and, for fleets small enough to materialise, the batch
+``HostPopulation.correlation_matrix``) to 1e-6, and writes the
+machine-readable ``BENCH_engine_scale.json`` so the perf trajectory is
+tracked across PRs.
 
 Run standalone (this is also the CI smoke)::
 
@@ -20,11 +28,15 @@ single-core machines, where a process pool cannot win.
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import shutil
 import sys
+import tempfile
+import time
 
 from repro.core.generator import CorrelatedHostGenerator
-from repro.engine import generate_fleet, generate_sharded
+from repro.engine import export_fleet, generate_fleet, generate_sharded
 from repro.timeutil import parse_date, year_fraction
 
 #: Batch cross-check is only affordable when the fleet fits in memory.
@@ -34,6 +46,12 @@ BATCH_CHECK_MAX_SIZE = 200_000
 CORRELATION_TOLERANCE = 1e-6
 
 
+def _report(name: str, seconds: float, size: int) -> "dict[str, float]":
+    rate = size / seconds if seconds > 0 else float("inf")
+    print(f"  {name:<15}: {seconds:8.2f} s  {rate:12,.0f} hosts/s")
+    return {"seconds": seconds, "hosts_per_second": rate}
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--size", type=int, default=1_000_000)
@@ -41,6 +59,18 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--chunk-size", type=int, default=65536)
     parser.add_argument("--seed", type=int, default=20110611)
     parser.add_argument("--date", default="2010-09-01")
+    parser.add_argument(
+        "--json",
+        default="BENCH_engine_scale.json",
+        metavar="PATH",
+        help="write the machine-readable result here ('' disables)",
+    )
+    parser.add_argument(
+        "--batch-max",
+        type=int,
+        default=BATCH_CHECK_MAX_SIZE,
+        help="materialise the batch path only up to this many hosts",
+    )
     parser.add_argument(
         "--assert-speedup",
         type=float,
@@ -56,14 +86,19 @@ def main(argv: "list[str] | None" = None) -> int:
         f"fleet engine benchmark: size={args.size} shards={args.shards} "
         f"chunk={args.chunk_size} cpus={os.cpu_count()}"
     )
+    paths: "dict[str, dict[str, float]]" = {}
+
+    batch = None
+    if args.size <= args.batch_max and args.size >= 2:
+        start = time.perf_counter()
+        batch = generate_fleet(generator, when, args.size, args.seed)
+        batch_matrix = batch.correlation_matrix()
+        paths["batch"] = _report("batch", time.perf_counter() - start, args.size)
 
     single = generate_sharded(
         generator, when, args.size, args.seed, shards=1, chunk_size=args.chunk_size
     )
-    print(
-        f"  single-process : {single.elapsed_seconds:8.2f} s  "
-        f"{single.hosts_per_second:12,.0f} hosts/s"
-    )
+    paths["streamed"] = _report("streamed", single.elapsed_seconds, args.size)
 
     sharded = generate_sharded(
         generator,
@@ -73,11 +108,23 @@ def main(argv: "list[str] | None" = None) -> int:
         shards=args.shards,
         chunk_size=args.chunk_size,
     )
-    speedup = sharded.hosts_per_second / single.hosts_per_second
-    print(
-        f"  sharded (n={sharded.shards})  : {sharded.elapsed_seconds:8.2f} s  "
-        f"{sharded.hosts_per_second:12,.0f} hosts/s  ({speedup:.2f}x)"
+    paths["sharded"] = _report(
+        f"sharded (n={sharded.shards})", sharded.elapsed_seconds, args.size
     )
+    speedup = sharded.hosts_per_second / single.hosts_per_second
+    print(f"  sharded speedup: {speedup:.2f}x over streamed")
+
+    export_dir = tempfile.mkdtemp(prefix="bench-fleet-export-")
+    try:
+        start = time.perf_counter()
+        manifest = export_fleet(
+            generator, when, args.size, args.seed, export_dir, shards=args.shards
+        )
+        paths["sharded_export"] = _report(
+            "sharded export", time.perf_counter() - start, args.size
+        )
+    finally:
+        shutil.rmtree(export_dir, ignore_errors=True)
 
     failures = 0
     cross = sharded.correlation.matrix().max_abs_difference(
@@ -88,11 +135,8 @@ def main(argv: "list[str] | None" = None) -> int:
         print("  FAIL: shard reduction drifted the correlation matrix")
         failures += 1
 
-    if args.size <= BATCH_CHECK_MAX_SIZE and args.size >= 2:
-        batch = generate_fleet(generator, when, args.size, args.seed)
-        delta = sharded.correlation.matrix().max_abs_difference(
-            batch.correlation_matrix()
-        )
+    if batch is not None:
+        delta = sharded.correlation.matrix().max_abs_difference(batch_matrix)
         print(f"  sharded vs batch   correlation |Δ|max = {delta:.2e}")
         if delta > CORRELATION_TOLERANCE:
             print("  FAIL: streamed accumulator disagrees with batch statistics")
@@ -104,6 +148,24 @@ def main(argv: "list[str] | None" = None) -> int:
             f"{args.assert_speedup:.2f}x"
         )
         failures += 1
+
+    if args.json:
+        payload = {
+            "benchmark": "engine_scale",
+            "size": args.size,
+            "shards": args.shards,
+            "chunk_size": args.chunk_size,
+            "seed": args.seed,
+            "cpus": os.cpu_count(),
+            "paths": paths,
+            "sharded_speedup": speedup,
+            "export_segments": len(manifest.segments),
+            "failures": failures,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"  wrote {args.json}")
 
     print("OK" if failures == 0 else f"{failures} check(s) failed")
     return 1 if failures else 0

@@ -1,0 +1,12 @@
+"""Legacy setuptools shim.
+
+All metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e . --no-use-pep517 --no-build-isolation`` works on
+environments whose setuptools predates self-contained PEP 660 editable
+wheels (setuptools < 70 without the ``wheel`` package); modern
+environments should simply ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

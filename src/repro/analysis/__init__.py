@@ -21,21 +21,32 @@ from repro.analysis.overview import (
     creation_lifetime_trend,
     lifetime_distribution,
     resource_overview,
+    streamed_resource_overview,
 )
 from repro.analysis.resources import (
+    ResourceDistribution,
     core_ratio_series,
     disk_distribution,
     multicore_fractions,
     percore_distribution,
     percore_fraction_bands,
     speed_distribution,
+    streamed_distribution,
 )
-from repro.analysis.validation import ValidationReport, validate_generated
+from repro.analysis.validation import (
+    ValidationReport,
+    compare_populations,
+    compare_streams,
+    validate_generated,
+)
 
 __all__ = [
     "LifetimeDistribution",
     "OverviewSeries",
+    "ResourceDistribution",
     "ValidationReport",
+    "compare_populations",
+    "compare_streams",
     "core_ratio_series",
     "cpu_shares_table",
     "creation_lifetime_trend",
@@ -49,5 +60,7 @@ __all__ = [
     "percore_fraction_bands",
     "resource_overview",
     "speed_distribution",
+    "streamed_distribution",
+    "streamed_resource_overview",
     "validate_generated",
 ]

@@ -85,17 +85,68 @@ def resource_overview(
     dates = np.asarray(dates, dtype=float)
     sanity = sanity if sanity is not None else SanityFilter()
 
+    from repro.engine.accumulate import MomentAccumulator
+
     active = np.zeros(dates.size, dtype=int)
     means = {label: np.zeros(dates.size) for label in RESOURCE_LABELS}
     stds = {label: np.zeros(dates.size) for label in RESOURCE_LABELS}
     for i, when in enumerate(dates):
         population, _ = sanity.apply(trace.snapshot(float(when)))
         active[i] = trace.active_count(float(when))
-        snapshot_means, snapshot_stds = population.means(), population.stds()
+        # One moment-reducer pass per date gives both means and stds.
+        moments = MomentAccumulator(RESOURCE_LABELS).update(population)
+        snapshot_means, snapshot_stds = moments.means(), moments.stds()
         for label in RESOURCE_LABELS:
             means[label][i] = snapshot_means[label]
             stds[label][i] = snapshot_stds[label]
     return OverviewSeries(dates=dates, active_counts=active, means=means, stds=stds)
+
+
+def streamed_resource_overview(
+    dated_sources,
+    active_counts: "np.ndarray | list[int] | None" = None,
+) -> OverviewSeries:
+    """Fig 2 series from per-date chunk streams via the moment reducer.
+
+    ``dated_sources`` yields ``(when, source)`` pairs where each source is
+    an in-memory :class:`~repro.hosts.population.HostPopulation` *or* an
+    iterable of population chunks (e.g. a
+    :func:`~repro.engine.streaming.stream_population` stream) — the same
+    duality every reducer consumer shares.  Each date is folded through a
+    :class:`~repro.engine.accumulate.MomentAccumulator`, so a snapshot of
+    any size is summarised in bounded memory.  ``active_counts`` overrides
+    the per-date host counts (a trace's pre-filter active count differs
+    from the reduced count); by default the reducer's count is used.
+    """
+    from repro.engine.accumulate import MomentAccumulator
+    from repro.engine.reduce import as_chunk_stream
+
+    dates: "list[float]" = []
+    counts: "list[int]" = []
+    means = {label: [] for label in RESOURCE_LABELS}
+    stds = {label: [] for label in RESOURCE_LABELS}
+    for when, source in dated_sources:
+        moments = MomentAccumulator(RESOURCE_LABELS)
+        for chunk in as_chunk_stream(source):
+            moments.update(chunk)
+        dates.append(float(when))
+        counts.append(moments.count)
+        snapshot_means, snapshot_stds = moments.means(), moments.stds()
+        for label in RESOURCE_LABELS:
+            means[label].append(snapshot_means[label])
+            stds[label].append(snapshot_stds[label])
+    if active_counts is not None:
+        counts = [int(c) for c in active_counts]
+        if len(counts) != len(dates):
+            raise ValueError(
+                f"active_counts has {len(counts)} entries for {len(dates)} dates"
+            )
+    return OverviewSeries(
+        dates=np.asarray(dates, dtype=float),
+        active_counts=np.asarray(counts, dtype=int),
+        means={label: np.asarray(v) for label, v in means.items()},
+        stds={label: np.asarray(v) for label, v in stds.items()},
+    )
 
 
 def creation_lifetime_trend(

@@ -2,17 +2,26 @@
 
 Each function computes exactly the data series the corresponding figure
 plots; benches print them next to the paper's published checkpoints.
+
+The scalar statistics run through the engine's reducer layer
+(:mod:`repro.engine.reduce`): the batch figure functions fold the
+materialised snapshot through the exact reducers, and
+:func:`streamed_distribution` produces the same
+:class:`ResourceDistribution` from a chunk stream of any size by swapping
+in the sketch-backed reducers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
 from repro.core.parameters import CORE_CLASSES, PERCORE_MEMORY_CLASSES_MB
 from repro.fitting.ratios import class_fraction_series
 from repro.hosts.filters import SanityFilter
+from repro.hosts.population import HostPopulation
 from repro.stats.ecdf import ECDF, histogram_density
 from repro.stats.kstest import KSSelectionResult, select_distribution
 from repro.traces.dataset import TraceDataset
@@ -133,6 +142,97 @@ class ResourceDistribution:
     ks_selection: "KSSelectionResult | None"
 
 
+def _scalar_stats(population: HostPopulation, label: str) -> "tuple[float, float, float]":
+    """(mean, median, std) of one column via the shared exact reducers."""
+    from repro.engine.accumulate import MomentAccumulator
+    from repro.engine.reduce import ExactQuantileReducer
+
+    moments = MomentAccumulator((label,)).update(population)
+    quantiles = ExactQuantileReducer((label,)).update(population)
+    return (
+        moments.means()[label],
+        quantiles.medians()[label],
+        moments.stds()[label],
+    )
+
+
+def streamed_distribution(
+    chunks: "HostPopulation | Iterable[HostPopulation]",
+    label: str,
+    when: float = float("nan"),
+    bins: "int | np.ndarray" = 60,
+    value_range: "tuple[float, float] | None" = None,
+    log10: bool = False,
+    compression: "int | None" = None,
+) -> ResourceDistribution:
+    """A Fig 8/9-style :class:`ResourceDistribution` from a chunk stream.
+
+    The streamed counterpart of :func:`speed_distribution` /
+    :func:`disk_distribution`: one pass over ``chunks`` (an in-memory
+    population also qualifies — it is one chunk) through the engine's
+    mergeable reducers.  ``log10=True`` reproduces the Fig 9 convention:
+    histogram and CDF over ``log10`` of the positive values while
+    mean/median/std describe the raw column.
+
+    A streaming histogram cannot discover its range after the fact, so
+    ``value_range`` (or an explicit edge array for ``bins``) is required.
+    KS family selection needs raw samples and is therefore not part of the
+    streamed profile (``ks_selection`` is ``None``).
+    """
+    from repro.engine.accumulate import MomentAccumulator
+    from repro.engine.reduce import (
+        ECDFReducer,
+        HistogramReducer,
+        QuantileReducer,
+        as_chunk_stream,
+    )
+    from repro.stats.sketch import DEFAULT_COMPRESSION
+
+    compression = DEFAULT_COMPRESSION if compression is None else compression
+    if np.ndim(bins) == 1:
+        edges = np.asarray(bins, dtype=float)
+    else:
+        if value_range is None:
+            raise ValueError(
+                "streamed histograms need a value_range (or explicit bin edges); "
+                "the range cannot be discovered after the stream has passed"
+            )
+        edges = np.histogram_bin_edges(
+            np.empty(0), bins=int(bins), range=value_range
+        )
+
+    transform = _positive_log10 if log10 else None
+    moments = MomentAccumulator((label,))
+    quantiles = QuantileReducer((label,), compression=compression)
+    histogram = HistogramReducer(label, edges, transform=transform)
+    cdf = ECDFReducer(label, compression=compression, transform=transform)
+    for chunk in as_chunk_stream(chunks):
+        moments.update(chunk)
+        quantiles.update(chunk)
+        histogram.update(chunk)
+        cdf.update(chunk)
+
+    centres, density = histogram.result()
+    return ResourceDistribution(
+        when=when,
+        mean=moments.means()[label],
+        median=quantiles.medians()[label],
+        std=moments.stds()[label],
+        histogram_x=centres,
+        histogram_density=density,
+        cdf=cdf.result(),
+        ks_selection=None,
+    )
+
+
+def _positive_log10(values: np.ndarray) -> np.ndarray:
+    """``log10`` of the positive entries (Fig 9's disk convention)."""
+    values = np.asarray(values, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.log10(values)
+    return out[np.isfinite(out)]
+
+
 def speed_distribution(
     trace: TraceDataset,
     when: float,
@@ -153,11 +253,12 @@ def speed_distribution(
     if run_ks:
         rng = rng if rng is not None else np.random.default_rng(0)
         selection = select_distribution(sample, rng)
+    mean, median, std = _scalar_stats(population, benchmark)
     return ResourceDistribution(
         when=when,
-        mean=float(sample.mean()),
-        median=float(np.median(sample)),
-        std=float(sample.std()),
+        mean=mean,
+        median=median,
+        std=std,
         histogram_x=centres,
         histogram_density=density,
         cdf=ECDF.from_sample(sample),
@@ -184,11 +285,12 @@ def disk_distribution(
     if run_ks:
         rng = rng if rng is not None else np.random.default_rng(0)
         selection = select_distribution(positive, rng)
+    mean, median, std = _scalar_stats(population, "disk_gb")
     return ResourceDistribution(
         when=when,
-        mean=float(sample.mean()),
-        median=float(np.median(sample)),
-        std=float(sample.std()),
+        mean=mean,
+        median=median,
+        std=std,
         histogram_x=centres,
         histogram_density=density,
         cdf=ECDF.from_sample(log_sample),

@@ -109,6 +109,72 @@ def compare_populations(
     )
 
 
+def compare_streams(
+    actual: "HostPopulation | object",
+    generated: "HostPopulation | object",
+    when: float,
+    compression: int = 400,
+    qq_points: int = 100,
+    qq_trim: float = 0.05,
+) -> ValidationReport:
+    """Fig 12/Table VIII comparison of two populations *or* chunk streams.
+
+    The streamed counterpart of :func:`compare_populations`: both sides are
+    folded once through the engine's reducers (moments, correlation,
+    per-column quantile sketches), so fleets far beyond memory can be
+    validated against each other.  KS distances and QQ deviations come
+    from the sketch-backed ECDFs/quantiles and carry the sketch's
+    compression-controlled error; an in-memory population is just a
+    one-chunk stream, making this a drop-in for moderately sized pools
+    too.
+    """
+    from repro.engine.accumulate import CorrelationAccumulator, MomentAccumulator
+    from repro.engine.reduce import QuantileReducer, as_chunk_stream
+
+    sides = {}
+    for name, source in (("actual", actual), ("generated", generated)):
+        moments = MomentAccumulator(RESOURCE_LABELS)
+        correlation = CorrelationAccumulator()
+        quantiles = QuantileReducer(RESOURCE_LABELS, compression=compression)
+        for chunk in as_chunk_stream(source):
+            moments.update(chunk)
+            correlation.update(chunk)
+            quantiles.update(chunk)
+        if moments.count < 2:
+            raise ValueError(f"{name} pool needs at least two hosts")
+        sides[name] = (moments, correlation, quantiles)
+
+    a_moments, a_corr, a_quant = sides["actual"]
+    g_moments, g_corr, g_quant = sides["generated"]
+    probs = np.linspace(0.5 / qq_points, 1 - 0.5 / qq_points, qq_points)
+    lo = int(qq_points * qq_trim)
+    hi = qq_points - lo
+    resources: "dict[str, ResourceComparison]" = {}
+    for label in RESOURCE_LABELS:
+        qa = np.asarray(a_quant.sketch(label).quantile(probs))[lo:hi]
+        qb = np.asarray(g_quant.sketch(label).quantile(probs))[lo:hi]
+        scale = np.maximum(np.abs(qa), 1e-12)
+        resources[label] = ResourceComparison(
+            label=label,
+            actual_mean=a_moments.means()[label],
+            generated_mean=g_moments.means()[label],
+            actual_std=a_moments.stds()[label],
+            generated_std=g_moments.stds()[label],
+            ks_distance=a_quant.sketch(label)
+            .to_ecdf()
+            .max_distance(g_quant.sketch(label).to_ecdf()),
+            qq_deviation=float(np.max(np.abs(qa - qb) / scale)),
+        )
+    return ValidationReport(
+        when=float(when),
+        n_actual=a_moments.count,
+        n_generated=g_moments.count,
+        resources=resources,
+        actual_correlations=a_corr.matrix(),
+        generated_correlations=g_corr.matrix(),
+    )
+
+
 def validate_generated(
     trace: TraceDataset,
     generator: CorrelatedHostGenerator,

@@ -5,7 +5,12 @@ Subcommands
 ``trace``     synthesise a SETI@home-like trace and write it to CSV(.gz)
 ``fit``       fit model parameters from a trace file (JSON out)
 ``generate``  generate hosts for a date from Table X or fitted parameters
-``fleet``     stream/shard a large fleet through the engine (one-pass stats)
+``fleet``     stream/shard a large fleet through the engine's reducers;
+              carries three sub-modes: ``fleet summary`` (one-pass stats,
+              optionally ``--quantiles`` sketch medians), ``fleet export``
+              (sharded segment + manifest writer) and ``fleet verify``
+              (re-hash an export against its manifest).  Plain ``fleet
+              [flags]`` remains the PR-1 summary behaviour.
 ``predict``   print the Figs 13/14 forecasts and §VI-C scalar predictions
 ``validate``  fit on a trace, generate for Sep 2010, print Fig 12 comparison
 ``simulate``  run the Fig 15 utility experiment on a trace
@@ -15,7 +20,9 @@ Examples
 ::
 
     resmodel generate --date 2010-09-01 --hosts 1000
-    resmodel fleet --size 1000000 --shards 4 --correlation
+    resmodel fleet summary --size 1000000 --shards 4 --quantiles
+    resmodel fleet export --size 1000000 --shards 4 --out-dir fleet/
+    resmodel fleet verify fleet/manifest.json
     resmodel trace --scale 0.01 --out trace.csv.gz
     resmodel fit --trace trace.csv.gz --out params.json
     resmodel predict --year 2014
@@ -46,27 +53,36 @@ def _load_parameters(path: "str | None") -> ModelParameters:
         return ModelParameters.from_json(handle.read())
 
 
-#: Host CSV header and row format shared by ``generate`` and ``fleet``.
-_HOST_CSV_HEADER = "cores,memory_mb,dhrystone_mips,whetstone_mips,disk_gb\n"
-_HOST_CSV_FMT = "%d,%.1f,%.1f,%.1f,%.2f"
-
-
-def _write_population_csv(population, handle) -> None:
-    """Append a population's rows to an open text handle (vectorised)."""
-    np.savetxt(handle, population.to_matrix(), fmt=_HOST_CSV_FMT)
+# The host CSV header and row writer live in repro.engine.writer (shared
+# with the sharded export, so `generate`, `fleet --out` and `fleet export`
+# emit identical bytes) and are imported lazily inside the commands that
+# write CSV, keeping engine/multiprocessing out of unrelated startups.
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.engine.writer import HOST_CSV_HEADER, write_population_csv
+
     params = _load_parameters(args.params)
     generator = CorrelatedHostGenerator(params)
     when = year_fraction(parse_date(args.date))
     rng = np.random.default_rng(args.seed)
     population = generator.generate(when, args.hosts, rng)
-    sys.stdout.write(_HOST_CSV_HEADER)
-    _write_population_csv(population, sys.stdout)
+    sys.stdout.write(HOST_CSV_HEADER)
+    write_population_csv(population, sys.stdout)
     if args.summary:
         sys.stderr.write(population.summary_table() + "\n")
     return 0
+
+
+def _check_fleet_ints(args: argparse.Namespace) -> "str | None":
+    """Clear error message for non-positive fleet integers (else None)."""
+    if getattr(args, "shards", 1) <= 0:
+        return f"fleet: --shards must be a positive integer (got {args.shards})"
+    if getattr(args, "chunk_size", 1) <= 0:
+        return f"fleet: --chunk-size must be a positive integer (got {args.chunk_size})"
+    if getattr(args, "size", 0) < 0:
+        return f"fleet: --size must be non-negative (got {args.size})"
+    return None
 
 
 def _fleet_stats_writing_csv(generator, when, args):
@@ -75,18 +91,21 @@ def _fleet_stats_writing_csv(generator, when, args):
     CSV export is inherently one ordered stream, so there is no point paying
     for a shard pool plus a second generation pass; the determinism contract
     guarantees this sequential stream is the exact fleet any sharded run
-    would summarise.
+    would summarise.  (``fleet export`` is the sharded, manifest-producing
+    counterpart.)
     """
     import time
 
     from repro.engine import (
-        CorrelationAccumulator,
+        DEFAULT_REDUCER_FACTORIES,
         FleetStatistics,
-        MomentAccumulator,
+        QuantileReducer,
+        ReducerSet,
         combine_block_digests,
         iter_blocks,
         population_digest,
     )
+    from repro.engine.writer import HOST_CSV_HEADER, write_population_csv
 
     if args.out.endswith(".gz"):
         import gzip
@@ -94,38 +113,44 @@ def _fleet_stats_writing_csv(generator, when, args):
         handle = gzip.open(args.out, "wt", encoding="utf-8")
     else:
         handle = open(args.out, "w", encoding="utf-8")
-    moments = MomentAccumulator()
-    correlation = CorrelationAccumulator()
+    factories = dict(DEFAULT_REDUCER_FACTORIES)
+    if getattr(args, "quantiles", False):
+        factories["quantiles"] = QuantileReducer
+    reducers = ReducerSet.from_factories(factories)
     digests = []
     start = time.perf_counter()
     with handle:
-        handle.write(_HOST_CSV_HEADER)
+        handle.write(HOST_CSV_HEADER)
         for index, block in iter_blocks(generator, when, args.size, args.seed):
-            _write_population_csv(block, handle)
-            moments.update(block)
-            correlation.update(block)
+            write_population_csv(block, handle)
+            reducers.update(block)
             if args.digest:
                 digests.append((index, bytes.fromhex(population_digest(block))))
     return FleetStatistics(
         size=args.size,
         when=float(when),
         shards=1,
-        moments=moments,
-        correlation=correlation,
+        reducers=reducers,
         elapsed_seconds=time.perf_counter() - start,
         digest=combine_block_digests(digests) if args.digest else None,
     )
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
+    """``fleet`` / ``fleet summary``: one-pass reducer statistics."""
     from repro.engine import generate_sharded
 
+    problem = _check_fleet_ints(args)
+    if problem:
+        sys.stderr.write(problem + "\n")
+        return 2
     if args.correlation and args.size < 2:
         sys.stderr.write("fleet: --correlation needs --size of at least 2\n")
         return 2
     params = _load_parameters(args.params)
     generator = CorrelatedHostGenerator(params)
     when = year_fraction(parse_date(args.date))
+    quantiles = getattr(args, "quantiles", False)
     if args.out:
         stats = _fleet_stats_writing_csv(generator, when, args)
     else:
@@ -137,6 +162,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             shards=args.shards,
             chunk_size=args.chunk_size,
             digest=args.digest,
+            quantiles=quantiles,
         )
     print(
         f"fleet of {stats.size} hosts @ {stats.when:.3f} "
@@ -144,6 +170,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         f"{stats.hosts_per_second:,.0f} hosts/s)"
     )
     print(stats.summary_table())
+    if quantiles:
+        from repro.engine import DECILES
+
+        deciles = stats.quantiles.result()
+        print("\nStreamed deciles (sketch):")
+        print("    resource " + "".join(f"{f'p{int(p * 100)}':>10}" for p in DECILES))
+        for label, row in deciles.items():
+            print(f"{label:>12} " + "".join(f"{row[p]:>10.1f}" for p in DECILES))
     if args.correlation:
         print("\nStreamed correlations (Table VIII):")
         print(stats.correlation.matrix().format_table())
@@ -152,6 +186,67 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.out:
         print(f"\nwrote {args.size} hosts to {args.out}")
     return 0
+
+
+def _cmd_fleet_export(args: argparse.Namespace) -> int:
+    """``fleet export``: sharded segment + manifest writer."""
+    from repro.engine import export_fleet
+
+    problem = _check_fleet_ints(args)
+    if problem:
+        sys.stderr.write(problem + "\n")
+        return 2
+    params = _load_parameters(args.params)
+    generator = CorrelatedHostGenerator(params)
+    when = year_fraction(parse_date(args.date))
+    manifest = export_fleet(
+        generator,
+        when,
+        args.size,
+        args.seed,
+        args.out_dir,
+        shards=args.shards,
+        fmt=args.format,
+    )
+    print(
+        f"exported {manifest.size} hosts @ {manifest.when:.3f} as "
+        f"{len(manifest.segments)} {manifest.format} segment(s) to {args.out_dir}"
+    )
+    for segment in manifest.segments:
+        print(
+            f"  {segment.path}  rows [{segment.row_lo}, {segment.row_hi})  "
+            f"sha256 {segment.sha256[:16]}…"
+        )
+    print(f"payload sha256: {manifest.payload_sha256}")
+    print(f"fleet sha256:   {manifest.fleet_sha256}")
+    print(f"manifest: {args.out_dir}/manifest.json")
+    return 0
+
+
+def _cmd_fleet_verify(args: argparse.Namespace) -> int:
+    """``fleet verify``: re-hash an export against its manifest."""
+    from repro.engine import verify_manifest
+
+    report = verify_manifest(args.manifest)
+    for line in report.format_lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
+def _dispatch_fleet(args: argparse.Namespace) -> int:
+    """Route ``fleet [summary|export|verify]``.
+
+    Dispatch keys off ``fleet_command`` rather than per-subparser
+    ``func`` defaults: argparse never overwrites an attribute the parent
+    parser already placed in the namespace, so a ``func`` default on the
+    nested subparsers would silently lose to the parent's.
+    """
+    command = getattr(args, "fleet_command", None)
+    if command == "export":
+        return _cmd_fleet_export(args)
+    if command == "verify":
+        return _cmd_fleet_verify(args)
+    return _cmd_fleet(args)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -286,32 +381,109 @@ def build_parser() -> argparse.ArgumentParser:
     p_generate.add_argument("--summary", action="store_true", help="print summary to stderr")
     p_generate.set_defaults(func=_cmd_generate)
 
+    def _add_fleet_common(
+        parser: argparse.ArgumentParser,
+        suppress: bool = False,
+        chunked: bool = True,
+    ) -> None:
+        # On the nested subparsers every default is SUPPRESS: pre-3.13
+        # argparse parses a subcommand into a *fresh* namespace and copies
+        # each attribute back over the parent's, so a real default here
+        # would silently overwrite flags given before the subcommand
+        # (`fleet --size 9000 summary`).  SUPPRESS keeps unset options out
+        # of the sub-namespace and the parent's parsed values win.
+        def default(value):
+            return argparse.SUPPRESS if suppress else value
+
+        parser.add_argument(
+            "--size", type=int, default=default(100_000), help="number of hosts"
+        )
+        parser.add_argument(
+            "--date", default=default("2010-09-01"), help="YYYY-MM-DD or year"
+        )
+        parser.add_argument(
+            "--params",
+            default=default(None),
+            help="fitted parameter JSON (default: Table X)",
+        )
+        parser.add_argument("--seed", type=int, default=default(0))
+        parser.add_argument(
+            "--shards", type=int, default=default(1), help="worker processes"
+        )
+        if chunked:
+            parser.add_argument(
+                "--chunk-size",
+                type=int,
+                default=default(65536),
+                help="hosts per reducer chunk (bounds peak memory)",
+            )
+
+    def _add_fleet_summary_flags(
+        parser: argparse.ArgumentParser, suppress: bool = False
+    ) -> None:
+        def default(value):
+            return argparse.SUPPRESS if suppress else value
+
+        parser.add_argument(
+            "--correlation",
+            action="store_true",
+            default=default(False),
+            help="print the streamed Table VIII matrix",
+        )
+        parser.add_argument(
+            "--quantiles",
+            action="store_true",
+            default=default(False),
+            help="sketch streamed medians/deciles alongside the moments",
+        )
+        parser.add_argument(
+            "--digest",
+            action="store_true",
+            default=default(False),
+            help="print the fleet's sha256 identity",
+        )
+        parser.add_argument(
+            "--out",
+            default=default(None),
+            help="stream the fleet to this CSV(.gz) path while reducing statistics "
+            "(one ordered pass; --shards does not apply)",
+        )
+
     p_fleet = sub.add_parser(
-        "fleet", help="stream/shard a large fleet with one-pass statistics"
+        "fleet", help="stream/shard a large fleet through the engine's reducers"
     )
-    p_fleet.add_argument("--size", type=int, default=100_000, help="number of hosts")
-    p_fleet.add_argument("--date", default="2010-09-01", help="YYYY-MM-DD or year")
-    p_fleet.add_argument("--params", help="fitted parameter JSON (default: Table X)")
-    p_fleet.add_argument("--seed", type=int, default=0)
-    p_fleet.add_argument("--shards", type=int, default=1, help="worker processes")
-    p_fleet.add_argument(
-        "--chunk-size",
-        type=int,
-        default=65536,
-        help="hosts per accumulator chunk (bounds peak memory)",
+    _add_fleet_common(p_fleet)
+    _add_fleet_summary_flags(p_fleet)
+    p_fleet.set_defaults(func=_dispatch_fleet)
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command")
+
+    p_fleet_summary = fleet_sub.add_parser(
+        "summary", help="one-pass reducer statistics (same as bare `fleet`)"
     )
-    p_fleet.add_argument(
-        "--correlation", action="store_true", help="print the streamed Table VIII matrix"
+    _add_fleet_common(p_fleet_summary, suppress=True)
+    _add_fleet_summary_flags(p_fleet_summary, suppress=True)
+
+    p_fleet_export = fleet_sub.add_parser(
+        "export", help="write per-shard segments plus a sha256 manifest"
     )
-    p_fleet.add_argument(
-        "--digest", action="store_true", help="print the fleet's sha256 identity"
+    # No --chunk-size: the CSV writer streams block by block and the NPZ
+    # writer necessarily holds one segment's columns, so the flag would be
+    # accepted but meaningless.
+    _add_fleet_common(p_fleet_export, suppress=True, chunked=False)
+    p_fleet_export.add_argument(
+        "--out-dir", required=True, help="directory for segments + manifest.json"
     )
-    p_fleet.add_argument(
-        "--out",
-        help="stream the fleet to this CSV(.gz) path while reducing statistics "
-        "(one ordered pass; --shards does not apply)",
+    p_fleet_export.add_argument(
+        "--format",
+        choices=["csv", "npz"],
+        default="csv",
+        help="segment format (csv concatenates byte-identically)",
     )
-    p_fleet.set_defaults(func=_cmd_fleet)
+
+    p_fleet_verify = fleet_sub.add_parser(
+        "verify", help="re-hash an export against its manifest"
+    )
+    p_fleet_verify.add_argument("manifest", help="path to a fleet manifest.json")
 
     p_trace = sub.add_parser("trace", help="synthesise a SETI@home-like trace")
     p_trace.add_argument("--scale", type=float, default=0.02)

@@ -6,14 +6,41 @@ Layers
     Chunked generation under a block-based determinism contract
     (``SeedSequence.spawn`` per fixed RNG block), plus fleet hashing.
 :mod:`~repro.engine.accumulate`
-    One-pass Welford/pairwise accumulators reproducing the batch
+    One-pass Welford/pairwise moment reducers reproducing the batch
     :class:`~repro.hosts.population.HostPopulation` statistics.
+:mod:`~repro.engine.reduce`
+    The :class:`~repro.engine.reduce.Reducer` protocol
+    (update/merge/result) every statistics consumer shares, plus the
+    quantile-sketch, histogram and ECDF reducers and the
+    :class:`~repro.engine.reduce.ReducerSet` bundle.
 :mod:`~repro.engine.sharding`
-    ``multiprocessing`` fan-out over RNG blocks with accumulator reduction.
+    ``multiprocessing`` fan-out over RNG blocks with reducer-set reduction.
+:mod:`~repro.engine.writer`
+    Sharded fleet export: per-shard CSV/NPZ segments plus a sha256
+    manifest (``fleet export`` / ``fleet verify``).
 """
 
-from repro.engine.accumulate import CorrelationAccumulator, MomentAccumulator
-from repro.engine.sharding import FleetStatistics, generate_sharded
+from repro.engine.accumulate import (
+    CorrelationAccumulator,
+    MomentAccumulator,
+    as_matrix,
+)
+from repro.engine.reduce import (
+    DECILES,
+    ECDFReducer,
+    ExactQuantileReducer,
+    HistogramReducer,
+    QuantileReducer,
+    Reducer,
+    ReducerSet,
+    as_chunk_stream,
+    reduce_stream,
+)
+from repro.engine.sharding import (
+    DEFAULT_REDUCER_FACTORIES,
+    FleetStatistics,
+    generate_sharded,
+)
 from repro.engine.streaming import (
     DEFAULT_CHUNK_SIZE,
     RNG_BLOCK_SIZE,
@@ -27,10 +54,29 @@ from repro.engine.streaming import (
     population_digest,
     stream_population,
 )
+from repro.engine.writer import (
+    FleetManifest,
+    SegmentRecord,
+    VerificationReport,
+    export_fleet,
+    shard_block_ranges,
+    verify_manifest,
+)
 
 __all__ = [
     "CorrelationAccumulator",
     "MomentAccumulator",
+    "as_matrix",
+    "DECILES",
+    "ECDFReducer",
+    "ExactQuantileReducer",
+    "HistogramReducer",
+    "QuantileReducer",
+    "Reducer",
+    "ReducerSet",
+    "as_chunk_stream",
+    "reduce_stream",
+    "DEFAULT_REDUCER_FACTORIES",
     "FleetStatistics",
     "generate_sharded",
     "DEFAULT_CHUNK_SIZE",
@@ -44,4 +90,10 @@ __all__ = [
     "iter_blocks",
     "population_digest",
     "stream_population",
+    "FleetManifest",
+    "SegmentRecord",
+    "VerificationReport",
+    "export_fleet",
+    "shard_block_ranges",
+    "verify_manifest",
 ]

@@ -28,8 +28,13 @@ from repro.hosts.population import (
 from repro.stats.correlation import CorrelationMatrix
 
 
-def _as_matrix(source, labels: "tuple[str, ...]") -> np.ndarray:
-    """Stack a population or ``{label: column}`` dict into an ``(n, k)`` array."""
+def as_matrix(source, labels: "tuple[str, ...]") -> np.ndarray:
+    """Stack a population or ``{label: column}`` dict into an ``(n, k)`` array.
+
+    The shared chunk-normalisation step of every reducer in
+    :mod:`repro.engine.reduce`; accepts the same chunk types ``update``
+    does.
+    """
     if isinstance(source, HostPopulation):
         columns = [source.column(label) for label in labels]
     else:
@@ -59,7 +64,7 @@ class MomentAccumulator:
 
     def update(self, source: "HostPopulation | dict") -> "MomentAccumulator":
         """Fold one chunk (population or column dict) into the running state."""
-        data = _as_matrix(source, self.labels)
+        data = as_matrix(source, self.labels)
         n_b = data.shape[0]
         if n_b == 0:
             return self
@@ -86,6 +91,8 @@ class MomentAccumulator:
 
     def means(self) -> "dict[str, float]":
         """Mean per column, matching :meth:`HostPopulation.means`."""
+        if self.count == 0:
+            return {label: float("nan") for label in self.labels}
         return {label: float(m) for label, m in zip(self.labels, self._mean)}
 
     def variances(self) -> "dict[str, float]":
@@ -98,16 +105,29 @@ class MomentAccumulator:
         """Population std per column, matching :meth:`HostPopulation.stds`."""
         return {label: float(np.sqrt(v)) for label, v in self.variances().items()}
 
-    def summary_table(self) -> str:
-        """Aligned mean/std text table (streamed analogue of the batch one).
+    def result(self) -> "dict[str, dict[str, float]]":
+        """Protocol result: ``{"means": ..., "stds": ...}`` plus the count."""
+        return {"count": self.count, "means": self.means(), "stds": self.stds()}
 
-        Medians need a second pass (or a quantile sketch) and are therefore
-        not part of the one-pass summary.
+    def summary_table(self, medians: "dict[str, float] | None" = None) -> str:
+        """Aligned mean[/median]/std text table (streamed analogue of the batch one).
+
+        Medians are not derivable from moments; pass the ``medians`` of a
+        :class:`~repro.engine.reduce.QuantileReducer` run over the same
+        stream to include them.
         """
         means, stds = self.means(), self.stds()
-        lines = [f"{'resource':>12} {'mean':>14} {'std':>14}"]
-        for label in self.labels:
-            lines.append(f"{label:>12} {means[label]:>14.2f} {stds[label]:>14.2f}")
+        if medians is None:
+            lines = [f"{'resource':>12} {'mean':>14} {'std':>14}"]
+            for label in self.labels:
+                lines.append(f"{label:>12} {means[label]:>14.2f} {stds[label]:>14.2f}")
+        else:
+            lines = [f"{'resource':>12} {'mean':>14} {'median':>14} {'std':>14}"]
+            for label in self.labels:
+                lines.append(
+                    f"{label:>12} {means[label]:>14.2f} "
+                    f"{medians[label]:>14.2f} {stds[label]:>14.2f}"
+                )
         return "\n".join(lines)
 
 
@@ -131,7 +151,7 @@ class CorrelationAccumulator:
 
     def update(self, source: "HostPopulation | dict") -> "CorrelationAccumulator":
         """Fold one chunk (population or column dict) into the running state."""
-        data = _as_matrix(source, self.labels)
+        data = as_matrix(source, self.labels)
         n_b = data.shape[0]
         if n_b == 0:
             return self
@@ -157,6 +177,10 @@ class CorrelationAccumulator:
             n_a * n_b / n
         )
         self.count = n
+
+    def result(self) -> CorrelationMatrix:
+        """Protocol result: the streamed labelled Pearson matrix."""
+        return self.matrix()
 
     def covariance(self) -> np.ndarray:
         """Population covariance matrix (``ddof=0``) of the columns."""

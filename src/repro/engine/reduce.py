@@ -1,0 +1,432 @@
+"""The reducer architecture every statistics consumer shares.
+
+A :class:`Reducer` is the engine's unit of aggregation: it folds population
+chunks in with ``update``, combines with a peer via ``merge`` (shard
+reduction), and reports through ``result``.  The batch
+:class:`~repro.hosts.population.HostPopulation` statistics, the streaming
+engine, the sharded generator and the analysis layer all reduce through the
+same implementations, so "in-memory population" versus "chunk stream"
+versus "shard fan-out" differ only in who drives the fold:
+
+* :class:`~repro.engine.accumulate.MomentAccumulator` /
+  :class:`~repro.engine.accumulate.CorrelationAccumulator` — Welford /
+  pairwise moments (PR 1), already mergeable.
+* :class:`QuantileReducer` — per-column mergeable
+  :class:`~repro.stats.sketch.QuantileSketch` (streamed medians/deciles).
+* :class:`ExactQuantileReducer` — materialising counterpart used by the
+  batch path, same protocol, exact ``np.quantile`` answers.
+* :class:`HistogramReducer` — fixed-edge mergeable counts (streamed Fig 8/9
+  histograms).
+* :class:`ECDFReducer` — sketch-backed distribution-function view
+  (streamed CDF panels and KS comparisons).
+
+:class:`ReducerSet` bundles named reducers so callers (CLI, sharding,
+analysis) can plug in any combination; ``generate_sharded`` accepts the
+factory form and merges the per-shard sets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.engine.accumulate import as_matrix
+from repro.hosts.population import RESOURCE_LABELS, HostPopulation
+from repro.stats.sketch import DEFAULT_COMPRESSION, QuantileSketch
+
+#: The nine decile probabilities reported by quantile reducers.
+DECILES: tuple[float, ...] = tuple(np.round(np.arange(0.1, 0.91, 0.1), 2))
+
+
+@runtime_checkable
+class Reducer(Protocol):
+    """One-pass, mergeable aggregation over population chunks.
+
+    ``update`` folds a chunk (a :class:`HostPopulation` or a ``{label:
+    column}`` dict) into the running state and returns ``self``; ``merge``
+    folds a same-shaped reducer in (shard reduction) and returns ``self``;
+    ``result`` reports the aggregate.  Implementations must satisfy
+    ``merge(a, b).result() == update(a with b's data).result()`` to
+    float-merge precision — that algebra is what makes chunking and shard
+    placement invisible to every consumer.
+    """
+
+    def update(self, chunk: "HostPopulation | dict") -> "Reducer": ...
+
+    def merge(self, other: "Reducer") -> "Reducer": ...
+
+    def result(self) -> Any: ...
+
+
+#: A zero-argument callable producing a fresh reducer (must be picklable
+#: for the sharded fan-out: classes and ``functools.partial`` qualify).
+ReducerFactory = Callable[[], Reducer]
+
+
+def as_chunk_stream(
+    source: "HostPopulation | dict | Iterable[HostPopulation | dict]",
+) -> "Iterator[HostPopulation | dict]":
+    """Normalise population-or-chunks input into a chunk iterator.
+
+    Lets every consumer accept either an in-memory population (one chunk)
+    or a stream such as :func:`~repro.engine.streaming.stream_population`.
+    """
+    if isinstance(source, (HostPopulation, dict)):
+        yield source
+    else:
+        yield from source
+
+
+class QuantileReducer:
+    """Mergeable per-column quantile sketches over the labelled resources.
+
+    The streamed counterpart of :meth:`HostPopulation.medians` — medians
+    and deciles of a fleet of any size in bounded memory, with shard
+    sketches combined by :meth:`merge`.
+    """
+
+    def __init__(
+        self,
+        labels: "tuple[str, ...]" = RESOURCE_LABELS,
+        compression: int = DEFAULT_COMPRESSION,
+    ):
+        self.labels = tuple(labels)
+        self.compression = compression
+        self._sketches = {label: QuantileSketch(compression) for label in self.labels}
+
+    @property
+    def count(self) -> int:
+        """Number of hosts folded in."""
+        return self._sketches[self.labels[0]].count if self.labels else 0
+
+    def update(self, chunk: "HostPopulation | dict") -> "QuantileReducer":
+        data = as_matrix(chunk, self.labels)
+        for i, label in enumerate(self.labels):
+            self._sketches[label].update(data[:, i])
+        return self
+
+    def merge(self, other: "QuantileReducer") -> "QuantileReducer":
+        if other.labels != self.labels:
+            raise ValueError(f"label mismatch: {self.labels} vs {other.labels}")
+        for label in self.labels:
+            self._sketches[label].merge(other._sketches[label])
+        return self
+
+    def sketch(self, label: str) -> QuantileSketch:
+        """The underlying sketch for one column."""
+        return self._sketches[label]
+
+    def quantiles(self, q: "np.ndarray | list[float] | float") -> "dict[str, np.ndarray]":
+        """Per-column quantile estimates at probabilities ``q``."""
+        return {
+            label: np.asarray(self._sketches[label].quantile(np.asarray(q, dtype=float)))
+            for label in self.labels
+        }
+
+    def medians(self) -> "dict[str, float]":
+        """Estimated median per column (streamed Table IV-style medians).
+
+        ``nan`` per column before any data arrives, mirroring the empty
+        :meth:`MomentAccumulator.means` (the raw sketches raise instead).
+        """
+        if self.count == 0:
+            return {label: float("nan") for label in self.labels}
+        return {label: self._sketches[label].median() for label in self.labels}
+
+    def result(self) -> "dict[str, dict[float, float]]":
+        """Deciles per column: ``{label: {0.1: q10, ..., 0.9: q90}}``."""
+        out: "dict[str, dict[float, float]]" = {}
+        for label in self.labels:
+            if self.count == 0:
+                out[label] = {p: float("nan") for p in DECILES}
+                continue
+            values = np.asarray(self._sketches[label].quantile(np.asarray(DECILES)))
+            out[label] = {p: float(v) for p, v in zip(DECILES, values)}
+        return out
+
+
+class ExactQuantileReducer:
+    """Materialising quantile reducer — the batch path of the protocol.
+
+    Stores the columns it sees (memory grows with the data, unlike the
+    sketch) and answers with exact ``np.quantile`` values.  The batch
+    :meth:`HostPopulation.medians` delegates here, so swapping it for a
+    :class:`QuantileReducer` is the *only* difference between the exact
+    and the streamed pipeline.
+    """
+
+    def __init__(self, labels: "tuple[str, ...]" = RESOURCE_LABELS):
+        self.labels = tuple(labels)
+        self._parts: "list[np.ndarray]" = []
+
+    @property
+    def count(self) -> int:
+        """Number of hosts folded in."""
+        return sum(part.shape[0] for part in self._parts)
+
+    def update(self, chunk: "HostPopulation | dict") -> "ExactQuantileReducer":
+        data = as_matrix(chunk, self.labels)
+        if data.shape[0]:
+            self._parts.append(data)
+        return self
+
+    def merge(self, other: "ExactQuantileReducer") -> "ExactQuantileReducer":
+        if other.labels != self.labels:
+            raise ValueError(f"label mismatch: {self.labels} vs {other.labels}")
+        self._parts.extend(other._parts)
+        return self
+
+    def _stacked(self) -> np.ndarray:
+        if not self._parts:
+            raise ValueError("cannot query an empty reducer")
+        if len(self._parts) > 1:
+            self._parts = [np.concatenate(self._parts, axis=0)]
+        return self._parts[0]
+
+    def column(self, label: str) -> np.ndarray:
+        """The accumulated sample for one column."""
+        return self._stacked()[:, self.labels.index(label)]
+
+    def quantiles(self, q: "np.ndarray | list[float] | float") -> "dict[str, np.ndarray]":
+        """Exact per-column quantiles at probabilities ``q``.
+
+        ``nan`` before any data arrives — matching ``np.quantile`` on an
+        empty sample (and :meth:`QuantileReducer.medians`), so the batch
+        delegation keeps the pre-reducer nan-on-empty behaviour.
+        """
+        probs = np.asarray(q, dtype=float)
+        if not self._parts:
+            return {label: np.full(probs.shape, np.nan) for label in self.labels}
+        data = self._stacked()
+        return {
+            label: np.quantile(data[:, i], probs)
+            for i, label in enumerate(self.labels)
+        }
+
+    def medians(self) -> "dict[str, float]":
+        """Exact median per column, matching :func:`np.median` (nan if empty)."""
+        if not self._parts:
+            return {label: float("nan") for label in self.labels}
+        data = self._stacked()
+        return {
+            label: float(np.median(data[:, i])) for i, label in enumerate(self.labels)
+        }
+
+    def result(self) -> "dict[str, dict[float, float]]":
+        """Deciles per column, same shape as :meth:`QuantileReducer.result`."""
+        out: "dict[str, dict[float, float]]" = {}
+        for i, label in enumerate(self.labels):
+            if not self._parts:
+                out[label] = {p: float("nan") for p in DECILES}
+                continue
+            values = np.quantile(self._stacked()[:, i], np.asarray(DECILES))
+            out[label] = {p: float(v) for p, v in zip(DECILES, values)}
+        return out
+
+
+def _transform_fingerprint(transform) -> "tuple | None":
+    """A pickling-stable identity for a transform callable.
+
+    Shard reducers are built from *unpickled copies* of their factories, so
+    the parent's merge cannot compare transforms with ``is`` — a
+    ``functools.partial`` (or any non-module-level callable) comes back as
+    a distinct object.  Compare module/qualname when available and fall
+    back to ``repr`` (which spells out a partial's function and arguments).
+    """
+    if transform is None:
+        return None
+    module = getattr(transform, "__module__", None)
+    qualname = getattr(transform, "__qualname__", None)
+    if qualname is not None:
+        return (module, qualname)
+    return (module, repr(transform))
+
+
+class HistogramReducer:
+    """Mergeable fixed-edge histogram of one column.
+
+    Streamed analogue of :func:`~repro.stats.ecdf.histogram_density`: the
+    bin edges are fixed up front (a streaming histogram cannot discover its
+    range after the fact), counts merge exactly across chunks and shards,
+    and :meth:`result` reports ``(bin_centres, density)``.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        edges: "np.ndarray | list[float]",
+        transform: "Callable[[np.ndarray], np.ndarray] | None" = None,
+    ):
+        self.label = label
+        self.edges = np.asarray(edges, dtype=float)
+        if self.edges.ndim != 1 or self.edges.size < 2:
+            raise ValueError("edges must be a 1-D array of at least two edges")
+        if np.any(np.diff(self.edges) <= 0):
+            raise ValueError("edges must be strictly increasing")
+        self.transform = transform
+        self.counts = np.zeros(self.edges.size - 1, dtype=np.int64)
+        self.count = 0
+
+    def _column(self, chunk: "HostPopulation | dict") -> np.ndarray:
+        if isinstance(chunk, HostPopulation):
+            return chunk.column(self.label)
+        return np.asarray(chunk[self.label], dtype=float)
+
+    def update(self, chunk: "HostPopulation | dict") -> "HistogramReducer":
+        values = self._column(chunk)
+        if self.transform is not None:
+            values = self.transform(values)
+        values = values[np.isfinite(values)]
+        counts, _ = np.histogram(values, bins=self.edges)
+        self.counts += counts
+        self.count += int(values.size)
+        return self
+
+    def merge(self, other: "HistogramReducer") -> "HistogramReducer":
+        if other.label != self.label or not np.array_equal(other.edges, self.edges):
+            raise ValueError("histogram reducers must share label and edges")
+        if _transform_fingerprint(other.transform) != _transform_fingerprint(
+            self.transform
+        ):
+            raise ValueError(
+                "histogram reducers must share a transform; merging counts "
+                "taken in different coordinate spaces would be silent nonsense"
+            )
+        self.counts += other.counts
+        self.count += other.count
+        return self
+
+    def centres(self) -> np.ndarray:
+        """Bin centres (matching :func:`histogram_density`)."""
+        return 0.5 * (self.edges[:-1] + self.edges[1:])
+
+    def density(self) -> np.ndarray:
+        """Density-normalised counts (integrates to the in-range fraction)."""
+        if self.count == 0:
+            return np.zeros_like(self.counts, dtype=float)
+        widths = np.diff(self.edges)
+        in_range = self.counts.sum()
+        if in_range == 0:
+            return np.zeros_like(self.counts, dtype=float)
+        return self.counts / (in_range * widths)
+
+    def result(self) -> "tuple[np.ndarray, np.ndarray]":
+        """``(bin_centres, density)`` — what the figure benches print."""
+        return self.centres(), self.density()
+
+
+class ECDFReducer:
+    """Sketch-backed empirical-distribution reducer for one column.
+
+    Streams a column through a :class:`QuantileSketch` and reports an
+    :class:`~repro.stats.ecdf.ECDF` — the streamed stand-in for
+    ``ECDF.from_sample`` used by CDF panels and KS comparisons.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        compression: int = DEFAULT_COMPRESSION,
+        transform: "Callable[[np.ndarray], np.ndarray] | None" = None,
+        n_points: int = 256,
+    ):
+        self.label = label
+        self.transform = transform
+        self.n_points = n_points
+        self.sketch = QuantileSketch(compression)
+
+    @property
+    def count(self) -> int:
+        """Number of values folded in."""
+        return self.sketch.count
+
+    def update(self, chunk: "HostPopulation | dict") -> "ECDFReducer":
+        if isinstance(chunk, HostPopulation):
+            values = chunk.column(self.label)
+        else:
+            values = np.asarray(chunk[self.label], dtype=float)
+        if self.transform is not None:
+            values = self.transform(values)
+        self.sketch.update(values[np.isfinite(values)])
+        return self
+
+    def merge(self, other: "ECDFReducer") -> "ECDFReducer":
+        if other.label != self.label:
+            raise ValueError("ECDF reducers must share a label")
+        if _transform_fingerprint(other.transform) != _transform_fingerprint(
+            self.transform
+        ):
+            raise ValueError("ECDF reducers must share a transform")
+        self.sketch.merge(other.sketch)
+        return self
+
+    def result(self):
+        """The approximate :class:`~repro.stats.ecdf.ECDF` of the stream."""
+        return self.sketch.to_ecdf(self.n_points)
+
+
+class ReducerSet:
+    """A named bundle of reducers driven as one.
+
+    The pluggable unit the engine passes around: ``update``/``merge`` fan
+    out to every member, ``result`` collects ``{name: member.result()}``.
+    Build from instances, or from picklable zero-argument factories with
+    :meth:`from_factories` (the form ``generate_sharded`` ships to worker
+    processes).
+    """
+
+    def __init__(self, reducers: "dict[str, Reducer]"):
+        self._reducers = dict(reducers)
+
+    @classmethod
+    def from_factories(cls, factories: "dict[str, ReducerFactory]") -> "ReducerSet":
+        """Instantiate a fresh set from ``{name: factory}``."""
+        return cls({name: factory() for name, factory in factories.items()})
+
+    def update(self, chunk: "HostPopulation | dict") -> "ReducerSet":
+        for reducer in self._reducers.values():
+            reducer.update(chunk)
+        return self
+
+    def merge(self, other: "ReducerSet") -> "ReducerSet":
+        if set(other._reducers) != set(self._reducers):
+            raise ValueError(
+                f"reducer-set mismatch: {sorted(self._reducers)} vs "
+                f"{sorted(other._reducers)}"
+            )
+        for name, reducer in self._reducers.items():
+            reducer.merge(other._reducers[name])
+        return self
+
+    def result(self) -> "dict[str, Any]":
+        return {name: reducer.result() for name, reducer in self._reducers.items()}
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._reducers.get(name, default)
+
+    def names(self) -> "tuple[str, ...]":
+        return tuple(self._reducers)
+
+    def __getitem__(self, name: str) -> Reducer:
+        return self._reducers[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._reducers
+
+    def __iter__(self) -> "Iterator[str]":
+        return iter(self._reducers)
+
+    def __len__(self) -> int:
+        return len(self._reducers)
+
+
+def reduce_stream(
+    source: "HostPopulation | dict | Iterable[HostPopulation | dict]",
+    reducers: "ReducerSet | dict[str, Reducer]",
+) -> ReducerSet:
+    """Fold a population or chunk stream through a reducer set and return it."""
+    reducer_set = reducers if isinstance(reducers, ReducerSet) else ReducerSet(reducers)
+    for chunk in as_chunk_stream(source):
+        reducer_set.update(chunk)
+    return reducer_set

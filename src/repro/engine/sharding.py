@@ -1,12 +1,12 @@
-"""Multiprocess sharded fleet generation with accumulator reduction.
+"""Multiprocess sharded fleet generation with reducer-set reduction.
 
 ``generate_sharded`` fans the RNG blocks of a fleet out to N worker
-processes; each worker generates its blocks, folds them into
-:mod:`~repro.engine.accumulate` accumulators, and the parent merges the
-shard results.  Because blocks — not shards — own the random streams (see
-:mod:`~repro.engine.streaming`), the fleet (and its digest) is identical for
-every shard count, and peak memory per worker is bounded by ``chunk_size``
-hosts rather than the fleet size.
+processes; each worker generates its blocks, folds them into a
+:class:`~repro.engine.reduce.ReducerSet` built from pluggable factories,
+and the parent merges the shard sets.  Because blocks — not shards — own
+the random streams (see :mod:`~repro.engine.streaming`), the fleet (and
+its digest) is identical for every shard count, and peak memory per worker
+is bounded by ``chunk_size`` hosts rather than the fleet size.
 """
 
 from __future__ import annotations
@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.engine.accumulate import CorrelationAccumulator, MomentAccumulator
+from repro.engine.reduce import QuantileReducer, ReducerFactory, ReducerSet
 from repro.engine.streaming import (
     DEFAULT_CHUNK_SIZE,
     RNG_BLOCK_SIZE,
@@ -30,6 +31,12 @@ from repro.engine.streaming import (
 )
 from repro.hosts.population import HostPopulation
 
+#: The reducers every fleet run carries unless a custom set is plugged in.
+DEFAULT_REDUCER_FACTORIES: "dict[str, ReducerFactory]" = {
+    "moments": MomentAccumulator,
+    "correlation": CorrelationAccumulator,
+}
+
 
 @dataclass
 class FleetStatistics:
@@ -38,43 +45,92 @@ class FleetStatistics:
     size: int
     when: float
     shards: int
-    moments: MomentAccumulator
-    correlation: CorrelationAccumulator
+    reducers: ReducerSet
     elapsed_seconds: float
     digest: "str | None" = None
 
     @property
+    def moments(self) -> "MomentAccumulator | None":
+        """The moment reducer, when the run carried one."""
+        return self.reducers.get("moments")
+
+    @property
+    def correlation(self) -> "CorrelationAccumulator | None":
+        """The correlation reducer, when the run carried one."""
+        return self.reducers.get("correlation")
+
+    @property
+    def quantiles(self) -> "QuantileReducer | None":
+        """The quantile-sketch reducer, when the run carried one."""
+        return self.reducers.get("quantiles")
+
+    @property
     def hosts_per_second(self) -> float:
-        """Generation + accumulation throughput."""
+        """Generation + reduction throughput."""
         if self.elapsed_seconds <= 0:
             return float("inf")
         return self.size / self.elapsed_seconds
 
+    def medians(self) -> "dict[str, float]":
+        """Sketch medians (requires the ``quantiles`` reducer)."""
+        quantiles = self.quantiles
+        if quantiles is None:
+            raise ValueError(
+                "this run carried no quantile reducer; pass quantiles=True "
+                "to generate_sharded"
+            )
+        return quantiles.medians()
+
     def summary_table(self) -> str:
-        """Aligned mean/std table of the five primary resources."""
-        return self.moments.summary_table()
+        """Aligned mean[/median]/std table of the five primary resources."""
+        if self.moments is None:
+            raise ValueError(
+                "this run carried no moment reducer; include 'moments' in the "
+                "reducer set passed to generate_sharded to render a summary"
+            )
+        medians = self.quantiles.medians() if self.quantiles is not None else None
+        return self.moments.summary_table(medians=medians)
+
+
+def _resolve_factories(
+    reducers: "dict[str, ReducerFactory] | None", quantiles: bool
+) -> "dict[str, ReducerFactory]":
+    factories = dict(DEFAULT_REDUCER_FACTORIES if reducers is None else reducers)
+    if quantiles and "quantiles" not in factories:
+        factories["quantiles"] = QuantileReducer
+    return factories
 
 
 def _shard_payloads(
-    generator, when, size, root, shards, chunk_size, want_digest
+    generator, when, size, root, shards, chunk_size, want_digest, factories
 ) -> "list[tuple]":
     return [
-        (generator, when, size, root, shard, shards, chunk_size, want_digest)
+        (generator, when, size, root, shard, shards, chunk_size, want_digest, factories)
         for shard in range(shards)
     ]
 
 
 def _run_shard(payload: tuple):
-    """Generate every block with ``index % shards == shard`` and accumulate.
+    """Generate every block with ``index % shards == shard`` and reduce.
 
-    Module-level so it pickles under both fork and spawn start methods.
-    Blocks are buffered up to ``chunk_size`` hosts between accumulator
-    updates — larger chunks mean fewer, more vectorised updates at the cost
-    of a proportionally larger working set.
+    Module-level so it pickles under both fork and spawn start methods
+    (which is also why reducer *factories*, not instances, travel in the
+    payload).  Blocks are buffered up to ``chunk_size`` hosts between
+    reducer updates — larger chunks mean fewer, more vectorised updates at
+    the cost of a proportionally larger working set.
     """
-    generator, when, size, root, shard, shards, chunk_size, want_digest = payload
-    moments = MomentAccumulator()
-    correlation = CorrelationAccumulator()
+    (
+        generator,
+        when,
+        size,
+        root,
+        shard,
+        shards,
+        chunk_size,
+        want_digest,
+        factories,
+    ) = payload
+    reducers = ReducerSet.from_factories(factories)
     digests: "list[tuple[int, bytes]]" = []
     batch: "list[HostPopulation]" = []
     batch_rows = 0
@@ -84,8 +140,7 @@ def _run_shard(payload: tuple):
         if not batch:
             return
         merged = batch[0] if len(batch) == 1 else HostPopulation.concatenate(batch)
-        moments.update(merged)
-        correlation.update(merged)
+        reducers.update(merged)
         batch = []
         batch_rows = 0
 
@@ -102,7 +157,7 @@ def _run_shard(payload: tuple):
         if batch_rows >= chunk_size:
             flush()
     flush()
-    return shard, moments, correlation, digests
+    return shard, reducers, digests
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -119,25 +174,38 @@ def generate_sharded(
     shards: int = 4,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     digest: bool = False,
+    reducers: "dict[str, ReducerFactory] | None" = None,
+    quantiles: bool = False,
 ) -> FleetStatistics:
     """Generate a fleet across ``shards`` worker processes and reduce.
 
     The fleet content follows the streaming determinism contract, so the
     optional ``digest`` is identical for every ``shards`` value; the
-    accumulator statistics agree across shard counts and with the batch
-    :class:`~repro.hosts.population.HostPopulation` statistics to float
-    merge precision (well under ``1e-6`` on correlation entries).
+    moment/correlation reducers agree across shard counts and with the
+    batch :class:`~repro.hosts.population.HostPopulation` statistics to
+    float merge precision (well under ``1e-6`` on correlation entries).
+
+    ``reducers`` plugs in a custom ``{name: factory}`` set (factories must
+    be picklable zero-argument callables — classes or ``functools.partial``);
+    the default set carries moments + correlation.  ``quantiles=True`` adds
+    a :class:`~repro.engine.reduce.QuantileReducer` under the name
+    ``"quantiles"`` for streamed medians/deciles.
 
     ``shards=1`` runs in-process (no pool), which is also the single-process
     baseline the scale benchmark compares against.
     """
     if shards < 1:
         raise ValueError("shards must be at least 1")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
     if size < 0:
         raise ValueError("size must be non-negative")
     root = as_seed_sequence(rng)
     shards = min(shards, max(1, block_count(size)))
-    payloads = _shard_payloads(generator, when, size, root, shards, chunk_size, digest)
+    factories = _resolve_factories(reducers, quantiles)
+    payloads = _shard_payloads(
+        generator, when, size, root, shards, chunk_size, digest, factories
+    )
 
     start = time.perf_counter()
     if shards == 1:
@@ -148,20 +216,17 @@ def generate_sharded(
     elapsed = time.perf_counter() - start
 
     results.sort(key=lambda item: item[0])
-    moments = MomentAccumulator()
-    correlation = CorrelationAccumulator()
+    merged = ReducerSet.from_factories(factories)
     all_digests: "list[tuple[int, bytes]]" = []
-    for _, shard_moments, shard_correlation, shard_digests in results:
-        moments.merge(shard_moments)
-        correlation.merge(shard_correlation)
+    for _, shard_reducers, shard_digests in results:
+        merged.merge(shard_reducers)
         all_digests.extend(shard_digests)
 
     return FleetStatistics(
         size=size,
         when=_when_as_float(when),
         shards=shards,
-        moments=moments,
-        correlation=correlation,
+        reducers=merged,
         elapsed_seconds=elapsed,
         digest=combine_block_digests(all_digests) if digest else None,
     )

@@ -1,0 +1,347 @@
+"""Sharded fleet export: per-shard segments plus a verifiable manifest.
+
+``generate_sharded`` reduces a fleet to statistics; this module *exports*
+one beyond a single process.  The host index space is split into
+contiguous runs of RNG blocks, one per shard; each worker process writes
+its run to a segment file (CSV rows or NPZ columns) and the parent records
+a JSON manifest with per-segment sha256 digests, block ranges and row
+ranges.
+
+Because segments cover contiguous block ranges and blocks own the random
+streams (the :mod:`~repro.engine.streaming` determinism contract), the
+byte concatenation of the CSV segments in manifest order is identical to
+the *row payload* a single-process export of the same ``(parameters,
+date, size, seed)`` fleet writes — for *any* shard count.  Segments carry
+no CSV header (it is recorded once in the manifest's ``header`` field);
+prepend it to the concatenation to reproduce a ``fleet --out`` file byte
+for byte.  The manifest pins the equivalence with two digests:
+
+``payload_sha256``
+    sha256 over the segment files' bytes, concatenated in manifest order
+    (for CSV this is the digest of the single-process row payload).
+``fleet_sha256``
+    the format-independent per-block row-digest chain of
+    :func:`~repro.engine.streaming.fleet_digest`.
+
+``verify_manifest`` re-hashes the segment files against the manifest and
+is surfaced as ``fleet verify`` in the CLI.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.engine.sharding import _pool_context
+from repro.engine.streaming import (
+    RNG_BLOCK_SIZE,
+    as_seed_sequence,
+    block_count,
+    block_seeds,
+    combine_block_digests,
+    population_digest,
+)
+from repro.hosts.population import RESOURCE_LABELS
+
+#: Manifest schema version (bump on incompatible layout changes).
+MANIFEST_VERSION = 1
+
+#: Host CSV header and row format shared by the CLI and the writer.
+HOST_CSV_HEADER = "cores,memory_mb,dhrystone_mips,whetstone_mips,disk_gb\n"
+HOST_CSV_FMT = "%d,%.1f,%.1f,%.1f,%.2f"
+
+#: Supported segment formats.
+FORMATS = ("csv", "npz")
+
+
+def write_population_csv(population, handle) -> None:
+    """Append a population's rows to an open text handle (vectorised)."""
+    np.savetxt(handle, population.to_matrix(), fmt=HOST_CSV_FMT)
+
+
+def _hash_file_into(path: str, *hashes) -> None:
+    """Stream a file through one or more hash objects in 1 MiB pieces."""
+    with open(path, "rb") as handle:
+        for piece in iter(lambda: handle.read(1 << 20), b""):
+            for digest in hashes:
+                digest.update(piece)
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """One shard's segment file within a fleet export."""
+
+    path: str
+    shard: int
+    block_lo: int
+    block_hi: int
+    row_lo: int
+    row_hi: int
+    sha256: str
+
+
+@dataclass(frozen=True)
+class FleetManifest:
+    """The verifiable description of a sharded fleet export."""
+
+    version: int
+    format: str
+    size: int
+    when: float
+    entropy: str
+    spawn_key: "tuple[int, ...]"
+    shards: int
+    block_size: int
+    header: str
+    payload_sha256: str
+    fleet_sha256: str
+    segments: "tuple[SegmentRecord, ...]" = field(default_factory=tuple)
+
+    def to_json(self) -> str:
+        payload = asdict(self)
+        payload["segments"] = [asdict(s) for s in self.segments]
+        payload["spawn_key"] = list(self.spawn_key)
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetManifest":
+        payload = json.loads(text)
+        segments = tuple(SegmentRecord(**s) for s in payload.pop("segments"))
+        payload["spawn_key"] = tuple(payload["spawn_key"])
+        return cls(segments=segments, **payload)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "FleetManifest":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+def shard_block_ranges(n_blocks: int, shards: int) -> "list[tuple[int, int]]":
+    """Split ``[0, n_blocks)`` into ``shards`` contiguous, balanced runs.
+
+    Contiguity is what makes segment concatenation equal the sequential
+    stream — round-robin placement (as the statistics fan-out uses) would
+    interleave rows.  Every run differs in length by at most one block.
+    """
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    shards = min(shards, max(1, n_blocks))
+    base, extra = divmod(n_blocks, shards)
+    ranges: "list[tuple[int, int]]" = []
+    lo = 0
+    for shard in range(shards):
+        hi = lo + base + (1 if shard < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def _segment_name(shard: int, fmt: str) -> str:
+    return f"segment-{shard:04d}.{fmt}"
+
+
+def _write_segment(payload: tuple):
+    """Worker: generate blocks ``[block_lo, block_hi)`` and write one segment.
+
+    Returns ``(shard, file_sha256, block_digests)``; module-level so it
+    pickles under fork and spawn alike.
+    """
+    generator, when, size, root, shard, block_lo, block_hi, fmt, out_dir = payload
+    seeds = block_seeds(root, size)
+    path = os.path.join(out_dir, _segment_name(shard, fmt))
+    digests: "list[tuple[int, bytes]]" = []
+    file_hash = hashlib.sha256()
+
+    if fmt == "csv":
+        import io
+
+        with open(path, "wb") as handle:
+            for index in range(block_lo, block_hi):
+                lo = index * RNG_BLOCK_SIZE
+                block = generator.generate(
+                    when,
+                    min(RNG_BLOCK_SIZE, size - lo),
+                    np.random.default_rng(seeds[index]),
+                )
+                digests.append((index, bytes.fromhex(population_digest(block))))
+                # Render through np.savetxt with the shared row format so
+                # segment bytes are identical to the CLI's sequential export.
+                buffer = io.BytesIO()
+                np.savetxt(buffer, block.to_matrix(), fmt=HOST_CSV_FMT)
+                data = buffer.getvalue()
+                handle.write(data)
+                file_hash.update(data)
+    elif fmt == "npz":
+        # Preallocate the segment's columns and fill block by block, so
+        # peak working memory stays one block above the (unavoidable for a
+        # single .npy entry) segment arrays rather than 2x the segment.
+        row_lo = min(block_lo * RNG_BLOCK_SIZE, size)
+        row_hi = min(block_hi * RNG_BLOCK_SIZE, size)
+        columns = {
+            label: np.empty(row_hi - row_lo) for label in RESOURCE_LABELS
+        }
+        for index in range(block_lo, block_hi):
+            lo = index * RNG_BLOCK_SIZE
+            block = generator.generate(
+                when,
+                min(RNG_BLOCK_SIZE, size - lo),
+                np.random.default_rng(seeds[index]),
+            )
+            digests.append((index, bytes.fromhex(population_digest(block))))
+            offset = lo - row_lo
+            for label in RESOURCE_LABELS:
+                columns[label][offset : offset + len(block)] = block.column(label)
+        np.savez(path, **columns)
+        _hash_file_into(path, file_hash)
+    else:
+        raise ValueError(f"unknown segment format {fmt!r}; supported: {FORMATS}")
+
+    return shard, file_hash.hexdigest(), digests
+
+
+def export_fleet(
+    generator,
+    when: "_dt.date | float",
+    size: int,
+    rng: "int | np.random.SeedSequence | np.random.Generator | None",
+    out_dir: str,
+    shards: int = 1,
+    fmt: str = "csv",
+    manifest_name: str = "manifest.json",
+) -> FleetManifest:
+    """Export a fleet as per-shard segments plus a manifest.
+
+    ``shards`` workers each write one contiguous-block segment; the
+    manifest (written to ``out_dir/manifest_name``) records per-segment
+    sha256 digests, block and row ranges, and the two fleet digests
+    described in the module docstring.  NPZ files embed zip metadata, so
+    only CSV segments carry the byte-concatenation guarantee; the
+    ``fleet_sha256`` row-digest chain identifies the fleet in either
+    format.
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown segment format {fmt!r}; supported: {FORMATS}")
+    from repro.engine.sharding import _when_as_float
+
+    root = as_seed_sequence(rng)
+    os.makedirs(out_dir, exist_ok=True)
+    n_blocks = block_count(size)
+    ranges = shard_block_ranges(n_blocks, shards)
+    payloads = [
+        (generator, when, size, root, shard, lo, hi, fmt, out_dir)
+        for shard, (lo, hi) in enumerate(ranges)
+    ]
+
+    if len(payloads) == 1:
+        results = [_write_segment(payloads[0])]
+    else:
+        with _pool_context().Pool(processes=len(payloads)) as pool:
+            results = pool.map(_write_segment, payloads)
+    results.sort(key=lambda item: item[0])
+
+    payload_hash = hashlib.sha256()
+    segments: "list[SegmentRecord]" = []
+    all_digests: "list[tuple[int, bytes]]" = []
+    for (shard, file_sha, digests), (lo, hi) in zip(results, ranges):
+        name = _segment_name(shard, fmt)
+        _hash_file_into(os.path.join(out_dir, name), payload_hash)
+        segments.append(
+            SegmentRecord(
+                path=name,
+                shard=shard,
+                block_lo=lo,
+                block_hi=hi,
+                row_lo=min(lo * RNG_BLOCK_SIZE, size),
+                row_hi=min(hi * RNG_BLOCK_SIZE, size),
+                sha256=file_sha,
+            )
+        )
+        all_digests.extend(digests)
+
+    manifest = FleetManifest(
+        version=MANIFEST_VERSION,
+        format=fmt,
+        size=size,
+        when=_when_as_float(when),
+        entropy=str(root.entropy),
+        spawn_key=tuple(int(k) for k in root.spawn_key),
+        shards=len(ranges),
+        block_size=RNG_BLOCK_SIZE,
+        header=HOST_CSV_HEADER if fmt == "csv" else "",
+        payload_sha256=payload_hash.hexdigest(),
+        fleet_sha256=combine_block_digests(all_digests),
+        segments=tuple(segments),
+    )
+    manifest.save(os.path.join(out_dir, manifest_name))
+    return manifest
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of re-hashing an export against its manifest."""
+
+    ok: bool
+    segments_checked: int
+    problems: "tuple[str, ...]"
+
+    def format_lines(self) -> "list[str]":
+        if self.ok:
+            return [f"{self.segments_checked} segment(s) verified: OK"]
+        return [f"{self.segments_checked} segment(s) checked"] + [
+            f"FAIL: {problem}" for problem in self.problems
+        ]
+
+
+def verify_manifest(manifest_path: str) -> VerificationReport:
+    """Re-hash every segment of an export against its manifest.
+
+    Checks the manifest schema version, each segment file's sha256 and the
+    manifest-order concatenated ``payload_sha256``; a missing file, a
+    flipped byte or a reordered segment list all surface as problems.
+    """
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        payload = json.loads(handle.read())
+    version = payload.get("version")
+    if version != MANIFEST_VERSION:
+        return VerificationReport(
+            ok=False,
+            segments_checked=0,
+            problems=(
+                f"manifest version {version!r} is not the supported "
+                f"{MANIFEST_VERSION}",
+            ),
+        )
+    manifest = FleetManifest.from_json(json.dumps(payload))
+    base = os.path.dirname(os.path.abspath(manifest_path))
+    problems: "list[str]" = []
+    payload_hash = hashlib.sha256()
+    checked = 0
+    for segment in manifest.segments:
+        path = os.path.join(base, segment.path)
+        if not os.path.exists(path):
+            problems.append(f"segment {segment.path} is missing")
+            continue
+        file_hash = hashlib.sha256()
+        _hash_file_into(path, file_hash, payload_hash)
+        checked += 1
+        if file_hash.hexdigest() != segment.sha256:
+            problems.append(
+                f"segment {segment.path} sha256 mismatch "
+                f"(expected {segment.sha256[:12]}…, got {file_hash.hexdigest()[:12]}…)"
+            )
+    if not problems and payload_hash.hexdigest() != manifest.payload_sha256:
+        problems.append("concatenated payload sha256 mismatch")
+    return VerificationReport(
+        ok=not problems, segments_checked=checked, problems=tuple(problems)
+    )

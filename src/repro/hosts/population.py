@@ -130,19 +130,36 @@ class HostPopulation:
         """All six Table III columns keyed by label."""
         return {label: self.column(label) for label in CORRELATION_LABELS}
 
+    def _moments(self):
+        """The population folded through the shared moment reducer.
+
+        Imported lazily: :mod:`repro.engine` depends on this module at
+        import time, so the batch population reaches the reducer layer at
+        call time instead.  The reducer is cached on the instance —
+        columns are immutable by convention, and the common
+        ``means()`` + ``stds()`` call pair must not pay two full passes.
+        """
+        cached = self.__dict__.get("_moments_cache")
+        if cached is None:
+            from repro.engine.accumulate import MomentAccumulator
+
+            cached = MomentAccumulator(RESOURCE_LABELS).update(self)
+            object.__setattr__(self, "_moments_cache", cached)
+        return cached
+
     def means(self) -> dict[str, float]:
-        """Mean of each of the five primary resources."""
-        return {label: float(self.column(label).mean()) for label in RESOURCE_LABELS}
+        """Mean of each of the five primary resources (via the moment reducer)."""
+        return self._moments().means()
 
     def stds(self) -> dict[str, float]:
-        """Standard deviation of each of the five primary resources."""
-        return {label: float(self.column(label).std()) for label in RESOURCE_LABELS}
+        """Standard deviation of each primary resource (via the moment reducer)."""
+        return self._moments().stds()
 
     def medians(self) -> dict[str, float]:
-        """Median of each of the five primary resources."""
-        return {
-            label: float(np.median(self.column(label))) for label in RESOURCE_LABELS
-        }
+        """Median of each primary resource (via the exact quantile reducer)."""
+        from repro.engine.reduce import ExactQuantileReducer
+
+        return ExactQuantileReducer(RESOURCE_LABELS).update(self).medians()
 
     def correlation_matrix(self) -> CorrelationMatrix:
         """Table III-style 6×6 Pearson matrix (resources + mem/core)."""
@@ -208,7 +225,8 @@ class HostPopulation:
 
     def summary_table(self) -> str:
         """Aligned text table of mean/median/std per resource."""
-        means, medians, stds = self.means(), self.medians(), self.stds()
+        moments = self._moments()  # one reducer pass for means and stds
+        means, medians, stds = moments.means(), self.medians(), moments.stds()
         lines = [f"{'resource':>12} {'mean':>12} {'median':>12} {'std':>12}"]
         for label in RESOURCE_LABELS:
             lines.append(

@@ -12,6 +12,8 @@ modelling pipeline is built from:
 * :mod:`repro.stats.correlation` — labelled Pearson correlation matrices.
 * :mod:`repro.stats.ecdf` — empirical CDF / histogram / QQ helpers.
 * :mod:`repro.stats.moments` — moment conversions (log-normal, Weibull).
+* :mod:`repro.stats.sketch` — mergeable t-digest-style quantile sketches
+  for streamed medians/deciles/CDFs.
 """
 
 from repro.stats.correlation import CorrelationMatrix, pearson_matrix
@@ -24,6 +26,7 @@ from repro.stats.distributions import (
 from repro.stats.ecdf import ECDF, histogram_density, qq_points
 from repro.stats.explaw import ExponentialLawFit, fit_exponential_law
 from repro.stats.kstest import KSSelectionResult, select_distribution, subsampled_ks_pvalue
+from repro.stats.sketch import DEFAULT_COMPRESSION, QuantileSketch
 from repro.stats.moments import (
     lognormal_params_from_moments,
     lognormal_moments_from_params,
@@ -34,6 +37,8 @@ from repro.stats.moments import (
 __all__ = [
     "CANDIDATE_FAMILIES",
     "CorrelationMatrix",
+    "DEFAULT_COMPRESSION",
+    "QuantileSketch",
     "DistributionFamily",
     "ECDF",
     "ExponentialLawFit",

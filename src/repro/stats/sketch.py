@@ -1,0 +1,203 @@
+"""Mergeable quantile sketches for streamed distributions.
+
+The paper characterises host resources by medians, deciles and full CDFs
+(Figs 5–9, Tables III/IV) on heavy-tailed columns — exactly the quantities
+the one-pass moment accumulators cannot produce.  :class:`QuantileSketch`
+is a t-digest-style *merging* sketch (Dunning & Ertl): it keeps a bounded
+set of weighted centroids whose resolution is finest near the tails, so
+medians and deciles of a stream of any length are recovered to a small
+fraction of a percent while shard sketches combine with :meth:`merge`.
+
+The sketch is the streamed counterpart of ``np.quantile``: feeding the
+whole sample through one sketch, or splitting it across several sketches
+and merging them, yields quantiles within the compression-controlled error
+bound of the exact batch values (property-tested against heavy-tailed
+columns in ``tests/properties/test_property_sketch.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Default compression (number of centroids scales with it).  200 keeps
+#: median/decile error well under 0.1 % on the resource columns while the
+#: sketch state stays a few kilobytes.
+DEFAULT_COMPRESSION = 200
+
+
+class QuantileSketch:
+    """Bounded-memory, mergeable quantile summary of a scalar stream.
+
+    ``update`` folds value chunks in, ``merge`` folds another sketch in,
+    ``quantile``/``cdf`` interrogate the summary.  Centroid resolution
+    follows the t-digest ``k1`` scale function, so extreme quantiles stay
+    near-exact (the global min/max are tracked exactly) and mid-quantiles
+    carry the error bound.
+    """
+
+    def __init__(self, compression: int = DEFAULT_COMPRESSION):
+        if compression < 20:
+            raise ValueError("compression must be at least 20")
+        self.compression = int(compression)
+        self.count = 0
+        self._means = np.empty(0)
+        self._weights = np.empty(0)
+        self._buffer: "list[tuple[np.ndarray, np.ndarray]]" = []
+        self._buffered = 0
+        self._min = np.inf
+        self._max = -np.inf
+
+    # -- ingestion ---------------------------------------------------------
+
+    def update(self, values: "np.ndarray | list[float] | float") -> "QuantileSketch":
+        """Fold a chunk of values into the sketch."""
+        data = np.atleast_1d(np.asarray(values, dtype=float)).ravel()
+        if data.size == 0:
+            return self
+        if not np.all(np.isfinite(data)):
+            raise ValueError("QuantileSketch requires finite values")
+        self._buffer.append((data, np.ones(data.size)))
+        self._buffered += data.size
+        self.count += data.size
+        self._min = min(self._min, float(data.min()))
+        self._max = max(self._max, float(data.max()))
+        if self._buffered >= 10 * self.compression:
+            self._compress()
+        return self
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold another sketch (e.g. a shard's) into this one."""
+        if other.count == 0:
+            return self
+        other._compress()
+        self._buffer.append((other._means.copy(), other._weights.copy()))
+        self._buffered += other._means.size
+        self.count += other.count
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        self._compress()
+        return self
+
+    def _compress(self) -> None:
+        """Merge buffered points and centroids into a fresh centroid set."""
+        if not self._buffer:
+            return
+        values = [self._means] + [v for v, _ in self._buffer]
+        weights = [self._weights] + [w for _, w in self._buffer]
+        self._buffer = []
+        self._buffered = 0
+        x = np.concatenate(values)
+        w = np.concatenate(weights)
+        if x.size == 0:
+            return
+        order = np.argsort(x, kind="stable")
+        x, w = x[order], w[order]
+        total = w.sum()
+
+        # t-digest merge pass with the k1 scale function
+        # k(q) = (c / 2π) asin(2q − 1); a centroid may span [q0, q1] only
+        # while k(q1) − k(q0) <= 1.
+        means: "list[float]" = []
+        sizes: "list[float]" = []
+        acc_mean = x[0]
+        acc_weight = w[0]
+        emitted = 0.0
+        k_lo = self._k(0.0)
+        for i in range(1, x.size):
+            proposed = acc_weight + w[i]
+            if self._k((emitted + proposed) / total) - k_lo <= 1.0:
+                acc_mean += (x[i] - acc_mean) * (w[i] / proposed)
+                acc_weight = proposed
+            else:
+                means.append(acc_mean)
+                sizes.append(acc_weight)
+                emitted += acc_weight
+                k_lo = self._k(emitted / total)
+                acc_mean = x[i]
+                acc_weight = w[i]
+        means.append(acc_mean)
+        sizes.append(acc_weight)
+        self._means = np.asarray(means)
+        self._weights = np.asarray(sizes)
+
+    def _k(self, q: float) -> float:
+        """The t-digest k1 potential at quantile ``q``."""
+        q = min(1.0, max(0.0, q))
+        return self.compression / (2.0 * np.pi) * np.arcsin(2.0 * q - 1.0)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def min(self) -> float:
+        """Exact minimum of the stream (``inf`` when empty)."""
+        return self._min
+
+    @property
+    def max(self) -> float:
+        """Exact maximum of the stream (``-inf`` when empty)."""
+        return self._max
+
+    def centroid_count(self) -> int:
+        """Number of stored centroids (bounded by ~2 × compression)."""
+        self._compress()
+        return int(self._means.size)
+
+    def quantile(self, q: "np.ndarray | float") -> "np.ndarray | float":
+        """Estimate the quantile(s) at probabilities ``q`` in [0, 1]."""
+        if self.count == 0:
+            raise ValueError("cannot query an empty sketch")
+        probs = np.asarray(q, dtype=float)
+        if np.any((probs < 0.0) | (probs > 1.0)):
+            raise ValueError("quantile probabilities must lie in [0, 1]")
+        self._compress()
+        # Piecewise-linear through centroid weight midpoints, anchored at
+        # the exact stream min/max.
+        mids = np.cumsum(self._weights) - 0.5 * self._weights
+        xp = np.concatenate(([0.0], mids, [float(self.count)]))
+        fp = np.concatenate(([self._min], self._means, [self._max]))
+        out = np.interp(probs * self.count, xp, fp)
+        return float(out) if np.isscalar(q) or probs.ndim == 0 else out
+
+    def median(self) -> float:
+        """Estimated median of the stream."""
+        return float(self.quantile(0.5))
+
+    def cdf(self, x: "np.ndarray | float") -> "np.ndarray | float":
+        """Estimate P(X <= x) under the sketched distribution."""
+        if self.count == 0:
+            raise ValueError("cannot query an empty sketch")
+        self._compress()
+        pts = np.asarray(x, dtype=float)
+        mids = np.cumsum(self._weights) - 0.5 * self._weights
+        xp = np.concatenate(([self._min], self._means, [self._max]))
+        fp = np.concatenate(([0.0], mids / self.count, [1.0]))
+        out = np.interp(pts, xp, fp, left=0.0, right=1.0)
+        return float(out) if np.isscalar(x) or pts.ndim == 0 else out
+
+    def to_ecdf(self, n_points: int = 256):
+        """Approximate :class:`~repro.stats.ecdf.ECDF` of the stream.
+
+        Evaluates the sketch quantile function on an even probability grid,
+        which gives the distribution-function view the Fig 5–9 CDF panels
+        and the streamed KS comparisons consume.
+        """
+        from repro.stats.ecdf import ECDF
+
+        if n_points < 2:
+            raise ValueError("need at least two ECDF points")
+        probs = np.linspace(0.0, 1.0, n_points)
+        xs = np.asarray(self.quantile(probs))
+        values, first = np.unique(xs, return_index=True)
+        # Keep the *largest* probability attached to each support point so
+        # the step function stays right-continuous.
+        last = np.concatenate((first[1:] - 1, [xs.size - 1]))
+        return ECDF(x=values, y=probs[last])
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QuantileSketch(count={self.count}, compression={self.compression}, "
+            f"centroids={self._means.size}, buffered={self._buffered})"
+        )

@@ -1,0 +1,195 @@
+"""Tests for the streamed analysis paths (reducer-backed Figs 2/8/9/12)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.overview import streamed_resource_overview
+from repro.analysis.resources import streamed_distribution
+from repro.analysis.validation import compare_populations, compare_streams
+from repro.engine import generate_fleet, stream_population
+from repro.hosts.population import RESOURCE_LABELS
+
+SEPT_2010 = 2010.667
+SEED = 20110611
+SIZE = 30_000
+
+
+@pytest.fixture(scope="module")
+def fleet(paper_generator):
+    return generate_fleet(paper_generator, SEPT_2010, SIZE, SEED)
+
+
+def _stream(paper_generator, chunk_size=5_000, size=SIZE, seed=SEED):
+    return stream_population(
+        paper_generator, SEPT_2010, size, seed, chunk_size=chunk_size
+    )
+
+
+class TestStreamedDistribution:
+    def test_matches_batch_statistics(self, paper_generator, fleet):
+        dist = streamed_distribution(
+            _stream(paper_generator),
+            "dhrystone",
+            when=SEPT_2010,
+            value_range=(0.0, 20000.0),
+        )
+        sample = fleet.dhrystone
+        assert dist.mean == pytest.approx(float(sample.mean()), rel=1e-9)
+        assert dist.std == pytest.approx(float(sample.std()), rel=1e-9)
+        assert dist.median == pytest.approx(float(np.median(sample)), rel=0.01)
+        assert dist.ks_selection is None
+
+    def test_histogram_matches_batch_exactly(self, paper_generator, fleet):
+        dist = streamed_distribution(
+            _stream(paper_generator),
+            "dhrystone",
+            bins=40,
+            value_range=(0.0, 20000.0),
+        )
+        expected, edges = np.histogram(
+            fleet.dhrystone, bins=40, range=(0.0, 20000.0), density=True
+        )
+        np.testing.assert_allclose(dist.histogram_density, expected)
+        np.testing.assert_allclose(
+            dist.histogram_x, 0.5 * (edges[:-1] + edges[1:])
+        )
+
+    def test_accepts_in_memory_population(self, fleet):
+        dist = streamed_distribution(fleet, "whetstone", value_range=(0.0, 6000.0))
+        assert dist.mean == pytest.approx(float(fleet.whetstone.mean()), rel=1e-9)
+
+    def test_log10_disk_convention(self, paper_generator, fleet):
+        dist = streamed_distribution(
+            _stream(paper_generator),
+            "disk_gb",
+            value_range=(-2.0, 4.0),
+            log10=True,
+        )
+        # Scalars describe the raw column; the histogram/CDF are in log10.
+        assert dist.mean == pytest.approx(float(fleet.disk_gb.mean()), rel=1e-9)
+        assert dist.median == pytest.approx(float(np.median(fleet.disk_gb)), rel=0.01)
+        assert dist.histogram_x.min() > -2.0 and dist.histogram_x.max() < 4.0
+        log_median = float(np.median(np.log10(fleet.disk_gb[fleet.disk_gb > 0])))
+        assert dist.cdf(log_median) == pytest.approx(0.5, abs=0.02)
+
+    def test_cdf_close_to_exact(self, paper_generator, fleet):
+        from repro.stats.ecdf import ECDF
+
+        dist = streamed_distribution(
+            _stream(paper_generator), "whetstone", value_range=(0.0, 6000.0)
+        )
+        exact = ECDF.from_sample(fleet.whetstone)
+        probes = np.quantile(fleet.whetstone, [0.1, 0.5, 0.9])
+        np.testing.assert_allclose(dist.cdf(probes), exact(probes), atol=0.02)
+
+    def test_range_required_for_streaming(self, paper_generator):
+        with pytest.raises(ValueError, match="value_range"):
+            streamed_distribution(_stream(paper_generator), "cores")
+
+    def test_explicit_edges_accepted(self, paper_generator):
+        dist = streamed_distribution(
+            _stream(paper_generator, size=5_000),
+            "cores",
+            bins=np.arange(0.5, 17.5),
+        )
+        assert dist.histogram_x.size == 16
+
+
+class TestStreamedOverview:
+    def test_matches_batch_overview(self, paper_generator):
+        dates = [2009.0, 2010.0, 2010.667]
+        series = streamed_resource_overview(
+            (
+                when,
+                stream_population(
+                    paper_generator, when, 8_000, SEED, chunk_size=3_000
+                ),
+            )
+            for when in dates
+        )
+        np.testing.assert_allclose(series.dates, dates)
+        np.testing.assert_array_equal(series.active_counts, [8_000] * 3)
+        for label in RESOURCE_LABELS:
+            assert series.means[label].shape == (3,)
+        batch = generate_fleet(paper_generator, 2010.667, 8_000, SEED)
+        expected = batch.means()
+        for label in RESOURCE_LABELS:
+            assert series.means[label][-1] == pytest.approx(expected[label], rel=1e-9)
+
+    def test_growth_factor_accessor(self, paper_generator):
+        series = streamed_resource_overview(
+            (when, stream_population(paper_generator, when, 4_000, SEED))
+            for when in (2008.0, 2010.5)
+        )
+        assert series.growth_factor("memory_mb") > 1.0
+
+    def test_active_counts_override(self, paper_generator):
+        series = streamed_resource_overview(
+            ((2010.0, stream_population(paper_generator, 2010.0, 1_000, SEED)),),
+            active_counts=[12_345],
+        )
+        assert series.active_counts.tolist() == [12_345]
+
+    def test_active_counts_length_checked(self, paper_generator):
+        with pytest.raises(ValueError, match="active_counts"):
+            streamed_resource_overview(
+                ((2010.0, stream_population(paper_generator, 2010.0, 100, SEED)),),
+                active_counts=[1, 2],
+            )
+
+
+class TestCompareStreams:
+    def test_agrees_with_batch_comparison(self, paper_generator, fleet):
+        other = generate_fleet(paper_generator, SEPT_2010, SIZE, SEED + 1)
+        batch_report = compare_populations(fleet, other, SEPT_2010)
+        stream_report = compare_streams(
+            _stream(paper_generator),
+            _stream(paper_generator, seed=SEED + 1),
+            SEPT_2010,
+        )
+        assert stream_report.n_actual == batch_report.n_actual
+        assert stream_report.n_generated == batch_report.n_generated
+        for label in RESOURCE_LABELS:
+            b = batch_report.resources[label]
+            s = stream_report.resources[label]
+            assert s.actual_mean == pytest.approx(b.actual_mean, rel=1e-9)
+            assert s.generated_std == pytest.approx(b.generated_std, rel=1e-9)
+            # Sketch-backed KS/QQ carry the compression error bound.
+            assert s.ks_distance == pytest.approx(b.ks_distance, abs=0.02)
+        delta = stream_report.generated_correlations.max_abs_difference(
+            batch_report.generated_correlations
+        )
+        assert delta < 1e-9
+
+    def test_same_seed_streams_are_indistinguishable(self, paper_generator):
+        report = compare_streams(
+            _stream(paper_generator, size=20_000),
+            _stream(paper_generator, chunk_size=1_234, size=20_000),
+            SEPT_2010,
+        )
+        for label, row in report.resources.items():
+            assert row.mean_difference_pct == pytest.approx(0.0, abs=1e-9), label
+            assert row.ks_distance < 0.01, label
+        # QQ deviation is only sharp for continuous columns; on the discrete
+        # cores/memory classes a sketch shift smaller than the KS tolerance
+        # can still hop a class boundary.
+        for label in ("dhrystone", "whetstone", "disk_gb"):
+            assert report.resources[label].qq_deviation < 0.02, label
+
+    def test_accepts_population_inputs(self, fleet):
+        report = compare_streams(fleet, fleet, SEPT_2010)
+        assert report.worst_mean_difference() == pytest.approx(0.0, abs=1e-12)
+
+    def test_too_small_pool_rejected(self, fleet):
+        tiny = fleet.subset(np.arange(len(fleet)) < 1)
+        with pytest.raises(ValueError, match="at least two hosts"):
+            compare_streams(tiny, fleet, SEPT_2010)
+
+    def test_format_table_renders(self, paper_generator, fleet):
+        report = compare_streams(fleet, fleet, SEPT_2010)
+        table = report.format_table()
+        assert "mu_act" in table
+        for label in RESOURCE_LABELS:
+            assert label in table

@@ -15,7 +15,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.engine import CorrelationAccumulator, MomentAccumulator, stream_population
+from repro.engine import (
+    CorrelationAccumulator,
+    MomentAccumulator,
+    QuantileReducer,
+    stream_population,
+)
 
 SEPT_2010 = 2010.667
 SEED = 20110611
@@ -26,12 +31,14 @@ SIZE = 200_000
 def streamed_stats(paper_generator_engine):
     moments = MomentAccumulator()
     correlation = CorrelationAccumulator()
+    quantiles = QuantileReducer()
     for chunk in stream_population(
         paper_generator_engine, SEPT_2010, SIZE, SEED, chunk_size=65_536
     ):
         moments.update(chunk)
         correlation.update(chunk)
-    return moments, correlation.matrix()
+        quantiles.update(chunk)
+    return moments, correlation.matrix(), quantiles
 
 
 @pytest.fixture(scope="module")
@@ -43,32 +50,32 @@ def paper_generator_engine():
 
 class TestTableVIIICorrelationPins:
     def test_cores_memory_in_paper_regime(self, streamed_stats):
-        _, matrix = streamed_stats
+        _, matrix, _ = streamed_stats
         # Strong positive coupling, the paper's headline observation
         # (Table VIII generated value 0.727).
         assert 0.6 < matrix.get("cores", "memory_mb") < 0.9
 
     def test_cores_memory_pinned(self, streamed_stats):
-        _, matrix = streamed_stats
+        _, matrix, _ = streamed_stats
         assert matrix.get("cores", "memory_mb") == pytest.approx(0.800, abs=0.02)
 
     def test_benchmarks_in_paper_regime(self, streamed_stats):
-        _, matrix = streamed_stats
+        _, matrix, _ = streamed_stats
         # Table VIII reports 0.505; the continuous coupling is 0.639 and the
         # generated value sits between the two.
         assert 0.45 < matrix.get("whetstone", "dhrystone") < 0.75
 
     def test_benchmarks_pinned(self, streamed_stats):
-        _, matrix = streamed_stats
+        _, matrix, _ = streamed_stats
         assert matrix.get("whetstone", "dhrystone") == pytest.approx(0.637, abs=0.02)
 
     def test_memcore_speed_coupling_pinned(self, streamed_stats):
-        _, matrix = streamed_stats
+        _, matrix, _ = streamed_stats
         assert matrix.get("mem_per_core", "whetstone") == pytest.approx(0.235, abs=0.02)
         assert matrix.get("mem_per_core", "dhrystone") == pytest.approx(0.289, abs=0.02)
 
     def test_independent_pairs_stay_uncorrelated(self, streamed_stats):
-        _, matrix = streamed_stats
+        _, matrix, _ = streamed_stats
         assert abs(matrix.get("cores", "whetstone")) < 0.02
         assert abs(matrix.get("cores", "disk_gb")) < 0.02
         assert abs(matrix.get("disk_gb", "memory_mb")) < 0.02
@@ -76,7 +83,7 @@ class TestTableVIIICorrelationPins:
 
 class TestFig12MomentPins:
     def test_means_pinned(self, streamed_stats):
-        moments, _ = streamed_stats
+        moments, _, _ = streamed_stats
         means = moments.means()
         assert means["cores"] == pytest.approx(2.44, abs=0.03)
         assert means["memory_mb"] == pytest.approx(2863.0, rel=0.02)
@@ -85,9 +92,49 @@ class TestFig12MomentPins:
         assert means["disk_gb"] == pytest.approx(111.0, rel=0.03)
 
     def test_stds_pinned(self, streamed_stats):
-        moments, _ = streamed_stats
+        moments, _, _ = streamed_stats
         stds = moments.stds()
         assert stds["memory_mb"] == pytest.approx(2725.0, rel=0.03)
         assert stds["dhrystone"] == pytest.approx(2460.0, rel=0.03)
         assert stds["whetstone"] == pytest.approx(740.0, rel=0.03)
         assert stds["disk_gb"] == pytest.approx(178.4, rel=0.05)
+
+
+class TestQuantileSketchPins:
+    """The ISSUE 2 acceptance bar: sketch medians of a 200 k-host stream
+    land within 1 % of the exact batch medians."""
+
+    @pytest.fixture(scope="module")
+    def batch_medians(self, paper_generator_engine):
+        from repro.engine import generate_fleet
+
+        fleet = generate_fleet(paper_generator_engine, SEPT_2010, SIZE, SEED)
+        return fleet.medians()
+
+    def test_sketch_medians_within_one_percent_of_batch(
+        self, streamed_stats, batch_medians
+    ):
+        _, _, quantiles = streamed_stats
+        assert quantiles.count == SIZE
+        for label, exact in batch_medians.items():
+            assert quantiles.medians()[label] == pytest.approx(exact, rel=0.01), label
+
+    def test_median_values_pinned(self, streamed_stats):
+        # Absolute pins (cores/memory land on the paper's discrete classes)
+        # so a generator refactor cannot silently drift the distributional
+        # middle while keeping the means.
+        _, _, quantiles = streamed_stats
+        medians = quantiles.medians()
+        assert medians["cores"] == pytest.approx(2.0, rel=0.01)
+        assert medians["memory_mb"] == pytest.approx(2048.0, rel=0.01)
+        assert medians["dhrystone"] == pytest.approx(4590.0, rel=0.02)
+        assert medians["whetstone"] == pytest.approx(2020.0, rel=0.02)
+        assert medians["disk_gb"] == pytest.approx(57.9, rel=0.03)
+
+    def test_streamed_deciles_bracket_the_medians(self, streamed_stats):
+        _, _, quantiles = streamed_stats
+        deciles = quantiles.result()
+        for label, row in deciles.items():
+            values = [row[p] for p in sorted(row)]
+            assert values == sorted(values), label
+            assert values[0] <= quantiles.medians()[label] <= values[-1], label

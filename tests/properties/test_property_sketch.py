@@ -1,0 +1,113 @@
+"""Property-based tests (hypothesis) for the quantile sketch.
+
+The satellite invariants from ISSUE 2: sketch quantiles on heavy-tailed
+columns (the disk/memory regime) land within tolerance of exact
+``np.quantile``, and merging split streams agrees with sketching the
+single stream — for any split point, chunking and seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.sketch import QuantileSketch
+
+DECILES = np.arange(0.1, 0.91, 0.1)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+sigmas = st.floats(min_value=0.2, max_value=2.0)
+sizes = st.integers(min_value=2_000, max_value=20_000)
+
+#: Maximum tolerated *rank* error of a decile estimate.  A t-digest bounds
+#: its error in rank (quantile) space — on a heavy tail the value-relative
+#: error at a given rank error is unbounded, so rank space is the honest
+#: yardstick.  Compression 200 keeps observed rank error well under 1 %.
+RANK_TOLERANCE = 0.015
+
+
+def _heavy_tailed(seed: int, size: int, sigma: float) -> np.ndarray:
+    """A lognormal column like the paper's disk/memory distributions."""
+    rng = np.random.default_rng(seed)
+    return rng.lognormal(mean=3.0, sigma=sigma, size=size)
+
+
+def _max_rank_error(data: np.ndarray, estimates: np.ndarray, probs: np.ndarray) -> float:
+    """Largest |empirical rank of estimate − target probability|."""
+    ranks = np.searchsorted(np.sort(data), estimates, side="left") / data.size
+    return float(np.max(np.abs(ranks - probs)))
+
+
+class TestSketchAccuracy:
+    @given(seed=seeds, size=sizes, sigma=sigmas)
+    @settings(max_examples=25, deadline=None)
+    def test_deciles_within_tolerance_of_exact(self, seed, size, sigma):
+        data = _heavy_tailed(seed, size, sigma)
+        sketch = QuantileSketch().update(data)
+        estimated = np.asarray(sketch.quantile(DECILES))
+        assert _max_rank_error(data, estimated, DECILES) < RANK_TOLERANCE
+        # The median of these columns is value-sharp too (dense middle).
+        assert sketch.median() == pytest.approx(float(np.median(data)), rel=0.02)
+
+    @given(seed=seeds, size=sizes, sigma=sigmas, n_chunks=st.integers(1, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_chunking_does_not_change_accuracy(self, seed, size, sigma, n_chunks):
+        data = _heavy_tailed(seed, size, sigma)
+        sketch = QuantileSketch()
+        for chunk in np.array_split(data, n_chunks):
+            sketch.update(chunk)
+        assert sketch.count == size
+        estimated = np.asarray(sketch.quantile(DECILES))
+        assert _max_rank_error(data, estimated, DECILES) < RANK_TOLERANCE
+        assert sketch.min == data.min()
+        assert sketch.max == data.max()
+
+
+class TestMergeAlgebra:
+    @given(
+        seed=seeds,
+        size=sizes,
+        split=st.floats(min_value=0.05, max_value=0.95),
+        sigma=sigmas,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_merge_of_split_streams_equals_single_stream(self, seed, size, split, sigma):
+        data = _heavy_tailed(seed, size, sigma)
+        cut = int(size * split)
+        whole = QuantileSketch().update(data)
+        merged = (
+            QuantileSketch().update(data[:cut]).merge(QuantileSketch().update(data[cut:]))
+        )
+        assert merged.count == whole.count
+        assert merged.min == whole.min
+        assert merged.max == whole.max
+        # Merged and single-stream sketches agree in rank space, and both
+        # stay within tolerance of the exact batch answer.
+        merged_est = np.asarray(merged.quantile(DECILES))
+        whole_est = np.asarray(whole.quantile(DECILES))
+        assert _max_rank_error(data, merged_est, DECILES) < RANK_TOLERANCE
+        assert _max_rank_error(data, whole_est, DECILES) < RANK_TOLERANCE
+
+    @given(seed=seeds, n_shards=st.integers(min_value=2, max_value=12))
+    @settings(max_examples=15, deadline=None)
+    def test_many_way_merge(self, seed, n_shards):
+        data = _heavy_tailed(seed, 12_000, 1.2)
+        merged = QuantileSketch()
+        for shard in np.array_split(data, n_shards):
+            merged.merge(QuantileSketch().update(shard))
+        assert merged.count == data.size
+        estimated = np.asarray(merged.quantile(DECILES))
+        assert _max_rank_error(data, estimated, DECILES) < RANK_TOLERANCE
+
+    @given(seed=seeds, size=st.integers(min_value=10, max_value=2_000))
+    @settings(max_examples=25, deadline=None)
+    def test_quantile_function_monotone(self, seed, size):
+        data = _heavy_tailed(seed, size, 1.5)
+        sketch = QuantileSketch().update(data)
+        probs = np.linspace(0.0, 1.0, 53)
+        values = np.asarray(sketch.quantile(probs))
+        assert np.all(np.diff(values) >= 0)
+        assert values[0] == data.min()
+        assert values[-1] == data.max()

@@ -87,6 +87,117 @@ class TestFleet:
         assert lines[0].startswith("cores,")
         assert len(lines) == 1001
 
+    def test_fleet_summary_subcommand_equals_bare_fleet(self, capsys):
+        assert main(["fleet", "summary", "--size", "5000", "--seed", "3"]) == 0
+        summary_out = capsys.readouterr().out
+        assert main(["fleet", "--size", "5000", "--seed", "3"]) == 0
+        bare_out = capsys.readouterr().out
+        # Identical apart from the timing line.
+        assert summary_out.splitlines()[1:] == bare_out.splitlines()[1:]
+
+    def test_fleet_flags_before_subcommand_survive(self, capsys):
+        # Pre-3.13 argparse copies the sub-namespace over the parent's; the
+        # SUPPRESS defaults on the nested parsers keep early flags alive.
+        assert main(["fleet", "--size", "4000", "--quantiles", "summary"]) == 0
+        out = capsys.readouterr().out
+        assert "4000 hosts" in out
+        assert "median" in out
+
+    def test_fleet_zero_size_with_quantiles_is_graceful(self, capsys):
+        assert main(["fleet", "--size", "0", "--quantiles"]) == 0
+        out = capsys.readouterr().out
+        assert "0 hosts" in out
+        assert "nan" in out
+
+    def test_fleet_summary_quantiles(self, capsys):
+        assert (
+            main(["fleet", "summary", "--size", "9000", "--seed", "3", "--quantiles"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "median" in out
+        assert "Streamed deciles" in out
+        assert "p90" in out
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["fleet", "--size", "100", "--shards", "0"],
+            ["fleet", "--size", "100", "--shards", "-2"],
+            ["fleet", "--size", "100", "--chunk-size", "0"],
+            ["fleet", "summary", "--size", "100", "--chunk-size", "-1"],
+            ["fleet", "--size", "-5"],
+        ],
+    )
+    def test_fleet_rejects_non_positive_integers(self, argv, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "must be" in err
+        assert "Traceback" not in err
+
+
+class TestFleetExportVerify:
+    def test_export_then_verify_roundtrip(self, tmp_path, capsys):
+        out_dir = tmp_path / "export"
+        assert (
+            main(
+                [
+                    "fleet",
+                    "export",
+                    "--size",
+                    "9000",
+                    "--shards",
+                    "2",
+                    "--out-dir",
+                    str(out_dir),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 csv segment(s)" in out
+        assert (out_dir / "manifest.json").exists()
+        assert main(["fleet", "verify", str(out_dir / "manifest.json")]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_detects_corruption(self, tmp_path, capsys):
+        out_dir = tmp_path / "corrupt"
+        main(
+            [
+                "fleet",
+                "export",
+                "--size",
+                "5000",
+                "--shards",
+                "2",
+                "--out-dir",
+                str(out_dir),
+            ]
+        )
+        capsys.readouterr()
+        segment = next(out_dir.glob("segment-*.csv"))
+        segment.write_bytes(b"0" + segment.read_bytes()[1:])
+        assert main(["fleet", "verify", str(out_dir / "manifest.json")]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_export_rejects_bad_shards(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "fleet",
+                    "export",
+                    "--size",
+                    "100",
+                    "--shards",
+                    "0",
+                    "--out-dir",
+                    str(tmp_path / "x"),
+                ]
+            )
+            == 2
+        )
+        assert "must be" in capsys.readouterr().err
+
 
 class TestTraceAndFit:
     def test_trace_file_written(self, trace_file):
