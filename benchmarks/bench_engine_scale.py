@@ -7,6 +7,10 @@ Measures hosts/sec for four execution paths of the same fleet —
 * ``streamed``       — single-process reducer pass (``shards=1``),
 * ``sharded``        — ``multiprocessing`` fan-out reducer pass,
 * ``sharded_export`` — ``export_fleet`` segment + manifest writer,
+* ``checkpointed_export`` — ``export_fleet_blocks`` resumable per-block
+                      writer with reducer-state checkpoints (the JSON
+                      records its overhead over the plain sharded export;
+                      expected well under 10 %),
 
 verifies that the sharded one-pass correlation matrix matches the
 single-process one (and, for fleets small enough to materialise, the batch
@@ -36,7 +40,12 @@ import tempfile
 import time
 
 from repro.core.generator import CorrelatedHostGenerator
-from repro.engine import export_fleet, generate_fleet, generate_sharded
+from repro.engine import (
+    export_fleet,
+    export_fleet_blocks,
+    generate_fleet,
+    generate_sharded,
+)
 from repro.timeutil import parse_date, year_fraction
 
 #: Batch cross-check is only affordable when the fleet fits in memory.
@@ -64,6 +73,13 @@ def main(argv: "list[str] | None" = None) -> int:
         default="BENCH_engine_scale.json",
         metavar="PATH",
         help="write the machine-readable result here ('' disables)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=8,
+        metavar="N",
+        help="checkpoint cadence (blocks) for the resumable-export timing",
     )
     parser.add_argument(
         "--batch-max",
@@ -126,6 +142,36 @@ def main(argv: "list[str] | None" = None) -> int:
     finally:
         shutil.rmtree(export_dir, ignore_errors=True)
 
+    # Resume-overhead entry: the per-block resumable writer does the same
+    # work as the sharded export plus per-block files, reducer updates and
+    # periodic serialized checkpoints.
+    checkpoint_dir = tempfile.mkdtemp(prefix="bench-fleet-checkpoint-")
+    try:
+        start = time.perf_counter()
+        export_fleet_blocks(
+            generator,
+            when,
+            args.size,
+            args.seed,
+            checkpoint_dir,
+            shards=args.shards,
+            checkpoint_every=args.checkpoint_every,
+        )
+        paths["checkpointed_export"] = _report(
+            "ckpt export", time.perf_counter() - start, args.size
+        )
+    finally:
+        shutil.rmtree(checkpoint_dir, ignore_errors=True)
+    checkpoint_overhead = (
+        paths["checkpointed_export"]["seconds"]
+        / paths["sharded_export"]["seconds"]
+        - 1.0
+    )
+    print(
+        f"  checkpoint overhead: {checkpoint_overhead:+.1%} over sharded "
+        f"export (every {args.checkpoint_every} blocks)"
+    )
+
     failures = 0
     cross = sharded.correlation.matrix().max_abs_difference(
         single.correlation.matrix()
@@ -160,6 +206,8 @@ def main(argv: "list[str] | None" = None) -> int:
             "paths": paths,
             "sharded_speedup": speedup,
             "export_segments": len(manifest.segments),
+            "checkpoint_every": args.checkpoint_every,
+            "checkpoint_overhead": checkpoint_overhead,
             "failures": failures,
         }
         with open(args.json, "w", encoding="utf-8") as handle:

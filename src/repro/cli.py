@@ -6,11 +6,14 @@ Subcommands
 ``fit``       fit model parameters from a trace file (JSON out)
 ``generate``  generate hosts for a date from Table X or fitted parameters
 ``fleet``     stream/shard a large fleet through the engine's reducers;
-              carries three sub-modes: ``fleet summary`` (one-pass stats,
+              carries four sub-modes: ``fleet summary`` (one-pass stats,
               optionally ``--quantiles`` sketch medians), ``fleet export``
-              (sharded segment + manifest writer) and ``fleet verify``
-              (re-hash an export against its manifest).  Plain ``fleet
-              [flags]`` remains the PR-1 summary behaviour.
+              (sharded segment + manifest writer; ``--checkpoint-every N``
+              switches to the resumable per-block layout and ``--resume``
+              finishes an interrupted run), ``fleet compact`` (merge block
+              segments back into the per-shard layout) and ``fleet
+              verify`` (re-hash an export against its manifest).  Plain
+              ``fleet [flags]`` remains the PR-1 summary behaviour.
 ``predict``   print the Figs 13/14 forecasts and §VI-C scalar predictions
 ``validate``  fit on a trace, generate for Sep 2010, print Fig 12 comparison
 ``simulate``  run the Fig 15 utility experiment on a trace
@@ -22,6 +25,9 @@ Examples
     resmodel generate --date 2010-09-01 --hosts 1000
     resmodel fleet summary --size 1000000 --shards 4 --quantiles
     resmodel fleet export --size 1000000 --shards 4 --out-dir fleet/
+    resmodel fleet export --size 1000000 --out-dir fleet/ --checkpoint-every 8
+    resmodel fleet export --resume --out-dir fleet/
+    resmodel fleet compact fleet/manifest.json --out-dir compact/ --shards 4
     resmodel fleet verify fleet/manifest.json
     resmodel trace --scale 0.01 --out trace.csv.gz
     resmodel fit --trace trace.csv.gz --out params.json
@@ -189,36 +195,109 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet_export(args: argparse.Namespace) -> int:
-    """``fleet export``: sharded segment + manifest writer."""
-    from repro.engine import export_fleet
+    """``fleet export``: sharded segment + manifest writer (resumable)."""
+    from repro.engine import (
+        StateError,
+        export_fleet,
+        export_fleet_blocks,
+        resume_export,
+    )
 
     problem = _check_fleet_ints(args)
     if problem:
         sys.stderr.write(problem + "\n")
         return 2
+    if args.checkpoint_every < 0:
+        sys.stderr.write(
+            f"fleet export: --checkpoint-every must be non-negative "
+            f"(got {args.checkpoint_every})\n"
+        )
+        return 2
     params = _load_parameters(args.params)
     generator = CorrelatedHostGenerator(params)
-    when = year_fraction(parse_date(args.date))
-    manifest = export_fleet(
-        generator,
-        when,
-        args.size,
-        args.seed,
-        args.out_dir,
-        shards=args.shards,
-        fmt=args.format,
-    )
+    if args.resume:
+        try:
+            result = resume_export(generator, args.out_dir)
+        except StateError as error:
+            sys.stderr.write(f"fleet export --resume: {error}\n")
+            return 1
+        manifest = result.manifest
+        if result.statistics is None:
+            print(f"{args.out_dir} is already finalised; nothing to resume")
+        else:
+            fresh = len(manifest.segments) - result.resumed_blocks
+            print(
+                f"resumed: {result.resumed_blocks} block(s) restored from "
+                f"checkpoints, {fresh} regenerated"
+            )
+    elif args.checkpoint_every:
+        when = year_fraction(parse_date(args.date))
+        result = export_fleet_blocks(
+            generator,
+            when,
+            args.size,
+            args.seed,
+            args.out_dir,
+            shards=args.shards,
+            fmt=args.format,
+            checkpoint_every=args.checkpoint_every,
+            # The parent `fleet` parser always defines --chunk-size; for
+            # the block layout it bounds the reducer fold batches (and is
+            # pinned into the plan as part of the determinism envelope).
+            chunk_size=args.chunk_size,
+            fault_after=args.fault_after,
+        )
+        manifest = result.manifest
+    else:
+        when = year_fraction(parse_date(args.date))
+        manifest = export_fleet(
+            generator,
+            when,
+            args.size,
+            args.seed,
+            args.out_dir,
+            shards=args.shards,
+            fmt=args.format,
+        )
     print(
         f"exported {manifest.size} hosts @ {manifest.when:.3f} as "
-        f"{len(manifest.segments)} {manifest.format} segment(s) to {args.out_dir}"
+        f"{len(manifest.segments)} {manifest.format} "
+        f"{manifest.layout} segment(s) to {args.out_dir}"
     )
-    for segment in manifest.segments:
-        print(
-            f"  {segment.path}  rows [{segment.row_lo}, {segment.row_hi})  "
-            f"sha256 {segment.sha256[:16]}…"
-        )
+    if manifest.layout == "shard":
+        for segment in manifest.segments:
+            print(
+                f"  {segment.path}  rows [{segment.row_lo}, {segment.row_hi})  "
+                f"sha256 {segment.sha256[:16]}…"
+            )
+    else:
+        print(f"  checkpoint every {manifest.checkpoint_every} block(s)")
     print(f"payload sha256: {manifest.payload_sha256}")
     print(f"fleet sha256:   {manifest.fleet_sha256}")
+    print(f"manifest: {args.out_dir}/manifest.json")
+    return 0
+
+
+def _cmd_fleet_compact(args: argparse.Namespace) -> int:
+    """``fleet compact``: merge block segments into the per-shard layout."""
+    from repro.engine import compact_export
+
+    shards = getattr(args, "shards", 1)
+    if shards <= 0:
+        sys.stderr.write(
+            f"fleet compact: --shards must be a positive integer (got {shards})\n"
+        )
+        return 2
+    try:
+        manifest = compact_export(args.manifest, args.out_dir, shards=shards)
+    except (OSError, KeyError, TypeError, ValueError) as error:
+        sys.stderr.write(f"fleet compact: {error}\n")
+        return 1
+    print(
+        f"compacted {args.manifest} into {len(manifest.segments)} "
+        f"{manifest.format} segment(s) in {args.out_dir}"
+    )
+    print(f"payload sha256: {manifest.payload_sha256}")
     print(f"manifest: {args.out_dir}/manifest.json")
     return 0
 
@@ -244,6 +323,8 @@ def _dispatch_fleet(args: argparse.Namespace) -> int:
     command = getattr(args, "fleet_command", None)
     if command == "export":
         return _cmd_fleet_export(args)
+    if command == "compact":
+        return _cmd_fleet_compact(args)
     if command == "verify":
         return _cmd_fleet_verify(args)
     return _cmd_fleet(args)
@@ -466,10 +547,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet_export = fleet_sub.add_parser(
         "export", help="write per-shard segments plus a sha256 manifest"
     )
-    # No --chunk-size: the CSV writer streams block by block and the NPZ
-    # writer necessarily holds one segment's columns, so the flag would be
-    # accepted but meaningless.
-    _add_fleet_common(p_fleet_export, suppress=True, chunked=False)
+    # --chunk-size is meaningless for the per-shard layout (the writers
+    # stream block by block) but bounds the reducer fold batches of the
+    # resumable --checkpoint-every layout, where it is pinned into the
+    # export plan as part of the determinism envelope.
+    _add_fleet_common(p_fleet_export, suppress=True, chunked=True)
     p_fleet_export.add_argument(
         "--out-dir", required=True, help="directory for segments + manifest.json"
     )
@@ -478,6 +560,43 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["csv", "npz"],
         default="csv",
         help="segment format (csv concatenates byte-identically)",
+    )
+    p_fleet_export.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="write resumable per-block segments with a reducer-state "
+        "checkpoint every N blocks (0 = classic per-shard layout)",
+    )
+    p_fleet_export.add_argument(
+        "--resume",
+        action="store_true",
+        help="finish an interrupted resumable export in --out-dir "
+        "(size/date/seed are read from its partial manifest)",
+    )
+    # Deterministic crash injection for the test suite and the CI
+    # interrupt→resume smoke; counts blocks per worker.
+    p_fleet_export.add_argument(
+        "--fault-after", type=int, default=None, help=argparse.SUPPRESS
+    )
+
+    p_fleet_compact = fleet_sub.add_parser(
+        "compact", help="merge block segments into the per-shard layout"
+    )
+    p_fleet_compact.add_argument(
+        "manifest", help="path to a block-layout fleet manifest.json"
+    )
+    p_fleet_compact.add_argument(
+        "--out-dir", required=True, help="directory for the compacted layout"
+    )
+    # SUPPRESS so the parent `fleet --shards` value survives when the flag
+    # is not given here (see the note in _add_fleet_common).
+    p_fleet_compact.add_argument(
+        "--shards",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="segments in the compacted layout (default 1)",
     )
 
     p_fleet_verify = fleet_sub.add_parser(

@@ -17,7 +17,13 @@ Layers
     ``multiprocessing`` fan-out over RNG blocks with reducer-set reduction.
 :mod:`~repro.engine.writer`
     Sharded fleet export: per-shard CSV/NPZ segments plus a sha256
-    manifest (``fleet export`` / ``fleet verify``).
+    manifest (``fleet export`` / ``fleet verify``), and the resumable
+    per-block layout with reducer-state checkpoints
+    (``export_fleet_blocks`` / ``resume_export`` / ``compact_export``).
+
+Every reducer serializes through the versioned ``to_state``/``from_state``
+contract of :mod:`repro.stats.state` — the substrate of export
+checkpoints and of the planned distributed-backend transport.
 """
 
 from repro.engine.accumulate import (
@@ -27,6 +33,7 @@ from repro.engine.accumulate import (
 )
 from repro.engine.reduce import (
     DECILES,
+    STATE_KINDS,
     ECDFReducer,
     ExactQuantileReducer,
     HistogramReducer,
@@ -35,6 +42,7 @@ from repro.engine.reduce import (
     ReducerSet,
     as_chunk_stream,
     reduce_stream,
+    reducer_from_state,
 )
 from repro.engine.sharding import (
     DEFAULT_REDUCER_FACTORIES,
@@ -55,13 +63,18 @@ from repro.engine.streaming import (
     stream_population,
 )
 from repro.engine.writer import (
+    BlockExportResult,
     FleetManifest,
     SegmentRecord,
     VerificationReport,
+    compact_export,
     export_fleet,
+    export_fleet_blocks,
+    resume_export,
     shard_block_ranges,
     verify_manifest,
 )
+from repro.stats.state import StateError
 
 __all__ = [
     "CorrelationAccumulator",
@@ -90,10 +103,17 @@ __all__ = [
     "iter_blocks",
     "population_digest",
     "stream_population",
+    "BlockExportResult",
     "FleetManifest",
+    "STATE_KINDS",
     "SegmentRecord",
+    "StateError",
     "VerificationReport",
+    "compact_export",
     "export_fleet",
+    "export_fleet_blocks",
+    "reducer_from_state",
+    "resume_export",
     "shard_block_ranges",
     "verify_manifest",
 ]

@@ -26,6 +26,12 @@ from repro.hosts.population import (
     HostPopulation,
 )
 from repro.stats.correlation import CorrelationMatrix
+from repro.stats.state import (
+    decode_count,
+    decode_floats,
+    decode_labels,
+    require_state,
+)
 
 
 def as_matrix(source, labels: "tuple[str, ...]") -> np.ndarray:
@@ -55,6 +61,9 @@ class MomentAccumulator:
     running state is ``(count, mean vector, M2 vector)`` where ``M2`` is the
     sum of squared deviations from the running mean (Welford).
     """
+
+    #: Serialization schema version for :meth:`to_state` payloads.
+    STATE_VERSION = 1
 
     def __init__(self, labels: "tuple[str, ...]" = RESOURCE_LABELS):
         self.labels = tuple(labels)
@@ -88,6 +97,34 @@ class MomentAccumulator:
         self._mean = self._mean + delta * (n_b / n)
         self._m2 = self._m2 + m2_b + np.square(delta) * (n_a * n_b / n)
         self.count = n
+
+    def to_state(self) -> dict:
+        """Versioned JSON-safe snapshot of ``(labels, count, mean, M2)``."""
+        return {
+            "kind": "MomentAccumulator",
+            "state_version": self.STATE_VERSION,
+            "labels": list(self.labels),
+            "count": int(self.count),
+            "mean": self._mean.tolist(),
+            "m2": self._m2.tolist(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MomentAccumulator":
+        """Restore an accumulator from a :meth:`to_state` payload.
+
+        Raises :class:`~repro.stats.state.StateError` on a corrupted,
+        mismatched or wrong-version payload; a restored accumulator
+        continues the fold bit-identically to the original.
+        """
+        kind = "MomentAccumulator"
+        require_state(state, kind, cls.STATE_VERSION)
+        labels = decode_labels(state, kind)
+        accumulator = cls(labels)
+        accumulator.count = decode_count(state, kind)
+        accumulator._mean = decode_floats(state, kind, "mean", (len(labels),))
+        accumulator._m2 = decode_floats(state, kind, "m2", (len(labels),))
+        return accumulator
 
     def means(self) -> "dict[str, float]":
         """Mean per column, matching :meth:`HostPopulation.means`."""
@@ -142,6 +179,9 @@ class CorrelationAccumulator:
     to 1.
     """
 
+    #: Serialization schema version for :meth:`to_state` payloads.
+    STATE_VERSION = 1
+
     def __init__(self, labels: "tuple[str, ...]" = CORRELATION_LABELS):
         self.labels = tuple(labels)
         k = len(self.labels)
@@ -177,6 +217,35 @@ class CorrelationAccumulator:
             n_a * n_b / n
         )
         self.count = n
+
+    def to_state(self) -> dict:
+        """Versioned JSON-safe snapshot of ``(labels, count, mean, co-moment)``."""
+        return {
+            "kind": "CorrelationAccumulator",
+            "state_version": self.STATE_VERSION,
+            "labels": list(self.labels),
+            "count": int(self.count),
+            "mean": self._mean.tolist(),
+            "comoment": self._comoment.tolist(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CorrelationAccumulator":
+        """Restore an accumulator from a :meth:`to_state` payload.
+
+        Raises :class:`~repro.stats.state.StateError` on a corrupted,
+        mismatched or wrong-version payload; a restored accumulator
+        continues the fold bit-identically to the original.
+        """
+        kind = "CorrelationAccumulator"
+        require_state(state, kind, cls.STATE_VERSION)
+        labels = decode_labels(state, kind)
+        k = len(labels)
+        accumulator = cls(labels)
+        accumulator.count = decode_count(state, kind)
+        accumulator._mean = decode_floats(state, kind, "mean", (k,))
+        accumulator._comoment = decode_floats(state, kind, "comoment", (k, k))
+        return accumulator
 
     def result(self) -> CorrelationMatrix:
         """Protocol result: the streamed labelled Pearson matrix."""

@@ -31,9 +31,22 @@ from typing import Any, Callable, Iterable, Iterator, Protocol, runtime_checkabl
 
 import numpy as np
 
-from repro.engine.accumulate import as_matrix
+from repro.engine.accumulate import (
+    CorrelationAccumulator,
+    MomentAccumulator,
+    as_matrix,
+)
 from repro.hosts.population import RESOURCE_LABELS, HostPopulation
 from repro.stats.sketch import DEFAULT_COMPRESSION, QuantileSketch
+from repro.stats.state import (
+    StateError,
+    decode_compression,
+    decode_count,
+    decode_floats,
+    decode_labels,
+    require_state,
+    state_field,
+)
 
 #: The nine decile probabilities reported by quantile reducers.
 DECILES: tuple[float, ...] = tuple(np.round(np.arange(0.1, 0.91, 0.1), 2))
@@ -86,6 +99,9 @@ class QuantileReducer:
     sketches combined by :meth:`merge`.
     """
 
+    #: Serialization schema version for :meth:`to_state` payloads.
+    STATE_VERSION = 1
+
     def __init__(
         self,
         labels: "tuple[str, ...]" = RESOURCE_LABELS,
@@ -116,6 +132,34 @@ class QuantileReducer:
     def sketch(self, label: str) -> QuantileSketch:
         """The underlying sketch for one column."""
         return self._sketches[label]
+
+    def to_state(self) -> dict:
+        """Versioned JSON-safe snapshot (one sketch payload per column)."""
+        return {
+            "kind": "QuantileReducer",
+            "state_version": self.STATE_VERSION,
+            "labels": list(self.labels),
+            "compression": self.compression,
+            "sketches": {
+                label: self._sketches[label].to_state() for label in self.labels
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QuantileReducer":
+        """Restore a reducer from a :meth:`to_state` payload (StateError if bad)."""
+        kind = "QuantileReducer"
+        require_state(state, kind, cls.STATE_VERSION)
+        labels = decode_labels(state, kind)
+        sketches = state_field(state, kind, "sketches")
+        if not isinstance(sketches, dict) or set(sketches) != set(labels):
+            raise StateError(f"{kind} state sketches do not cover its labels")
+        restored = {
+            label: QuantileSketch.from_state(sketches[label]) for label in labels
+        }
+        reducer = cls(labels, compression=decode_compression(state, kind))
+        reducer._sketches = restored
+        return reducer
 
     def quantiles(self, q: "np.ndarray | list[float] | float") -> "dict[str, np.ndarray]":
         """Per-column quantile estimates at probabilities ``q``."""
@@ -156,6 +200,9 @@ class ExactQuantileReducer:
     and the streamed pipeline.
     """
 
+    #: Serialization schema version for :meth:`to_state` payloads.
+    STATE_VERSION = 1
+
     def __init__(self, labels: "tuple[str, ...]" = RESOURCE_LABELS):
         self.labels = tuple(labels)
         self._parts: "list[np.ndarray]" = []
@@ -187,6 +234,41 @@ class ExactQuantileReducer:
     def column(self, label: str) -> np.ndarray:
         """The accumulated sample for one column."""
         return self._stacked()[:, self.labels.index(label)]
+
+    def to_state(self) -> dict:
+        """Versioned JSON-safe snapshot (materialises the full sample).
+
+        This reducer *is* its data, so the payload scales with the hosts
+        folded in — it exists for contract completeness and small batches;
+        checkpointed fleet runs should carry the sketch-backed
+        :class:`QuantileReducer` instead.
+        """
+        data = self._stacked() if self._parts else np.empty((0, len(self.labels)))
+        return {
+            "kind": "ExactQuantileReducer",
+            "state_version": self.STATE_VERSION,
+            "labels": list(self.labels),
+            "data": data.tolist(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ExactQuantileReducer":
+        """Restore a reducer from a :meth:`to_state` payload (StateError if bad)."""
+        kind = "ExactQuantileReducer"
+        require_state(state, kind, cls.STATE_VERSION)
+        labels = decode_labels(state, kind)
+        data = decode_floats(state, kind, "data")
+        if data.size == 0:
+            data = data.reshape(0, len(labels))
+        if data.ndim != 2 or data.shape[1] != len(labels):
+            raise StateError(
+                f"{kind} state data has shape {data.shape}; expected "
+                f"(n, {len(labels)})"
+            )
+        reducer = cls(labels)
+        if data.shape[0]:
+            reducer._parts.append(data)
+        return reducer
 
     def quantiles(self, q: "np.ndarray | list[float] | float") -> "dict[str, np.ndarray]":
         """Exact per-column quantiles at probabilities ``q``.
@@ -243,6 +325,25 @@ def _transform_fingerprint(transform) -> "tuple | None":
     return (module, repr(transform))
 
 
+def _fingerprint_state(transform) -> "list | None":
+    """JSON form of a transform fingerprint (tuples do not survive JSON)."""
+    fingerprint = _transform_fingerprint(transform)
+    return None if fingerprint is None else list(fingerprint)
+
+
+def _check_fingerprint(state: dict, kind: str, transform) -> None:
+    """Require ``from_state``'s transform to match the serialised fingerprint."""
+    recorded = state_field(state, kind, "transform")
+    if recorded is not None and not isinstance(recorded, list):
+        raise StateError(f"{kind} state transform fingerprint is malformed")
+    if _fingerprint_state(transform) != recorded:
+        raise StateError(
+            f"{kind} state was serialised with transform fingerprint "
+            f"{recorded!r}; pass the same transform to from_state "
+            f"(got {_fingerprint_state(transform)!r})"
+        )
+
+
 class HistogramReducer:
     """Mergeable fixed-edge histogram of one column.
 
@@ -251,6 +352,9 @@ class HistogramReducer:
     range after the fact), counts merge exactly across chunks and shards,
     and :meth:`result` reports ``(bin_centres, density)``.
     """
+
+    #: Serialization schema version for :meth:`to_state` payloads.
+    STATE_VERSION = 1
 
     def __init__(
         self,
@@ -297,6 +401,54 @@ class HistogramReducer:
         self.count += other.count
         return self
 
+    def to_state(self) -> dict:
+        """Versioned JSON-safe snapshot of the counts.
+
+        The transform *callable* cannot travel in a JSON payload; its
+        fingerprint does, and :meth:`from_state` demands the same transform
+        back — exactly the guard :meth:`merge` applies.
+        """
+        return {
+            "kind": "HistogramReducer",
+            "state_version": self.STATE_VERSION,
+            "label": self.label,
+            "edges": self.edges.tolist(),
+            "counts": [int(c) for c in self.counts],
+            "count": int(self.count),
+            "transform": _fingerprint_state(self.transform),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        transform: "Callable[[np.ndarray], np.ndarray] | None" = None,
+    ) -> "HistogramReducer":
+        """Restore a reducer from a :meth:`to_state` payload.
+
+        A payload serialised with a transform can only be restored by
+        passing the *same* transform back in (compared by fingerprint, as
+        :meth:`merge` does); a mismatch raises
+        :class:`~repro.stats.state.StateError`.
+        """
+        kind = "HistogramReducer"
+        require_state(state, kind, cls.STATE_VERSION)
+        label = state_field(state, kind, "label")
+        if not isinstance(label, str):
+            raise StateError(f"{kind} state label must be a string, got {label!r}")
+        _check_fingerprint(state, kind, transform)
+        edges = decode_floats(state, kind, "edges")
+        try:
+            reducer = cls(label, edges, transform=transform)
+        except ValueError as error:
+            raise StateError(f"{kind} state edges are invalid: {error}")
+        counts = decode_floats(state, kind, "counts", (edges.size - 1,))
+        if np.any(counts < 0) or np.any(counts != np.floor(counts)):
+            raise StateError(f"{kind} state counts must be non-negative integers")
+        reducer.counts = counts.astype(np.int64)
+        reducer.count = decode_count(state, kind)
+        return reducer
+
     def centres(self) -> np.ndarray:
         """Bin centres (matching :func:`histogram_density`)."""
         return 0.5 * (self.edges[:-1] + self.edges[1:])
@@ -323,6 +475,9 @@ class ECDFReducer:
     :class:`~repro.stats.ecdf.ECDF` — the streamed stand-in for
     ``ECDF.from_sample`` used by CDF panels and KS comparisons.
     """
+
+    #: Serialization schema version for :meth:`to_state` payloads.
+    STATE_VERSION = 1
 
     def __init__(
         self,
@@ -361,6 +516,49 @@ class ECDFReducer:
         self.sketch.merge(other.sketch)
         return self
 
+    def to_state(self) -> dict:
+        """Versioned JSON-safe snapshot (sketch payload + transform fingerprint)."""
+        return {
+            "kind": "ECDFReducer",
+            "state_version": self.STATE_VERSION,
+            "label": self.label,
+            "n_points": self.n_points,
+            "transform": _fingerprint_state(self.transform),
+            "sketch": self.sketch.to_state(),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        transform: "Callable[[np.ndarray], np.ndarray] | None" = None,
+    ) -> "ECDFReducer":
+        """Restore a reducer from a :meth:`to_state` payload.
+
+        Like :meth:`HistogramReducer.from_state`, a payload serialised with
+        a transform requires the same transform passed back in.
+        """
+        kind = "ECDFReducer"
+        require_state(state, kind, cls.STATE_VERSION)
+        label = state_field(state, kind, "label")
+        if not isinstance(label, str):
+            raise StateError(f"{kind} state label must be a string, got {label!r}")
+        _check_fingerprint(state, kind, transform)
+        n_points = state_field(state, kind, "n_points")
+        if not isinstance(n_points, int) or n_points < 2:
+            raise StateError(
+                f"{kind} state n_points must be an integer >= 2, got {n_points!r}"
+            )
+        sketch = QuantileSketch.from_state(state_field(state, kind, "sketch"))
+        reducer = cls(
+            label,
+            compression=sketch.compression,
+            transform=transform,
+            n_points=n_points,
+        )
+        reducer.sketch = sketch
+        return reducer
+
     def result(self):
         """The approximate :class:`~repro.stats.ecdf.ECDF` of the stream."""
         return self.sketch.to_ecdf(self.n_points)
@@ -375,6 +573,9 @@ class ReducerSet:
     :meth:`from_factories` (the form ``generate_sharded`` ships to worker
     processes).
     """
+
+    #: Serialization schema version for :meth:`to_state` payloads.
+    STATE_VERSION = 1
 
     def __init__(self, reducers: "dict[str, Reducer]"):
         self._reducers = dict(reducers)
@@ -402,6 +603,44 @@ class ReducerSet:
     def result(self) -> "dict[str, Any]":
         return {name: reducer.result() for name, reducer in self._reducers.items()}
 
+    def to_state(self) -> dict:
+        """Versioned JSON-safe snapshot: one member payload per name.
+
+        Every member must implement the serialization contract (all the
+        built-in reducers do); a member without ``to_state`` raises
+        :class:`~repro.stats.state.StateError` naming it.
+        """
+        states: "dict[str, dict]" = {}
+        for name, reducer in self._reducers.items():
+            to_state = getattr(reducer, "to_state", None)
+            if to_state is None:
+                raise StateError(
+                    f"reducer {name!r} ({type(reducer).__name__}) does not "
+                    "implement to_state, so this set cannot be checkpointed"
+                )
+            states[name] = to_state()
+        return {
+            "kind": "ReducerSet",
+            "state_version": self.STATE_VERSION,
+            "reducers": states,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ReducerSet":
+        """Restore a set from a :meth:`to_state` payload.
+
+        Members are dispatched on their payload ``kind`` through
+        :func:`reducer_from_state`; a corrupted, unknown-kind or
+        wrong-version member raises :class:`~repro.stats.state.StateError`.
+        """
+        require_state(state, "ReducerSet", cls.STATE_VERSION)
+        members = state_field(state, "ReducerSet", "reducers")
+        if not isinstance(members, dict):
+            raise StateError("ReducerSet state field 'reducers' must be a dict")
+        return cls(
+            {name: reducer_from_state(member) for name, member in members.items()}
+        )
+
     def get(self, name: str, default: Any = None) -> Any:
         return self._reducers.get(name, default)
 
@@ -419,6 +658,78 @@ class ReducerSet:
 
     def __len__(self) -> int:
         return len(self._reducers)
+
+
+#: State-payload ``kind`` → restoring class, for :func:`reducer_from_state`.
+STATE_KINDS: "dict[str, Any]" = {
+    "MomentAccumulator": MomentAccumulator,
+    "CorrelationAccumulator": CorrelationAccumulator,
+    "QuantileReducer": QuantileReducer,
+    "ExactQuantileReducer": ExactQuantileReducer,
+    "HistogramReducer": HistogramReducer,
+    "ECDFReducer": ECDFReducer,
+}
+
+
+def reducer_from_state(state: Any) -> Reducer:
+    """Restore any built-in reducer from its ``to_state`` payload.
+
+    Dispatches on the payload's ``kind`` field; unknown kinds and
+    non-dict payloads raise :class:`~repro.stats.state.StateError`.
+    Histogram/ECDF payloads carrying a transform fingerprint cannot be
+    restored generically — their ``from_state`` needs the transform
+    callable back — so those surface the member class's own StateError.
+    """
+    if not isinstance(state, dict):
+        raise StateError(
+            f"reducer state must be a dict, got {type(state).__name__}"
+        )
+    kind = state.get("kind")
+    cls = STATE_KINDS.get(kind)
+    if cls is None:
+        raise StateError(
+            f"unknown reducer state kind {kind!r}; known kinds: "
+            f"{sorted(STATE_KINDS)}"
+        )
+    return cls.from_state(state)
+
+
+class ChunkedFold:
+    """Fold population blocks into a reducer set in ~``chunk_size`` batches.
+
+    The shared accumulation step of the shard statistics fan-out and the
+    block-layout writer: blocks buffer until ``chunk_size`` hosts are
+    pending, then one concatenated ``update`` folds them (fewer, more
+    vectorised reducer calls).  Flush points are deterministic given the
+    block sequence, which is what keeps resumed and uninterrupted runs
+    bit-identical — both drivers must flush through this one code path.
+    """
+
+    def __init__(self, reducers: ReducerSet, chunk_size: int):
+        self.reducers = reducers
+        self.chunk_size = chunk_size
+        self._batch: "list[HostPopulation]" = []
+        self._rows = 0
+
+    def add(self, block: HostPopulation) -> None:
+        """Buffer one block, flushing when the batch reaches chunk_size."""
+        self._batch.append(block)
+        self._rows += len(block)
+        if self._rows >= self.chunk_size:
+            self.flush()
+
+    def flush(self) -> None:
+        """Fold any buffered blocks into the reducers now."""
+        if not self._batch:
+            return
+        merged = (
+            self._batch[0]
+            if len(self._batch) == 1
+            else HostPopulation.concatenate(self._batch)
+        )
+        self.reducers.update(merged)
+        self._batch = []
+        self._rows = 0
 
 
 def reduce_stream(

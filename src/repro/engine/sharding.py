@@ -19,7 +19,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.engine.accumulate import CorrelationAccumulator, MomentAccumulator
-from repro.engine.reduce import QuantileReducer, ReducerFactory, ReducerSet
+from repro.engine.reduce import (
+    ChunkedFold,
+    QuantileReducer,
+    ReducerFactory,
+    ReducerSet,
+)
 from repro.engine.streaming import (
     DEFAULT_CHUNK_SIZE,
     RNG_BLOCK_SIZE,
@@ -29,7 +34,6 @@ from repro.engine.streaming import (
     combine_block_digests,
     population_digest,
 )
-from repro.hosts.population import HostPopulation
 
 #: The reducers every fleet run carries unless a custom set is plugged in.
 DEFAULT_REDUCER_FACTORIES: "dict[str, ReducerFactory]" = {
@@ -132,17 +136,7 @@ def _run_shard(payload: tuple):
     ) = payload
     reducers = ReducerSet.from_factories(factories)
     digests: "list[tuple[int, bytes]]" = []
-    batch: "list[HostPopulation]" = []
-    batch_rows = 0
-
-    def flush() -> None:
-        nonlocal batch, batch_rows
-        if not batch:
-            return
-        merged = batch[0] if len(batch) == 1 else HostPopulation.concatenate(batch)
-        reducers.update(merged)
-        batch = []
-        batch_rows = 0
+    fold = ChunkedFold(reducers, chunk_size)
 
     seeds = block_seeds(root, size)
     for index in range(shard, len(seeds), shards):
@@ -152,11 +146,8 @@ def _run_shard(payload: tuple):
         )
         if want_digest:
             digests.append((index, bytes.fromhex(population_digest(block))))
-        batch.append(block)
-        batch_rows += len(block)
-        if batch_rows >= chunk_size:
-            flush()
-    flush()
+        fold.add(block)
+    fold.flush()
     return shard, reducers, digests
 
 

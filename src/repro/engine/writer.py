@@ -1,4 +1,4 @@
-"""Sharded fleet export: per-shard segments plus a verifiable manifest.
+"""Sharded fleet export: verifiable manifests, checkpoints and resume.
 
 ``generate_sharded`` reduces a fleet to statistics; this module *exports*
 one beyond a single process.  The host index space is split into
@@ -6,6 +6,23 @@ contiguous runs of RNG blocks, one per shard; each worker process writes
 its run to a segment file (CSV rows or NPZ columns) and the parent records
 a JSON manifest with per-segment sha256 digests, block ranges and row
 ranges.
+
+Two segment layouts share the manifest schema:
+
+``layout="shard"`` (:func:`export_fleet`)
+    One segment per shard — the compact archival layout.
+``layout="block"`` (:func:`export_fleet_blocks`)
+    One segment per RNG block, plus periodic reducer-state checkpoints,
+    so a killed export loses at most ``checkpoint_every`` blocks of work:
+    :func:`resume_export` scans the partial manifest and the shard
+    checkpoints, verifies digests, restores reducer state through the
+    ``to_state``/``from_state`` contract and regenerates only the missing
+    blocks — producing a manifest, payload bytes and statistics identical
+    to an uninterrupted run (the per-block ``SeedSequence.spawn`` contract
+    makes regenerated blocks byte-identical, and checkpoint cadence is a
+    run parameter so sketch compression points line up too).
+    :func:`compact_export` merges a completed block layout back into the
+    per-shard layout byte-identically (CSV).
 
 Because segments cover contiguous block ranges and blocks own the random
 streams (the :mod:`~repro.engine.streaming` determinism contract), the
@@ -33,12 +50,20 @@ import datetime as _dt
 import hashlib
 import json
 import os
+import time
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-from repro.engine.sharding import _pool_context
+from repro.engine.reduce import ChunkedFold, ReducerFactory, ReducerSet
+from repro.engine.sharding import (
+    FleetStatistics,
+    _pool_context,
+    _resolve_factories,
+    _when_as_float,
+)
 from repro.engine.streaming import (
+    DEFAULT_CHUNK_SIZE,
     RNG_BLOCK_SIZE,
     as_seed_sequence,
     block_count,
@@ -47,8 +72,13 @@ from repro.engine.streaming import (
     population_digest,
 )
 from repro.hosts.population import RESOURCE_LABELS
+from repro.stats.state import StateError
 
-#: Manifest schema version (bump on incompatible layout changes).
+#: Manifest schema version.  Bump only on changes a version-1 reader of
+#: *this* module cannot tolerate; fields with dataclass defaults
+#: (``bytes``, ``layout``, ``checkpoint_every``) are version-1-compatible
+#: additions — current readers accept manifests written without them, and
+#: bumping would wrongly reject every previously published manifest.
 MANIFEST_VERSION = 1
 
 #: Host CSV header and row format shared by the CLI and the writer.
@@ -74,7 +104,11 @@ def _hash_file_into(path: str, *hashes) -> None:
 
 @dataclass(frozen=True)
 class SegmentRecord:
-    """One shard's segment file within a fleet export."""
+    """One segment file (a shard's run, or a single block) within an export.
+
+    ``bytes`` is the exact file size; ``-1`` marks manifests written
+    before the field existed, where the size check is skipped.
+    """
 
     path: str
     shard: int
@@ -83,6 +117,7 @@ class SegmentRecord:
     row_lo: int
     row_hi: int
     sha256: str
+    bytes: int = -1
 
 
 @dataclass(frozen=True)
@@ -101,6 +136,11 @@ class FleetManifest:
     payload_sha256: str
     fleet_sha256: str
     segments: "tuple[SegmentRecord, ...]" = field(default_factory=tuple)
+    #: ``"shard"`` (one segment per worker) or ``"block"`` (one per RNG
+    #: block, the resumable layout).
+    layout: str = "shard"
+    #: Reducer-checkpoint cadence of a block-layout run (0 = none).
+    checkpoint_every: int = 0
 
     def to_json(self) -> str:
         payload = asdict(self)
@@ -232,8 +272,6 @@ def export_fleet(
         raise ValueError("size must be non-negative")
     if fmt not in FORMATS:
         raise ValueError(f"unknown segment format {fmt!r}; supported: {FORMATS}")
-    from repro.engine.sharding import _when_as_float
-
     root = as_seed_sequence(rng)
     os.makedirs(out_dir, exist_ok=True)
     n_blocks = block_count(size)
@@ -255,7 +293,8 @@ def export_fleet(
     all_digests: "list[tuple[int, bytes]]" = []
     for (shard, file_sha, digests), (lo, hi) in zip(results, ranges):
         name = _segment_name(shard, fmt)
-        _hash_file_into(os.path.join(out_dir, name), payload_hash)
+        path = os.path.join(out_dir, name)
+        _hash_file_into(path, payload_hash)
         segments.append(
             SegmentRecord(
                 path=name,
@@ -265,6 +304,7 @@ def export_fleet(
                 row_lo=min(lo * RNG_BLOCK_SIZE, size),
                 row_hi=min(hi * RNG_BLOCK_SIZE, size),
                 sha256=file_sha,
+                bytes=os.path.getsize(path),
             )
         )
         all_digests.extend(digests)
@@ -285,6 +325,715 @@ def export_fleet(
     )
     manifest.save(os.path.join(out_dir, manifest_name))
     return manifest
+
+
+# -- resumable block-layout export ------------------------------------------
+
+#: The partial-manifest file a resumable export writes before any segment;
+#: its presence (without a final manifest) marks an interrupted run.
+PLAN_NAME = "manifest.partial.json"
+
+#: Schema version of plan and shard-checkpoint payloads.
+CHECKPOINT_STATE_VERSION = 1
+
+
+@dataclass
+class BlockExportResult:
+    """Outcome of a block-layout export or resume.
+
+    ``statistics`` carries the run's merged reducers (``None`` only when
+    :func:`resume_export` found the export already finalised — the
+    checkpoints holding reducer state are removed on success).
+    ``resumed_blocks`` counts blocks restored from checkpoints rather
+    than generated (0 on an uninterrupted run).
+    """
+
+    manifest: FleetManifest
+    statistics: "FleetStatistics | None"
+    resumed_blocks: int
+
+
+def _block_name(index: int, fmt: str) -> str:
+    return f"block-{index:06d}.{fmt}"
+
+
+def _checkpoint_name(shard: int) -> str:
+    return f"checkpoint-{shard:04d}.json"
+
+
+def _write_json_atomic(path: str, payload: dict) -> None:
+    """Write JSON via a temp file + rename, so a kill never half-writes it."""
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def _load_json(path: str, kind: str) -> dict:
+    """Read a plan/checkpoint file, mapping any failure to a StateError."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise StateError(f"cannot read {kind} {path}: {error}")
+    if not isinstance(payload, dict):
+        raise StateError(f"{kind} {path} is not a JSON object")
+    return payload
+
+
+def _remove_quiet(path: str) -> None:
+    try:
+        os.remove(path)
+    except OSError:
+        pass
+
+
+def _generator_fingerprint(generator) -> "str | None":
+    """sha256 of the generator's parameter JSON (None if it has none).
+
+    Pinned into the export plan so a resume with different model
+    parameters fails loudly instead of silently splicing two fleets into
+    one self-consistent-looking manifest.
+    """
+    to_json = getattr(getattr(generator, "parameters", None), "to_json", None)
+    if to_json is None:
+        return None
+    return hashlib.sha256(to_json().encode("utf-8")).hexdigest()
+
+
+def _write_block_file(path: str, block, fmt: str) -> "tuple[str, int]":
+    """Write one block's segment file; return ``(sha256 hex, byte size)``.
+
+    Module-level so the crash-injection tests can monkeypatch a fault in
+    (and so it pickles for the worker pool).
+    """
+    if fmt == "csv":
+        import io
+
+        buffer = io.BytesIO()
+        np.savetxt(buffer, block.to_matrix(), fmt=HOST_CSV_FMT)
+        data = buffer.getvalue()
+        with open(path, "wb") as handle:
+            handle.write(data)
+        return hashlib.sha256(data).hexdigest(), len(data)
+    if fmt == "npz":
+        columns = {
+            label: np.asarray(block.column(label), dtype=float)
+            for label in RESOURCE_LABELS
+        }
+        np.savez(path, **columns)
+        file_hash = hashlib.sha256()
+        _hash_file_into(path, file_hash)
+        return file_hash.hexdigest(), os.path.getsize(path)
+    raise ValueError(f"unknown segment format {fmt!r}; supported: {FORMATS}")
+
+
+def _file_matches(path: str, record: SegmentRecord) -> bool:
+    """Does a file on disk still match its checkpointed segment record?"""
+    if not os.path.exists(path):
+        return False
+    if record.bytes >= 0 and os.path.getsize(path) != record.bytes:
+        return False
+    file_hash = hashlib.sha256()
+    _hash_file_into(path, file_hash)
+    return file_hash.hexdigest() == record.sha256
+
+
+def _generate_block(generator, when, size, seeds, index):
+    lo = index * RNG_BLOCK_SIZE
+    return generator.generate(
+        when, min(RNG_BLOCK_SIZE, size - lo), np.random.default_rng(seeds[index])
+    )
+
+
+def _write_block_shard(payload: tuple):
+    """Worker: write blocks ``[block_lo, block_hi)`` as per-block segments.
+
+    Reduces every block into the shard's :class:`ReducerSet` and, every
+    ``checkpoint_every`` blocks (and at the end of the range), atomically
+    writes a checkpoint carrying the completed segment records, the block
+    digests and the serialized reducer state.  A restart from that
+    checkpoint continues bit-identically: the reducer state round-trips
+    exactly, and regenerated blocks are byte-identical by the
+    ``SeedSequence.spawn`` contract.
+
+    ``checkpoint`` (when resuming) must describe this exact shard range;
+    recorded block files are re-verified against their digests and — being
+    deterministic — simply rewritten if missing or corrupt, without
+    touching the restored reducer state.  ``fault_after`` (tests/CI only)
+    raises after this worker has written that many new blocks.
+    """
+    (
+        generator,
+        when,
+        size,
+        root,
+        shard,
+        block_lo,
+        block_hi,
+        fmt,
+        out_dir,
+        checkpoint_every,
+        chunk_size,
+        factories,
+        checkpoint,
+        fault_after,
+    ) = payload
+    seeds = block_seeds(root, size)
+    reducers = ReducerSet.from_factories(factories)
+    records: "list[SegmentRecord]" = []
+    digests: "list[tuple[int, bytes]]" = []
+    start = block_lo
+    restored = 0
+
+    if checkpoint is not None:
+        reducers = ReducerSet.from_state(checkpoint["reducers"])
+        for record_payload, digest in zip(
+            checkpoint["segments"], checkpoint["digests"]
+        ):
+            record = SegmentRecord(**record_payload)
+            path = os.path.join(out_dir, record.path)
+            if not _file_matches(path, record):
+                block = _generate_block(generator, when, size, seeds, record.block_lo)
+                # Regeneration must reproduce the checkpointed rows exactly;
+                # failing fast here beats finishing an expensive resume
+                # whose manifest then fails `fleet verify`.  The row digest
+                # is format-independent, so it guards npz rewrites too.
+                if population_digest(block) != digest:
+                    raise StateError(
+                        f"regenerated {record.path} does not reproduce its "
+                        f"checkpointed row digest; the resume environment "
+                        "generates a different fleet than the interrupted run"
+                    )
+                sha, nbytes = _write_block_file(path, block, fmt)
+                # Same rows, but the *file* may differ for npz (zip
+                # metadata is not byte-stable) — record what is on disk.
+                record = SegmentRecord(
+                    **{**asdict(record), "sha256": sha, "bytes": nbytes}
+                )
+            records.append(record)
+            digests.append((record.block_lo, bytes.fromhex(digest)))
+        start = block_lo + len(records)
+        restored = len(records)
+
+    # Reducer updates are batched through the shared ChunkedFold (the same
+    # accumulation the statistics fan-out uses).  Flush points are a
+    # deterministic function of the block indices alone — every checkpoint
+    # boundary flushes, and between boundaries the batch grows by fixed
+    # block sizes — so an uninterrupted run and a resumed run fold
+    # identical chunks and stay bit-identical.
+    fold = ChunkedFold(reducers, chunk_size)
+
+    def write_checkpoint() -> None:
+        fold.flush()
+        _write_json_atomic(
+            os.path.join(out_dir, _checkpoint_name(shard)),
+            {
+                "kind": "FleetShardCheckpoint",
+                "state_version": CHECKPOINT_STATE_VERSION,
+                "shard": shard,
+                "block_lo": block_lo,
+                "block_hi": block_hi,
+                "blocks_done": len(records),
+                "segments": [asdict(record) for record in records],
+                "digests": [digest.hex() for _, digest in digests],
+                "reducers": reducers.to_state(),
+            },
+        )
+
+    written = 0
+    for index in range(start, block_hi):
+        block = _generate_block(generator, when, size, seeds, index)
+        name = _block_name(index, fmt)
+        sha, nbytes = _write_block_file(os.path.join(out_dir, name), block, fmt)
+        records.append(
+            SegmentRecord(
+                path=name,
+                shard=shard,
+                block_lo=index,
+                block_hi=index + 1,
+                row_lo=min(index * RNG_BLOCK_SIZE, size),
+                row_hi=min((index + 1) * RNG_BLOCK_SIZE, size),
+                sha256=sha,
+                bytes=nbytes,
+            )
+        )
+        digests.append((index, bytes.fromhex(population_digest(block))))
+        fold.add(block)
+        done = index + 1 - block_lo
+        if checkpoint_every and (
+            done % checkpoint_every == 0 or index + 1 == block_hi
+        ):
+            write_checkpoint()
+        written += 1
+        if fault_after is not None and written >= fault_after:
+            raise RuntimeError(
+                f"injected fault after {written} block(s) in shard {shard}"
+            )
+    fold.flush()
+    return shard, records, reducers, digests, restored
+
+
+def export_fleet_blocks(
+    generator,
+    when: "_dt.date | float",
+    size: int,
+    rng: "int | np.random.SeedSequence | np.random.Generator | None",
+    out_dir: str,
+    shards: int = 1,
+    fmt: str = "csv",
+    checkpoint_every: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    reducers: "dict[str, ReducerFactory] | None" = None,
+    quantiles: bool = False,
+    manifest_name: str = "manifest.json",
+    fault_after: "int | None" = None,
+) -> BlockExportResult:
+    """Export a fleet as per-block segments with reducer checkpoints.
+
+    The resumable counterpart of :func:`export_fleet`: every RNG block
+    becomes its own segment file, each shard worker checkpoints its
+    serialized reducer state every ``checkpoint_every`` blocks, and a
+    partial manifest (:data:`PLAN_NAME`) pins the run parameters so
+    :func:`resume_export` can finish an interrupted run with identical
+    manifest digests and statistics.  ``checkpoint_every`` and
+    ``chunk_size`` are part of the run's determinism envelope (sketch
+    compression happens at checkpoint points, reducer folds at
+    chunk-size/checkpoint flush boundaries), so resume reuses the
+    original values from the plan.
+
+    Unlike the shard layout, this path *reduces while it writes* — the
+    returned :class:`BlockExportResult` carries the run's
+    :class:`~repro.engine.sharding.FleetStatistics` (default
+    moments + correlation; plug in ``reducers``/``quantiles`` as in
+    :func:`~repro.engine.sharding.generate_sharded`).
+
+    On success the checkpoints and partial manifest are removed; the
+    final manifest has ``layout="block"`` and verifies with
+    :func:`verify_manifest` exactly like a shard-layout export.
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown segment format {fmt!r}; supported: {FORMATS}")
+    if checkpoint_every < 0:
+        raise ValueError("checkpoint_every must be non-negative")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    root = as_seed_sequence(rng)
+    os.makedirs(out_dir, exist_ok=True)
+    factories = _resolve_factories(reducers, quantiles)
+    if checkpoint_every:
+        # Fail before hours of work, not at resume time: every reducer in
+        # the set must survive a serialization round trip (a transform-
+        # carrying Histogram/ECDF reducer, for example, cannot be restored
+        # without its callable and would make the checkpoints useless).
+        try:
+            ReducerSet.from_state(ReducerSet.from_factories(factories).to_state())
+        except StateError as error:
+            raise ValueError(
+                f"this reducer set cannot be checkpointed: {error}; pass "
+                "checkpoint_every=0 or use state-restorable reducers"
+            )
+    ranges = shard_block_ranges(block_count(size), shards)
+    plan = {
+        "kind": "FleetExportPlan",
+        "state_version": CHECKPOINT_STATE_VERSION,
+        "version": MANIFEST_VERSION,
+        "format": fmt,
+        "size": size,
+        "when": _when_as_float(when),
+        "entropy": str(root.entropy),
+        "spawn_key": [int(k) for k in root.spawn_key],
+        "shards": len(ranges),
+        "block_size": RNG_BLOCK_SIZE,
+        "checkpoint_every": checkpoint_every,
+        "chunk_size": chunk_size,
+        "manifest_name": manifest_name,
+        "reducers": sorted(factories),
+        "generator_sha256": _generator_fingerprint(generator),
+    }
+    # A fresh export invalidates any previous run's checkpoints in this
+    # directory — remove them so a later resume cannot mix runs.
+    for shard in range(len(ranges)):
+        _remove_quiet(os.path.join(out_dir, _checkpoint_name(shard)))
+    _write_json_atomic(os.path.join(out_dir, PLAN_NAME), plan)
+    return _run_block_export(
+        generator, plan, ranges, root, out_dir, factories,
+        [None] * len(ranges), fault_after,
+    )
+
+
+def resume_export(
+    generator,
+    out_dir: str,
+    manifest_name: str = "manifest.json",
+    reducers: "dict[str, ReducerFactory] | None" = None,
+    quantiles: bool = False,
+    fault_after: "int | None" = None,
+) -> BlockExportResult:
+    """Finish an interrupted block-layout export.
+
+    Scans the partial manifest (:data:`PLAN_NAME`) and the per-shard
+    checkpoints, validates their schema versions, verifies the digests of
+    every checkpointed block file, restores reducer state through
+    ``from_state`` and regenerates only the blocks the interrupted run
+    never checkpointed.  The finished manifest, payload bytes and reduced
+    statistics are identical to an uninterrupted
+    :func:`export_fleet_blocks` run of the same parameters.
+
+    ``generator`` and ``reducers``/``quantiles`` must match the original
+    run (generator parameters are not serialized; reducer *names* are
+    cross-checked against the plan).  A corrupted or wrong-version plan
+    or checkpoint raises :class:`~repro.stats.state.StateError`.  If the
+    export already finished, returns its manifest with ``statistics=None``.
+    """
+    manifest_path = os.path.join(out_dir, manifest_name)
+    plan_path = os.path.join(out_dir, PLAN_NAME)
+    if not os.path.exists(plan_path):
+        if os.path.exists(manifest_path):
+            try:
+                manifest = FleetManifest.load(manifest_path)
+            except (OSError, KeyError, TypeError, ValueError) as error:
+                raise StateError(
+                    f"cannot read manifest {manifest_path}: {error}"
+                )
+            return BlockExportResult(
+                manifest=manifest, statistics=None, resumed_blocks=0
+            )
+        raise StateError(
+            f"nothing to resume in {out_dir}: no {PLAN_NAME} (and no "
+            f"{manifest_name}) found"
+        )
+    plan = _load_json(plan_path, "export plan")
+    if plan.get("kind") != "FleetExportPlan" or (
+        plan.get("state_version") != CHECKPOINT_STATE_VERSION
+    ):
+        raise StateError(
+            f"export plan {plan_path} has kind {plan.get('kind')!r} / "
+            f"state_version {plan.get('state_version')!r}; expected "
+            f"FleetExportPlan v{CHECKPOINT_STATE_VERSION}"
+        )
+    if plan.get("version") != MANIFEST_VERSION:
+        raise StateError(
+            f"export plan {plan_path} targets manifest version "
+            f"{plan.get('version')!r}, not the supported {MANIFEST_VERSION}"
+        )
+    if plan.get("block_size") != RNG_BLOCK_SIZE:
+        raise StateError(
+            f"export plan {plan_path} used RNG block size "
+            f"{plan.get('block_size')!r}; this build generates "
+            f"{RNG_BLOCK_SIZE} and cannot reproduce its blocks"
+        )
+    def _plan_int(name: str, minimum: int) -> int:
+        value = plan.get(name)
+        if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+            raise StateError(
+                f"export plan {plan_path} field {name!r} must be an integer "
+                f">= {minimum}, got {value!r}"
+            )
+        return value
+
+    size = _plan_int("size", 0)
+    shards = _plan_int("shards", 1)
+    _plan_int("checkpoint_every", 0)
+    _plan_int("chunk_size", 1)
+    if plan.get("format") not in FORMATS:
+        raise StateError(
+            f"export plan {plan_path} has unknown format "
+            f"{plan.get('format')!r}; supported: {FORMATS}"
+        )
+    if not isinstance(plan.get("when"), (int, float)):
+        raise StateError(f"export plan {plan_path} field 'when' is not numeric")
+    name = plan.get("manifest_name")
+    if not isinstance(name, str) or os.path.basename(name) != name:
+        raise StateError(
+            f"export plan {plan_path} has an invalid manifest_name {name!r}"
+        )
+    factories = _resolve_factories(reducers, quantiles)
+    if sorted(factories) != plan.get("reducers"):
+        raise StateError(
+            f"resume carries reducers {sorted(factories)} but the "
+            f"interrupted run used {plan.get('reducers')}; pass the same "
+            "reducer set to resume_export"
+        )
+    fingerprint = _generator_fingerprint(generator)
+    recorded = plan.get("generator_sha256")
+    if recorded is not None and fingerprint is not None and fingerprint != recorded:
+        raise StateError(
+            f"resume generator parameters (sha256 {fingerprint[:12]}…) differ "
+            f"from the interrupted run's ({str(recorded)[:12]}…); pass the "
+            "same parameter set (--params) used by the original export"
+        )
+    try:
+        root = np.random.SeedSequence(
+            entropy=int(plan["entropy"]),
+            spawn_key=tuple(int(k) for k in plan["spawn_key"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise StateError(f"export plan {plan_path} has an invalid seed: {error}")
+    ranges = shard_block_ranges(block_count(size), shards)
+    checkpoints: "list[dict | None]" = []
+    for shard, (lo, hi) in enumerate(ranges):
+        path = os.path.join(out_dir, _checkpoint_name(shard))
+        if not os.path.exists(path):
+            checkpoints.append(None)
+            continue
+        checkpoint = _load_json(path, "checkpoint")
+        if checkpoint.get("kind") != "FleetShardCheckpoint" or (
+            checkpoint.get("state_version") != CHECKPOINT_STATE_VERSION
+        ):
+            raise StateError(
+                f"checkpoint {path} has kind {checkpoint.get('kind')!r} / "
+                f"state_version {checkpoint.get('state_version')!r}; expected "
+                f"FleetShardCheckpoint v{CHECKPOINT_STATE_VERSION}"
+            )
+        done = checkpoint.get("blocks_done")
+        segments = checkpoint.get("segments")
+        digests = checkpoint.get("digests")
+        if (
+            checkpoint.get("shard") != shard
+            or checkpoint.get("block_lo") != lo
+            or checkpoint.get("block_hi") != hi
+            or not isinstance(done, int)
+            or not isinstance(segments, list)
+            or not isinstance(digests, list)
+            or not 0 <= done <= hi - lo
+            or len(segments) != done
+            or len(digests) != done
+        ):
+            raise StateError(
+                f"checkpoint {path} does not describe shard {shard} blocks "
+                f"[{lo}, {hi}) of this plan"
+            )
+        if not isinstance(checkpoint.get("reducers"), dict):
+            raise StateError(
+                f"checkpoint {path} is missing its serialized reducer state"
+            )
+        # Validate the pieces the worker will consume blindly, so every
+        # corruption mode surfaces as the documented StateError (not a
+        # KeyError/TypeError escaping through the pool).
+        for position, (entry, digest) in enumerate(zip(segments, digests)):
+            if not isinstance(digest, str):
+                raise StateError(f"checkpoint {path} has a non-string digest")
+            try:
+                bytes.fromhex(digest)
+            except ValueError:
+                raise StateError(
+                    f"checkpoint {path} has a malformed block digest {digest!r}"
+                )
+            if not isinstance(entry, dict):
+                raise StateError(f"checkpoint {path} has a malformed segment")
+            try:
+                record = SegmentRecord(**entry)
+            except TypeError as error:
+                raise StateError(
+                    f"checkpoint {path} has a malformed segment record: {error}"
+                )
+            # Blocks are written strictly in order, so the checkpoint's
+            # i-th record must be block lo+i exactly — a duplicated or
+            # shuffled record would otherwise splice the wrong rows into a
+            # manifest that still verifies.
+            if (
+                not isinstance(record.path, str)
+                or os.path.basename(record.path) != record.path
+                or record.block_lo != lo + position
+                or record.block_hi != lo + position + 1
+            ):
+                raise StateError(
+                    f"checkpoint {path} segment {record.path!r} is not "
+                    f"block {lo + position} of shard {shard} (blocks "
+                    f"[{lo}, {hi}) in order)"
+                )
+        checkpoints.append(checkpoint)
+    return _run_block_export(
+        generator, plan, ranges, root, out_dir, factories, checkpoints, fault_after
+    )
+
+
+def _run_block_export(
+    generator, plan, ranges, root, out_dir, factories, checkpoints, fault_after
+) -> BlockExportResult:
+    """Drive the shard workers and finalise a block-layout manifest."""
+    fmt, size, when = plan["format"], plan["size"], plan["when"]
+    payloads = [
+        (
+            generator,
+            when,
+            size,
+            root,
+            shard,
+            lo,
+            hi,
+            fmt,
+            out_dir,
+            plan["checkpoint_every"],
+            plan.get("chunk_size", DEFAULT_CHUNK_SIZE),
+            factories,
+            checkpoints[shard],
+            fault_after,
+        )
+        for shard, (lo, hi) in enumerate(ranges)
+    ]
+
+    start = time.perf_counter()
+    if len(payloads) == 1:
+        results = [_write_block_shard(payloads[0])]
+    else:
+        with _pool_context().Pool(processes=len(payloads)) as pool:
+            results = pool.map(_write_block_shard, payloads)
+    elapsed = time.perf_counter() - start
+
+    results.sort(key=lambda item: item[0])
+    merged = ReducerSet.from_factories(factories)
+    segments: "list[SegmentRecord]" = []
+    all_digests: "list[tuple[int, bytes]]" = []
+    resumed = 0
+    for _, shard_records, shard_reducers, shard_digests, restored in results:
+        merged.merge(shard_reducers)
+        segments.extend(shard_records)
+        all_digests.extend(shard_digests)
+        resumed += restored
+    segments.sort(key=lambda record: record.block_lo)
+
+    payload_hash = hashlib.sha256()
+    for record in segments:
+        _hash_file_into(os.path.join(out_dir, record.path), payload_hash)
+
+    manifest = FleetManifest(
+        version=plan["version"],
+        format=fmt,
+        size=size,
+        when=when,
+        entropy=plan["entropy"],
+        spawn_key=tuple(int(k) for k in plan["spawn_key"]),
+        shards=len(ranges),
+        block_size=plan["block_size"],
+        header=HOST_CSV_HEADER if fmt == "csv" else "",
+        payload_sha256=payload_hash.hexdigest(),
+        fleet_sha256=combine_block_digests(all_digests),
+        segments=tuple(segments),
+        layout="block",
+        checkpoint_every=plan["checkpoint_every"],
+    )
+    manifest.save(os.path.join(out_dir, plan["manifest_name"]))
+    # Finalised: the plan and checkpoints are now redundant (and would
+    # otherwise mark the directory as an interrupted run).
+    for shard in range(len(ranges)):
+        _remove_quiet(os.path.join(out_dir, _checkpoint_name(shard)))
+    _remove_quiet(os.path.join(out_dir, PLAN_NAME))
+
+    statistics = FleetStatistics(
+        size=size,
+        when=when,
+        shards=len(ranges),
+        reducers=merged,
+        elapsed_seconds=elapsed,
+        digest=manifest.fleet_sha256,
+    )
+    return BlockExportResult(
+        manifest=manifest, statistics=statistics, resumed_blocks=resumed
+    )
+
+
+def compact_export(
+    manifest_path: str,
+    out_dir: str,
+    shards: int = 1,
+    manifest_name: str = "manifest.json",
+) -> FleetManifest:
+    """Merge a block-layout export into the per-shard layout byte-identically.
+
+    Concatenates the block segments of a completed block-layout CSV export
+    into ``shards`` contiguous per-shard segments — producing exactly the
+    files *and manifest* :func:`export_fleet` would have written for the
+    same ``(parameters, date, size, seed, shards)``, including every
+    digest.  The concatenated payload is re-hashed against the source
+    manifest during the copy, so silent corruption of a block segment
+    fails the compaction rather than propagating.
+
+    NPZ block exports cannot be compacted (zip metadata is not
+    byte-stable); re-export in the shard layout instead.
+    """
+    manifest = FleetManifest.load(manifest_path)
+    if manifest.layout != "block":
+        raise ValueError(
+            f"only block-layout manifests can be compacted (got "
+            f"layout={manifest.layout!r})"
+        )
+    if manifest.format != "csv":
+        raise ValueError(
+            "npz segments embed zip metadata and cannot be compacted "
+            "byte-identically; re-export with fmt='csv' or layout='shard'"
+        )
+    base = os.path.dirname(os.path.abspath(manifest_path))
+    os.makedirs(out_dir, exist_ok=True)
+    target = os.path.abspath(os.path.join(out_dir, manifest_name))
+    if target == os.path.abspath(manifest_path):
+        raise ValueError(
+            "compaction target would overwrite the source manifest; choose "
+            "a different out_dir or manifest_name"
+        )
+    by_index = {record.block_lo: record for record in manifest.segments}
+    n_blocks = block_count(manifest.size, manifest.block_size)
+    ranges = shard_block_ranges(n_blocks, shards)
+    payload_hash = hashlib.sha256()
+    records: "list[SegmentRecord]" = []
+    for shard, (lo, hi) in enumerate(ranges):
+        name = _segment_name(shard, manifest.format)
+        segment_hash = hashlib.sha256()
+        nbytes = 0
+        with open(os.path.join(out_dir, name), "wb") as out_handle:
+            for index in range(lo, hi):
+                record = by_index.get(index)
+                if record is None:
+                    raise ValueError(
+                        f"manifest {manifest_path} lists no segment for "
+                        f"block {index}"
+                    )
+                with open(os.path.join(base, record.path), "rb") as handle:
+                    for piece in iter(lambda: handle.read(1 << 20), b""):
+                        out_handle.write(piece)
+                        segment_hash.update(piece)
+                        payload_hash.update(piece)
+                        nbytes += len(piece)
+        records.append(
+            SegmentRecord(
+                path=name,
+                shard=shard,
+                block_lo=lo,
+                block_hi=hi,
+                row_lo=min(lo * manifest.block_size, manifest.size),
+                row_hi=min(hi * manifest.block_size, manifest.size),
+                sha256=segment_hash.hexdigest(),
+                bytes=nbytes,
+            )
+        )
+    if payload_hash.hexdigest() != manifest.payload_sha256:
+        raise ValueError(
+            "block segments no longer match their manifest (payload sha256 "
+            "mismatch); run `fleet verify` on the block export"
+        )
+    compacted = FleetManifest(
+        version=manifest.version,
+        format=manifest.format,
+        size=manifest.size,
+        when=manifest.when,
+        entropy=manifest.entropy,
+        spawn_key=manifest.spawn_key,
+        shards=len(ranges),
+        block_size=manifest.block_size,
+        header=manifest.header,
+        payload_sha256=manifest.payload_sha256,
+        fleet_sha256=manifest.fleet_sha256,
+        segments=tuple(records),
+        layout="shard",
+        checkpoint_every=0,
+    )
+    compacted.save(os.path.join(out_dir, manifest_name))
+    return compacted
 
 
 @dataclass(frozen=True)
@@ -310,19 +1059,25 @@ def verify_manifest(manifest_path: str) -> VerificationReport:
     manifest-order concatenated ``payload_sha256``; a missing file, a
     flipped byte or a reordered segment list all surface as problems.
     """
-    with open(manifest_path, "r", encoding="utf-8") as handle:
-        payload = json.loads(handle.read())
+    def _failure(problem: str) -> VerificationReport:
+        return VerificationReport(ok=False, segments_checked=0, problems=(problem,))
+
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            payload = json.loads(handle.read())
+    except (OSError, ValueError) as error:
+        return _failure(f"cannot read manifest {manifest_path}: {error}")
+    if not isinstance(payload, dict):
+        return _failure(f"manifest {manifest_path} is not a JSON object")
     version = payload.get("version")
     if version != MANIFEST_VERSION:
-        return VerificationReport(
-            ok=False,
-            segments_checked=0,
-            problems=(
-                f"manifest version {version!r} is not the supported "
-                f"{MANIFEST_VERSION}",
-            ),
+        return _failure(
+            f"manifest version {version!r} is not the supported {MANIFEST_VERSION}"
         )
-    manifest = FleetManifest.from_json(json.dumps(payload))
+    try:
+        manifest = FleetManifest.from_json(json.dumps(payload))
+    except (KeyError, TypeError, ValueError) as error:
+        return _failure(f"manifest {manifest_path} is malformed: {error}")
     base = os.path.dirname(os.path.abspath(manifest_path))
     problems: "list[str]" = []
     payload_hash = hashlib.sha256()
@@ -331,6 +1086,18 @@ def verify_manifest(manifest_path: str) -> VerificationReport:
         path = os.path.join(base, segment.path)
         if not os.path.exists(path):
             problems.append(f"segment {segment.path} is missing")
+            continue
+        actual = os.path.getsize(path)
+        if segment.bytes >= 0 and actual != segment.bytes:
+            # A partial write is the common corruption of an interrupted
+            # copy; name it (and the exact byte counts) instead of leaving
+            # only a generic digest mismatch.
+            checked += 1
+            kind = "truncated" if actual < segment.bytes else "oversized"
+            problems.append(
+                f"segment {segment.path} is {kind}: {actual} of "
+                f"{segment.bytes} expected bytes"
+            )
             continue
         file_hash = hashlib.sha256()
         _hash_file_into(path, file_hash, payload_hash)

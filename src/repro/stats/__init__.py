@@ -14,6 +14,8 @@ modelling pipeline is built from:
 * :mod:`repro.stats.moments` — moment conversions (log-normal, Weibull).
 * :mod:`repro.stats.sketch` — mergeable t-digest-style quantile sketches
   for streamed medians/deciles/CDFs.
+* :mod:`repro.stats.state` — the versioned ``to_state``/``from_state``
+  serialization envelope reducers and sketches checkpoint through.
 """
 
 from repro.stats.correlation import CorrelationMatrix, pearson_matrix
@@ -27,6 +29,7 @@ from repro.stats.ecdf import ECDF, histogram_density, qq_points
 from repro.stats.explaw import ExponentialLawFit, fit_exponential_law
 from repro.stats.kstest import KSSelectionResult, select_distribution, subsampled_ks_pvalue
 from repro.stats.sketch import DEFAULT_COMPRESSION, QuantileSketch
+from repro.stats.state import StateError
 from repro.stats.moments import (
     lognormal_params_from_moments,
     lognormal_moments_from_params,
@@ -44,6 +47,7 @@ __all__ = [
     "ExponentialLawFit",
     "FittedDistribution",
     "KSSelectionResult",
+    "StateError",
     "fit_exponential_law",
     "get_family",
     "histogram_density",

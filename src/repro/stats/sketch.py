@@ -19,6 +19,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.stats.state import (
+    StateError,
+    decode_compression,
+    decode_count,
+    decode_floats,
+    require_state,
+    state_field,
+)
+
 #: Default compression (number of centroids scales with it).  200 keeps
 #: median/decile error well under 0.1 % on the resource columns while the
 #: sketch state stays a few kilobytes.
@@ -34,6 +43,9 @@ class QuantileSketch:
     near-exact (the global min/max are tracked exactly) and mid-quantiles
     carry the error bound.
     """
+
+    #: Serialization schema version for :meth:`to_state` payloads.
+    STATE_VERSION = 1
 
     def __init__(self, compression: int = DEFAULT_COMPRESSION):
         if compression < 20:
@@ -124,6 +136,80 @@ class QuantileSketch:
         """The t-digest k1 potential at quantile ``q``."""
         q = min(1.0, max(0.0, q))
         return self.compression / (2.0 * np.pi) * np.arcsin(2.0 * q - 1.0)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Versioned JSON-safe snapshot of the sketch.
+
+        The buffer is compressed first so the payload is the canonical
+        centroid set; restoring with :meth:`from_state` and continuing the
+        stream is bit-identical to never having serialised (floats survive
+        the JSON round trip exactly).
+        """
+        self._compress()
+        return {
+            "kind": "QuantileSketch",
+            "state_version": self.STATE_VERSION,
+            "compression": self.compression,
+            "count": int(self.count),
+            "means": self._means.tolist(),
+            "weights": self._weights.tolist(),
+            "min": float(self._min),
+            "max": float(self._max),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QuantileSketch":
+        """Restore a sketch from a :meth:`to_state` payload.
+
+        Raises :class:`~repro.stats.state.StateError` on a corrupted,
+        mismatched or wrong-version payload.
+        """
+        kind = "QuantileSketch"
+        require_state(state, kind, cls.STATE_VERSION)
+        compression = decode_compression(state, kind)
+        count = decode_count(state, kind)
+        means = decode_floats(state, kind, "means")
+        weights = decode_floats(state, kind, "weights")
+        if means.ndim != 1 or means.shape != weights.shape:
+            raise StateError(
+                f"{kind} state means/weights must be 1-D arrays of equal "
+                f"length, got {means.shape} and {weights.shape}"
+            )
+        if (count == 0) != (means.size == 0):
+            raise StateError(f"{kind} state count disagrees with its centroids")
+        if means.size and (not np.all(np.isfinite(means)) or np.any(weights <= 0)):
+            raise StateError(
+                f"{kind} state centroids must be finite with positive weights"
+            )
+        low = float(state_field(state, kind, "min"))
+        high = float(state_field(state, kind, "max"))
+        if count and not (np.isfinite(low) and np.isfinite(high) and low <= high):
+            raise StateError(
+                f"{kind} state min/max ({low!r}, {high!r}) are not a finite range"
+            )
+        # Structural invariants of a valid sketch: centroids sorted within
+        # [min, max], unit weights summing exactly to the count (weights
+        # are sums of 1.0s, exact in float64).  A payload violating these
+        # would interpolate silently wrong quantiles.
+        if means.size and (
+            np.any(np.diff(means) < 0)
+            or means[0] < low
+            or means[-1] > high
+            or float(weights.sum()) != float(count)
+        ):
+            raise StateError(
+                f"{kind} state centroids are inconsistent (unsorted, outside "
+                "min/max, or weights not summing to count)"
+            )
+        sketch = cls(compression)
+        sketch.count = count
+        sketch._means = means
+        sketch._weights = weights
+        sketch._min = low
+        sketch._max = high
+        return sketch
 
     # -- queries -----------------------------------------------------------
 

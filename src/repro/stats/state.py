@@ -1,0 +1,114 @@
+"""Versioned state serialization shared by every reducer and sketch.
+
+The checkpoint/resume subsystem (and, next, the distributed-backend
+transport the ROADMAP plans) needs reducer state that survives a process:
+every reducer and :class:`~repro.stats.sketch.QuantileSketch` exposes
+``to_state()`` returning a JSON-safe dict and a ``from_state()``
+classmethod restoring an *exactly* equivalent instance.
+
+This module lives under :mod:`repro.stats` (not the engine) because the
+sketch needs it and the engine imports the sketch — the helpers are
+dependency-free so every layer can share one error type and envelope.
+
+The contract:
+
+* A state payload is a plain dict carrying ``kind`` (the class name) and
+  ``state_version`` (the class's ``STATE_VERSION``) plus the class's own
+  fields.  Everything is JSON-serialisable; float64 values survive the
+  JSON round trip bit-exactly (Python renders them with ``repr``), so a
+  restored reducer continues a fold with byte-identical arithmetic.
+* ``from_state`` validates the payload — wrong kind, wrong version,
+  missing or malformed fields all raise :class:`StateError` with a
+  message naming what is wrong, never a silent misparse.
+* Restoring then continuing must equal never having stopped:
+  ``from_state(to_state(r)).update(c).result() == r.update(c).result()``
+  exactly (property-tested in ``tests/properties/test_property_state.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+class StateError(ValueError):
+    """A reducer state payload is corrupt, mismatched or unsupported."""
+
+
+def require_state(state: Any, kind: str, version: int) -> dict:
+    """Validate a state payload's envelope and return it as a dict.
+
+    Checks that ``state`` is a dict whose ``kind`` and ``state_version``
+    match the restoring class; anything else raises :class:`StateError`
+    describing the mismatch (the error contract corrupted checkpoints and
+    cross-version payloads rely on).
+    """
+    if not isinstance(state, dict):
+        raise StateError(
+            f"{kind} state must be a dict, got {type(state).__name__}"
+        )
+    got_kind = state.get("kind")
+    if got_kind != kind:
+        raise StateError(f"state kind {got_kind!r} cannot restore a {kind}")
+    got_version = state.get("state_version")
+    if got_version != version:
+        raise StateError(
+            f"{kind} state version {got_version!r} is not the supported {version}"
+        )
+    return state
+
+
+def state_field(state: dict, kind: str, name: str) -> Any:
+    """Fetch a required field from a validated payload (StateError if absent)."""
+    if name not in state:
+        raise StateError(f"{kind} state is missing the {name!r} field")
+    return state[name]
+
+
+def decode_floats(
+    state: dict, kind: str, name: str, shape: "tuple[int, ...] | None" = None
+) -> np.ndarray:
+    """Decode a float array field, optionally enforcing its shape."""
+    raw = state_field(state, kind, name)
+    try:
+        values = np.asarray(raw, dtype=float)
+    except (TypeError, ValueError) as error:
+        raise StateError(f"{kind} state field {name!r} is not numeric: {error}")
+    if shape is not None and values.shape != shape:
+        raise StateError(
+            f"{kind} state field {name!r} has shape {values.shape}; "
+            f"expected {shape}"
+        )
+    return values
+
+
+def decode_count(state: dict, kind: str, name: str = "count") -> int:
+    """Decode a non-negative integer count field."""
+    raw = state_field(state, kind, name)
+    if not isinstance(raw, int) or isinstance(raw, bool) or raw < 0:
+        raise StateError(
+            f"{kind} state field {name!r} must be a non-negative integer, "
+            f"got {raw!r}"
+        )
+    return raw
+
+
+def decode_compression(state: dict, kind: str, name: str = "compression") -> int:
+    """Decode a sketch compression field (integer >= 20, the sketch floor)."""
+    raw = state_field(state, kind, name)
+    if not isinstance(raw, int) or isinstance(raw, bool) or raw < 20:
+        raise StateError(
+            f"{kind} state {name} must be an integer >= 20, got {raw!r}"
+        )
+    return raw
+
+
+def decode_labels(state: dict, kind: str, name: str = "labels") -> "tuple[str, ...]":
+    """Decode a tuple-of-strings labels field."""
+    raw = state_field(state, kind, name)
+    if not isinstance(raw, (list, tuple)) or not all(
+        isinstance(label, str) for label in raw
+    ):
+        raise StateError(f"{kind} state field {name!r} must be a list of strings")
+    return tuple(raw)

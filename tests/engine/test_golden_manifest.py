@@ -1,0 +1,88 @@
+"""Golden regression corpus: a pinned 1k-host export, bit for bit.
+
+``tests/engine/goldens/fleet_1k_manifest.json`` is the manifest an export
+of 1 000 paper-reference hosts at Sept 2010 with seed 20110611 wrote when
+this corpus was created.  Today's writer and reducers must reproduce it
+*byte-identically* — manifest JSON, segment digests, payload digest and
+the fleet digest chain.  Any diff here means the determinism contract
+(RNG blocks, CSV rendering, manifest schema) changed and every previously
+published fleet digest silently broke; bump the corpus only with a
+deliberate format migration.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.engine import (
+    FleetManifest,
+    export_fleet,
+    export_fleet_blocks,
+    fleet_digest,
+    verify_manifest,
+)
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "goldens", "fleet_1k_manifest.json"
+)
+SEPT_2010 = 2010.667
+SEED = 20110611
+SIZE = 1_000
+
+
+@pytest.fixture(scope="module")
+def golden_text() -> str:
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+@pytest.fixture(scope="module")
+def fresh_export(tmp_path_factory, paper_generator):
+    out = tmp_path_factory.mktemp("golden-check")
+    manifest = export_fleet(
+        paper_generator, SEPT_2010, SIZE, SEED, str(out), shards=1
+    )
+    return out, manifest
+
+
+class TestGoldenManifest:
+    def test_manifest_reproduced_byte_for_byte(self, fresh_export, golden_text):
+        out, _ = fresh_export
+        with open(out / "manifest.json", "r", encoding="utf-8") as handle:
+            assert handle.read() == golden_text
+
+    def test_segment_digests_pinned(self, fresh_export, golden_text):
+        _, manifest = fresh_export
+        golden = FleetManifest.from_json(golden_text)
+        assert manifest.payload_sha256 == golden.payload_sha256
+        assert manifest.fleet_sha256 == golden.fleet_sha256
+        assert [s.sha256 for s in manifest.segments] == [
+            s.sha256 for s in golden.segments
+        ]
+        assert [s.bytes for s in manifest.segments] == [
+            s.bytes for s in golden.segments
+        ]
+
+    def test_fresh_export_verifies(self, fresh_export):
+        out, _ = fresh_export
+        assert verify_manifest(str(out / "manifest.json")).ok
+
+    def test_streaming_digest_matches_pin(self, golden_text, paper_generator):
+        golden = FleetManifest.from_json(golden_text)
+        assert golden.fleet_sha256 == fleet_digest(
+            paper_generator, SEPT_2010, SIZE, SEED
+        )
+
+    def test_block_layout_shares_the_pinned_digests(
+        self, tmp_path, paper_generator, golden_text
+    ):
+        """The resumable layout writes different files but the same fleet."""
+        golden = FleetManifest.from_json(golden_text)
+        result = export_fleet_blocks(
+            paper_generator, SEPT_2010, SIZE, SEED, str(tmp_path),
+            shards=1, checkpoint_every=1,
+        )
+        assert result.manifest.payload_sha256 == golden.payload_sha256
+        assert result.manifest.fleet_sha256 == golden.fleet_sha256

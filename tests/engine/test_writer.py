@@ -123,6 +123,77 @@ class TestCsvExport:
         assert not report.ok
         assert any("sha256 mismatch" in problem for problem in report.problems)
 
+    def test_truncated_segment_reported_with_path_and_sizes(
+        self, paper_generator, tmp_path
+    ):
+        """A partial file names the segment and the byte counts, not just a hash."""
+        out = tmp_path / "trunc"
+        manifest = export_fleet(
+            paper_generator, SEPT_2010, 5_000, SEED, str(out), shards=2
+        )
+        target = out / manifest.segments[1].path
+        data = target.read_bytes()
+        target.write_bytes(data[: len(data) // 2])
+        report = verify_manifest(str(out / "manifest.json"))
+        assert not report.ok
+        assert report.segments_checked == 2
+        [problem] = report.problems
+        assert manifest.segments[1].path in problem
+        assert "truncated" in problem
+        assert f"{len(data) // 2} of {len(data)}" in problem
+
+    def test_empty_segment_reported_as_truncated(self, paper_generator, tmp_path):
+        out = tmp_path / "empty"
+        manifest = export_fleet(
+            paper_generator, SEPT_2010, 5_000, SEED, str(out), shards=2
+        )
+        (out / manifest.segments[0].path).write_bytes(b"")
+        report = verify_manifest(str(out / "manifest.json"))
+        assert not report.ok
+        assert any(
+            "truncated" in problem and manifest.segments[0].path in problem
+            for problem in report.problems
+        )
+
+    def test_grown_segment_reported_as_oversized(self, paper_generator, tmp_path):
+        out = tmp_path / "grown"
+        manifest = export_fleet(
+            paper_generator, SEPT_2010, 5_000, SEED, str(out), shards=2
+        )
+        target = out / manifest.segments[0].path
+        target.write_bytes(target.read_bytes() + b"extra\n")
+        report = verify_manifest(str(out / "manifest.json"))
+        assert not report.ok
+        assert any("oversized" in problem for problem in report.problems)
+
+    def test_legacy_manifest_without_bytes_still_verifies(
+        self, paper_generator, tmp_path
+    ):
+        """Pre-bytes manifests (bytes=-1) skip the size check but hash fine."""
+        out = tmp_path / "legacy"
+        export_fleet(paper_generator, SEPT_2010, 5_000, SEED, str(out), shards=1)
+        manifest_path = out / "manifest.json"
+        payload = json.loads(manifest_path.read_text())
+        for segment in payload["segments"]:
+            del segment["bytes"]
+        manifest_path.write_text(json.dumps(payload))
+        assert verify_manifest(str(manifest_path)).ok
+
+    def test_unreadable_manifest_is_a_clean_failure(self, tmp_path):
+        report = verify_manifest(str(tmp_path / "nope.json"))
+        assert not report.ok
+        assert any("cannot read" in problem for problem in report.problems)
+
+    def test_malformed_manifest_is_a_clean_failure(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text("{ not json at all")
+        report = verify_manifest(str(path))
+        assert not report.ok
+        path.write_text(json.dumps({"version": 1, "nonsense": True}))
+        report = verify_manifest(str(path))
+        assert not report.ok
+        assert any("malformed" in problem for problem in report.problems)
+
     def test_missing_segment_detected(self, paper_generator, tmp_path):
         out = tmp_path / "missing"
         manifest = export_fleet(

@@ -1,0 +1,262 @@
+"""Property-based tests (hypothesis) for reducer state serialization.
+
+Three families of invariants over every reducer in the engine:
+
+* **round trip** — ``from_state(to_state(r))`` is indistinguishable from
+  ``r``: same state payload, same result, and *continuing the fold*
+  after a JSON round trip is bit-identical to never having serialised
+  (the guarantee export checkpoints rest on);
+* **merge transparency** — merging a restored reducer with fresh data
+  equals merging the original, so shard state can travel through a
+  checkpoint (or, later, a transport) and still reduce exactly;
+* **rejection** — corrupted, truncated, wrong-kind and wrong-version
+  payloads raise :class:`~repro.stats.state.StateError`, never a silent
+  misparse.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    CorrelationAccumulator,
+    ECDFReducer,
+    ExactQuantileReducer,
+    HistogramReducer,
+    MomentAccumulator,
+    QuantileReducer,
+    ReducerSet,
+    reducer_from_state,
+)
+from repro.stats.sketch import QuantileSketch
+from repro.stats.state import StateError
+
+LABELS = ("alpha", "beta", "gamma")
+
+values = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False, width=64
+)
+columns = st.lists(values, min_size=0, max_size=60)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _chunk(seed: int, n: int) -> "dict[str, np.ndarray]":
+    """A deterministic random chunk covering every label."""
+    rng = np.random.default_rng(seed)
+    return {label: rng.lognormal(1.0, 1.0, n) for label in LABELS}
+
+
+def _build(factory, chunks):
+    reducer = factory()
+    for chunk in chunks:
+        reducer.update(chunk)
+    return reducer
+
+
+def _json_round_trip(state: dict) -> dict:
+    """What a checkpoint file does to a payload."""
+    return json.loads(json.dumps(state))
+
+
+FACTORIES = {
+    "moments": lambda: MomentAccumulator(LABELS),
+    "correlation": lambda: CorrelationAccumulator(LABELS),
+    "quantiles": lambda: QuantileReducer(LABELS, compression=50),
+    "exact": lambda: ExactQuantileReducer(LABELS),
+    "histogram": lambda: HistogramReducer(
+        "alpha", np.linspace(0.0, 50.0, 11)
+    ),
+    "ecdf": lambda: ECDFReducer("alpha", compression=50),
+}
+
+
+def _nan_equal(a, b) -> bool:
+    """Recursive exact equality where NaN == NaN (empty reducers report NaNs)."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        return set(a) == set(b) and all(_nan_equal(a[k], b[k]) for k in a)
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (np.isnan(a) and np.isnan(b))
+    return a == b
+
+
+def _results_equal(name: str, a, b) -> None:
+    """Exact equality of a reducer pair's observable state.
+
+    ``to_state`` compresses sketch buffers, so calling it on *both* sides
+    keeps their compression points aligned — exactly what checkpointing
+    does to a live run.
+    """
+    state_a, state_b = a.to_state(), b.to_state()
+    assert state_a == state_b, f"{name}: states diverged"
+    if name == "correlation":
+        if a.count >= 2:
+            np.testing.assert_array_equal(a.matrix().values, b.matrix().values)
+    elif name == "ecdf":
+        if a.count:
+            ecdf_a, ecdf_b = a.result(), b.result()
+            np.testing.assert_array_equal(ecdf_a.x, ecdf_b.x)
+            np.testing.assert_array_equal(ecdf_a.y, ecdf_b.y)
+    elif name == "histogram":
+        np.testing.assert_array_equal(a.counts, b.counts)
+        assert a.count == b.count
+    else:
+        assert _nan_equal(a.result(), b.result()), f"{name}: results diverged"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(FACTORIES))
+    @given(seed=seeds, sizes=st.lists(st.integers(0, 200), min_size=0, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_restore_then_continue_is_bit_identical(self, name, seed, sizes):
+        factory = FACTORIES[name]
+        chunks = [_chunk(seed + i, n) for i, n in enumerate(sizes)]
+        original = _build(factory, chunks)
+        restored = reducer_from_state(_json_round_trip(original.to_state()))
+        _results_equal(name, original, restored)
+        tail = _chunk(seed + 1000, 97)
+        original.update(tail)
+        restored.update(tail)
+        _results_equal(name, original, restored)
+
+    @given(seed=seeds, n=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_sketch_restore_then_continue(self, seed, n):
+        rng = np.random.default_rng(seed)
+        sketch = QuantileSketch(compression=50)
+        if n:
+            sketch.update(rng.lognormal(1.0, 2.0, n))
+        restored = QuantileSketch.from_state(_json_round_trip(sketch.to_state()))
+        assert restored.count == sketch.count
+        assert restored.min == sketch.min and restored.max == sketch.max
+        tail = rng.lognormal(1.0, 2.0, 333)
+        sketch.update(tail)
+        restored.update(tail)
+        assert sketch.to_state() == restored.to_state()
+        np.testing.assert_array_equal(
+            np.asarray(sketch.quantile(np.linspace(0, 1, 21))),
+            np.asarray(restored.quantile(np.linspace(0, 1, 21))),
+        )
+
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_reducer_set_round_trip(self, seed):
+        factories = {name: FACTORIES[name] for name in ("moments", "quantiles")}
+        original = ReducerSet.from_factories(factories).update(_chunk(seed, 123))
+        restored = ReducerSet.from_state(_json_round_trip(original.to_state()))
+        assert set(restored.names()) == set(original.names())
+        assert restored.to_state() == original.to_state()
+        tail = _chunk(seed + 7, 45)
+        assert original.update(tail).to_state() == restored.update(tail).to_state()
+
+
+class TestMergeTransparency:
+    @pytest.mark.parametrize("name", sorted(FACTORIES))
+    @given(seed=seeds, n_a=st.integers(1, 300), n_b=st.integers(1, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_merge_restored_equals_merge_original(self, name, seed, n_a, n_b):
+        factory = FACTORIES[name]
+        # The restored copy is made from the original's own payload (the
+        # to_state call also fixes the original's sketch compression point,
+        # as a checkpoint does to a live run); both are then merged with
+        # identical fresh reducers "b".
+        a_original = _build(factory, [_chunk(seed, n_a)])
+        a_restored = reducer_from_state(_json_round_trip(a_original.to_state()))
+        b_1 = _build(factory, [_chunk(seed + 1, n_b)])
+        b_2 = _build(factory, [_chunk(seed + 1, n_b)])
+        _results_equal(name, a_original.merge(b_1), a_restored.merge(b_2))
+
+
+class TestRejection:
+    @pytest.mark.parametrize("name", sorted(FACTORIES))
+    def test_wrong_version_rejected(self, name):
+        state = _build(FACTORIES[name], [_chunk(3, 50)]).to_state()
+        state["state_version"] = 999
+        with pytest.raises(StateError, match="version"):
+            reducer_from_state(state)
+
+    @pytest.mark.parametrize("name", sorted(FACTORIES))
+    def test_wrong_kind_rejected(self, name):
+        state = _build(FACTORIES[name], [_chunk(3, 50)]).to_state()
+        state["kind"] = "NotAReducer"
+        with pytest.raises(StateError, match="kind"):
+            reducer_from_state(state)
+
+    @pytest.mark.parametrize("name", sorted(FACTORIES))
+    def test_missing_field_rejected(self, name):
+        state = _build(FACTORIES[name], [_chunk(3, 50)]).to_state()
+        victim = next(
+            key for key in state if key not in ("kind", "state_version")
+        )
+        del state[victim]
+        with pytest.raises(StateError):
+            reducer_from_state(state)
+
+    @pytest.mark.parametrize(
+        "payload", [None, 17, "state", ["list"], {"kind": "Unknown"}]
+    )
+    def test_malformed_payloads_rejected(self, payload):
+        with pytest.raises(StateError):
+            reducer_from_state(payload)
+
+    def test_shape_corruption_rejected(self):
+        state = MomentAccumulator(LABELS).update(_chunk(1, 40)).to_state()
+        state["mean"] = state["mean"][:-1]
+        with pytest.raises(StateError, match="shape"):
+            MomentAccumulator.from_state(state)
+
+    def test_negative_count_rejected(self):
+        state = MomentAccumulator(LABELS).update(_chunk(1, 40)).to_state()
+        state["count"] = -4
+        with pytest.raises(StateError, match="count"):
+            MomentAccumulator.from_state(state)
+
+    def test_sketch_centroid_count_disagreement_rejected(self):
+        state = QuantileSketch(50).update([1.0, 2.0, 3.0]).to_state()
+        state["count"] = 0
+        with pytest.raises(StateError, match="count"):
+            QuantileSketch.from_state(state)
+
+    def test_sketch_unsorted_centroids_rejected(self):
+        state = QuantileSketch(50).update(np.arange(500.0)).to_state()
+        state["means"] = list(reversed(state["means"]))
+        with pytest.raises(StateError, match="inconsistent"):
+            QuantileSketch.from_state(state)
+
+    def test_sketch_weight_sum_mismatch_rejected(self):
+        state = QuantileSketch(50).update(np.arange(500.0)).to_state()
+        state["count"] = state["count"] + 7
+        with pytest.raises(StateError, match="inconsistent"):
+            QuantileSketch.from_state(state)
+
+    def test_sketch_centroid_outside_range_rejected(self):
+        state = QuantileSketch(50).update(np.arange(500.0)).to_state()
+        state["min"] = state["means"][0] + 1.0
+        with pytest.raises(StateError, match="inconsistent"):
+            QuantileSketch.from_state(state)
+
+    def test_transform_fingerprint_enforced(self):
+        reducer = HistogramReducer(
+            "alpha", [0.0, 1.0, 2.0], transform=np.log1p
+        ).update(_chunk(5, 30))
+        state = _json_round_trip(reducer.to_state())
+        with pytest.raises(StateError, match="transform"):
+            HistogramReducer.from_state(state)
+        with pytest.raises(StateError, match="transform"):
+            HistogramReducer.from_state(state, transform=np.sqrt)
+        restored = HistogramReducer.from_state(state, transform=np.log1p)
+        np.testing.assert_array_equal(restored.counts, reducer.counts)
+
+    def test_reducer_set_member_corruption_rejected(self):
+        state = (
+            ReducerSet({"m": MomentAccumulator(LABELS)})
+            .update(_chunk(2, 25))
+            .to_state()
+        )
+        state["reducers"]["m"]["kind"] = "Mystery"
+        with pytest.raises(StateError, match="kind"):
+            ReducerSet.from_state(state)

@@ -155,7 +155,7 @@ class TestFleetExportVerify:
             == 0
         )
         out = capsys.readouterr().out
-        assert "2 csv segment(s)" in out
+        assert "2 csv shard segment(s)" in out
         assert (out_dir / "manifest.json").exists()
         assert main(["fleet", "verify", str(out_dir / "manifest.json")]) == 0
         assert "OK" in capsys.readouterr().out
@@ -180,6 +180,25 @@ class TestFleetExportVerify:
         assert main(["fleet", "verify", str(out_dir / "manifest.json")]) == 1
         assert "FAIL" in capsys.readouterr().out
 
+    def test_verify_truncated_segment_names_the_file(self, tmp_path, capsys):
+        """Partial files exit 1 with a path-specific truncation message."""
+        out_dir = tmp_path / "trunc"
+        main(["fleet", "export", "--size", "5000", "--shards", "2",
+              "--out-dir", str(out_dir)])
+        capsys.readouterr()
+        segment = sorted(out_dir.glob("segment-*.csv"))[1]
+        segment.write_bytes(segment.read_bytes()[:100])
+        assert main(["fleet", "verify", str(out_dir / "manifest.json")]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert segment.name in out
+        assert "truncated" in out
+
+    def test_verify_missing_manifest_exits_cleanly(self, tmp_path, capsys):
+        assert main(["fleet", "verify", str(tmp_path / "absent.json")]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "cannot read" in out
+
     def test_export_rejects_bad_shards(self, tmp_path, capsys):
         assert (
             main(
@@ -197,6 +216,92 @@ class TestFleetExportVerify:
             == 2
         )
         assert "must be" in capsys.readouterr().err
+
+
+class TestFleetResumableExport:
+    def test_checkpointed_export_then_compact(self, tmp_path, capsys):
+        out_dir = tmp_path / "blocks"
+        assert (
+            main(["fleet", "export", "--size", "9000", "--out-dir", str(out_dir),
+                  "--checkpoint-every", "2"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "3 csv block segment(s)" in out
+        assert "checkpoint every 2 block(s)" in out
+        assert main(["fleet", "verify", str(out_dir / "manifest.json")]) == 0
+        capsys.readouterr()
+        compact_dir = tmp_path / "compacted"
+        assert (
+            main(["fleet", "compact", str(out_dir / "manifest.json"),
+                  "--out-dir", str(compact_dir), "--shards", "2"])
+            == 0
+        )
+        assert "2 csv segment(s)" in capsys.readouterr().out
+        assert main(["fleet", "verify", str(compact_dir / "manifest.json")]) == 0
+
+    def test_interrupt_then_resume_roundtrip(self, tmp_path, capsys):
+        out_dir = tmp_path / "resume"
+        with pytest.raises(RuntimeError, match="injected fault"):
+            main(["fleet", "export", "--size", "9000", "--out-dir", str(out_dir),
+                  "--checkpoint-every", "1", "--fault-after", "1"])
+        capsys.readouterr()
+        assert not (out_dir / "manifest.json").exists()
+        assert (
+            main(["fleet", "export", "--resume", "--out-dir", str(out_dir)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "resumed: 1 block(s) restored" in out
+        assert main(["fleet", "verify", str(out_dir / "manifest.json")]) == 0
+
+    def test_resume_without_partial_export_fails_cleanly(self, tmp_path, capsys):
+        assert (
+            main(["fleet", "export", "--resume", "--out-dir", str(tmp_path)]) == 1
+        )
+        assert "nothing to resume" in capsys.readouterr().err
+
+    def test_resume_of_finished_export_is_noop(self, tmp_path, capsys):
+        out_dir = tmp_path / "done"
+        main(["fleet", "export", "--size", "5000", "--out-dir", str(out_dir),
+              "--checkpoint-every", "1"])
+        capsys.readouterr()
+        assert (
+            main(["fleet", "export", "--resume", "--out-dir", str(out_dir)]) == 0
+        )
+        assert "already finalised" in capsys.readouterr().out
+
+    def test_compact_rejects_shard_layout(self, tmp_path, capsys):
+        out_dir = tmp_path / "shardlay"
+        main(["fleet", "export", "--size", "5000", "--out-dir", str(out_dir)])
+        capsys.readouterr()
+        assert (
+            main(["fleet", "compact", str(out_dir / "manifest.json"),
+                  "--out-dir", str(tmp_path / "c")])
+            == 1
+        )
+        assert "block-layout" in capsys.readouterr().err
+
+    def test_chunk_size_reaches_the_block_export_plan(self, tmp_path, capsys):
+        """--chunk-size is part of the determinism envelope; it must not be
+        silently dropped by the checkpointed path."""
+        import json
+
+        out_dir = tmp_path / "chunked"
+        with pytest.raises(RuntimeError):
+            main(["fleet", "export", "--size", "9000", "--out-dir", str(out_dir),
+                  "--checkpoint-every", "1", "--chunk-size", "4321",
+                  "--fault-after", "1"])
+        capsys.readouterr()
+        plan = json.loads((out_dir / "manifest.partial.json").read_text())
+        assert plan["chunk_size"] == 4321
+
+    def test_export_rejects_negative_checkpoint_every(self, tmp_path, capsys):
+        assert (
+            main(["fleet", "export", "--size", "100", "--out-dir",
+                  str(tmp_path / "x"), "--checkpoint-every", "-1"])
+            == 2
+        )
+        assert "checkpoint-every" in capsys.readouterr().err
 
 
 class TestTraceAndFit:
