@@ -11,6 +11,9 @@ Measures hosts/sec for four execution paths of the same fleet —
                       writer with reducer-state checkpoints (the JSON
                       records its overhead over the plain sharded export;
                       expected well under 10 %),
+* ``distributed_export`` — the coordinator/worker backend with local
+                      socket-attached workers (``--shards`` of them);
+                      the payload sha256 must equal the sharded export's,
 
 verifies that the sharded one-pass correlation matrix matches the
 single-process one (and, for fleets small enough to materialise, the batch
@@ -43,6 +46,7 @@ from repro.core.generator import CorrelatedHostGenerator
 from repro.engine import (
     export_fleet,
     export_fleet_blocks,
+    export_fleet_distributed,
     generate_fleet,
     generate_sharded,
 )
@@ -59,6 +63,25 @@ def _report(name: str, seconds: float, size: int) -> "dict[str, float]":
     rate = size / seconds if seconds > 0 else float("inf")
     print(f"  {name:<15}: {seconds:8.2f} s  {rate:12,.0f} hosts/s")
     return {"seconds": seconds, "hosts_per_second": rate}
+
+
+def json_safe(value):
+    """Replace non-finite floats with ``None``, recursively.
+
+    A ~0-second timing turns a hosts/s rate into ``inf``, which
+    ``json.dump`` would emit as the bare word ``Infinity`` — not JSON, so
+    every downstream consumer of the bench artifact would choke.  ``None``
+    round-trips as ``null`` and is unambiguous "not measurable".
+    """
+    import math
+
+    if isinstance(value, dict):
+        return {key: json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -173,6 +196,30 @@ def main(argv: "list[str] | None" = None) -> int:
     )
 
     failures = 0
+
+    distributed_dir = tempfile.mkdtemp(prefix="bench-fleet-distributed-")
+    try:
+        start = time.perf_counter()
+        distributed = export_fleet_distributed(
+            generator,
+            when,
+            args.size,
+            args.seed,
+            distributed_dir,
+            workers=args.shards,
+        )
+        paths["distributed_export"] = _report(
+            f"distributed (n={distributed.workers})",
+            time.perf_counter() - start,
+            args.size,
+        )
+    finally:
+        shutil.rmtree(distributed_dir, ignore_errors=True)
+    if distributed.manifest.payload_sha256 != manifest.payload_sha256:
+        print("  FAIL: distributed export payload differs from sharded export")
+        failures += 1
+    else:
+        print("  distributed payload sha256 matches the sharded export")
     cross = sharded.correlation.matrix().max_abs_difference(
         single.correlation.matrix()
     )
@@ -208,10 +255,16 @@ def main(argv: "list[str] | None" = None) -> int:
             "export_segments": len(manifest.segments),
             "checkpoint_every": args.checkpoint_every,
             "checkpoint_overhead": checkpoint_overhead,
+            "distributed_workers": distributed.workers,
+            "distributed_payload_matches": distributed.manifest.payload_sha256
+            == manifest.payload_sha256,
             "failures": failures,
         }
         with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
+            # allow_nan=False turns any non-finite value that slipped past
+            # json_safe into a loud ValueError instead of invalid JSON.
+            json.dump(json_safe(payload), handle, indent=2, sort_keys=True,
+                      allow_nan=False)
             handle.write("\n")
         print(f"  wrote {args.json}")
 

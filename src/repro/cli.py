@@ -6,14 +6,18 @@ Subcommands
 ``fit``       fit model parameters from a trace file (JSON out)
 ``generate``  generate hosts for a date from Table X or fitted parameters
 ``fleet``     stream/shard a large fleet through the engine's reducers;
-              carries four sub-modes: ``fleet summary`` (one-pass stats,
+              carries five sub-modes: ``fleet summary`` (one-pass stats,
               optionally ``--quantiles`` sketch medians), ``fleet export``
               (sharded segment + manifest writer; ``--checkpoint-every N``
-              switches to the resumable per-block layout and ``--resume``
-              finishes an interrupted run), ``fleet compact`` (merge block
-              segments back into the per-shard layout) and ``fleet
-              verify`` (re-hash an export against its manifest).  Plain
-              ``fleet [flags]`` remains the PR-1 summary behaviour.
+              switches to the resumable per-block layout, ``--resume``
+              finishes an interrupted run, and ``--backend distributed``
+              runs the coordinator/worker backend over spawned local
+              workers and/or attached ``fleet serve-worker`` endpoints),
+              ``fleet compact`` (merge block segments back into the
+              per-shard layout), ``fleet verify`` (re-hash an export
+              against its manifest) and ``fleet serve-worker`` (serve this
+              machine as a distributed worker).  Plain ``fleet [flags]``
+              remains the PR-1 summary behaviour.
 ``predict``   print the Figs 13/14 forecasts and §VI-C scalar predictions
 ``validate``  fit on a trace, generate for Sep 2010, print Fig 12 comparison
 ``simulate``  run the Fig 15 utility experiment on a trace
@@ -27,6 +31,9 @@ Examples
     resmodel fleet export --size 1000000 --shards 4 --out-dir fleet/
     resmodel fleet export --size 1000000 --out-dir fleet/ --checkpoint-every 8
     resmodel fleet export --resume --out-dir fleet/
+    resmodel fleet export --size 1000000 --out-dir fleet/ \
+        --backend distributed --workers 4
+    resmodel fleet serve-worker --port 7070
     resmodel fleet compact fleet/manifest.json --out-dir compact/ --shards 4
     resmodel fleet verify fleet/manifest.json
     resmodel trace --scale 0.01 --out trace.csv.gz
@@ -38,6 +45,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -80,14 +88,43 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _check_fleet_ints(args: argparse.Namespace) -> "str | None":
-    """Clear error message for non-positive fleet integers (else None)."""
-    if getattr(args, "shards", 1) <= 0:
-        return f"fleet: --shards must be a positive integer (got {args.shards})"
-    if getattr(args, "chunk_size", 1) <= 0:
-        return f"fleet: --chunk-size must be a positive integer (got {args.chunk_size})"
-    if getattr(args, "size", 0) < 0:
-        return f"fleet: --size must be non-negative (got {args.size})"
+def _check_fleet_ints(
+    args: argparse.Namespace, command: str = "fleet"
+) -> "str | None":
+    """Clear error message for an out-of-range fleet integer (else None).
+
+    The one validation path every ``fleet`` sub-mode shares, so new flags
+    cannot invent a divergent policy: positive integers (``--shards``,
+    ``--chunk-size``, ``--lease-blocks``, ``--max-jobs``,
+    ``--fault-after``), non-negative integers (``--size``,
+    ``--checkpoint-every``, ``--workers``) and the TCP port range
+    (``--port``).  Options absent from the invoked sub-mode's namespace
+    are skipped; argparse itself already rejects non-integer garbage with
+    the same exit status 2.
+    """
+    positive = (
+        ("shards", "--shards"),
+        ("chunk_size", "--chunk-size"),
+        ("lease_blocks", "--lease-blocks"),
+        ("max_jobs", "--max-jobs"),
+        ("fault_after", "--fault-after"),
+    )
+    non_negative = (
+        ("size", "--size"),
+        ("checkpoint_every", "--checkpoint-every"),
+        ("workers", "--workers"),
+    )
+    for attr, flag in positive:
+        value = getattr(args, attr, None)
+        if value is not None and value <= 0:
+            return f"{command}: {flag} must be a positive integer (got {value})"
+    for attr, flag in non_negative:
+        value = getattr(args, attr, None)
+        if value is not None and value < 0:
+            return f"{command}: {flag} must be non-negative (got {value})"
+    port = getattr(args, "port", None)
+    if port is not None and not 1 <= port <= 65535:
+        return f"{command}: --port must be in [1, 65535] (got {port})"
     return None
 
 
@@ -200,22 +237,83 @@ def _cmd_fleet_export(args: argparse.Namespace) -> int:
         StateError,
         export_fleet,
         export_fleet_blocks,
+        parse_endpoint,
         resume_export,
     )
 
-    problem = _check_fleet_ints(args)
+    problem = _check_fleet_ints(args, "fleet export")
     if problem:
         sys.stderr.write(problem + "\n")
         return 2
-    if args.checkpoint_every < 0:
+    connect_specs = args.connect or []
+    endpoints: "list[tuple[str, int]]" = []
+    if args.backend == "distributed":
+        if args.resume:
+            problem = "--resume applies to checkpointed local exports only"
+        elif args.checkpoint_every:
+            problem = (
+                "--checkpoint-every applies to the local backend only "
+                "(distributed runs reassign lost work instead of resuming)"
+            )
+        elif args.format != "csv":
+            problem = "--backend distributed writes csv segments only"
+        elif args.workers == 0 and not connect_specs:
+            problem = (
+                "distributed backend needs --workers >= 1 or at least one "
+                "--connect HOST:PORT"
+            )
+        else:
+            try:
+                endpoints = [parse_endpoint(spec) for spec in connect_specs]
+            except ValueError as error:
+                problem = str(error)
+    elif connect_specs:
+        problem = "--connect requires --backend distributed"
+    if problem:
+        sys.stderr.write(f"fleet export: {problem}\n")
+        return 2
+    if (
+        not args.resume
+        and os.path.isdir(args.out_dir)
+        and os.listdir(args.out_dir)
+        and not args.force
+    ):
         sys.stderr.write(
-            f"fleet export: --checkpoint-every must be non-negative "
-            f"(got {args.checkpoint_every})\n"
+            f"fleet export: {args.out_dir} is not empty; exporting would mix "
+            "old and new segments (and `fleet verify` could pass against "
+            "stale files) — pass --force to export anyway\n"
         )
         return 2
     params = _load_parameters(args.params)
     generator = CorrelatedHostGenerator(params)
-    if args.resume:
+    if args.backend == "distributed":
+        from repro.engine import export_fleet_distributed
+
+        when = year_fraction(parse_date(args.date))
+        try:
+            result = export_fleet_distributed(
+                generator,
+                when,
+                args.size,
+                args.seed,
+                args.out_dir,
+                workers=args.workers,
+                connect=endpoints,
+                chunk_size=args.chunk_size,
+                lease_blocks=args.lease_blocks,
+                fault_after=args.fault_after,
+            )
+        except (RuntimeError, ValueError, OSError) as error:
+            # RuntimeError covers worker-fleet death (incl. ProtocolError),
+            # OSError a dead --connect endpoint or a disk failure.
+            sys.stderr.write(f"fleet export: {error}\n")
+            return 1
+        manifest = result.manifest
+        print(
+            f"distributed: {result.workers} worker(s), "
+            f"{result.reassigned_leases} lease(s) reassigned"
+        )
+    elif args.resume:
         try:
             result = resume_export(generator, args.out_dir)
         except StateError as error:
@@ -270,7 +368,7 @@ def _cmd_fleet_export(args: argparse.Namespace) -> int:
                 f"  {segment.path}  rows [{segment.row_lo}, {segment.row_hi})  "
                 f"sha256 {segment.sha256[:16]}…"
             )
-    else:
+    elif manifest.checkpoint_every:
         print(f"  checkpoint every {manifest.checkpoint_every} block(s)")
     print(f"payload sha256: {manifest.payload_sha256}")
     print(f"fleet sha256:   {manifest.fleet_sha256}")
@@ -282,12 +380,11 @@ def _cmd_fleet_compact(args: argparse.Namespace) -> int:
     """``fleet compact``: merge block segments into the per-shard layout."""
     from repro.engine import compact_export
 
-    shards = getattr(args, "shards", 1)
-    if shards <= 0:
-        sys.stderr.write(
-            f"fleet compact: --shards must be a positive integer (got {shards})\n"
-        )
+    problem = _check_fleet_ints(args, "fleet compact")
+    if problem:
+        sys.stderr.write(problem + "\n")
         return 2
+    shards = getattr(args, "shards", 1)
     try:
         manifest = compact_export(args.manifest, args.out_dir, shards=shards)
     except (OSError, KeyError, TypeError, ValueError) as error:
@@ -312,6 +409,29 @@ def _cmd_fleet_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_fleet_serve_worker(args: argparse.Namespace) -> int:
+    """``fleet serve-worker``: serve this machine as a distributed worker."""
+    from repro.engine import serve_worker
+
+    problem = _check_fleet_ints(args, "fleet serve-worker")
+    if problem:
+        sys.stderr.write(problem + "\n")
+        return 2
+    jobs = None if args.forever else args.max_jobs
+    print(
+        f"serving fleet worker on {args.host}:{args.port} "
+        f"({'forever' if jobs is None else f'up to {jobs} job(s)'})",
+        flush=True,
+    )
+    try:
+        served = serve_worker(args.host, args.port, max_jobs=jobs)
+    except OSError as error:
+        sys.stderr.write(f"fleet serve-worker: {error}\n")
+        return 1
+    print(f"served {served} job(s)")
+    return 0
+
+
 def _dispatch_fleet(args: argparse.Namespace) -> int:
     """Route ``fleet [summary|export|verify]``.
 
@@ -327,6 +447,8 @@ def _dispatch_fleet(args: argparse.Namespace) -> int:
         return _cmd_fleet_compact(args)
     if command == "verify":
         return _cmd_fleet_verify(args)
+    if command == "serve-worker":
+        return _cmd_fleet_serve_worker(args)
     return _cmd_fleet(args)
 
 
@@ -575,8 +697,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="finish an interrupted resumable export in --out-dir "
         "(size/date/seed are read from its partial manifest)",
     )
+    p_fleet_export.add_argument(
+        "--backend",
+        choices=["local", "distributed"],
+        default="local",
+        help="execution backend: a local process pool, or the "
+        "coordinator/worker distributed export",
+    )
+    p_fleet_export.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="local worker processes to spawn (--backend distributed)",
+    )
+    p_fleet_export.add_argument(
+        "--connect",
+        action="append",
+        metavar="HOST:PORT",
+        help="attach a running `fleet serve-worker` endpoint "
+        "(repeatable; --backend distributed)",
+    )
+    p_fleet_export.add_argument(
+        "--lease-blocks",
+        type=int,
+        default=4,
+        help="RNG blocks per distributed work lease (smaller rebalances "
+        "stragglers faster)",
+    )
+    p_fleet_export.add_argument(
+        "--force",
+        action="store_true",
+        help="export into a non-empty directory (stale segments from a "
+        "previous run could otherwise mix with the new export)",
+    )
     # Deterministic crash injection for the test suite and the CI
-    # interrupt→resume smoke; counts blocks per worker.
+    # interrupt→resume smokes; counts blocks per worker.  Under the
+    # distributed backend the first local worker SIGKILLs itself instead.
     p_fleet_export.add_argument(
         "--fault-after", type=int, default=None, help=argparse.SUPPRESS
     )
@@ -603,6 +759,28 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="re-hash an export against its manifest"
     )
     p_fleet_verify.add_argument("manifest", help="path to a fleet manifest.json")
+
+    p_fleet_serve = fleet_sub.add_parser(
+        "serve-worker",
+        help="serve this machine as a distributed fleet export worker",
+    )
+    p_fleet_serve.add_argument(
+        "--host", default="127.0.0.1", help="interface to listen on"
+    )
+    p_fleet_serve.add_argument(
+        "--port", type=int, required=True, help="TCP port to listen on"
+    )
+    p_fleet_serve.add_argument(
+        "--max-jobs",
+        type=int,
+        default=1,
+        help="serve this many coordinator jobs, then exit",
+    )
+    p_fleet_serve.add_argument(
+        "--forever",
+        action="store_true",
+        help="keep serving jobs until killed (overrides --max-jobs)",
+    )
 
     p_trace = sub.add_parser("trace", help="synthesise a SETI@home-like trace")
     p_trace.add_argument("--scale", type=float, default=0.02)

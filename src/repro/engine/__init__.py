@@ -20,10 +20,15 @@ Layers
     manifest (``fleet export`` / ``fleet verify``), and the resumable
     per-block layout with reducer-state checkpoints
     (``export_fleet_blocks`` / ``resume_export`` / ``compact_export``).
+:mod:`~repro.engine.distributed`
+    Coordinator/worker reduction beyond one machine: a length-prefixed
+    JSON TCP protocol with heartbeats, lease reassignment and work
+    stealing (``fleet export --backend distributed`` /
+    ``fleet serve-worker``), byte-identical to the single-machine export.
 
 Every reducer serializes through the versioned ``to_state``/``from_state``
 contract of :mod:`repro.stats.state` — the substrate of export
-checkpoints and of the planned distributed-backend transport.
+checkpoints and of the distributed-backend wire payloads.
 """
 
 from repro.engine.accumulate import (
@@ -43,6 +48,15 @@ from repro.engine.reduce import (
     as_chunk_stream,
     reduce_stream,
     reducer_from_state,
+)
+from repro.engine.distributed import (
+    PROTOCOL_VERSION,
+    WIRE_REDUCER_FACTORIES,
+    DistributedExportResult,
+    ProtocolError,
+    export_fleet_distributed,
+    parse_endpoint,
+    serve_worker,
 )
 from repro.engine.sharding import (
     DEFAULT_REDUCER_FACTORIES,
@@ -104,8 +118,15 @@ __all__ = [
     "population_digest",
     "stream_population",
     "BlockExportResult",
+    "DistributedExportResult",
     "FleetManifest",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
     "STATE_KINDS",
+    "WIRE_REDUCER_FACTORIES",
+    "export_fleet_distributed",
+    "parse_endpoint",
+    "serve_worker",
     "SegmentRecord",
     "StateError",
     "VerificationReport",

@@ -40,6 +40,15 @@ def as_matrix(source, labels: "tuple[str, ...]") -> np.ndarray:
     The shared chunk-normalisation step of every reducer in
     :mod:`repro.engine.reduce`; accepts the same chunk types ``update``
     does.
+
+    Non-finite entries are **rejected** with a :class:`ValueError` naming
+    the offending column(s).  This is the engine's NaN/±inf policy: a
+    single NaN folded into a Welford mean or co-moment poisons every
+    statistic downstream without any error surfacing, and a skip-silently
+    policy would make shard counts disagree.  Consumers with data that
+    legitimately contains holes must filter or impute *before* the fold
+    (as :class:`~repro.engine.reduce.HistogramReducer` and
+    :class:`~repro.engine.reduce.ECDFReducer` do for their own columns).
     """
     if isinstance(source, HostPopulation):
         columns = [source.column(label) for label in labels]
@@ -51,7 +60,19 @@ def as_matrix(source, labels: "tuple[str, ...]") -> np.ndarray:
             raise ValueError(
                 f"column {label!r} has shape {column.shape}; expected ({length},)"
             )
-    return np.column_stack(columns) if length else np.empty((0, len(labels)))
+    data = np.column_stack(columns) if length else np.empty((0, len(labels)))
+    if data.size and not np.isfinite(data).all():
+        bad = [
+            label
+            for label, finite in zip(labels, np.isfinite(data).all(axis=0))
+            if not finite
+        ]
+        raise ValueError(
+            f"non-finite values in column(s) {', '.join(bad)}; one-pass "
+            "accumulators would be silently poisoned — filter or impute "
+            "before folding"
+        )
+    return data
 
 
 class MomentAccumulator:
@@ -122,8 +143,12 @@ class MomentAccumulator:
         labels = decode_labels(state, kind)
         accumulator = cls(labels)
         accumulator.count = decode_count(state, kind)
-        accumulator._mean = decode_floats(state, kind, "mean", (len(labels),))
-        accumulator._m2 = decode_floats(state, kind, "m2", (len(labels),))
+        accumulator._mean = decode_floats(
+            state, kind, "mean", (len(labels),), finite=True
+        )
+        accumulator._m2 = decode_floats(
+            state, kind, "m2", (len(labels),), finite=True
+        )
         return accumulator
 
     def means(self) -> "dict[str, float]":
@@ -243,8 +268,10 @@ class CorrelationAccumulator:
         k = len(labels)
         accumulator = cls(labels)
         accumulator.count = decode_count(state, kind)
-        accumulator._mean = decode_floats(state, kind, "mean", (k,))
-        accumulator._comoment = decode_floats(state, kind, "comoment", (k, k))
+        accumulator._mean = decode_floats(state, kind, "mean", (k,), finite=True)
+        accumulator._comoment = decode_floats(
+            state, kind, "comoment", (k, k), finite=True
+        )
         return accumulator
 
     def result(self) -> CorrelationMatrix:

@@ -1,0 +1,961 @@
+"""Distributed fleet export: a coordinator/worker reduction backend.
+
+``generate_sharded`` and the writer fan work out to processes on one
+machine; this module crosses the machine boundary.  A coordinator owns
+the export: it partitions the RNG-block space into *leases*, hands them
+to workers over a length-prefixed JSON protocol, and folds the results
+back through the ``to_state()``/``from_state()`` serialization contract
+(:mod:`repro.stats.state`) — exactly the payloads the checkpoint layer
+persists to disk, now travelling a socket instead.
+
+Topology
+--------
+Workers speak the same protocol whichever way the TCP connection was
+established:
+
+* ``export_fleet_distributed(..., workers=N)`` spawns N local worker
+  processes (``multiprocessing``, honouring the engine's start-method
+  override) that dial the coordinator's loopback listener and write
+  their block segments straight into ``out_dir``.
+* ``serve_worker(host, port)`` (CLI: ``fleet serve-worker``) listens for
+  a coordinator; ``export_fleet_distributed(..., connect=[(host, port)])``
+  dials it.  Attached workers ship segment bytes inline (base64) because
+  they cannot assume a shared filesystem.
+
+Protocol
+--------
+Frames are ``>I`` length-prefixed UTF-8 JSON objects capped at
+:data:`MAX_FRAME_BYTES`; a connection that closes mid-header or mid-body
+is a *torn frame* and raises :class:`ProtocolError`, as do oversized,
+empty, non-JSON and non-object frames.  The worker speaks first::
+
+    worker → hello {protocol}       coordinator → job {params, seed, ...}
+    worker → ready                  coordinator → assign {block_lo, block_hi}
+    worker → result {blocks, reducers}     ... repeat ...
+    worker → heartbeat (background thread, any time)
+                                    coordinator → shutdown
+
+Failure semantics
+-----------------
+The coordinator tracks per-worker liveness (last frame seen).  A dropped
+connection, a protocol violation, a reducer payload that fails
+``ReducerSet.from_state`` (corrupt or version-mismatched state) or a
+heartbeat gap beyond ``worker_timeout`` retires the worker and requeues
+its outstanding lease.  When the lease queue drains while stragglers
+still hold leases, idle workers steal the oldest outstanding lease
+(speculative re-execution); the determinism contract makes duplicates
+byte-identical, so the first result wins and later ones are discarded.
+The run fails only when *no* workers remain.
+
+Byte identity
+-------------
+Every block's bytes are a pure function of ``(parameters, when, size,
+seed)``, so worker placement, crashes and steals cannot change the
+export: the manifest is byte-identical to
+``export_fleet_blocks(shards=1, checkpoint_every=0)`` and the CSV
+concatenation (hence ``payload_sha256`` and ``fleet_sha256``) to the
+single-process ``export_fleet`` of the same fleet.  Statistics merge
+lease states in block order, so they are bit-identical across worker
+counts and failure schedules too.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import io
+import json
+import os
+import signal
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from queue import Empty, Queue
+
+import numpy as np
+
+from repro.engine.accumulate import CorrelationAccumulator, MomentAccumulator
+from repro.engine.reduce import ChunkedFold, QuantileReducer, ReducerSet
+from repro.engine.sharding import (
+    FleetStatistics,
+    _pool_context,
+    _resolve_factories,
+    _when_as_float,
+)
+from repro.engine.streaming import (
+    DEFAULT_CHUNK_SIZE,
+    RNG_BLOCK_SIZE,
+    as_seed_sequence,
+    block_count,
+    block_seeds,
+    combine_block_digests,
+    population_digest,
+)
+from repro.engine.writer import (
+    HOST_CSV_FMT,
+    HOST_CSV_HEADER,
+    MANIFEST_VERSION,
+    FleetManifest,
+    SegmentRecord,
+    _block_name,
+    _hash_file_into,
+)
+from repro.stats.state import StateError
+
+#: Wire protocol schema version; hello/job frames carry and check it.
+PROTOCOL_VERSION = 1
+
+#: Frame length prefix: 4-byte big-endian unsigned length.
+_FRAME_HEADER = struct.Struct(">I")
+
+#: Upper bound on a single frame's JSON body.  A lease result with inline
+#: segment data is ~200 KiB per block, so the default 8-block lease stays
+#: three orders of magnitude under this; anything larger is a corrupt or
+#: hostile length prefix, not a real message.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Blocks per lease — the scheduling granule.  Smaller leases rebalance
+#: stragglers faster; larger leases amortise protocol round trips.
+DEFAULT_LEASE_BLOCKS = 4
+
+#: Seconds of frame silence after which a worker is declared dead.
+DEFAULT_WORKER_TIMEOUT = 60.0
+
+#: Cadence of the worker-side background heartbeat thread.
+HEARTBEAT_INTERVAL = 2.0
+
+#: Age an outstanding lease must reach before an idle worker steals it.
+STEAL_AFTER = 5.0
+
+#: Reducers that may travel the wire by *name* (the job frame carries
+#: names, never callables — workers instantiate from this registry, so a
+#: coordinator cannot make a worker run arbitrary code).
+WIRE_REDUCER_FACTORIES = {
+    "moments": MomentAccumulator,
+    "correlation": CorrelationAccumulator,
+    "quantiles": QuantileReducer,
+}
+
+
+class ProtocolError(RuntimeError):
+    """A frame violated the length-prefixed JSON wire protocol."""
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Serialise one protocol message and write it to the socket."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"refusing to send an oversized frame ({len(body)} bytes > "
+            f"{MAX_FRAME_BYTES})"
+        )
+    sock.sendall(_FRAME_HEADER.pack(len(body)) + body)
+
+
+def recv_frame(sock: socket.socket) -> "dict | None":
+    """Read one protocol message; ``None`` on a clean EOF between frames.
+
+    A connection that closes *inside* a frame (torn header or body), a
+    length prefix of zero or beyond :data:`MAX_FRAME_BYTES`, or a body
+    that is not a JSON object all raise :class:`ProtocolError`.
+    """
+    header = _recv_exact(sock, _FRAME_HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _FRAME_HEADER.unpack(header)
+    if length == 0:
+        raise ProtocolError("empty frame (zero-length prefix)")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"oversized frame: length prefix {length} exceeds "
+            f"{MAX_FRAME_BYTES} bytes"
+        )
+    body = _recv_exact(sock, length, allow_eof=False)
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ProtocolError(f"frame body is not valid JSON: {error}")
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def _recv_exact(sock: socket.socket, n: int, allow_eof: bool) -> "bytes | None":
+    """Read exactly ``n`` bytes; torn reads raise, clean EOF may return None."""
+    pieces: "list[bytes]" = []
+    remaining = n
+    while remaining:
+        piece = sock.recv(min(remaining, 1 << 20))
+        if not piece:
+            if allow_eof and remaining == n:
+                return None
+            raise ProtocolError(
+                f"torn frame: connection closed with {remaining} of {n} "
+                "bytes outstanding"
+            )
+        pieces.append(piece)
+        remaining -= len(piece)
+    return b"".join(pieces)
+
+
+def parse_endpoint(spec: str) -> "tuple[str, int]":
+    """Parse a ``HOST:PORT`` worker endpoint, validating the port range."""
+    host, sep, port_text = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"worker endpoint {spec!r} is not of the form HOST:PORT")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"worker endpoint {spec!r} has a non-integer port")
+    if not 1 <= port <= 65535:
+        raise ValueError(
+            f"worker endpoint {spec!r} port must be in [1, 65535], got {port}"
+        )
+    return host, port
+
+
+# -- worker ------------------------------------------------------------------
+
+
+def _render_block_csv(block) -> bytes:
+    """A block's CSV rows, byte-identical to every other export path."""
+    buffer = io.BytesIO()
+    np.savetxt(buffer, block.to_matrix(), fmt=HOST_CSV_FMT)
+    return buffer.getvalue()
+
+
+def _heartbeat_loop(send, stop: threading.Event, interval: float) -> None:
+    while not stop.wait(interval):
+        try:
+            send({"type": "heartbeat"})
+        except OSError:
+            return
+
+
+def _worker_loop(sock: socket.socket) -> None:
+    """Serve one coordinator over an established connection.
+
+    Sends ``hello``, receives the job (generator parameters, seed,
+    reducer names), then loops ``ready`` → ``assign`` → ``result`` until
+    ``shutdown``.  A background thread heartbeats every
+    :data:`HEARTBEAT_INTERVAL` seconds so slow block generation never
+    reads as death.  Job problems (protocol/block-size/reducer-name
+    mismatches) are reported with an ``error`` frame rather than silence.
+    """
+    # Imported lazily: the engine package must stay importable without
+    # dragging the model layer in, and only workers rebuild generators.
+    from repro.core.generator import CorrelatedHostGenerator
+    from repro.core.parameters import ModelParameters
+
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    send_lock = threading.Lock()
+
+    def send(message: dict) -> None:
+        with send_lock:
+            send_frame(sock, message)
+
+    # A connection that never sends the job (port scanner, half-open
+    # leftover of a crashed coordinator) must not wedge this worker
+    # forever: bound the handshake, then remove the limit — waiting for
+    # an assign legitimately takes as long as the other leases do.
+    sock.settimeout(DEFAULT_WORKER_TIMEOUT)
+    send({"type": "hello", "protocol": PROTOCOL_VERSION, "pid": os.getpid()})
+    job = recv_frame(sock)
+    sock.settimeout(None)
+    if job is None:
+        return
+    if job.get("type") != "job":
+        raise ProtocolError(f"expected a job frame, got {job.get('type')!r}")
+
+    def refuse(message: str) -> None:
+        send({"type": "error", "message": message})
+
+    if job.get("protocol") != PROTOCOL_VERSION:
+        return refuse(
+            f"coordinator speaks protocol {job.get('protocol')!r}; this "
+            f"worker speaks {PROTOCOL_VERSION}"
+        )
+    if job.get("block_size") != RNG_BLOCK_SIZE:
+        return refuse(
+            f"coordinator fleet uses RNG block size {job.get('block_size')!r}; "
+            f"this worker generates {RNG_BLOCK_SIZE} and would corrupt the export"
+        )
+    if job.get("format") != "csv":
+        return refuse(f"unsupported segment format {job.get('format')!r}")
+    factories = {}
+    for name in job.get("reducers", []):
+        factory = WIRE_REDUCER_FACTORIES.get(name)
+        if factory is None:
+            return refuse(
+                f"unknown wire reducer {name!r}; this worker knows "
+                f"{sorted(WIRE_REDUCER_FACTORIES)}"
+            )
+        factories[name] = factory
+    try:
+        generator = CorrelatedHostGenerator(ModelParameters.from_json(job["params"]))
+        size = int(job["size"])
+        when = float(job["when"])
+        chunk_size = int(job["chunk_size"])
+        root = np.random.SeedSequence(
+            entropy=int(job["entropy"]),
+            spawn_key=tuple(int(k) for k in job["spawn_key"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        return refuse(f"malformed job: {error}")
+    seeds = block_seeds(root, size)
+    out_dir = job.get("out_dir")
+    fault_after = job.get("fault_after")
+
+    stop = threading.Event()
+    heartbeat = threading.Thread(
+        target=_heartbeat_loop, args=(send, stop, HEARTBEAT_INTERVAL), daemon=True
+    )
+    heartbeat.start()
+    written = 0
+    try:
+        while True:
+            send({"type": "ready"})
+            message = recv_frame(sock)
+            if message is None or message.get("type") == "shutdown":
+                return
+            if message.get("type") != "assign":
+                raise ProtocolError(
+                    f"expected assign/shutdown, got {message.get('type')!r}"
+                )
+            lo, hi = int(message["block_lo"]), int(message["block_hi"])
+            reducers = ReducerSet.from_factories(factories)
+            fold = ChunkedFold(reducers, chunk_size)
+            blocks: "list[dict]" = []
+            for index in range(lo, hi):
+                row_lo = index * RNG_BLOCK_SIZE
+                block = generator.generate(
+                    when,
+                    min(RNG_BLOCK_SIZE, size - row_lo),
+                    np.random.default_rng(seeds[index]),
+                )
+                data = _render_block_csv(block)
+                entry = {
+                    "index": index,
+                    "sha256": hashlib.sha256(data).hexdigest(),
+                    "bytes": len(data),
+                    "digest": population_digest(block),
+                }
+                if out_dir:
+                    with open(
+                        os.path.join(out_dir, _block_name(index, "csv")), "wb"
+                    ) as handle:
+                        handle.write(data)
+                else:
+                    entry["data"] = base64.b64encode(data).decode("ascii")
+                blocks.append(entry)
+                fold.add(block)
+                written += 1
+                if fault_after is not None and written >= int(fault_after):
+                    # Crash injection for the tests/CI: die the hard way,
+                    # exactly like an OOM-killed or power-cycled worker.
+                    os.kill(os.getpid(), getattr(signal, "SIGKILL", signal.SIGTERM))
+            fold.flush()
+            send(
+                {
+                    "type": "result",
+                    "block_lo": lo,
+                    "block_hi": hi,
+                    "blocks": blocks,
+                    "reducers": reducers.to_state(),
+                }
+            )
+    finally:
+        stop.set()
+
+
+def _local_worker_main(host: str, port: int) -> None:
+    """Entry point of a spawned local worker process (module-level so it
+    pickles under every multiprocessing start method)."""
+    sock = socket.create_connection((host, port))
+    try:
+        _worker_loop(sock)
+    except (ProtocolError, OSError):
+        pass  # the coordinator tracks worker death through the socket
+    finally:
+        sock.close()
+
+
+def serve_worker(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_jobs: "int | None" = 1,
+    on_bound=None,
+) -> int:
+    """Listen for a coordinator and serve jobs (CLI: ``fleet serve-worker``).
+
+    Serves ``max_jobs`` coordinator connections (``None`` = forever) and
+    returns the number served.  ``on_bound`` (tests, supervisors) is
+    called with the bound port once listening — useful with ``port=0``.
+    A failed job (protocol violation, coordinator death) is logged to
+    the exception's consumer and does not stop the next job.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    served = 0
+    try:
+        listener.bind((host, port))
+        listener.listen(1)
+        if on_bound is not None:
+            on_bound(listener.getsockname()[1])
+        while max_jobs is None or served < max_jobs:
+            conn, _ = listener.accept()
+            try:
+                _worker_loop(conn)
+            except (ProtocolError, StateError, OSError) as error:
+                import sys
+
+                sys.stderr.write(f"serve-worker: job failed: {error}\n")
+            finally:
+                conn.close()
+            served += 1
+    finally:
+        listener.close()
+    return served
+
+
+# -- coordinator -------------------------------------------------------------
+
+
+@dataclass
+class DistributedExportResult:
+    """Outcome of a distributed fleet export.
+
+    ``workers`` counts connections that completed the handshake;
+    ``reassigned_leases`` counts leases requeued after a worker died plus
+    leases stolen from stragglers by idle workers.
+    """
+
+    manifest: FleetManifest
+    statistics: FleetStatistics
+    workers: int
+    reassigned_leases: int
+
+
+class _Remote:
+    """Coordinator-side state of one worker connection."""
+
+    def __init__(self, sock: socket.socket, name: str, local: bool):
+        self.sock = sock
+        self.name = name
+        self.local = local
+        self.state = "hello"
+        self.lease: "tuple[int, int] | None" = None
+        self.lease_started = 0.0
+        self.last_seen = time.monotonic()
+        self.idle = False
+        self.alive = True
+
+
+def _lease_ranges(n_blocks: int, lease_blocks: int) -> "list[tuple[int, int]]":
+    return [
+        (lo, min(lo + lease_blocks, n_blocks))
+        for lo in range(0, n_blocks, lease_blocks)
+    ]
+
+
+class _Coordinator:
+    """Single-threaded scheduler over reader-thread-fed worker events."""
+
+    def __init__(
+        self,
+        job: dict,
+        leases: "list[tuple[int, int]]",
+        out_dir: str,
+        factories: dict,
+        size: int,
+        worker_timeout: float,
+        fault_after: "int | None",
+    ):
+        self.job = job
+        self.leases = leases
+        self.out_dir = out_dir
+        self.factories = factories
+        self.size = size
+        self.worker_timeout = worker_timeout
+        self.fault_after = fault_after
+        self.fault_assigned = False
+        self.events: Queue = Queue()
+        self.remotes: "list[_Remote]" = []
+        self.pending: "deque[tuple[int, int]]" = deque(leases)
+        self.completed: "dict[tuple[int, int], dict]" = {}
+        self.reassigned = 0
+        self.workers_seen = 0
+        self.last_error: "BaseException | None" = None
+        self.processes: "list" = []
+
+    # -- connection plumbing -------------------------------------------------
+
+    def attach(self, sock: socket.socket, name: str, local: bool) -> None:
+        """Register an established connection and start its reader thread."""
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        remote = _Remote(sock, name, local)
+        self.remotes.append(remote)
+        threading.Thread(
+            target=self._reader, args=(remote,), daemon=True
+        ).start()
+
+    def _reader(self, remote: _Remote) -> None:
+        try:
+            while True:
+                message = recv_frame(remote.sock)
+                if message is None:
+                    self.events.put(("close", remote, None))
+                    return
+                self.events.put(("frame", remote, message))
+        except (ProtocolError, OSError) as error:
+            self.events.put(("close", remote, error))
+
+    def _accept_loop(self, listener: socket.socket) -> None:
+        try:
+            while True:
+                sock, _ = listener.accept()
+                self.events.put(("connect", sock))
+        except OSError:
+            return  # listener closed — coordinator shutting down
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _send(self, remote: _Remote, message: dict) -> bool:
+        try:
+            send_frame(remote.sock, message)
+            return True
+        except OSError as error:
+            self._drop(remote, error)
+            return False
+
+    def _drop(self, remote: _Remote, error: "BaseException | str | None") -> None:
+        if not remote.alive:
+            return
+        remote.alive = False
+        remote.idle = False
+        if error is not None:
+            self.last_error = (
+                error if isinstance(error, BaseException) else RuntimeError(error)
+            )
+        try:
+            remote.sock.close()
+        except OSError:
+            pass
+        lease = remote.lease
+        remote.lease = None
+        if (
+            lease is not None
+            and lease not in self.completed
+            and not any(r.alive and r.lease == lease for r in self.remotes)
+        ):
+            self.pending.appendleft(lease)
+            self.reassigned += 1
+            for other in self.remotes:
+                if other.alive and other.idle:
+                    self._offer(other)
+                    break
+
+    def _assign(self, remote: _Remote, lease: "tuple[int, int]") -> None:
+        remote.idle = False
+        remote.lease = lease
+        remote.lease_started = time.monotonic()
+        self._send(
+            remote,
+            {"type": "assign", "block_lo": lease[0], "block_hi": lease[1]},
+        )
+
+    def _offer(self, remote: _Remote) -> None:
+        if self.pending:
+            self._assign(remote, self.pending.popleft())
+        else:
+            remote.idle = True
+
+    def _steal(self, now: float) -> None:
+        """Give idle workers the oldest outstanding straggler leases.
+
+        Each pass spreads the idle workers across *distinct* stragglers
+        (oldest first) — duplicating one straggler's lease onto every
+        idle worker would triplicate its blocks while the other
+        stragglers got no help at all.
+        """
+        if self.pending:
+            return
+        taken: "set[tuple[int, int]]" = set()
+        for remote in self.remotes:
+            if not (remote.alive and remote.idle):
+                continue
+            candidates = [
+                other
+                for other in self.remotes
+                if other.alive
+                and other is not remote
+                and other.lease is not None
+                and other.lease not in self.completed
+                and other.lease not in taken
+                and now - other.lease_started > STEAL_AFTER
+            ]
+            if not candidates:
+                return
+            straggler = min(candidates, key=lambda other: other.lease_started)
+            taken.add(straggler.lease)
+            self.reassigned += 1
+            self._assign(remote, straggler.lease)
+
+    # -- frame handling ------------------------------------------------------
+
+    def _handle_frame(self, remote: _Remote, message: dict) -> None:
+        if not remote.alive:
+            return
+        remote.last_seen = time.monotonic()
+        kind = message.get("type")
+        if kind == "hello":
+            if remote.state != "hello":
+                return self._drop(remote, f"{remote.name} sent a second hello")
+            if message.get("protocol") != PROTOCOL_VERSION:
+                return self._drop(
+                    remote,
+                    f"{remote.name} speaks protocol "
+                    f"{message.get('protocol')!r}, not {PROTOCOL_VERSION}",
+                )
+            remote.state = "active"
+            self.workers_seen += 1
+            job = dict(self.job)
+            job["out_dir"] = self.out_dir if remote.local else None
+            if self.fault_after is not None and remote.local and not self.fault_assigned:
+                job["fault_after"] = self.fault_after
+                self.fault_assigned = True
+            self._send(remote, job)
+        elif kind == "ready":
+            if remote.state != "active":
+                return self._drop(remote, f"{remote.name} sent ready before hello")
+            self._offer(remote)
+        elif kind == "heartbeat":
+            pass
+        elif kind == "result":
+            self._handle_result(remote, message)
+        elif kind == "error":
+            self._drop(
+                remote,
+                f"worker {remote.name} refused the job: {message.get('message')}",
+            )
+        else:
+            self._drop(remote, f"{remote.name} sent unknown frame type {kind!r}")
+
+    def _handle_result(self, remote: _Remote, message: dict) -> None:
+        lease = (message.get("block_lo"), message.get("block_hi"))
+        if remote.lease != lease:
+            return self._drop(
+                remote, f"{remote.name} sent a result for a lease it does not hold"
+            )
+        if lease in self.completed:
+            remote.lease = None
+            return  # a speculative duplicate lost the race; first result won
+        try:
+            entry = self._validate_result(remote, lease, message)
+        except (StateError, ProtocolError, ValueError, TypeError, KeyError) as error:
+            # The lease is still attached to the remote here, so _drop
+            # requeues it — clearing it first would leak the lease and
+            # hang the export once the healthy workers drain the queue.
+            return self._drop(
+                remote, f"rejected result from {remote.name}: {error}"
+            )
+        remote.lease = None
+        for index, data in entry.pop("writes"):
+            with open(
+                os.path.join(self.out_dir, _block_name(index, "csv")), "wb"
+            ) as handle:
+                handle.write(data)
+        self.completed[lease] = entry
+
+    def _validate_result(
+        self, remote: _Remote, lease: "tuple[int, int]", message: dict
+    ) -> dict:
+        """Decode one lease result, mapping any malformed piece to an error.
+
+        Returns the segment records, block digests, restored reducer set
+        and (for inline transport) the decoded file bytes to write.  The
+        reducer payload goes through :meth:`ReducerSet.from_state` here,
+        so a corrupt or version-mismatched state is caught while we can
+        still retire the worker and requeue its lease.
+        """
+        lo, hi = lease
+        blocks = message.get("blocks")
+        if not isinstance(blocks, list) or len(blocks) != hi - lo:
+            raise ProtocolError(
+                f"result must carry exactly {hi - lo} block entries"
+            )
+        records: "list[SegmentRecord]" = []
+        digests: "list[tuple[int, bytes]]" = []
+        writes: "list[tuple[int, bytes]]" = []
+        for position, raw in enumerate(blocks):
+            index = lo + position
+            if not isinstance(raw, dict) or raw.get("index") != index:
+                raise ProtocolError(f"block entry {position} is not block {index}")
+            digest = bytes.fromhex(raw["digest"])
+            sha = raw["sha256"]
+            nbytes = raw["bytes"]
+            if not isinstance(sha, str) or len(bytes.fromhex(sha)) != 32:
+                raise ProtocolError(f"block {index} sha256 is malformed")
+            if not isinstance(nbytes, int) or isinstance(nbytes, bool) or nbytes < 0:
+                raise ProtocolError(f"block {index} byte count is malformed")
+            if not remote.local:
+                data = base64.b64decode(raw["data"], validate=True)
+                if hashlib.sha256(data).hexdigest() != sha or len(data) != nbytes:
+                    raise ProtocolError(
+                        f"block {index} inline data does not match its digest"
+                    )
+                writes.append((index, data))
+            records.append(
+                SegmentRecord(
+                    path=_block_name(index, "csv"),
+                    shard=0,
+                    block_lo=index,
+                    block_hi=index + 1,
+                    row_lo=min(index * RNG_BLOCK_SIZE, self.size),
+                    row_hi=min((index + 1) * RNG_BLOCK_SIZE, self.size),
+                    sha256=sha,
+                    bytes=nbytes,
+                )
+            )
+            digests.append((index, digest))
+        restored = ReducerSet.from_state(message["reducers"])
+        if set(restored.names()) != set(self.factories):
+            raise StateError(
+                f"result reducers {sorted(restored.names())} do not match the "
+                f"job's {sorted(self.factories)}"
+            )
+        return {
+            "records": records,
+            "digests": digests,
+            "reducers": restored,
+            "writes": writes,
+        }
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> None:
+        start = time.monotonic()
+        while len(self.completed) < len(self.leases):
+            try:
+                event = self.events.get(timeout=0.2)
+            except Empty:
+                event = None
+            if event is not None:
+                if event[0] == "connect":
+                    self.attach(event[1], f"local-{len(self.remotes)}", local=True)
+                elif event[0] == "frame":
+                    self._handle_frame(event[1], event[2])
+                elif event[0] == "close":
+                    self._drop(event[1], event[2])
+            now = time.monotonic()
+            for remote in self.remotes:
+                if remote.alive and now - remote.last_seen > self.worker_timeout:
+                    self._drop(remote, f"{remote.name} heartbeat timeout")
+            self._steal(now)
+            if not any(remote.alive for remote in self.remotes):
+                if any(process.is_alive() for process in self.processes):
+                    if now - start > self.worker_timeout:
+                        raise RuntimeError(
+                            "distributed export stalled: no worker connected "
+                            f"within {self.worker_timeout:.0f} s"
+                        )
+                    continue
+                detail = f" (last error: {self.last_error})" if self.last_error else ""
+                raise RuntimeError(
+                    "all distributed workers died before completing the "
+                    f"export{detail}"
+                )
+        for remote in self.remotes:
+            if remote.alive:
+                self._send(remote, {"type": "shutdown"})
+
+
+def export_fleet_distributed(
+    generator,
+    when,
+    size: int,
+    rng,
+    out_dir: str,
+    workers: int = 2,
+    connect: "list[tuple[str, int]] | tuple" = (),
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    reducers: "dict | None" = None,
+    quantiles: bool = False,
+    lease_blocks: int = DEFAULT_LEASE_BLOCKS,
+    worker_timeout: float = DEFAULT_WORKER_TIMEOUT,
+    manifest_name: str = "manifest.json",
+    start_method: "str | None" = None,
+    fault_after: "int | None" = None,
+) -> DistributedExportResult:
+    """Export a fleet through coordinator-scheduled distributed workers.
+
+    Spawns ``workers`` local worker processes and/or dials the
+    ``connect`` list of ``(host, port)`` :func:`serve_worker` endpoints,
+    leases them RNG-block ranges of ``lease_blocks`` blocks with
+    work-stealing and failure reassignment, and merges their serialized
+    :class:`~repro.engine.reduce.ReducerSet` states in block order.  The
+    resulting manifest (``layout="block"``, CSV only) and payload bytes
+    are byte-identical to the single-process export of the same
+    ``(parameters, when, size, seed)`` fleet; see the module docstring.
+
+    ``reducers`` accepts the :data:`WIRE_REDUCER_FACTORIES` subset by
+    name (factories cannot travel a JSON wire); ``fault_after`` makes the
+    first local worker SIGKILL itself after that many blocks (crash
+    injection for tests/CI).  Raises :class:`RuntimeError` when every
+    worker has died with leases outstanding.
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    if lease_blocks < 1:
+        raise ValueError("lease_blocks must be at least 1")
+    if workers < 0:
+        raise ValueError("workers must be non-negative")
+    connect = list(connect)
+    if workers + len(connect) < 1:
+        raise ValueError("need at least one worker (workers >= 1 or connect=...)")
+    if worker_timeout <= 0:
+        raise ValueError("worker_timeout must be positive")
+    to_json = getattr(getattr(generator, "parameters", None), "to_json", None)
+    if to_json is None:
+        raise ValueError(
+            "the distributed backend serialises the generator by its "
+            "parameters; it needs generator.parameters.to_json()"
+        )
+    factories = _resolve_factories(reducers, quantiles)
+    for name, factory in factories.items():
+        if WIRE_REDUCER_FACTORIES.get(name) is not factory:
+            raise ValueError(
+                f"reducer {name!r} cannot travel the wire; the distributed "
+                f"backend ships names from {sorted(WIRE_REDUCER_FACTORIES)}"
+            )
+    root = as_seed_sequence(rng)
+    when_value = _when_as_float(when)
+    out_dir = os.path.abspath(out_dir)
+    os.makedirs(out_dir, exist_ok=True)
+    n_blocks = block_count(size)
+    leases = _lease_ranges(n_blocks, lease_blocks)
+
+    job = {
+        "type": "job",
+        "protocol": PROTOCOL_VERSION,
+        "generator": "CorrelatedHostGenerator",
+        "params": to_json(),
+        "when": when_value,
+        "size": size,
+        "entropy": str(root.entropy),
+        "spawn_key": [int(k) for k in root.spawn_key],
+        "block_size": RNG_BLOCK_SIZE,
+        "format": "csv",
+        "chunk_size": chunk_size,
+        "reducers": sorted(factories),
+    }
+    coordinator = _Coordinator(
+        job, leases, out_dir, factories, size, worker_timeout, fault_after
+    )
+
+    start = time.perf_counter()
+    listener = None
+    try:
+        if leases:
+            if workers:
+                listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                listener.bind(("127.0.0.1", 0))
+                listener.listen(workers)
+                port = listener.getsockname()[1]
+                # Fork the worker processes *before* starting any
+                # coordinator threads — forking a threaded process is the
+                # deadlock _pool_context exists to avoid.
+                context = _pool_context(start_method)
+                for _ in range(workers):
+                    process = context.Process(
+                        target=_local_worker_main,
+                        args=("127.0.0.1", port),
+                        daemon=True,
+                    )
+                    process.start()
+                    coordinator.processes.append(process)
+                threading.Thread(
+                    target=coordinator._accept_loop, args=(listener,), daemon=True
+                ).start()
+            for host, port in connect:
+                sock = socket.create_connection((host, port), timeout=worker_timeout)
+                sock.settimeout(None)
+                coordinator.attach(sock, f"tcp-{host}:{port}", local=False)
+            coordinator.run()
+    finally:
+        if listener is not None:
+            listener.close()
+        for remote in coordinator.remotes:
+            try:
+                remote.sock.close()
+            except OSError:
+                pass
+        for process in coordinator.processes:
+            process.join(timeout=5)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+    elapsed = time.perf_counter() - start
+
+    records: "list[SegmentRecord]" = []
+    all_digests: "list[tuple[int, bytes]]" = []
+    merged = ReducerSet.from_factories(factories)
+    for lease in sorted(coordinator.completed):
+        entry = coordinator.completed[lease]
+        records.extend(entry["records"])
+        all_digests.extend(entry["digests"])
+        merged.merge(entry["reducers"])
+
+    payload_hash = hashlib.sha256()
+    for record in records:
+        path = os.path.join(out_dir, record.path)
+        file_hash = hashlib.sha256()
+        _hash_file_into(path, file_hash, payload_hash)
+        if file_hash.hexdigest() != record.sha256:
+            raise RuntimeError(
+                f"segment {record.path} on disk does not match the digest its "
+                "worker reported; refusing to finalise a corrupt export"
+            )
+
+    manifest = FleetManifest(
+        version=MANIFEST_VERSION,
+        format="csv",
+        size=size,
+        when=when_value,
+        entropy=str(root.entropy),
+        spawn_key=tuple(int(k) for k in root.spawn_key),
+        shards=1,
+        block_size=RNG_BLOCK_SIZE,
+        header=HOST_CSV_HEADER,
+        payload_sha256=payload_hash.hexdigest(),
+        fleet_sha256=combine_block_digests(all_digests),
+        segments=tuple(records),
+        layout="block",
+        checkpoint_every=0,
+    )
+    manifest.save(os.path.join(out_dir, manifest_name))
+
+    statistics = FleetStatistics(
+        size=size,
+        when=when_value,
+        shards=max(1, coordinator.workers_seen),
+        reducers=merged,
+        elapsed_seconds=elapsed,
+        digest=manifest.fleet_sha256,
+    )
+    return DistributedExportResult(
+        manifest=manifest,
+        statistics=statistics,
+        workers=coordinator.workers_seen,
+        reassigned_leases=coordinator.reassigned,
+    )

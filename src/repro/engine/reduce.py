@@ -257,7 +257,7 @@ class ExactQuantileReducer:
         kind = "ExactQuantileReducer"
         require_state(state, kind, cls.STATE_VERSION)
         labels = decode_labels(state, kind)
-        data = decode_floats(state, kind, "data")
+        data = decode_floats(state, kind, "data", finite=True)
         if data.size == 0:
             data = data.reshape(0, len(labels))
         if data.ndim != 2 or data.shape[1] != len(labels):
@@ -437,12 +437,12 @@ class HistogramReducer:
         if not isinstance(label, str):
             raise StateError(f"{kind} state label must be a string, got {label!r}")
         _check_fingerprint(state, kind, transform)
-        edges = decode_floats(state, kind, "edges")
+        edges = decode_floats(state, kind, "edges", finite=True)
         try:
             reducer = cls(label, edges, transform=transform)
         except ValueError as error:
             raise StateError(f"{kind} state edges are invalid: {error}")
-        counts = decode_floats(state, kind, "counts", (edges.size - 1,))
+        counts = decode_floats(state, kind, "counts", (edges.size - 1,), finite=True)
         if np.any(counts < 0) or np.any(counts != np.floor(counts)):
             raise StateError(f"{kind} state counts must be non-negative integers")
         reducer.counts = counts.astype(np.int64)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import datetime as _dt
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass
 
@@ -151,9 +152,31 @@ def _run_shard(payload: tuple):
     return shard, reducers, digests
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    """Prefer fork (cheap, POSIX) and fall back to spawn elsewhere."""
+def _pool_context(
+    start_method: "str | None" = None,
+) -> multiprocessing.context.BaseContext:
+    """The multiprocessing context every engine fan-out spawns through.
+
+    Resolution order: an explicit ``start_method`` argument, then the
+    ``REPRO_START_METHOD`` environment variable, then fork where the
+    platform offers it (cheap: no re-import, no pickling of the parent
+    state) with spawn as the fallback.  The override exists because fork
+    is unsafe under threaded callers (a forked child inherits locks held
+    by threads that no longer exist and deadlocks) — such embedders set
+    ``start_method="spawn"`` or export ``REPRO_START_METHOD=spawn``,
+    matching the direction of the py3.12+ default change.  An
+    unsupported method name raises :class:`ValueError` naming the
+    platform's choices.
+    """
+    method = start_method or os.environ.get("REPRO_START_METHOD") or None
     methods = multiprocessing.get_all_start_methods()
+    if method is not None:
+        if method not in methods:
+            raise ValueError(
+                f"unsupported multiprocessing start method {method!r}; this "
+                f"platform supports {methods}"
+            )
+        return multiprocessing.get_context(method)
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
@@ -167,6 +190,7 @@ def generate_sharded(
     digest: bool = False,
     reducers: "dict[str, ReducerFactory] | None" = None,
     quantiles: bool = False,
+    start_method: "str | None" = None,
 ) -> FleetStatistics:
     """Generate a fleet across ``shards`` worker processes and reduce.
 
@@ -183,7 +207,10 @@ def generate_sharded(
     ``"quantiles"`` for streamed medians/deciles.
 
     ``shards=1`` runs in-process (no pool), which is also the single-process
-    baseline the scale benchmark compares against.
+    baseline the scale benchmark compares against.  ``start_method``
+    overrides the worker-pool start method (see :func:`_pool_context`;
+    threaded callers should pass ``"spawn"`` or set
+    ``REPRO_START_METHOD``).
     """
     if shards < 1:
         raise ValueError("shards must be at least 1")
@@ -202,7 +229,7 @@ def generate_sharded(
     if shards == 1:
         results = [_run_shard(payloads[0])]
     else:
-        with _pool_context().Pool(processes=shards) as pool:
+        with _pool_context(start_method).Pool(processes=shards) as pool:
             results = pool.map(_run_shard, payloads)
     elapsed = time.perf_counter() - start
 

@@ -257,6 +257,7 @@ def export_fleet(
     shards: int = 1,
     fmt: str = "csv",
     manifest_name: str = "manifest.json",
+    start_method: "str | None" = None,
 ) -> FleetManifest:
     """Export a fleet as per-shard segments plus a manifest.
 
@@ -284,7 +285,7 @@ def export_fleet(
     if len(payloads) == 1:
         results = [_write_segment(payloads[0])]
     else:
-        with _pool_context().Pool(processes=len(payloads)) as pool:
+        with _pool_context(start_method).Pool(processes=len(payloads)) as pool:
             results = pool.map(_write_segment, payloads)
     results.sort(key=lambda item: item[0])
 
@@ -588,6 +589,7 @@ def export_fleet_blocks(
     quantiles: bool = False,
     manifest_name: str = "manifest.json",
     fault_after: "int | None" = None,
+    start_method: "str | None" = None,
 ) -> BlockExportResult:
     """Export a fleet as per-block segments with reducer checkpoints.
 
@@ -662,7 +664,7 @@ def export_fleet_blocks(
     _write_json_atomic(os.path.join(out_dir, PLAN_NAME), plan)
     return _run_block_export(
         generator, plan, ranges, root, out_dir, factories,
-        [None] * len(ranges), fault_after,
+        [None] * len(ranges), fault_after, start_method,
     )
 
 
@@ -673,6 +675,7 @@ def resume_export(
     reducers: "dict[str, ReducerFactory] | None" = None,
     quantiles: bool = False,
     fault_after: "int | None" = None,
+    start_method: "str | None" = None,
 ) -> BlockExportResult:
     """Finish an interrupted block-layout export.
 
@@ -849,12 +852,14 @@ def resume_export(
                 )
         checkpoints.append(checkpoint)
     return _run_block_export(
-        generator, plan, ranges, root, out_dir, factories, checkpoints, fault_after
+        generator, plan, ranges, root, out_dir, factories, checkpoints,
+        fault_after, start_method,
     )
 
 
 def _run_block_export(
-    generator, plan, ranges, root, out_dir, factories, checkpoints, fault_after
+    generator, plan, ranges, root, out_dir, factories, checkpoints,
+    fault_after, start_method=None,
 ) -> BlockExportResult:
     """Drive the shard workers and finalise a block-layout manifest."""
     fmt, size, when = plan["format"], plan["size"], plan["when"]
@@ -882,7 +887,7 @@ def _run_block_export(
     if len(payloads) == 1:
         results = [_write_block_shard(payloads[0])]
     else:
-        with _pool_context().Pool(processes=len(payloads)) as pool:
+        with _pool_context(start_method).Pool(processes=len(payloads)) as pool:
             results = pool.map(_write_block_shard, payloads)
     elapsed = time.perf_counter() - start
 

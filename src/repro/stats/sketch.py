@@ -179,9 +179,14 @@ class QuantileSketch:
             )
         if (count == 0) != (means.size == 0):
             raise StateError(f"{kind} state count disagrees with its centroids")
-        if means.size and (not np.all(np.isfinite(means)) or np.any(weights <= 0)):
+        if means.size and (
+            not np.all(np.isfinite(means))
+            or not np.all(np.isfinite(weights))
+            or np.any(weights <= 0)
+        ):
             raise StateError(
-                f"{kind} state centroids must be finite with positive weights"
+                f"{kind} state centroids must be finite with finite positive "
+                "weights"
             )
         low = float(state_field(state, kind, "min"))
         high = float(state_field(state, kind, "max"))

@@ -67,9 +67,19 @@ def state_field(state: dict, kind: str, name: str) -> Any:
 
 
 def decode_floats(
-    state: dict, kind: str, name: str, shape: "tuple[int, ...] | None" = None
+    state: dict,
+    kind: str,
+    name: str,
+    shape: "tuple[int, ...] | None" = None,
+    finite: bool = False,
 ) -> np.ndarray:
-    """Decode a float array field, optionally enforcing its shape."""
+    """Decode a float array field, optionally enforcing shape and finiteness.
+
+    ``finite=True`` rejects NaN/±inf entries with a :class:`StateError` —
+    the restore-side half of the engine's non-finite policy: an
+    accumulator state containing a poisoned mean, co-moment or centroid
+    would silently corrupt every statistic folded after the restore.
+    """
     raw = state_field(state, kind, name)
     try:
         values = np.asarray(raw, dtype=float)
@@ -79,6 +89,10 @@ def decode_floats(
         raise StateError(
             f"{kind} state field {name!r} has shape {values.shape}; "
             f"expected {shape}"
+        )
+    if finite and values.size and not np.isfinite(values).all():
+        raise StateError(
+            f"{kind} state field {name!r} contains non-finite values"
         )
     return values
 

@@ -103,6 +103,55 @@ class TestShardInvariance:
         assert delta < 1e-9
 
 
+class TestStartMethodOverride:
+    def test_spawn_pool_produces_the_same_fleet(self, paper_generator):
+        """The spawn start method (mandatory under threaded callers) must
+        generate and reduce the identical fleet the fork path does."""
+        forked = generate_sharded(
+            paper_generator, SEPT_2010, 20_000, SEED, shards=2, digest=True
+        )
+        spawned = generate_sharded(
+            paper_generator, SEPT_2010, 20_000, SEED, shards=2, digest=True,
+            start_method="spawn",
+        )
+        assert spawned.digest == forked.digest
+        assert spawned.moments.means() == forked.moments.means()
+
+    def test_explicit_start_method_wins(self):
+        from repro.engine.sharding import _pool_context
+
+        assert _pool_context("spawn").get_start_method() == "spawn"
+
+    def test_env_override_is_honoured(self, monkeypatch):
+        from repro.engine.sharding import _pool_context
+
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        assert _pool_context().get_start_method() == "spawn"
+        # an explicit argument still beats the environment
+        import multiprocessing
+
+        if "fork" in multiprocessing.get_all_start_methods():
+            assert _pool_context("fork").get_start_method() == "fork"
+
+    def test_unsupported_start_method_is_rejected(self):
+        from repro.engine.sharding import _pool_context
+
+        with pytest.raises(ValueError, match="unsupported"):
+            _pool_context("frobnicate")
+
+    def test_spawn_export_round_trips(self, paper_generator, tmp_path):
+        from repro.engine import export_fleet, verify_manifest
+
+        manifest = export_fleet(
+            paper_generator, SEPT_2010, 16_384, SEED, str(tmp_path),
+            shards=2, start_method="spawn",
+        )
+        assert verify_manifest(str(tmp_path / "manifest.json")).ok
+        assert manifest.fleet_sha256 == fleet_digest(
+            paper_generator, SEPT_2010, 16_384, SEED
+        )
+
+
 class TestSeedHandling:
     def test_seed_sequence_and_generator_inputs_agree(self, paper_generator):
         from_int = fleet_digest(paper_generator, SEPT_2010, 8_192, SEED)

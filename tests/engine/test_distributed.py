@@ -1,0 +1,629 @@
+"""Tests for the distributed coordinator/worker export backend.
+
+Three layers, mirroring the discipline of ``test_resume.py``:
+
+* protocol-level unit tests of the length-prefixed JSON framing (torn
+  frame, oversized frame, empty frame, non-JSON body);
+* fake-worker tests that speak the wire protocol by hand to exercise the
+  coordinator's failure handling (version-mismatched reducer state,
+  garbage frames, death mid-block);
+* end-to-end byte-identity: the distributed export must equal the
+  single-process export exactly — including after a worker SIGKILLs
+  itself mid-run and its leases are reassigned, and through a real
+  ``serve-worker`` TCP attachment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ProtocolError,
+    export_fleet,
+    export_fleet_blocks,
+    export_fleet_distributed,
+    fleet_digest,
+    parse_endpoint,
+    serve_worker,
+    verify_manifest,
+)
+from repro.engine.distributed import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    recv_frame,
+    send_frame,
+)
+
+SEPT_2010 = 2010.667
+SEED = 20110611
+SIZE = 20_000  # five RNG blocks
+
+
+@pytest.fixture(scope="module")
+def golden(tmp_path_factory, paper_generator):
+    """The single-process block-layout export every distributed run must equal."""
+    out = tmp_path_factory.mktemp("golden-dist")
+    result = export_fleet_blocks(
+        paper_generator, SEPT_2010, SIZE, SEED, str(out),
+        shards=1, checkpoint_every=0, quantiles=True,
+    )
+    return out, result
+
+
+def _payload_bytes(out_dir, manifest) -> bytes:
+    payload = b""
+    for segment in manifest.segments:
+        with open(os.path.join(str(out_dir), segment.path), "rb") as handle:
+            payload += handle.read()
+    return payload
+
+
+class TestFraming:
+    def test_round_trip(self):
+        a, b = socket.socketpair()
+        with a, b:
+            send_frame(a, {"type": "hello", "n": 7})
+            assert recv_frame(b) == {"type": "hello", "n": 7}
+
+    def test_clean_eof_between_frames_is_none(self):
+        a, b = socket.socketpair()
+        with b:
+            a.close()
+            assert recv_frame(b) is None
+
+    def test_torn_header_raises(self):
+        a, b = socket.socketpair()
+        with b:
+            a.sendall(b"\x00\x00")  # half a length prefix
+            a.close()
+            with pytest.raises(ProtocolError, match="torn frame"):
+                recv_frame(b)
+
+    def test_torn_body_raises(self):
+        a, b = socket.socketpair()
+        with b:
+            a.sendall(struct.pack(">I", 100) + b'{"type":')
+            a.close()
+            with pytest.raises(ProtocolError, match="torn frame"):
+                recv_frame(b)
+
+    def test_oversized_frame_rejected_without_reading_it(self):
+        a, b = socket.socketpair()
+        with a, b:
+            a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError, match="oversized"):
+                recv_frame(b)
+
+    def test_zero_length_frame_rejected(self):
+        a, b = socket.socketpair()
+        with a, b:
+            a.sendall(struct.pack(">I", 0))
+            with pytest.raises(ProtocolError, match="empty frame"):
+                recv_frame(b)
+
+    def test_non_json_body_rejected(self):
+        a, b = socket.socketpair()
+        with a, b:
+            a.sendall(struct.pack(">I", 4) + b"port")
+            with pytest.raises(ProtocolError, match="not valid JSON"):
+                recv_frame(b)
+
+    def test_non_object_body_rejected(self):
+        a, b = socket.socketpair()
+        with a, b:
+            a.sendall(struct.pack(">I", 2) + b"[]")
+            with pytest.raises(ProtocolError, match="JSON object"):
+                recv_frame(b)
+
+    def test_send_refuses_oversized_payload(self):
+        a, b = socket.socketpair()
+        with a, b:
+            with pytest.raises(ProtocolError, match="oversized"):
+                send_frame(a, {"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+
+class TestParseEndpoint:
+    def test_valid(self):
+        assert parse_endpoint("worker-3.example:7070") == ("worker-3.example", 7070)
+
+    @pytest.mark.parametrize(
+        "spec", ["nohost", ":9", "host:", "host:zero", "host:0", "host:70000"]
+    )
+    def test_invalid(self, spec):
+        with pytest.raises(ValueError, match="endpoint"):
+            parse_endpoint(spec)
+
+
+class TestDistributedByteIdentity:
+    def test_matches_single_process_exports(self, tmp_path, paper_generator, golden):
+        golden_dir, golden_result = golden
+        out = tmp_path / "dist"
+        result = export_fleet_distributed(
+            paper_generator, SEPT_2010, SIZE, SEED, str(out),
+            workers=2, lease_blocks=2, quantiles=True,
+        )
+        # manifest byte-identical to the single-process block layout
+        assert result.manifest.to_json() == golden_result.manifest.to_json()
+        assert _payload_bytes(out, result.manifest) == _payload_bytes(
+            golden_dir, golden_result.manifest
+        )
+        assert verify_manifest(str(out / "manifest.json")).ok
+        # payload/fleet digests equal the classic per-shard export too
+        shard_dir = tmp_path / "shard"
+        shard_manifest = export_fleet(
+            paper_generator, SEPT_2010, SIZE, SEED, str(shard_dir), shards=1
+        )
+        assert result.manifest.payload_sha256 == shard_manifest.payload_sha256
+        assert result.manifest.fleet_sha256 == shard_manifest.fleet_sha256
+        assert result.manifest.fleet_sha256 == fleet_digest(
+            paper_generator, SEPT_2010, SIZE, SEED
+        )
+        assert result.workers == 2
+
+    def test_statistics_bit_identical_across_worker_counts(
+        self, tmp_path, paper_generator
+    ):
+        """Lease partitioning, not worker placement, fixes the merge order."""
+        runs = []
+        for workers in (1, 3):
+            out = tmp_path / f"w{workers}"
+            runs.append(
+                export_fleet_distributed(
+                    paper_generator, SEPT_2010, SIZE, SEED, str(out),
+                    workers=workers, lease_blocks=2, quantiles=True,
+                )
+            )
+        first, second = (run.statistics for run in runs)
+        assert first.moments.means() == second.moments.means()
+        assert first.moments.stds() == second.moments.stds()
+        np.testing.assert_array_equal(
+            first.correlation.matrix().values, second.correlation.matrix().values
+        )
+        assert first.quantiles.to_state() == second.quantiles.to_state()
+
+    def test_statistics_agree_with_sharded_reduction(self, tmp_path, paper_generator):
+        from repro.engine import generate_sharded
+
+        result = export_fleet_distributed(
+            paper_generator, SEPT_2010, SIZE, SEED, str(tmp_path / "d"), workers=2
+        )
+        sharded = generate_sharded(paper_generator, SEPT_2010, SIZE, SEED, shards=1)
+        for label, mean in result.statistics.moments.means().items():
+            assert mean == pytest.approx(sharded.moments.means()[label], rel=1e-9)
+        delta = result.statistics.correlation.matrix().max_abs_difference(
+            sharded.correlation.matrix()
+        )
+        assert delta < 1e-9
+
+    def test_empty_fleet(self, tmp_path, paper_generator):
+        result = export_fleet_distributed(
+            paper_generator, SEPT_2010, 0, SEED, str(tmp_path), workers=2
+        )
+        assert result.manifest.segments == ()
+        assert verify_manifest(str(tmp_path / "manifest.json")).ok
+
+
+class TestWorkerFailure:
+    def test_sigkilled_worker_blocks_are_reassigned(
+        self, tmp_path, paper_generator, golden
+    ):
+        """One worker SIGKILLs itself mid-run; the export must not change."""
+        golden_dir, golden_result = golden
+        out = tmp_path / "killed"
+        result = export_fleet_distributed(
+            paper_generator, SEPT_2010, SIZE, SEED, str(out),
+            workers=2, lease_blocks=1, quantiles=True, fault_after=1,
+        )
+        assert result.reassigned_leases >= 1
+        assert result.manifest.to_json() == golden_result.manifest.to_json()
+        assert _payload_bytes(out, result.manifest) == _payload_bytes(
+            golden_dir, golden_result.manifest
+        )
+        assert verify_manifest(str(out / "manifest.json")).ok
+
+    def test_lone_worker_death_fails_loudly(self, tmp_path, paper_generator):
+        with pytest.raises(RuntimeError, match="workers died"):
+            export_fleet_distributed(
+                paper_generator, SEPT_2010, SIZE, SEED, str(tmp_path),
+                workers=1, lease_blocks=1, fault_after=1,
+            )
+        assert not (tmp_path / "manifest.json").exists()
+
+
+def _fake_worker(listener, behaviour):
+    """Accept one coordinator connection and run ``behaviour(sock, job)``."""
+    conn, _ = listener.accept()
+    try:
+        send_frame(conn, {"type": "hello", "protocol": PROTOCOL_VERSION})
+        job = recv_frame(conn)
+        behaviour(conn, job)
+    finally:
+        conn.close()
+
+
+def _serving(behaviour):
+    """A listening fake worker; returns ``(port, thread)``."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+
+    def run():
+        try:
+            _fake_worker(listener, behaviour)
+        finally:
+            listener.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return port, thread
+
+
+class TestProtocolFailureHandling:
+    def _export(self, paper_generator, tmp_path, port):
+        return export_fleet_distributed(
+            paper_generator, SEPT_2010, SIZE, SEED, str(tmp_path),
+            workers=0, connect=[("127.0.0.1", port)],
+            lease_blocks=2, worker_timeout=30.0,
+        )
+
+    def test_version_mismatched_reducer_state_retires_the_worker(
+        self, tmp_path, paper_generator
+    ):
+        """A result whose ReducerSet payload has the wrong state_version is
+        rejected through from_state and the worker is dropped."""
+
+        def behaviour(conn, job):
+            import hashlib
+
+            send_frame(conn, {"type": "ready"})
+            assign = recv_frame(conn)
+            lo, hi = assign["block_lo"], assign["block_hi"]
+            # Self-consistent (empty) block entries, so validation gets all
+            # the way to ReducerSet.from_state before anything is rejected.
+            empty_sha = hashlib.sha256(b"").hexdigest()
+            send_frame(
+                conn,
+                {
+                    "type": "result",
+                    "block_lo": lo,
+                    "block_hi": hi,
+                    "blocks": [
+                        {"index": i, "sha256": empty_sha, "bytes": 0,
+                         "digest": "00" * 32, "data": ""}
+                        for i in range(lo, hi)
+                    ],
+                    "reducers": {
+                        "kind": "ReducerSet",
+                        "state_version": 999,
+                        "reducers": {},
+                    },
+                },
+            )
+            recv_frame(conn)  # wait for the coordinator to act
+
+        port, thread = _serving(behaviour)
+        with pytest.raises(RuntimeError, match="state version|workers died"):
+            self._export(paper_generator, tmp_path, port)
+        thread.join(timeout=10)
+
+    def test_rejected_result_requeues_lease_to_healthy_workers(
+        self, tmp_path, paper_generator, golden
+    ):
+        """A bad result must give its lease back: with a healthy worker
+        still alive, the export completes (regression: clearing the lease
+        before validation leaked it and hung the coordinator forever)."""
+        golden_dir, golden_result = golden
+
+        def behaviour(conn, job):
+            import hashlib
+
+            send_frame(conn, {"type": "ready"})
+            assign = recv_frame(conn)
+            lo, hi = assign["block_lo"], assign["block_hi"]
+            empty_sha = hashlib.sha256(b"").hexdigest()
+            send_frame(
+                conn,
+                {
+                    "type": "result",
+                    "block_lo": lo,
+                    "block_hi": hi,
+                    "blocks": [
+                        {"index": i, "sha256": empty_sha, "bytes": 0,
+                         "digest": "00" * 32, "data": ""}
+                        for i in range(lo, hi)
+                    ],
+                    "reducers": {"kind": "ReducerSet", "state_version": 999,
+                                 "reducers": {}},
+                },
+            )
+            recv_frame(conn)
+
+        port, thread = _serving(behaviour)
+        out = tmp_path / "healed"
+        result = export_fleet_distributed(
+            paper_generator, SEPT_2010, SIZE, SEED, str(out),
+            workers=1, connect=[("127.0.0.1", port)],
+            lease_blocks=2, quantiles=True,
+        )
+        thread.join(timeout=10)
+        assert result.reassigned_leases >= 1
+        assert result.manifest.to_json() == golden_result.manifest.to_json()
+        assert _payload_bytes(out, result.manifest) == _payload_bytes(
+            golden_dir, golden_result.manifest
+        )
+
+    def test_worker_dying_mid_block_requeues(self, tmp_path, paper_generator):
+        """Connection loss right after an assign must not hang the export."""
+
+        def behaviour(conn, job):
+            send_frame(conn, {"type": "ready"})
+            recv_frame(conn)  # take the assign, then die without a result
+
+        port, thread = _serving(behaviour)
+        with pytest.raises(RuntimeError, match="workers died"):
+            self._export(paper_generator, tmp_path, port)
+        thread.join(timeout=10)
+
+    def test_garbage_frame_retires_the_worker(self, tmp_path, paper_generator):
+        def behaviour(conn, job):
+            conn.sendall(struct.pack(">I", 3) + b"zzz")  # not JSON
+
+        port, thread = _serving(behaviour)
+        with pytest.raises(RuntimeError, match="workers died"):
+            self._export(paper_generator, tmp_path, port)
+        thread.join(timeout=10)
+
+    def test_wrong_protocol_version_hello_is_refused(
+        self, tmp_path, paper_generator
+    ):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def run():
+            conn, _ = listener.accept()
+            try:
+                send_frame(conn, {"type": "hello", "protocol": 999})
+                recv_frame(conn)
+            finally:
+                conn.close()
+                listener.close()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        with pytest.raises(RuntimeError, match="protocol"):
+            self._export(paper_generator, tmp_path, port)
+        thread.join(timeout=10)
+
+
+class TestServeWorker:
+    def test_tcp_attached_worker_produces_identical_export(
+        self, tmp_path, paper_generator, golden
+    ):
+        golden_dir, golden_result = golden
+        ports: "queue.Queue[int]" = queue.Queue()
+        thread = threading.Thread(
+            target=serve_worker,
+            kwargs={"port": 0, "on_bound": ports.put, "max_jobs": 1},
+            daemon=True,
+        )
+        thread.start()
+        port = ports.get(timeout=30)
+        out = tmp_path / "attached"
+        result = export_fleet_distributed(
+            paper_generator, SEPT_2010, SIZE, SEED, str(out),
+            workers=0, connect=[("127.0.0.1", port)],
+            lease_blocks=2, quantiles=True,
+        )
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert result.manifest.to_json() == golden_result.manifest.to_json()
+        assert _payload_bytes(out, result.manifest) == _payload_bytes(
+            golden_dir, golden_result.manifest
+        )
+        assert verify_manifest(str(out / "manifest.json")).ok
+
+    def test_mixed_local_and_attached_workers(self, tmp_path, paper_generator, golden):
+        _, golden_result = golden
+        ports: "queue.Queue[int]" = queue.Queue()
+        thread = threading.Thread(
+            target=serve_worker,
+            kwargs={"port": 0, "on_bound": ports.put, "max_jobs": 1},
+            daemon=True,
+        )
+        thread.start()
+        port = ports.get(timeout=30)
+        result = export_fleet_distributed(
+            paper_generator, SEPT_2010, SIZE, SEED, str(tmp_path),
+            workers=1, connect=[("127.0.0.1", port)],
+            lease_blocks=1, quantiles=True,
+        )
+        thread.join(timeout=30)
+        assert result.manifest.to_json() == golden_result.manifest.to_json()
+        assert result.workers == 2
+
+
+class TestWorkStealing:
+    def test_idle_worker_steals_the_oldest_straggler_lease(self):
+        """Scheduler unit: queue empty + aged straggler → speculative assign."""
+        from repro.engine.distributed import _Coordinator, _Remote
+
+        coordinator = _Coordinator(
+            job={"type": "job"}, leases=[(0, 2), (2, 4)], out_dir=".",
+            factories={}, size=16_384, worker_timeout=60.0, fault_after=None,
+        )
+        straggler_sock, _straggler_peer = socket.socketpair()
+        idle_sock, idle_peer = socket.socketpair()
+        with straggler_sock, _straggler_peer, idle_sock, idle_peer:
+            straggler = _Remote(straggler_sock, "slow", local=True)
+            straggler.state = "active"
+            straggler.lease = (0, 2)
+            straggler.lease_started = 0.0  # ancient — well past STEAL_AFTER
+            idle = _Remote(idle_sock, "fast", local=True)
+            idle.state = "active"
+            idle.idle = True
+            coordinator.remotes.extend([straggler, idle])
+            coordinator.pending.clear()
+            import time as _time
+
+            coordinator._steal(_time.monotonic())
+            assert idle.lease == (0, 2)
+            assert coordinator.reassigned == 1
+            assert recv_frame(idle_peer) == {
+                "type": "assign", "block_lo": 0, "block_hi": 2,
+            }
+
+    def test_steal_spreads_idle_workers_across_distinct_stragglers(self):
+        """One pass must not pile every idle worker onto the oldest lease."""
+        from repro.engine.distributed import _Coordinator, _Remote
+
+        coordinator = _Coordinator(
+            job={"type": "job"}, leases=[(0, 2), (2, 4)], out_dir=".",
+            factories={}, size=16_384, worker_timeout=60.0, fault_after=None,
+        )
+        socks = [socket.socketpair() for _ in range(4)]
+        try:
+            stragglers = []
+            for i, lease in enumerate([(0, 2), (2, 4)]):
+                remote = _Remote(socks[i][0], f"slow-{i}", local=True)
+                remote.state = "active"
+                remote.lease = lease
+                remote.lease_started = float(i)  # (0,2) is the oldest
+                stragglers.append(remote)
+            idlers = []
+            for i in range(2, 4):
+                remote = _Remote(socks[i][0], f"fast-{i}", local=True)
+                remote.state = "active"
+                remote.idle = True
+                idlers.append(remote)
+            coordinator.remotes.extend(stragglers + idlers)
+            coordinator.pending.clear()
+            import time as _time
+
+            coordinator._steal(_time.monotonic())
+            assert {idler.lease for idler in idlers} == {(0, 2), (2, 4)}
+            assert coordinator.reassigned == 2
+        finally:
+            for a, b in socks:
+                a.close()
+                b.close()
+
+    def test_duplicate_result_is_discarded(self):
+        """First result for a lease wins; a speculative duplicate is dropped."""
+        from repro.engine.distributed import _Coordinator, _Remote
+
+        coordinator = _Coordinator(
+            job={"type": "job"}, leases=[(0, 1)], out_dir=".",
+            factories={}, size=4_096, worker_timeout=60.0, fault_after=None,
+        )
+        sock, peer = socket.socketpair()
+        with sock, peer:
+            remote = _Remote(sock, "dup", local=True)
+            remote.state = "active"
+            remote.lease = (0, 1)
+            coordinator.remotes.append(remote)
+            coordinator.completed[(0, 1)] = {"records": [], "digests": [],
+                                             "reducers": None}
+            coordinator._handle_result(
+                remote, {"type": "result", "block_lo": 0, "block_hi": 1,
+                         "blocks": [], "reducers": {}},
+            )
+            # discarded without touching the stored result, worker kept alive
+            assert coordinator.completed[(0, 1)]["reducers"] is None
+            assert remote.alive and remote.lease is None
+
+
+class TestArgumentValidation:
+    def test_rejects_zero_workers_without_connect(self, tmp_path, paper_generator):
+        with pytest.raises(ValueError, match="at least one worker"):
+            export_fleet_distributed(
+                paper_generator, SEPT_2010, SIZE, SEED, str(tmp_path), workers=0
+            )
+
+    def test_rejects_unserialisable_generator(self, tmp_path):
+        class Opaque:
+            pass
+
+        with pytest.raises(ValueError, match="parameters"):
+            export_fleet_distributed(
+                Opaque(), SEPT_2010, SIZE, SEED, str(tmp_path), workers=1
+            )
+
+    def test_rejects_unregistered_wire_reducer(self, tmp_path, paper_generator):
+        from repro.engine import HistogramReducer
+
+        factories = {"hist": lambda: HistogramReducer("disk_gb", [0.0, 1.0])}
+        with pytest.raises(ValueError, match="cannot travel the wire"):
+            export_fleet_distributed(
+                paper_generator, SEPT_2010, SIZE, SEED, str(tmp_path),
+                workers=1, reducers=factories,
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lease_blocks": 0},
+            {"chunk_size": 0},
+            {"workers": -1},
+            {"worker_timeout": 0.0},
+        ],
+    )
+    def test_rejects_bad_numbers(self, tmp_path, paper_generator, kwargs):
+        with pytest.raises(ValueError):
+            export_fleet_distributed(
+                paper_generator, SEPT_2010, SIZE, SEED, str(tmp_path),
+                **{"workers": 1, **kwargs},
+            )
+
+
+class TestCliSubprocessCrashInjection:
+    def test_cli_distributed_export_survives_worker_sigkill(self, tmp_path):
+        """Mirror of test_resume's SIGKILL test: run the real CLI, have one
+        worker process die by SIGKILL mid-run, and demand a verified export
+        whose digests equal the single-process CLI export."""
+        import subprocess
+        import sys
+
+        import repro.engine.writer as writer
+
+        src = os.path.abspath(
+            os.path.join(os.path.dirname(writer.__file__), "..", "..")
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        single = tmp_path / "single"
+        dist = tmp_path / "dist"
+        subprocess.run(
+            [sys.executable, "-m", "repro", "fleet", "export",
+             "--size", str(SIZE), "--seed", str(SEED),
+             "--out-dir", str(single)],
+            env=env, check=True, capture_output=True, timeout=300,
+        )
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "fleet", "export",
+             "--size", str(SIZE), "--seed", str(SEED),
+             "--out-dir", str(dist), "--backend", "distributed",
+             "--workers", "2", "--lease-blocks", "1", "--fault-after", "1"],
+            env=env, check=True, capture_output=True, text=True, timeout=300,
+        )
+        assert "reassigned" in completed.stdout
+        verify = subprocess.run(
+            [sys.executable, "-m", "repro", "fleet", "verify",
+             str(dist / "manifest.json")],
+            env=env, check=True, capture_output=True, timeout=300,
+        )
+        assert b"OK" in verify.stdout
+        single_manifest = json.loads((single / "manifest.json").read_text())
+        dist_manifest = json.loads((dist / "manifest.json").read_text())
+        assert dist_manifest["payload_sha256"] == single_manifest["payload_sha256"]
+        assert dist_manifest["fleet_sha256"] == single_manifest["fleet_sha256"]

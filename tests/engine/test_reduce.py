@@ -60,6 +60,82 @@ class TestProtocol:
         assert list(as_chunk_stream(parts)) == parts
 
 
+class TestNonFinitePolicy:
+    """NaN/±inf inputs are rejected, never silently folded (the policy).
+
+    A single NaN through a Welford mean or co-moment poisons every
+    downstream statistic with no error surfacing anywhere; the engine's
+    policy is to reject at the fold with a ValueError naming the column,
+    and to refuse restoring state payloads that already carry the poison.
+    """
+
+    @pytest.mark.parametrize(
+        "factory",
+        [MomentAccumulator, CorrelationAccumulator, QuantileReducer,
+         ExactQuantileReducer],
+    )
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_update_rejects_non_finite_and_names_the_column(self, factory, bad):
+        reducer = factory()
+        chunk = {label: np.ones(4) for label in reducer.labels}
+        poisoned = next(iter(reducer.labels))
+        chunk[poisoned] = np.array([1.0, bad, 3.0, 4.0])
+        with pytest.raises(ValueError, match=poisoned):
+            reducer.update(chunk)
+        # the rejected chunk must not have half-folded anything
+        assert reducer.count == 0
+
+    def test_clean_columns_still_fold(self):
+        accumulator = MomentAccumulator()
+        accumulator.update({label: np.ones(3) for label in accumulator.labels})
+        assert accumulator.count == 3
+
+    @pytest.mark.parametrize("field", ["mean", "m2"])
+    def test_moment_from_state_rejects_non_finite(self, field):
+        from repro.stats.state import StateError
+
+        state = MomentAccumulator().update(
+            {label: np.ones(2) for label in MomentAccumulator().labels}
+        ).to_state()
+        state[field][0] = float("inf")
+        with pytest.raises(StateError, match="non-finite"):
+            MomentAccumulator.from_state(state)
+
+    @pytest.mark.parametrize("field", ["mean", "comoment"])
+    def test_correlation_from_state_rejects_non_finite(self, field):
+        from repro.stats.state import StateError
+
+        accumulator = CorrelationAccumulator()
+        accumulator.update(
+            {label: np.arange(3, dtype=float) for label in accumulator.labels}
+        )
+        state = accumulator.to_state()
+        if field == "mean":
+            state[field][0] = float("nan")
+        else:
+            state[field][0][0] = float("nan")
+        with pytest.raises(StateError, match="non-finite"):
+            CorrelationAccumulator.from_state(state)
+
+    def test_exact_quantile_from_state_rejects_non_finite(self):
+        from repro.stats.state import StateError
+
+        reducer = ExactQuantileReducer()
+        reducer.update({label: np.ones(2) for label in reducer.labels})
+        state = reducer.to_state()
+        state["data"][0][0] = float("nan")
+        with pytest.raises(StateError, match="non-finite"):
+            ExactQuantileReducer.from_state(state)
+
+    def test_histogram_from_state_rejects_non_finite_edges(self):
+        from repro.stats.state import StateError
+
+        state = HistogramReducer("cores", [0.0, 1.0, 2.0]).to_state()
+        state["edges"][-1] = float("inf")
+        with pytest.raises(StateError, match="non-finite"):
+            HistogramReducer.from_state(state)
+
+
 class TestQuantileReducers:
     def test_streamed_medians_match_batch(self, paper_generator, fleet):
         reducer = QuantileReducer()

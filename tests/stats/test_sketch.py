@@ -163,3 +163,34 @@ class TestECDFView:
         sketch = QuantileSketch().update([1.0, 2.0])
         with pytest.raises(ValueError, match="two ECDF points"):
             sketch.to_ecdf(n_points=1)
+
+
+class TestStateFiniteness:
+    """from_state must refuse payloads carrying non-finite centroids."""
+
+    def _state(self):
+        return QuantileSketch().update([1.0, 2.0, 3.0]).to_state()
+
+    def test_infinite_centroid_mean_rejected(self):
+        from repro.stats.state import StateError
+
+        state = self._state()
+        state["means"][0] = float("-inf")
+        with pytest.raises(StateError, match="finite"):
+            QuantileSketch.from_state(state)
+
+    def test_infinite_centroid_weight_rejected(self):
+        from repro.stats.state import StateError
+
+        state = self._state()
+        state["weights"][0] = float("inf")
+        with pytest.raises(StateError, match="finite"):
+            QuantileSketch.from_state(state)
+
+    def test_nan_weight_rejected(self):
+        from repro.stats.state import StateError
+
+        state = self._state()
+        state["weights"][0] = float("nan")
+        with pytest.raises(StateError, match="finite|weights"):
+            QuantileSketch.from_state(state)

@@ -1,0 +1,68 @@
+"""The bench artifact must stay valid JSON even on ~0-second timings."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def bench():
+    path = os.path.join(
+        os.path.dirname(__file__), "..", "benchmarks", "bench_engine_scale.py"
+    )
+    spec = importlib.util.spec_from_file_location("bench_engine_scale", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestJsonSafe:
+    def test_non_finite_rates_become_null(self, bench):
+        payload = {
+            "paths": {
+                "streamed": {"seconds": 0.0, "hosts_per_second": float("inf")},
+                "sharded": {"seconds": 1.0, "hosts_per_second": 1000.0},
+            },
+            "sharded_speedup": float("nan"),
+        }
+        safe = bench.json_safe(payload)
+        # must serialise under the strict flag the bench writer uses
+        text = json.dumps(safe, allow_nan=False)
+        parsed = json.loads(text)
+        assert parsed["paths"]["streamed"]["hosts_per_second"] is None
+        assert parsed["paths"]["sharded"]["hosts_per_second"] == 1000.0
+        assert parsed["sharded_speedup"] is None
+
+    def test_lists_and_scalars_pass_through(self, bench):
+        assert bench.json_safe([1, 2.5, "x", None]) == [1, 2.5, "x", None]
+        assert bench.json_safe(float("-inf")) is None
+
+    def test_report_rate_is_inf_safe_on_zero_elapsed(self, bench, capsys):
+        entry = bench._report("instant", 0.0, 1000)
+        capsys.readouterr()
+        assert entry["hosts_per_second"] == float("inf")
+        assert bench.json_safe(entry)["hosts_per_second"] is None
+
+
+class TestFleetStatisticsRate:
+    def test_zero_elapsed_is_inf_not_crash(self):
+        from repro.engine import FleetStatistics, ReducerSet
+
+        stats = FleetStatistics(
+            size=100, when=2010.0, shards=1, reducers=ReducerSet({}),
+            elapsed_seconds=0.0,
+        )
+        assert stats.hosts_per_second == float("inf")
+
+    def test_tiny_elapsed_is_finite(self):
+        from repro.engine import FleetStatistics, ReducerSet
+
+        stats = FleetStatistics(
+            size=100, when=2010.0, shards=1, reducers=ReducerSet({}),
+            elapsed_seconds=1e-9,
+        )
+        assert stats.hosts_per_second == pytest.approx(1e11)

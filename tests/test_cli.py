@@ -304,6 +304,98 @@ class TestFleetResumableExport:
         assert "checkpoint-every" in capsys.readouterr().err
 
 
+class TestFleetExportForce:
+    def test_export_into_non_empty_dir_refused(self, tmp_path, capsys):
+        out_dir = tmp_path / "reuse"
+        assert main(["fleet", "export", "--size", "5000",
+                     "--out-dir", str(out_dir)]) == 0
+        capsys.readouterr()
+        assert main(["fleet", "export", "--size", "9000",
+                     "--out-dir", str(out_dir)]) == 2
+        err = capsys.readouterr().err
+        assert "not empty" in err and "--force" in err
+        # the stale export was not touched
+        assert main(["fleet", "verify", str(out_dir / "manifest.json")]) == 0
+
+    def test_force_overwrites(self, tmp_path, capsys):
+        out_dir = tmp_path / "forced"
+        assert main(["fleet", "export", "--size", "5000",
+                     "--out-dir", str(out_dir)]) == 0
+        capsys.readouterr()
+        assert main(["fleet", "export", "--size", "5000",
+                     "--out-dir", str(out_dir), "--force"]) == 0
+        capsys.readouterr()
+        assert main(["fleet", "verify", str(out_dir / "manifest.json")]) == 0
+
+    def test_resume_does_not_need_force(self, tmp_path, capsys):
+        out_dir = tmp_path / "resumable"
+        with pytest.raises(RuntimeError, match="injected fault"):
+            main(["fleet", "export", "--size", "9000", "--out-dir", str(out_dir),
+                  "--checkpoint-every", "1", "--fault-after", "1"])
+        capsys.readouterr()
+        assert main(["fleet", "export", "--resume",
+                     "--out-dir", str(out_dir)]) == 0
+
+
+class TestFleetDistributedCli:
+    def test_distributed_export_matches_single_process(self, tmp_path, capsys):
+        single_dir = tmp_path / "single"
+        dist_dir = tmp_path / "dist"
+        assert main(["fleet", "export", "--size", "9000", "--seed", "7",
+                     "--out-dir", str(single_dir)]) == 0
+        capsys.readouterr()
+        assert main(["fleet", "export", "--size", "9000", "--seed", "7",
+                     "--out-dir", str(dist_dir),
+                     "--backend", "distributed", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "distributed: 2 worker(s)" in out
+        assert main(["fleet", "verify", str(dist_dir / "manifest.json")]) == 0
+        single = json.loads((single_dir / "manifest.json").read_text())
+        dist = json.loads((dist_dir / "manifest.json").read_text())
+        assert dist["payload_sha256"] == single["payload_sha256"]
+        assert dist["fleet_sha256"] == single["fleet_sha256"]
+
+    @pytest.mark.parametrize(
+        "argv, match",
+        [
+            (["--backend", "distributed", "--workers", "-1"], "--workers"),
+            (["--backend", "distributed", "--lease-blocks", "0"],
+             "--lease-blocks"),
+            (["--backend", "distributed", "--workers", "0"], "--connect"),
+            (["--backend", "distributed", "--connect", "nohost"], "endpoint"),
+            (["--backend", "distributed", "--connect", "host:0"], "endpoint"),
+            (["--backend", "distributed", "--format", "npz"], "csv"),
+            (["--backend", "distributed", "--resume"], "--resume"),
+            (["--backend", "distributed", "--checkpoint-every", "2"],
+             "--checkpoint-every"),
+            (["--connect", "host:1"], "--backend"),
+            (["--checkpoint-every", "-1"], "--checkpoint-every"),
+        ],
+    )
+    def test_distributed_flag_validation_exits_2(self, tmp_path, capsys, argv, match):
+        base = ["fleet", "export", "--size", "100",
+                "--out-dir", str(tmp_path / "x")]
+        assert main(base + argv) == 2
+        err = capsys.readouterr().err
+        assert match in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize(
+        "argv, match",
+        [
+            (["fleet", "serve-worker", "--port", "0"], "--port"),
+            (["fleet", "serve-worker", "--port", "-7"], "--port"),
+            (["fleet", "serve-worker", "--port", "70000"], "--port"),
+            (["fleet", "serve-worker", "--port", "7070", "--max-jobs", "0"],
+             "--max-jobs"),
+        ],
+    )
+    def test_serve_worker_validation_exits_2(self, capsys, argv, match):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert match in err and "must be" in err
+
+
 class TestTraceAndFit:
     def test_trace_file_written(self, trace_file):
         assert trace_file.exists()
