@@ -242,6 +242,19 @@ def main(argv: "list[str] | None" = None) -> int:
         )
         failures += 1
 
+    # Before/after-comparable totals: one number per concern so two runs
+    # of this script (e.g. a PR and its baseline) diff at a glance
+    # without re-deriving sums from the per-path entries.
+    totals = {
+        "export_wall_seconds": paths["sharded_export"]["seconds"],
+        "checkpointed_export_wall_seconds": paths["checkpointed_export"]["seconds"],
+        "all_paths_wall_seconds": sum(p["seconds"] for p in paths.values()),
+    }
+    print(
+        f"  totals: export {totals['export_wall_seconds']:.2f} s, "
+        f"all paths {totals['all_paths_wall_seconds']:.2f} s"
+    )
+
     if args.json:
         payload = {
             "benchmark": "engine_scale",
@@ -251,6 +264,7 @@ def main(argv: "list[str] | None" = None) -> int:
             "seed": args.seed,
             "cpus": os.cpu_count(),
             "paths": paths,
+            "totals": totals,
             "sharded_speedup": speedup,
             "export_segments": len(manifest.segments),
             "checkpoint_every": args.checkpoint_every,

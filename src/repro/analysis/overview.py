@@ -118,15 +118,18 @@ def streamed_resource_overview(
     the per-date host counts (a trace's pre-filter active count differs
     from the reduced count); by default the reducer's count is used.
     """
-    from repro.engine.accumulate import MomentAccumulator
-    from repro.engine.reduce import as_chunk_stream
+    from repro.engine.reduce import as_chunk_stream, stream_profile_factories
 
+    # Factory construction hoisted out of the per-date loop (see the
+    # factory-hoisting note in repro.engine.reduce) — one binding of the
+    # shared profile, one fresh reducer per date.
+    moments_factory = stream_profile_factories()["moments"]
     dates: "list[float]" = []
     counts: "list[int]" = []
     means = {label: [] for label in RESOURCE_LABELS}
     stds = {label: [] for label in RESOURCE_LABELS}
     for when, source in dated_sources:
-        moments = MomentAccumulator(RESOURCE_LABELS)
+        moments = moments_factory()
         for chunk in as_chunk_stream(source):
             moments.update(chunk)
         dates.append(float(when))

@@ -179,12 +179,12 @@ def streamed_distribution(
     KS family selection needs raw samples and is therefore not part of the
     streamed profile (``ks_selection`` is ``None``).
     """
-    from repro.engine.accumulate import MomentAccumulator
     from repro.engine.reduce import (
         ECDFReducer,
         HistogramReducer,
-        QuantileReducer,
+        ReducerSet,
         as_chunk_stream,
+        stream_profile_factories,
     )
     from repro.stats.sketch import DEFAULT_COMPRESSION
 
@@ -202,15 +202,24 @@ def streamed_distribution(
         )
 
     transform = _positive_log10 if log10 else None
-    moments = MomentAccumulator((label,))
-    quantiles = QuantileReducer((label,), compression=compression)
+    # Moments + quantiles come from the hoisted shared profile (see the
+    # factory-hoisting note in repro.engine.reduce); only the histogram
+    # and CDF reducers are inherently per-call (edges and transform are
+    # arguments).  Driving all four as one ReducerSet shares each chunk's
+    # column normalisation between them.
+    profile = stream_profile_factories((label,), compression, correlation=False)
     histogram = HistogramReducer(label, edges, transform=transform)
     cdf = ECDFReducer(label, compression=compression, transform=transform)
+    bundle = ReducerSet(
+        {
+            **{name: factory() for name, factory in profile.items()},
+            "histogram": histogram,
+            "cdf": cdf,
+        }
+    )
     for chunk in as_chunk_stream(chunks):
-        moments.update(chunk)
-        quantiles.update(chunk)
-        histogram.update(chunk)
-        cdf.update(chunk)
+        bundle.update(chunk)
+    moments, quantiles = bundle["moments"], bundle["quantiles"]
 
     centres, density = histogram.result()
     return ResourceDistribution(

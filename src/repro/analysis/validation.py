@@ -128,21 +128,26 @@ def compare_streams(
     one-chunk stream, making this a drop-in for moderately sized pools
     too.
     """
-    from repro.engine.accumulate import CorrelationAccumulator, MomentAccumulator
-    from repro.engine.reduce import QuantileReducer, as_chunk_stream
+    from repro.engine.reduce import (
+        ReducerSet,
+        as_chunk_stream,
+        stream_profile_factories,
+    )
 
+    # Hoisted, memoised factory construction (see the factory-hoisting
+    # note in repro.engine.reduce): per call we only instantiate fresh
+    # reducers from the shared profile, and driving them as one
+    # ReducerSet lets them share each chunk's column normalisation.
+    factories = stream_profile_factories(RESOURCE_LABELS, compression)
     sides = {}
     for name, source in (("actual", actual), ("generated", generated)):
-        moments = MomentAccumulator(RESOURCE_LABELS)
-        correlation = CorrelationAccumulator()
-        quantiles = QuantileReducer(RESOURCE_LABELS, compression=compression)
+        reducers = ReducerSet.from_factories(factories)
         for chunk in as_chunk_stream(source):
-            moments.update(chunk)
-            correlation.update(chunk)
-            quantiles.update(chunk)
+            reducers.update(chunk)
+        moments = reducers["moments"]
         if moments.count < 2:
             raise ValueError(f"{name} pool needs at least two hosts")
-        sides[name] = (moments, correlation, quantiles)
+        sides[name] = (moments, reducers["correlation"], reducers["quantiles"])
 
     a_moments, a_corr, a_quant = sides["actual"]
     g_moments, g_corr, g_quant = sides["generated"]

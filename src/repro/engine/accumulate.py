@@ -34,26 +34,8 @@ from repro.stats.state import (
 )
 
 
-def as_matrix(source, labels: "tuple[str, ...]") -> np.ndarray:
-    """Stack a population or ``{label: column}`` dict into an ``(n, k)`` array.
-
-    The shared chunk-normalisation step of every reducer in
-    :mod:`repro.engine.reduce`; accepts the same chunk types ``update``
-    does.
-
-    Non-finite entries are **rejected** with a :class:`ValueError` naming
-    the offending column(s).  This is the engine's NaN/±inf policy: a
-    single NaN folded into a Welford mean or co-moment poisons every
-    statistic downstream without any error surfacing, and a skip-silently
-    policy would make shard counts disagree.  Consumers with data that
-    legitimately contains holes must filter or impute *before* the fold
-    (as :class:`~repro.engine.reduce.HistogramReducer` and
-    :class:`~repro.engine.reduce.ECDFReducer` do for their own columns).
-    """
-    if isinstance(source, HostPopulation):
-        columns = [source.column(label) for label in labels]
-    else:
-        columns = [np.asarray(source[label], dtype=float) for label in labels]
+def _stack_columns(columns, labels: "tuple[str, ...]") -> np.ndarray:
+    """Validate shapes, stack into ``(n, k)`` and apply the NaN/±inf policy."""
     length = columns[0].size
     for label, column in zip(labels, columns):
         if column.ndim != 1 or column.size != length:
@@ -73,6 +55,112 @@ def as_matrix(source, labels: "tuple[str, ...]") -> np.ndarray:
             "before folding"
         )
     return data
+
+
+class ColumnCache:
+    """A chunk wrapper memoising column extraction and matrix stacking.
+
+    :meth:`~repro.engine.reduce.ReducerSet.update` fans one chunk out to
+    several reducers, and before this cache existed each member re-sliced
+    its columns, re-stacked its matrix and re-ran the finiteness scan over
+    the same block — the moment and correlation reducers alone paid the
+    derived ``mem_per_core`` division and the ``isfinite`` pass twice per
+    chunk.  Wrapping the chunk once makes those per-label and per-label-
+    tuple computations shared: columns (including derived ones) are
+    extracted once, and :func:`as_matrix` results are cached per label
+    tuple, so adding reducers to a set no longer multiplies the chunk
+    normalisation cost.
+
+    The wrapper quacks like the ``{label: column}`` dict chunks every
+    reducer already accepts (``chunk[label]``), so it needs no special
+    handling outside :func:`as_matrix`.  It must only wrap chunks that are
+    not mutated afterwards — populations are frozen and the engine's block
+    streams are single-use, which is why :class:`ReducerSet` applies it
+    internally rather than asking callers to.
+    """
+
+    __slots__ = ("source", "_columns", "_matrices")
+
+    def __init__(self, source: "HostPopulation | dict"):
+        if isinstance(source, ColumnCache):  # pragma: no cover - defensive
+            source = source.source
+        self.source = source
+        self._columns: "dict[str, np.ndarray]" = {}
+        self._matrices: "dict[tuple[str, ...], np.ndarray]" = {}
+
+    def __getitem__(self, label: str) -> np.ndarray:
+        column = self._columns.get(label)
+        if column is None:
+            if isinstance(self.source, HostPopulation):
+                column = self.source.column(label)
+            else:
+                column = np.asarray(self.source[label], dtype=float)
+            self._columns[label] = column
+        return column
+
+    #: Population-style access, so reducers written against either chunk
+    #: shape (``chunk[label]`` or ``chunk.column(label)``) see through it.
+    column = __getitem__
+
+    def __len__(self) -> int:
+        if isinstance(self.source, HostPopulation):
+            return len(self.source)
+        for label in self.source:
+            return int(self[label].size)
+        return 0
+
+    # Dict duck-typing: custom reducers written against the ``{label:
+    # column}`` chunk shape may probe membership or iterate labels, and
+    # without these Python's legacy fallback would forward integer
+    # indices into __getitem__ and raise a bogus KeyError.
+    def __contains__(self, label: object) -> bool:
+        if isinstance(self.source, HostPopulation):
+            return label == "mem_per_core" or label in RESOURCE_LABELS
+        return label in self.source
+
+    def __iter__(self):
+        if isinstance(self.source, HostPopulation):
+            return iter(CORRELATION_LABELS)
+        return iter(self.source)
+
+    def keys(self):
+        """The chunk's labels (derived columns included for populations)."""
+        return list(self)
+
+    def matrix(self, labels: "tuple[str, ...]") -> np.ndarray:
+        """The (cached) :func:`as_matrix` stack for one label tuple."""
+        data = self._matrices.get(labels)
+        if data is None:
+            data = _stack_columns([self[label] for label in labels], labels)
+            self._matrices[labels] = data
+        return data
+
+
+def as_matrix(source, labels: "tuple[str, ...]") -> np.ndarray:
+    """Stack a population or ``{label: column}`` dict into an ``(n, k)`` array.
+
+    The shared chunk-normalisation step of every reducer in
+    :mod:`repro.engine.reduce`; accepts the same chunk types ``update``
+    does, plus the memoising :class:`ColumnCache` wrapper
+    :class:`~repro.engine.reduce.ReducerSet` applies when fanning a chunk
+    out to several reducers.
+
+    Non-finite entries are **rejected** with a :class:`ValueError` naming
+    the offending column(s).  This is the engine's NaN/±inf policy: a
+    single NaN folded into a Welford mean or co-moment poisons every
+    statistic downstream without any error surfacing, and a skip-silently
+    policy would make shard counts disagree.  Consumers with data that
+    legitimately contains holes must filter or impute *before* the fold
+    (as :class:`~repro.engine.reduce.HistogramReducer` and
+    :class:`~repro.engine.reduce.ECDFReducer` do for their own columns).
+    """
+    if isinstance(source, ColumnCache):
+        return source.matrix(tuple(labels))
+    if isinstance(source, HostPopulation):
+        columns = [source.column(label) for label in labels]
+    else:
+        columns = [np.asarray(source[label], dtype=float) for label in labels]
+    return _stack_columns(columns, labels)
 
 
 class MomentAccumulator:

@@ -1,0 +1,194 @@
+"""Vectorised fixed-format CSV row encoding, byte-identical to ``np.savetxt``.
+
+Every fleet export path renders host rows with the printf format
+:data:`~repro.engine.writer.HOST_CSV_FMT` (``%d,%.1f,%.1f,%.1f,%.2f``).
+``np.savetxt`` applies that format one Python ``%`` call per row, which
+profiles as ~85 % of ``fleet export`` wall-clock — far more than generating
+the hosts.  :func:`encode_csv_rows` produces the *same bytes* in a handful
+of whole-column numpy passes: it computes every field's correctly-rounded
+scaled integer, lays the variable-width rows out with a cumulative-offset
+pass, and scatters digit characters straight into one ``uint8`` buffer.
+
+Byte identity is the hard constraint (export manifests pin payload sha256
+digests), and it hinges on exact rounding:
+
+* ``%.df`` prints the decimal expansion of the *binary* double, correctly
+  rounded to ``d`` fractional digits with ties to even.  That equals
+  round-half-even of the exact product ``x * 10**d`` — and on platforms
+  where ``np.longdouble`` carries a >= 60-bit mantissa the product of a
+  53-bit double with ``10`` or ``100`` (4 and 7 extra bits) is *exact* in
+  long double, so ``np.rint`` over long doubles reproduces printf's
+  rounding bit for bit.
+* ``%d`` truncates toward zero (``np.trunc``), and an integral ``0`` never
+  prints a sign even for negative inputs, while ``%.df`` signs anything
+  with the sign bit set (``-0.04`` → ``-0.0``).
+
+Inputs outside the fast path — non-finite values, magnitudes at or above
+:data:`FAST_PATH_LIMIT` (where scaled integers stop fitting comfortably in
+``int64`` and ``%.1f`` starts printing hundreds of digits), or a platform
+whose long double adds no precision — fall back to CPython's own ``%``
+formatting applied to whole chunks at once, which is identical by
+construction (it is the same code path ``np.savetxt`` uses, minus the
+per-row driver loop).
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+#: Magnitudes at or above this leave the vectorised path: the widest
+#: fast-path field scale (100, see :data:`_MAX_FAST_DECIMALS`) times this
+#: stays well inside int64, and the digit tables below cover every width
+#: that can occur underneath it.
+FAST_PATH_LIMIT = 1e15
+
+#: Fractional digits beyond this route the whole call to the fallback:
+#: the exactness argument (53-bit double times 10**d fits a >=60-bit
+#: long-double mantissa) holds for d <= 2, and larger scales would also
+#: push scaled integers toward int64 overflow below FAST_PATH_LIMIT.
+_MAX_FAST_DECIMALS = 2
+
+#: ``10**k`` for ``k`` in 1..18 — ``searchsorted`` against this gives the
+#: decimal digit count of any non-negative int64 below ``FAST_PATH_LIMIT``
+#: after scaling.
+_POW10 = 10 ** np.arange(1, 19, dtype=np.int64)
+
+#: Whether ``np.longdouble`` products of a double with 10/100 are exact
+#: (53 + 7 bits must fit the mantissa); x86 extended (64 bits) and IEEE
+#: quad (113 bits) qualify, double-double and plain-double builds do not.
+_EXACT_LONGDOUBLE = np.finfo(np.longdouble).nmant >= 60
+
+#: Rows encoded per fallback ``%`` call / per streaming write, bounding
+#: peak string memory without giving up whole-chunk formatting.
+_CHUNK_ROWS = 65536
+
+_SPEC_TOKEN = re.compile(r"^%(?:d|\.(\d+)f)$")
+
+
+def parse_row_format(fmt: str) -> "tuple[int | None, ...]":
+    """Decimal counts of a ``%d``/``%.Nf`` comma-joined row format.
+
+    Returns one entry per field: ``None`` for ``%d``, the fractional digit
+    count for ``%.Nf``.  Anything else is outside the encoder's contract
+    and raises ``ValueError`` (callers should fall back to ``np.savetxt``
+    for exotic formats rather than guess).
+    """
+    specs: "list[int | None]" = []
+    for token in fmt.split(","):
+        match = _SPEC_TOKEN.match(token)
+        if match is None:
+            raise ValueError(
+                f"unsupported row format token {token!r}; the vectorised "
+                "encoder handles %d and %.Nf fields"
+            )
+        specs.append(None if match.group(1) is None else int(match.group(1)))
+    return tuple(specs)
+
+
+def _encode_rows_fallback(matrix: np.ndarray, fmt: str) -> bytes:
+    """CPython ``%`` formatting applied whole chunks at a time.
+
+    Identical to ``np.savetxt`` output by construction — the same format
+    machinery runs over the same doubles — but one ``%`` call per
+    ``_CHUNK_ROWS`` rows instead of one per row.
+    """
+    pieces: "list[bytes]" = []
+    template_full = (fmt + "\n") * _CHUNK_ROWS
+    for lo in range(0, matrix.shape[0], _CHUNK_ROWS):
+        chunk = matrix[lo : lo + _CHUNK_ROWS]
+        template = (
+            template_full
+            if chunk.shape[0] == _CHUNK_ROWS
+            else (fmt + "\n") * chunk.shape[0]
+        )
+        pieces.append((template % tuple(chunk.ravel().tolist())).encode("ascii"))
+    return b"".join(pieces)
+
+
+def _scaled_fields(matrix: np.ndarray, specs) -> "list[tuple]":
+    """Per field: ``(negative mask, |int part|, |fraction|, digit count, width)``."""
+    fields = []
+    for j, decimals in enumerate(specs):
+        x = matrix[:, j]
+        if decimals is None:
+            value = np.trunc(x).astype(np.int64)
+            negative = value < 0  # an integral 0 prints unsigned
+            magnitude = np.abs(value)
+            int_part, fraction = magnitude, None
+            extra = 0
+        else:
+            scale = 10**decimals
+            # Exact in long double (53 + <=7 bits), so rint reproduces
+            # printf's correctly-rounded ties-to-even decimal.
+            scaled = np.rint(x.astype(np.longdouble) * scale).astype(np.int64)
+            negative = np.signbit(x)  # %.1f signs -0.04 as "-0.0"
+            magnitude = np.abs(scaled)
+            int_part, fraction = magnitude // scale, magnitude % scale
+            extra = decimals + 1  # "." plus the fixed fractional digits
+        digits = np.searchsorted(_POW10, int_part, side="right") + 1
+        width = digits + negative + extra
+        fields.append((negative, int_part, fraction, digits, width))
+    return fields
+
+
+def encode_csv_rows(matrix: "np.ndarray", fmt: str) -> bytes:
+    """Render ``matrix`` rows through ``fmt`` (+ ``\\n``), byte-identical
+    to ``np.savetxt(handle, matrix, fmt=fmt)``.
+
+    ``matrix`` must be a 2-D float array with one column per format field.
+    Finite, moderate values take the vectorised digit-scatter path; any
+    non-finite or huge value routes the whole call through the chunked
+    CPython fallback (still byte-identical, still far cheaper than the
+    per-row ``np.savetxt`` loop).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D row matrix, got shape {matrix.shape}")
+    specs = parse_row_format(fmt)
+    if matrix.shape[1] != len(specs):
+        raise ValueError(
+            f"matrix has {matrix.shape[1]} columns for {len(specs)} format fields"
+        )
+    if matrix.shape[0] == 0:
+        return b""
+    if (
+        not _EXACT_LONGDOUBLE
+        or any(d is not None and d > _MAX_FAST_DECIMALS for d in specs)
+        or not np.all(np.isfinite(matrix) & (np.abs(matrix) < FAST_PATH_LIMIT))
+    ):
+        return _encode_rows_fallback(matrix, fmt)
+
+    fields = _scaled_fields(matrix, specs)
+    widths = np.column_stack([field[4] for field in fields])
+    # Cumulative end offset of each field *including* its one-byte
+    # separator (',' between fields, '\n' after the last).
+    ends = np.cumsum(widths + 1, axis=1)
+    row_lengths = ends[:, -1].copy()
+    row_starts = np.concatenate(([0], np.cumsum(row_lengths)[:-1]))
+    ends += row_starts[:, None]
+
+    out = np.empty(int(row_lengths.sum()), dtype=np.uint8)
+    out[ends[:, :-1] - 1] = ord(",")
+    out[ends[:, -1] - 1] = ord("\n")
+    for j, decimals in enumerate(specs):
+        negative, int_part, fraction, digits, _ = fields[j]
+        last = ends[:, j] - 2  # last character of the field
+        if decimals is not None:
+            for k in range(decimals):
+                fraction, digit = np.divmod(fraction, 10)
+                out[last - k] = 48 + digit
+            last = last - decimals  # the decimal point's position
+            out[last] = ord(".")
+            last = last - 1  # ones digit of the integer part
+        for k in range(int(digits.max())):
+            int_part, digit = np.divmod(int_part, 10)
+            if k == 0:
+                out[last] = 48 + digit
+            else:
+                covered = digits > k
+                out[last[covered] - k] = 48 + digit[covered]
+        if negative.any():
+            out[(last - digits)[negative]] = ord("-")
+    return out.tobytes()

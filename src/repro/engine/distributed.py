@@ -63,7 +63,6 @@ from __future__ import annotations
 
 import base64
 import hashlib
-import io
 import json
 import os
 import signal
@@ -94,6 +93,7 @@ from repro.engine.streaming import (
     combine_block_digests,
     population_digest,
 )
+from repro.engine.csvfmt import encode_csv_rows
 from repro.engine.writer import (
     HOST_CSV_FMT,
     HOST_CSV_HEADER,
@@ -227,9 +227,7 @@ def parse_endpoint(spec: str) -> "tuple[str, int]":
 
 def _render_block_csv(block) -> bytes:
     """A block's CSV rows, byte-identical to every other export path."""
-    buffer = io.BytesIO()
-    np.savetxt(buffer, block.to_matrix(), fmt=HOST_CSV_FMT)
-    return buffer.getvalue()
+    return encode_csv_rows(block.to_matrix(), HOST_CSV_FMT)
 
 
 def _heartbeat_loop(send, stop: threading.Event, interval: float) -> None:

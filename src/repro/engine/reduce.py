@@ -23,15 +23,28 @@ versus "shard fan-out" differ only in who drives the fold:
 :class:`ReducerSet` bundles named reducers so callers (CLI, sharding,
 analysis) can plug in any combination; ``generate_sharded`` accepts the
 factory form and merges the per-shard sets.
+
+**Factory hoisting.**  Factories are zero-argument callables, so the
+*construction of the factory dict itself* (binding labels, compression,
+partials) should happen once — at module scope or behind
+:func:`stream_profile_factories` — not inside per-call/per-date loops.
+Entry points that fold many streams (``compare_streams``,
+``streamed_resource_overview``, the CLI fleet paths) share one hoisted
+factory dict and instantiate fresh reducers from it per stream via
+:meth:`ReducerSet.from_factories`; that keeps "which reducers run" a
+single construction site instead of N copies drifting apart, and makes
+the per-call cost one dict lookup.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache, partial
 from typing import Any, Callable, Iterable, Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.engine.accumulate import (
+    ColumnCache,
     CorrelationAccumulator,
     MomentAccumulator,
     as_matrix,
@@ -225,6 +238,13 @@ class ExactQuantileReducer:
         return self
 
     def _stacked(self) -> np.ndarray:
+        """The materialised sample, concatenated once and cached.
+
+        Collapsing ``_parts`` into a single array *is* the cache —
+        repeated ``result()``/``quantiles()``/``medians()`` calls between
+        updates reuse it without re-concatenating; ``update``/``merge``
+        appending a new part is what invalidates it.
+        """
         if not self._parts:
             raise ValueError("cannot query an empty reducer")
         if len(self._parts) > 1:
@@ -280,31 +300,31 @@ class ExactQuantileReducer:
         probs = np.asarray(q, dtype=float)
         if not self._parts:
             return {label: np.full(probs.shape, np.nan) for label in self.labels}
-        data = self._stacked()
+        # One batched np.quantile over every column at once (same selection
+        # algorithm column-wise as per-column calls, ~k fewer passes).
+        values = np.quantile(self._stacked(), probs, axis=0)
         return {
-            label: np.quantile(data[:, i], probs)
-            for i, label in enumerate(self.labels)
+            label: np.asarray(values[..., i]) for i, label in enumerate(self.labels)
         }
 
     def medians(self) -> "dict[str, float]":
         """Exact median per column, matching :func:`np.median` (nan if empty)."""
         if not self._parts:
             return {label: float("nan") for label in self.labels}
-        data = self._stacked()
-        return {
-            label: float(np.median(data[:, i])) for i, label in enumerate(self.labels)
-        }
+        values = np.median(self._stacked(), axis=0)
+        return {label: float(values[i]) for i, label in enumerate(self.labels)}
 
     def result(self) -> "dict[str, dict[float, float]]":
         """Deciles per column, same shape as :meth:`QuantileReducer.result`."""
-        out: "dict[str, dict[float, float]]" = {}
-        for i, label in enumerate(self.labels):
-            if not self._parts:
-                out[label] = {p: float("nan") for p in DECILES}
-                continue
-            values = np.quantile(self._stacked()[:, i], np.asarray(DECILES))
-            out[label] = {p: float(v) for p, v in zip(DECILES, values)}
-        return out
+        if not self._parts:
+            return {
+                label: {p: float("nan") for p in DECILES} for label in self.labels
+            }
+        values = np.quantile(self._stacked(), np.asarray(DECILES), axis=0)
+        return {
+            label: {p: float(v) for p, v in zip(DECILES, values[:, i])}
+            for i, label in enumerate(self.labels)
+        }
 
 
 def _transform_fingerprint(transform) -> "tuple | None":
@@ -586,6 +606,11 @@ class ReducerSet:
         return cls({name: factory() for name, factory in factories.items()})
 
     def update(self, chunk: "HostPopulation | dict") -> "ReducerSet":
+        # One ColumnCache per chunk: members share column extraction,
+        # matrix stacking and the finiteness scan instead of each
+        # re-normalising the same block (see accumulate.ColumnCache).
+        if len(self._reducers) > 1 and not isinstance(chunk, ColumnCache):
+            chunk = ColumnCache(chunk)
         for reducer in self._reducers.values():
             reducer.update(chunk)
         return self
@@ -658,6 +683,36 @@ class ReducerSet:
 
     def __len__(self) -> int:
         return len(self._reducers)
+
+
+@lru_cache(maxsize=None)
+def stream_profile_factories(
+    labels: "tuple[str, ...]" = RESOURCE_LABELS,
+    compression: int = DEFAULT_COMPRESSION,
+    correlation: bool = True,
+) -> "dict[str, ReducerFactory]":
+    """The hoisted factory dict the streamed analysis entry points share.
+
+    One construction site for the moments + quantiles (+ correlation)
+    profile every streamed comparison/overview folds through:
+    ``compare_streams``, ``streamed_distribution`` and friends used to
+    rebuild these factory bindings on every call (and per loop iteration)
+    — now they fetch the memoised dict and only pay
+    :meth:`ReducerSet.from_factories` per stream.  See the module
+    docstring's *factory hoisting* note before adding another
+    per-call construction.
+
+    The returned dict is cached and shared — treat it as frozen; copy
+    before mutating (as :func:`~repro.engine.sharding._resolve_factories`
+    does with the default set).
+    """
+    factories: "dict[str, ReducerFactory]" = {
+        "moments": partial(MomentAccumulator, tuple(labels)),
+        "quantiles": partial(QuantileReducer, tuple(labels), compression),
+    }
+    if correlation:
+        factories["correlation"] = CorrelationAccumulator
+    return factories
 
 
 #: State-payload ``kind`` → restoring class, for :func:`reducer_from_state`.

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import datetime as _dt
 import hashlib
+import io
 import json
 import os
 import time
@@ -55,6 +56,7 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from repro.engine.csvfmt import encode_csv_rows
 from repro.engine.reduce import ChunkedFold, ReducerFactory, ReducerSet
 from repro.engine.sharding import (
     FleetStatistics,
@@ -89,13 +91,38 @@ HOST_CSV_FMT = "%d,%.1f,%.1f,%.1f,%.2f"
 FORMATS = ("csv", "npz")
 
 
+#: Rows rendered per encoder call in :func:`write_population_csv` —
+#: bounds peak string memory and keeps each call's working set cache-sized.
+_CSV_WRITE_CHUNK = 65536
+
+
 def write_population_csv(population, handle) -> None:
-    """Append a population's rows to an open text handle (vectorised)."""
-    np.savetxt(handle, population.to_matrix(), fmt=HOST_CSV_FMT)
+    """Append a population's rows to an open text or binary handle.
+
+    Rendering goes through the vectorised
+    :func:`~repro.engine.csvfmt.encode_csv_rows` encoder — byte-identical
+    to the ``np.savetxt`` form this replaced (the export goldens pin it),
+    several times faster.
+    """
+    matrix = population.to_matrix()
+    text = isinstance(handle, io.TextIOBase) or (
+        not isinstance(handle, (io.RawIOBase, io.BufferedIOBase))
+        and getattr(handle, "encoding", None) is not None
+    )
+    for lo in range(0, matrix.shape[0], _CSV_WRITE_CHUNK):
+        data = encode_csv_rows(matrix[lo : lo + _CSV_WRITE_CHUNK], HOST_CSV_FMT)
+        handle.write(data.decode("ascii") if text else data)
 
 
 def _hash_file_into(path: str, *hashes) -> None:
-    """Stream a file through one or more hash objects in 1 MiB pieces."""
+    """Stream a file through one or more hash objects in 1 MiB pieces.
+
+    Verification-oriented: the write paths hash bytes *as they produce
+    them*, so this re-read only runs where a single hash must span bytes
+    several processes wrote (multi-shard payload digests), on resume
+    (checking blocks an interrupted run left behind) and in
+    :func:`verify_manifest`.
+    """
     with open(path, "rb") as handle:
         for piece in iter(lambda: handle.read(1 << 20), b""):
             for digest in hashes:
@@ -202,8 +229,6 @@ def _write_segment(payload: tuple):
     file_hash = hashlib.sha256()
 
     if fmt == "csv":
-        import io
-
         with open(path, "wb") as handle:
             for index in range(block_lo, block_hi):
                 lo = index * RNG_BLOCK_SIZE
@@ -213,11 +238,11 @@ def _write_segment(payload: tuple):
                     np.random.default_rng(seeds[index]),
                 )
                 digests.append((index, bytes.fromhex(population_digest(block))))
-                # Render through np.savetxt with the shared row format so
-                # segment bytes are identical to the CLI's sequential export.
-                buffer = io.BytesIO()
-                np.savetxt(buffer, block.to_matrix(), fmt=HOST_CSV_FMT)
-                data = buffer.getvalue()
+                # The vectorised encoder reproduces the historical
+                # np.savetxt bytes exactly, so segment bytes stay
+                # identical to the CLI's sequential export; hashing the
+                # in-memory data as it is written spares a re-read.
+                data = encode_csv_rows(block.to_matrix(), HOST_CSV_FMT)
                 handle.write(data)
                 file_hash.update(data)
     elif fmt == "npz":
@@ -282,20 +307,27 @@ def export_fleet(
         for shard, (lo, hi) in enumerate(ranges)
     ]
 
-    if len(payloads) == 1:
+    in_process = len(payloads) == 1
+    if in_process:
         results = [_write_segment(payloads[0])]
     else:
         with _pool_context(start_method).Pool(processes=len(payloads)) as pool:
             results = pool.map(_write_segment, payloads)
     results.sort(key=lambda item: item[0])
 
+    # The payload digest spans every segment's bytes in manifest order.
+    # With one segment it *is* that segment's digest (hashed as the bytes
+    # were written); only a multi-shard export needs the verify-style
+    # re-read, because a single sha256 cannot be assembled from the
+    # per-worker digests.
     payload_hash = hashlib.sha256()
     segments: "list[SegmentRecord]" = []
     all_digests: "list[tuple[int, bytes]]" = []
     for (shard, file_sha, digests), (lo, hi) in zip(results, ranges):
         name = _segment_name(shard, fmt)
         path = os.path.join(out_dir, name)
-        _hash_file_into(path, payload_hash)
+        if not in_process:
+            _hash_file_into(path, payload_hash)
         segments.append(
             SegmentRecord(
                 path=name,
@@ -320,7 +352,7 @@ def export_fleet(
         shards=len(ranges),
         block_size=RNG_BLOCK_SIZE,
         header=HOST_CSV_HEADER if fmt == "csv" else "",
-        payload_sha256=payload_hash.hexdigest(),
+        payload_sha256=segments[0].sha256 if in_process else payload_hash.hexdigest(),
         fleet_sha256=combine_block_digests(all_digests),
         segments=tuple(segments),
     )
@@ -402,42 +434,50 @@ def _generator_fingerprint(generator) -> "str | None":
     return hashlib.sha256(to_json().encode("utf-8")).hexdigest()
 
 
-def _write_block_file(path: str, block, fmt: str) -> "tuple[str, int]":
-    """Write one block's segment file; return ``(sha256 hex, byte size)``.
+def _write_block_file(path: str, block, fmt: str) -> "tuple[str, int, bytes]":
+    """Write one block's segment file; return ``(sha256 hex, size, bytes)``.
 
-    Module-level so the crash-injection tests can monkeypatch a fault in
-    (and so it pickles for the worker pool).
+    The block is rendered in memory first, so the digest (and the caller's
+    running payload hash) comes from the bytes as they are written rather
+    than a second read of the file.  Module-level so the crash-injection
+    tests can monkeypatch a fault in (and so it pickles for the worker
+    pool).
     """
     if fmt == "csv":
-        import io
-
-        buffer = io.BytesIO()
-        np.savetxt(buffer, block.to_matrix(), fmt=HOST_CSV_FMT)
-        data = buffer.getvalue()
-        with open(path, "wb") as handle:
-            handle.write(data)
-        return hashlib.sha256(data).hexdigest(), len(data)
-    if fmt == "npz":
+        data = encode_csv_rows(block.to_matrix(), HOST_CSV_FMT)
+    elif fmt == "npz":
         columns = {
             label: np.asarray(block.column(label), dtype=float)
             for label in RESOURCE_LABELS
         }
-        np.savez(path, **columns)
-        file_hash = hashlib.sha256()
-        _hash_file_into(path, file_hash)
-        return file_hash.hexdigest(), os.path.getsize(path)
-    raise ValueError(f"unknown segment format {fmt!r}; supported: {FORMATS}")
+        buffer = io.BytesIO()
+        np.savez(buffer, **columns)
+        data = buffer.getvalue()
+    else:
+        raise ValueError(f"unknown segment format {fmt!r}; supported: {FORMATS}")
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return hashlib.sha256(data).hexdigest(), len(data), data
 
 
-def _file_matches(path: str, record: SegmentRecord) -> bool:
-    """Does a file on disk still match its checkpointed segment record?"""
+def _read_matching_block(path: str, record: SegmentRecord) -> "bytes | None":
+    """A checkpointed block file's bytes, or ``None`` if it no longer
+    matches its segment record (missing, resized or hash-flipped).
+
+    Blocks are bounded at :data:`~repro.engine.streaming.RNG_BLOCK_SIZE`
+    rows, so reading one whole is cheap — and returning the verified bytes
+    lets the resuming worker fold them straight into its running payload
+    hash instead of hashing the file a second time.
+    """
     if not os.path.exists(path):
-        return False
+        return None
     if record.bytes >= 0 and os.path.getsize(path) != record.bytes:
-        return False
-    file_hash = hashlib.sha256()
-    _hash_file_into(path, file_hash)
-    return file_hash.hexdigest() == record.sha256
+        return None
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if hashlib.sha256(data).hexdigest() != record.sha256:
+        return None
+    return data
 
 
 def _generate_block(generator, when, size, seeds, index):
@@ -484,6 +524,10 @@ def _write_block_shard(payload: tuple):
     reducers = ReducerSet.from_factories(factories)
     records: "list[SegmentRecord]" = []
     digests: "list[tuple[int, bytes]]" = []
+    # Runs alongside the writes: sha256 over this shard's block bytes in
+    # block order.  For a single-shard run this *is* the manifest's
+    # payload digest, so the parent never re-reads the segments.
+    shard_payload = hashlib.sha256()
     start = block_lo
     restored = 0
 
@@ -494,7 +538,8 @@ def _write_block_shard(payload: tuple):
         ):
             record = SegmentRecord(**record_payload)
             path = os.path.join(out_dir, record.path)
-            if not _file_matches(path, record):
+            data = _read_matching_block(path, record)
+            if data is None:
                 block = _generate_block(generator, when, size, seeds, record.block_lo)
                 # Regeneration must reproduce the checkpointed rows exactly;
                 # failing fast here beats finishing an expensive resume
@@ -506,12 +551,13 @@ def _write_block_shard(payload: tuple):
                         f"checkpointed row digest; the resume environment "
                         "generates a different fleet than the interrupted run"
                     )
-                sha, nbytes = _write_block_file(path, block, fmt)
+                sha, nbytes, data = _write_block_file(path, block, fmt)
                 # Same rows, but the *file* may differ for npz (zip
                 # metadata is not byte-stable) — record what is on disk.
                 record = SegmentRecord(
                     **{**asdict(record), "sha256": sha, "bytes": nbytes}
                 )
+            shard_payload.update(data)
             records.append(record)
             digests.append((record.block_lo, bytes.fromhex(digest)))
         start = block_lo + len(records)
@@ -546,7 +592,8 @@ def _write_block_shard(payload: tuple):
     for index in range(start, block_hi):
         block = _generate_block(generator, when, size, seeds, index)
         name = _block_name(index, fmt)
-        sha, nbytes = _write_block_file(os.path.join(out_dir, name), block, fmt)
+        sha, nbytes, data = _write_block_file(os.path.join(out_dir, name), block, fmt)
+        shard_payload.update(data)
         records.append(
             SegmentRecord(
                 path=name,
@@ -572,7 +619,7 @@ def _write_block_shard(payload: tuple):
                 f"injected fault after {written} block(s) in shard {shard}"
             )
     fold.flush()
-    return shard, records, reducers, digests, restored
+    return shard, records, reducers, digests, restored, shard_payload.hexdigest()
 
 
 def export_fleet_blocks(
@@ -884,7 +931,8 @@ def _run_block_export(
     ]
 
     start = time.perf_counter()
-    if len(payloads) == 1:
+    in_process = len(payloads) == 1
+    if in_process:
         results = [_write_block_shard(payloads[0])]
     else:
         with _pool_context(start_method).Pool(processes=len(payloads)) as pool:
@@ -896,16 +944,23 @@ def _run_block_export(
     segments: "list[SegmentRecord]" = []
     all_digests: "list[tuple[int, bytes]]" = []
     resumed = 0
-    for _, shard_records, shard_reducers, shard_digests, restored in results:
+    for _, shard_records, shard_reducers, shard_digests, restored, _ in results:
         merged.merge(shard_reducers)
         segments.extend(shard_records)
         all_digests.extend(shard_digests)
         resumed += restored
     segments.sort(key=lambda record: record.block_lo)
 
-    payload_hash = hashlib.sha256()
-    for record in segments:
-        _hash_file_into(os.path.join(out_dir, record.path), payload_hash)
+    # A single shard's running payload digest covers the whole export;
+    # only a multi-shard run needs the verify-style re-read (one sha256
+    # cannot be stitched from per-worker digests).
+    if in_process:
+        payload_sha256 = results[0][5]
+    else:
+        payload_hash = hashlib.sha256()
+        for record in segments:
+            _hash_file_into(os.path.join(out_dir, record.path), payload_hash)
+        payload_sha256 = payload_hash.hexdigest()
 
     manifest = FleetManifest(
         version=plan["version"],
@@ -917,7 +972,7 @@ def _run_block_export(
         shards=len(ranges),
         block_size=plan["block_size"],
         header=HOST_CSV_HEADER if fmt == "csv" else "",
-        payload_sha256=payload_hash.hexdigest(),
+        payload_sha256=payload_sha256,
         fleet_sha256=combine_block_digests(all_digests),
         segments=tuple(segments),
         layout="block",

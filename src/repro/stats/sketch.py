@@ -54,7 +54,16 @@ class QuantileSketch:
         self.count = 0
         self._means = np.empty(0)
         self._weights = np.empty(0)
-        self._buffer: "list[tuple[np.ndarray, np.ndarray]]" = []
+        #: Pending unit-weight chunks; the matching weight vector is a
+        #: single ``np.ones`` materialised once per compression, not one
+        #: allocation per ``update`` call.
+        self._buffer: "list[np.ndarray]" = []
+        #: Pending single values (the scalar fast path skips array
+        #: construction entirely — a hot loop of per-host updates costs a
+        #: float append, not four numpy allocations).
+        self._scalars: "list[float]" = []
+        #: Pending weighted centroid sets folded in by :meth:`merge`.
+        self._weighted: "list[tuple[np.ndarray, np.ndarray]]" = []
         self._buffered = 0
         self._min = np.inf
         self._max = -np.inf
@@ -62,17 +71,34 @@ class QuantileSketch:
     # -- ingestion ---------------------------------------------------------
 
     def update(self, values: "np.ndarray | list[float] | float") -> "QuantileSketch":
-        """Fold a chunk of values into the sketch."""
-        data = np.atleast_1d(np.asarray(values, dtype=float)).ravel()
-        if data.size == 0:
-            return self
-        if not np.all(np.isfinite(data)):
-            raise ValueError("QuantileSketch requires finite values")
-        self._buffer.append((data, np.ones(data.size)))
-        self._buffered += data.size
-        self.count += data.size
-        self._min = min(self._min, float(data.min()))
-        self._max = max(self._max, float(data.max()))
+        """Fold a chunk of values (or one scalar) into the sketch.
+
+        The buffer flushes on *total buffered size* (values, not calls),
+        so a million one-value updates hold the same bounded memory as one
+        million-value update.
+        """
+        if isinstance(values, (float, int)) and not isinstance(values, bool):
+            value = float(values)
+            if not np.isfinite(value):
+                raise ValueError("QuantileSketch requires finite values")
+            self._scalars.append(value)
+            self._buffered += 1
+            self.count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+        else:
+            data = np.atleast_1d(np.asarray(values, dtype=float)).ravel()
+            if data.size == 0:
+                return self
+            if not np.all(np.isfinite(data)):
+                raise ValueError("QuantileSketch requires finite values")
+            self._buffer.append(data)
+            self._buffered += data.size
+            self.count += data.size
+            self._min = min(self._min, float(data.min()))
+            self._max = max(self._max, float(data.max()))
         if self._buffered >= 10 * self.compression:
             self._compress()
         return self
@@ -82,7 +108,7 @@ class QuantileSketch:
         if other.count == 0:
             return self
         other._compress()
-        self._buffer.append((other._means.copy(), other._weights.copy()))
+        self._weighted.append((other._means.copy(), other._weights.copy()))
         self._buffered += other._means.size
         self.count += other.count
         self._min = min(self._min, other._min)
@@ -90,52 +116,111 @@ class QuantileSketch:
         self._compress()
         return self
 
+    def _pending(self) -> bool:
+        return bool(self._buffer or self._scalars or self._weighted)
+
     def _compress(self) -> None:
-        """Merge buffered points and centroids into a fresh centroid set."""
-        if not self._buffer:
+        """Merge buffered points and centroids into a fresh centroid set.
+
+        One vectorised t-digest merge pass with the k1 scale function
+        ``k(q) = (c / 2π) asin(2q − 1)``: a centroid may span cumulative
+        quantiles ``[q0, q1]`` only while ``k(q1) − k(q0) <= 1``.  Instead
+        of walking the sorted values one Python iteration at a time, the
+        pass precomputes the cumulative weights and finds each centroid's
+        span with one ``searchsorted`` against the inverse-scale boundary
+        — O(centroids · log n) instead of O(n) interpreter work — then
+        reduces every span's weighted mean with ``np.add.reduceat``.
+        Weights are sums of 1.0s (exact in float64), so the cumulative
+        weights, span totals and the emitted ``k`` positions are exact and
+        the segmentation is independent of how the pass is driven; the
+        property suite pins centroid-for-centroid equality against a
+        scalar reference loop of the same recurrence.
+        """
+        if not self._pending():
             return
-        values = [self._means] + [v for v, _ in self._buffer]
-        weights = [self._weights] + [w for _, w in self._buffer]
+        unit_values = self._buffer
+        if self._scalars:
+            unit_values = unit_values + [np.asarray(self._scalars, dtype=float)]
+        unit_only = self._means.size == 0 and not self._weighted
+        unit_total = sum(v.size for v in unit_values)
+        if unit_only:
+            x = np.concatenate(unit_values) if len(unit_values) != 1 else unit_values[0]
+            w = None
+        else:
+            values = [self._means] + [m for m, _ in self._weighted] + unit_values
+            weights = (
+                [self._weights]
+                + [w for _, w in self._weighted]
+                + [np.ones(unit_total)]
+            )
+            x = np.concatenate(values)
+            w = np.concatenate(weights)
         self._buffer = []
+        self._scalars = []
+        self._weighted = []
         self._buffered = 0
-        x = np.concatenate(values)
-        w = np.concatenate(weights)
         if x.size == 0:
             return
-        order = np.argsort(x, kind="stable")
-        x, w = x[order], w[order]
-        total = w.sum()
+        if unit_only:
+            # All weights are 1.0: sort values directly (ties carry
+            # identical value and weight, so stability is irrelevant) and
+            # the cumulative weight is just the 1-based position.
+            x = np.sort(x)
+            total = float(x.size)
+            cumulative = np.arange(1.0, total + 1.0)
+        else:
+            order = np.argsort(x, kind="stable")
+            x, w = x[order], w[order]
+            total = w.sum()
+            cumulative = np.cumsum(w)
 
-        # t-digest merge pass with the k1 scale function
-        # k(q) = (c / 2π) asin(2q − 1); a centroid may span [q0, q1] only
-        # while k(q1) − k(q0) <= 1.
-        means: "list[float]" = []
-        sizes: "list[float]" = []
-        acc_mean = x[0]
-        acc_weight = w[0]
-        emitted = 0.0
+        n = x.size
+        bounds: "list[int]" = []
+        start = 0
         k_lo = self._k(0.0)
-        for i in range(1, x.size):
-            proposed = acc_weight + w[i]
-            if self._k((emitted + proposed) / total) - k_lo <= 1.0:
-                acc_mean += (x[i] - acc_mean) * (w[i] / proposed)
-                acc_weight = proposed
-            else:
-                means.append(acc_mean)
-                sizes.append(acc_weight)
-                emitted += acc_weight
-                k_lo = self._k(emitted / total)
-                acc_mean = x[i]
-                acc_weight = w[i]
-        means.append(acc_mean)
-        sizes.append(acc_weight)
-        self._means = np.asarray(means)
-        self._weights = np.asarray(sizes)
+        k_max = self._k(1.0)
+        while start < n:
+            if k_lo + 1.0 >= k_max:
+                bounds.append(n)
+                break
+            limit = self._k_inverse(k_lo + 1.0) * total
+            j = int(np.searchsorted(cumulative, limit, side="right"))
+            j = max(j, start + 1)  # a span always takes its first point
+            bounds.append(j)
+            if j >= n:
+                break
+            k_lo = self._k(cumulative[j - 1] / total)
+            start = j
+
+        edges = np.asarray(bounds, dtype=np.intp)
+        starts = np.concatenate(([0], edges[:-1]))
+        if unit_only:
+            sizes = np.diff(np.concatenate(([0], edges))).astype(float)
+            means = np.add.reduceat(x, starts) / sizes
+        else:
+            sizes = np.add.reduceat(w, starts)
+            means = np.add.reduceat(x * w, starts) / sizes
+        # A span's mean must lie within its value range; enforce it so
+        # float rounding (or an overflowing product sum on extreme
+        # magnitudes) can never produce out-of-order or non-finite
+        # centroids — from_state rejects both.
+        low, high = x[starts], x[edges - 1]
+        bad = ~np.isfinite(means)
+        if bad.any():
+            means[bad] = 0.5 * low[bad] + 0.5 * high[bad]
+        np.clip(means, low, high, out=means)
+        self._means = means
+        self._weights = sizes
 
     def _k(self, q: float) -> float:
         """The t-digest k1 potential at quantile ``q``."""
         q = min(1.0, max(0.0, q))
         return self.compression / (2.0 * np.pi) * np.arcsin(2.0 * q - 1.0)
+
+    def _k_inverse(self, k: float) -> float:
+        """The quantile whose k1 potential is ``k`` (clipped into [0, 1])."""
+        k = min(self._k(1.0), max(self._k(0.0), k))
+        return 0.5 * (np.sin(2.0 * np.pi * k / self.compression) + 1.0)
 
     # -- serialization -----------------------------------------------------
 

@@ -305,6 +305,95 @@ class TestReducerSet:
         assert len(reducers) == 1
 
 
+class TestColumnCache:
+    """ReducerSet.update shares one chunk normalisation across members."""
+
+    def test_cache_matches_population_columns(self, fleet):
+        from repro.engine.accumulate import ColumnCache
+
+        cache = ColumnCache(fleet)
+        assert len(cache) == len(fleet)
+        np.testing.assert_array_equal(cache["cores"], fleet.cores)
+        np.testing.assert_array_equal(cache.column("mem_per_core"), fleet.mem_per_core)
+        # memoised: same object on repeat access
+        assert cache["disk_gb"] is cache["disk_gb"]
+        assert cache.matrix(RESOURCE_LABELS) is cache.matrix(RESOURCE_LABELS)
+
+    def test_as_matrix_through_cache_is_identical(self, fleet):
+        from repro.engine.accumulate import ColumnCache, as_matrix
+
+        direct = as_matrix(fleet, RESOURCE_LABELS)
+        cached = as_matrix(ColumnCache(fleet), RESOURCE_LABELS)
+        np.testing.assert_array_equal(direct, cached)
+
+    def test_nan_policy_message_preserved_through_cache(self):
+        from repro.engine.accumulate import ColumnCache, as_matrix
+
+        chunk = {"cores": np.array([1.0, 2.0]), "memory_mb": np.array([np.nan, 1.0])}
+        with pytest.raises(ValueError, match="memory_mb"):
+            as_matrix(ColumnCache(chunk), ("cores", "memory_mb"))
+
+    def test_set_update_results_unchanged_by_caching(self, fleet):
+        factories = {
+            "moments": MomentAccumulator,
+            "correlation": CorrelationAccumulator,
+            "quantiles": QuantileReducer,
+        }
+        through_set = ReducerSet.from_factories(factories).update(fleet)
+        solo_moments = MomentAccumulator().update(fleet)
+        solo_correlation = CorrelationAccumulator().update(fleet)
+        assert through_set["moments"].means() == solo_moments.means()
+        np.testing.assert_array_equal(
+            through_set["correlation"].matrix().values,
+            solo_correlation.matrix().values,
+        )
+
+    def test_dict_chunks_still_accepted(self, fleet):
+        cols = {label: fleet.column(label) for label in RESOURCE_LABELS}
+        reducers = ReducerSet(
+            {"moments": MomentAccumulator(), "quantiles": QuantileReducer()}
+        ).update(cols)
+        assert reducers["moments"].count == len(fleet)
+
+    def test_cache_keeps_dict_duck_typing(self, fleet):
+        # Custom reducers may probe membership or iterate labels on the
+        # {label: column} chunk shape; the wrapper must not break that.
+        from repro.engine.accumulate import ColumnCache
+
+        cols = {label: fleet.column(label) for label in RESOURCE_LABELS}
+        cache = ColumnCache(cols)
+        assert "cores" in cache and "nope" not in cache
+        assert tuple(cache) == RESOURCE_LABELS
+        assert cache.keys() == list(RESOURCE_LABELS)
+        wrapped = ColumnCache(fleet)
+        assert "mem_per_core" in wrapped and "nope" not in wrapped
+        assert "cores" in list(wrapped)
+
+
+class TestStreamProfileFactories:
+    def test_memoised_shared_construction(self):
+        from repro.engine.reduce import stream_profile_factories
+
+        a = stream_profile_factories()
+        b = stream_profile_factories()
+        assert a is b  # hoisted: one construction site, cached
+        assert set(a) == {"moments", "correlation", "quantiles"}
+        assert set(stream_profile_factories(correlation=False)) == {
+            "moments",
+            "quantiles",
+        }
+
+    def test_factories_produce_fresh_reducers(self, fleet):
+        from repro.engine.reduce import stream_profile_factories
+
+        factories = stream_profile_factories(("cores",), 50, correlation=False)
+        one = ReducerSet.from_factories(factories).update(fleet)
+        two = ReducerSet.from_factories(factories)
+        assert one["moments"].count == len(fleet)
+        assert two["moments"].count == 0  # no shared state between sets
+        assert one["quantiles"].sketch("cores").compression == 50
+
+
 class TestShardedPluggableReducers:
     def test_quantiles_flag_adds_sketches(self, paper_generator, fleet):
         stats = generate_sharded(

@@ -1,0 +1,194 @@
+"""Property tests pinning the vectorised t-digest merge pass to a
+scalar reference loop.
+
+``QuantileSketch._compress`` replaced a per-element Python loop with a
+``cumsum``/``searchsorted`` boundary search plus ``np.add.reduceat``
+span reduction.  The oracle here re-derives every span boundary with the
+scalar greedy recurrence (walk the cumulative weights one comparison at
+a time against the same ``k``-scale limits) and requires the resulting
+centroids and weights to be **bit-identical** — weights are sums of 1.0s
+(exact in float64), so the cumulative weights and the boundary
+predicates are exact and any disagreement is a real bug, not float
+noise.  A second, independent check recomputes each span's weighted mean
+directly and bounds the distance to the reduceat result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.sketch import QuantileSketch
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def oracle_merge_pass(x, w, compression, unit_only):
+    """Scalar-recurrence reference for one ``_compress`` merge pass.
+
+    Mirrors the implementation's arithmetic exactly (same ``k`` scale,
+    same sort, same span reduction) but finds every span boundary by
+    walking the cumulative weights one scalar comparison at a time
+    instead of ``searchsorted``.
+    """
+    sketch = QuantileSketch(compression)  # borrow _k/_k_inverse arithmetic
+    if unit_only:
+        x = np.sort(x)
+        total = float(x.size)
+        cumulative = np.arange(1.0, total + 1.0)
+    else:
+        order = np.argsort(x, kind="stable")
+        x, w = x[order], w[order]
+        total = w.sum()
+        cumulative = np.cumsum(w)
+
+    n = x.size
+    bounds = []
+    start = 0
+    k_lo = sketch._k(0.0)
+    k_max = sketch._k(1.0)
+    while start < n:
+        if k_lo + 1.0 >= k_max:
+            bounds.append(n)
+            break
+        limit = sketch._k_inverse(k_lo + 1.0) * total
+        if start:  # the scan below starts at `start`; justify it
+            assert cumulative[start - 1] <= limit
+        j = start
+        while j < n and cumulative[j] <= limit:
+            j += 1
+        j = max(j, start + 1)
+        bounds.append(j)
+        if j >= n:
+            break
+        k_lo = sketch._k(cumulative[j - 1] / total)
+        start = j
+
+    edges = np.asarray(bounds, dtype=np.intp)
+    starts = np.concatenate(([0], edges[:-1]))
+    if unit_only:
+        sizes = np.diff(np.concatenate(([0], edges))).astype(float)
+        means = np.add.reduceat(x, starts) / sizes
+    else:
+        sizes = np.add.reduceat(w, starts)
+        means = np.add.reduceat(x * w, starts) / sizes
+    low, high = x[starts], x[edges - 1]
+    bad = ~np.isfinite(means)
+    if bad.any():
+        means[bad] = 0.5 * low[bad] + 0.5 * high[bad]
+    np.clip(means, low, high, out=means)
+    if unit_only:
+        w = np.ones(n)
+    return means, sizes, (x, w, starts, edges)
+
+
+def direct_span_means(x, w, starts, edges):
+    """Independent per-span weighted means (float-tolerance yardstick)."""
+    return np.asarray(
+        [
+            float(np.dot(x[lo:hi], w[lo:hi]) / w[lo:hi].sum())
+            for lo, hi in zip(starts, edges)
+        ]
+    )
+
+
+class TestUnitWeightCompress:
+    @given(
+        seed=seeds,
+        size=st.integers(min_value=1, max_value=5_000),
+        sigma=st.floats(min_value=0.2, max_value=2.0),
+        compression=st.sampled_from([20, 50, 200]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_oracle_bit_for_bit(self, seed, size, sigma, compression):
+        rng = np.random.default_rng(seed)
+        data = rng.lognormal(mean=3.0, sigma=sigma, size=size)
+
+        sketch = QuantileSketch(compression)
+        sketch._buffer = [data.copy()]
+        sketch._buffered = data.size
+        sketch.count = data.size
+        sketch._min, sketch._max = float(data.min()), float(data.max())
+        sketch._compress()
+
+        means, sizes, (xs, ws, starts, edges) = oracle_merge_pass(
+            data.copy(), np.ones(data.size), compression, unit_only=True
+        )
+        np.testing.assert_array_equal(sketch._means, means)
+        np.testing.assert_array_equal(sketch._weights, sizes)
+        assert float(sizes.sum()) == float(data.size)
+        # independent mean computation agrees to float tolerance
+        direct = direct_span_means(xs, ws, starts, edges)
+        np.testing.assert_allclose(means, direct, rtol=1e-12, atol=0.0)
+
+    @given(seed=seeds, size=st.integers(min_value=1, max_value=400))
+    @settings(max_examples=25, deadline=None)
+    def test_centroid_invariants(self, seed, size):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(0.0, 100.0, size=size)
+        sketch = QuantileSketch(20).update(data)
+        sketch._compress()
+        assert np.all(np.diff(sketch._means) >= 0)
+        assert sketch._means.size == 0 or sketch._means[0] >= data.min()
+        assert sketch._means.size == 0 or sketch._means[-1] <= data.max()
+        assert float(sketch._weights.sum()) == float(size)
+
+
+class TestWeightedCompress:
+    @given(
+        seed=seeds,
+        left=st.integers(min_value=1, max_value=3_000),
+        right=st.integers(min_value=1, max_value=3_000),
+        fresh=st.integers(min_value=0, max_value=2_000),
+        compression=st.sampled_from([20, 100]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_pass_matches_oracle_bit_for_bit(
+        self, seed, left, right, fresh, compression
+    ):
+        rng = np.random.default_rng(seed)
+        base = QuantileSketch(compression).update(
+            rng.lognormal(mean=2.0, sigma=1.0, size=left)
+        )
+        base._compress()
+        other = QuantileSketch(compression).update(
+            rng.lognormal(mean=4.0, sigma=0.5, size=right)
+        )
+        other._compress()
+        pending = rng.normal(50.0, 10.0, size=fresh)
+
+        # Mirror _compress's concatenation order: existing centroids,
+        # merged centroid sets, then unit-weight chunks.
+        x = np.concatenate([base._means, other._means, pending])
+        w = np.concatenate(
+            [base._weights, other._weights, np.ones(pending.size)]
+        )
+
+        base._weighted = [(other._means.copy(), other._weights.copy())]
+        if pending.size:
+            base._buffer = [pending.copy()]
+            base._buffered = pending.size
+        base.count += other.count + pending.size
+        base._compress()
+
+        means, sizes, (xs, ws, starts, edges) = oracle_merge_pass(
+            x, w, compression, unit_only=False
+        )
+        np.testing.assert_array_equal(base._means, means)
+        np.testing.assert_array_equal(base._weights, sizes)
+        assert float(sizes.sum()) == float(left + right + fresh)
+        direct = direct_span_means(xs, ws, starts, edges)
+        np.testing.assert_allclose(means, direct, rtol=1e-9, atol=0.0)
+
+    @given(seed=seeds, shards=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=15, deadline=None)
+    def test_sharded_merge_preserves_weight_sum(self, seed, shards):
+        rng = np.random.default_rng(seed)
+        data = rng.lognormal(mean=3.0, sigma=1.2, size=6_000)
+        merged = QuantileSketch(50)
+        for shard in np.array_split(data, shards):
+            merged.merge(QuantileSketch(50).update(shard))
+        merged._compress()
+        assert float(merged._weights.sum()) == float(data.size)
+        assert np.all(np.diff(merged._means) >= 0)

@@ -165,6 +165,68 @@ class TestECDFView:
             sketch.to_ecdf(n_points=1)
 
 
+class TestScalarFastPath:
+    """`update` on a bare float must skip array construction but agree
+    exactly with the equivalent one-element array update."""
+
+    def test_scalar_equals_array_update(self):
+        a = QuantileSketch()
+        b = QuantileSketch()
+        values = [3.0, 1.5, -2.25, 1e6, 0.0]
+        for v in values:
+            a.update(v)
+            b.update(np.asarray([v]))
+        a._compress()
+        b._compress()
+        assert a.count == b.count == len(values)
+        assert a.min == b.min and a.max == b.max
+        np.testing.assert_array_equal(a._means, b._means)
+        np.testing.assert_array_equal(a._weights, b._weights)
+
+    def test_scalar_updates_buffer_without_arrays(self):
+        sketch = QuantileSketch()
+        sketch.update(1.0).update(2)
+        assert sketch._buffer == []  # scalars never materialise arrays
+        assert sketch._scalars == [1.0, 2.0]
+        assert sketch.count == 2
+
+    def test_non_finite_scalar_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            QuantileSketch().update(float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            QuantileSketch().update(float("inf"))
+
+    def test_many_tiny_updates_flush_by_total_size(self):
+        # The buffer flushes on total buffered values, so a host-by-host
+        # stream cannot grow memory past ~10x compression pending values.
+        sketch = QuantileSketch(compression=20)
+        rng = np.random.default_rng(5)
+        data = rng.normal(10.0, 3.0, size=2_000)
+        for value in data:
+            sketch.update(float(value))
+            assert sketch._buffered < 10 * sketch.compression
+        assert sketch.count == data.size
+        assert sketch.median() == pytest.approx(float(np.median(data)), rel=0.05)
+        assert sketch.min == data.min() and sketch.max == data.max()
+
+    def test_mixed_scalar_and_chunk_updates(self):
+        rng = np.random.default_rng(11)
+        data = rng.lognormal(2.0, 1.0, size=5_000)
+        mixed = QuantileSketch()
+        mixed.update(float(data[0]))
+        mixed.update(data[1:4_000])
+        for value in data[4_000:4_010]:
+            mixed.update(float(value))
+        mixed.update(data[4_010:])
+        assert mixed.count == data.size
+        assert mixed.median() == pytest.approx(float(np.median(data)), rel=0.02)
+
+    def test_bool_input_still_folds_as_number(self):
+        sketch = QuantileSketch().update(True)
+        assert sketch.count == 1
+        assert sketch.quantile(0.5) == 1.0
+
+
 class TestStateFiniteness:
     """from_state must refuse payloads carrying non-finite centroids."""
 
