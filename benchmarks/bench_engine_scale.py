@@ -242,6 +242,23 @@ def main(argv: "list[str] | None" = None) -> int:
         )
         failures += 1
 
+    # The fast validation tier is a per-push CI gate, so its wall time is a
+    # tracked perf surface like the export paths: time one canonical run
+    # (always at the tier's own size/seed, independent of --size).
+    from repro.validation import run_validation
+
+    start = time.perf_counter()
+    validation = run_validation("fast")
+    validate_fast_seconds = time.perf_counter() - start
+    print(
+        f"  validate_fast: {validate_fast_seconds:.2f} s "
+        f"({validation.counts()['probes']} probes, "
+        f"{'ok' if validation.ok else 'FAILING'})"
+    )
+    if not validation.ok:
+        print("  FAIL: fast-tier validation probes failed during benchmark")
+        failures += 1
+
     # Before/after-comparable totals: one number per concern so two runs
     # of this script (e.g. a PR and its baseline) diff at a glance
     # without re-deriving sums from the per-path entries.
@@ -249,10 +266,12 @@ def main(argv: "list[str] | None" = None) -> int:
         "export_wall_seconds": paths["sharded_export"]["seconds"],
         "checkpointed_export_wall_seconds": paths["checkpointed_export"]["seconds"],
         "all_paths_wall_seconds": sum(p["seconds"] for p in paths.values()),
+        "validate_fast_seconds": validate_fast_seconds,
     }
     print(
         f"  totals: export {totals['export_wall_seconds']:.2f} s, "
-        f"all paths {totals['all_paths_wall_seconds']:.2f} s"
+        f"all paths {totals['all_paths_wall_seconds']:.2f} s, "
+        f"validate fast {totals['validate_fast_seconds']:.2f} s"
     )
 
     if args.json:
@@ -272,6 +291,7 @@ def main(argv: "list[str] | None" = None) -> int:
             "distributed_workers": distributed.workers,
             "distributed_payload_matches": distributed.manifest.payload_sha256
             == manifest.payload_sha256,
+            "validate_fast_ok": validation.ok,
             "failures": failures,
         }
         with open(args.json, "w", encoding="utf-8") as handle:

@@ -108,6 +108,7 @@ def _check_fleet_ints(
         ("lease_blocks", "--lease-blocks"),
         ("max_jobs", "--max-jobs"),
         ("fault_after", "--fault-after"),
+        ("validate_size", "--size"),  # fleet validate: a fleet of >= 1 host
     )
     non_negative = (
         ("size", "--size"),
@@ -409,6 +410,53 @@ def _cmd_fleet_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_fleet_validate(args: argparse.Namespace) -> int:
+    """``fleet validate``: run the statistical validation probe suite.
+
+    Exit codes follow the ``fleet verify`` convention: 0 when every probe
+    passes, 1 on any probe failure (a paper pin off its band, a golden
+    digest moved, a known-false control that no longer trips), 2 on a
+    usage error (bad integers, unknown probe name, unparseable date).
+    """
+    from repro.validation import iter_probes, run_validation
+
+    if args.list_probes:
+        for probe in iter_probes(args.tier):
+            note = (
+                f"  (control of {probe.control_of})" if probe.control_of else ""
+            )
+            print(
+                f"{probe.name:<38} {probe.family:<10} tier={probe.tier:<4} "
+                f"scenario={probe.scenario}{note}"
+            )
+        return 0
+    problem = _check_fleet_ints(args, "fleet validate")
+    if problem:
+        sys.stderr.write(problem + "\n")
+        return 2
+    try:
+        report = run_validation(
+            args.tier,
+            size=args.validate_size,
+            seed=args.validate_seed,
+            date=args.validate_date,
+            probes=args.probe or None,
+        )
+    except ValueError as error:
+        sys.stderr.write(f"fleet validate: {error}\n")
+        return 2
+    for line in report.format_lines():
+        print(line)
+    if args.report:
+        import json
+
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"report: {args.report}")
+    return 0 if report.ok else 1
+
+
 def _cmd_fleet_serve_worker(args: argparse.Namespace) -> int:
     """``fleet serve-worker``: serve this machine as a distributed worker."""
     from repro.engine import serve_worker
@@ -447,6 +495,8 @@ def _dispatch_fleet(args: argparse.Namespace) -> int:
         return _cmd_fleet_compact(args)
     if command == "verify":
         return _cmd_fleet_verify(args)
+    if command == "validate":
+        return _cmd_fleet_validate(args)
     if command == "serve-worker":
         return _cmd_fleet_serve_worker(args)
     return _cmd_fleet(args)
@@ -759,6 +809,69 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="re-hash an export against its manifest"
     )
     p_fleet_verify.add_argument("manifest", help="path to a fleet manifest.json")
+
+    p_fleet_validate = fleet_sub.add_parser(
+        "validate",
+        help="run the statistical validation probe suite",
+        description=(
+            "Stream probe fleets and check the paper's statistical pins "
+            "(correlation structure, moments, quantiles, distribution "
+            "families), determinism digests, and the known-false controls "
+            "that prove the pins have teeth. The fast tier is the per-push "
+            "CI gate; the full tier runs the million-host and "
+            "distributed-backend probes. Overriding --size/--seed/--date "
+            "skips the golden digest pins (they are defined only at the "
+            "canonical configuration) but keeps bands and controls armed."
+        ),
+    )
+    # Distinct dests: the parent `fleet` parser already owns size/seed
+    # defaults in the namespace, and validate's canonical defaults differ.
+    p_fleet_validate.add_argument(
+        "--tier",
+        choices=("fast", "full"),
+        default="fast",
+        help="probe tier (default fast)",
+    )
+    p_fleet_validate.add_argument(
+        "--size",
+        dest="validate_size",
+        type=int,
+        default=None,
+        help="fleet size override (default: the tier's canonical size)",
+    )
+    p_fleet_validate.add_argument(
+        "--seed",
+        dest="validate_seed",
+        type=int,
+        default=None,
+        help="seed override (default: the canonical golden seed)",
+    )
+    p_fleet_validate.add_argument(
+        "--date",
+        dest="validate_date",
+        default=None,
+        help="fleet date override, YYYY-MM-DD (default: the paper's "
+        "September-2010 reference point)",
+    )
+    p_fleet_validate.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable JSON report here",
+    )
+    p_fleet_validate.add_argument(
+        "--probe",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only the named probe(s); repeatable (see --list)",
+    )
+    p_fleet_validate.add_argument(
+        "--list",
+        dest="list_probes",
+        action="store_true",
+        help="list the tier's registered probes and exit",
+    )
 
     p_fleet_serve = fleet_sub.add_parser(
         "serve-worker",

@@ -715,6 +715,34 @@ def stream_profile_factories(
     return factories
 
 
+#: Reducer names whose states enter the validation statistics digest, in
+#: digest order.  Fixed independently of what extra reducers a probe adds,
+#: so the pinned digest is stable under registry growth.
+VALIDATION_PROFILE_NAMES: tuple[str, ...] = ("correlation", "moments", "quantiles")
+
+
+@lru_cache(maxsize=None)
+def validation_profile_factories(
+    labels: "tuple[str, ...]" = RESOURCE_LABELS,
+    compression: int = DEFAULT_COMPRESSION,
+) -> "dict[str, ReducerFactory]":
+    """The hoisted factory dict the ``fleet validate`` probes stream with.
+
+    The canonical probe profile: moments + correlation + quantile sketch,
+    exactly the :func:`stream_profile_factories` membership today, hoisted
+    under its own name so probe-needed reducer additions have a single
+    construction site (and so the probe registry's declarative
+    ``factories`` fields all alias one shared dict).  Every member must
+    implement ``to_state`` — the validation runner digests the
+    :data:`VALIDATION_PROFILE_NAMES` subset of the merged states to pin
+    streamed-statistics determinism.
+
+    Cached and shared like :func:`stream_profile_factories`: treat the
+    returned dict as frozen; copy before mutating.
+    """
+    return stream_profile_factories(tuple(labels), compression, correlation=True)
+
+
 #: State-payload ``kind`` → restoring class, for :func:`reducer_from_state`.
 STATE_KINDS: "dict[str, Any]" = {
     "MomentAccumulator": MomentAccumulator,

@@ -108,3 +108,59 @@ def select_distribution(
         raise ValueError("no candidate family could be fitted to the sample")
     best_name = max(p_values, key=p_values.get)
     return KSSelectionResult(best=fits[best_name], p_values=p_values, fits=fits)
+
+
+#: Grid size for :func:`quantile_grid_sample` — fine enough that the
+#: subsampled-KS selection is insensitive to the inversion (50-observation
+#: subsets probe far coarser structure than 1/2000 quantile spacing).
+DEFAULT_GRID_SIZE = 2000
+
+
+def quantile_grid_sample(quantile_fn, n: int = DEFAULT_GRID_SIZE) -> np.ndarray:
+    """Deterministic inverse-CDF pseudo-sample from a quantile function.
+
+    Evaluates ``quantile_fn`` at the ``n`` midpoint probabilities
+    ``(i + 0.5) / n`` — the streamed stand-in for a raw sample when only a
+    mergeable :class:`~repro.stats.sketch.QuantileSketch` of the column
+    exists (the ``fleet validate`` KS probes): the grid reproduces the
+    sketch's distribution shape exactly and, unlike reservoir sampling,
+    adds no sampling noise of its own, so family selection over it is a
+    pure function of the sketch state.
+    """
+    if n < 2:
+        raise ValueError("need a grid of at least 2 probabilities")
+    probs = (np.arange(n) + 0.5) / n
+    values = np.asarray(quantile_fn(probs), dtype=float)
+    if values.shape != (n,):
+        raise ValueError(
+            f"quantile_fn returned shape {values.shape}, expected ({n},)"
+        )
+    if not np.all(np.isfinite(values)):
+        raise ValueError("quantile_fn produced non-finite values")
+    return values
+
+
+def select_distribution_streamed(
+    sketch,
+    rng: np.random.Generator,
+    families: "dict[str, DistributionFamily] | None" = None,
+    n_grid: int = DEFAULT_GRID_SIZE,
+    n_subsamples: int = DEFAULT_N_SUBSAMPLES,
+    subsample_size: int = DEFAULT_SUBSAMPLE_SIZE,
+) -> KSSelectionResult:
+    """Family selection over a streamed quantile sketch.
+
+    Bridges the paper's subsampled-KS procedure (which wants a raw sample)
+    to the streaming world (which has a mergeable sketch): the sample is
+    the deterministic :func:`quantile_grid_sample` of the sketch, so the
+    result depends only on the sketch state, the ``rng`` stream and the
+    grid size.
+    """
+    sample = quantile_grid_sample(sketch.quantile, n=n_grid)
+    return select_distribution(
+        sample,
+        rng,
+        families=families,
+        n_subsamples=n_subsamples,
+        subsample_size=subsample_size,
+    )

@@ -1,0 +1,89 @@
+"""Fleet-scale statistical validation probes (``fleet validate``).
+
+Layers
+------
+:mod:`~repro.validation.probes`
+    The declarative probe registry: paper pins, known-false controls and
+    determinism hashes over streamed fleets, with resampling-derived
+    tolerance bands and golden digests.
+:mod:`~repro.validation.runner`
+    Probe execution over memoised :func:`~repro.engine.sharding.generate_sharded`
+    passes, control inversion, and the JSON/text report.
+:mod:`~repro.validation.tolerances`
+    Band-derivation methodology and the ``python -m
+    repro.validation.tolerances`` audit tool.
+"""
+
+from repro.validation.probes import (
+    CORRELATION_MAGNITUDE_PINS,
+    CORRELATION_ZERO_PINS,
+    FAMILIES,
+    GOLDEN_FLEET_DIGESTS,
+    GOLDEN_STATISTICS_DIGESTS,
+    METRICS,
+    MOMENT_PINS,
+    PIN_BANDS,
+    PROBES,
+    QUANTILE_PINS,
+    SCENARIOS,
+    TIERS,
+    Band,
+    CheckResult,
+    Probe,
+    Scenario,
+    iter_probes,
+    register_probe,
+)
+from repro.validation.runner import (
+    CANONICAL_DATE,
+    CANONICAL_SEED,
+    TIER_SIZES,
+    ProbeContext,
+    ProbeResult,
+    ValidationReport,
+    ValidationRun,
+    run_validation,
+    select_probes,
+)
+from repro.validation.tolerances import (
+    AUDIT_SIGMA,
+    BAND_SIGMA,
+    DerivedBand,
+    audit_bands,
+    derive_bands,
+)
+
+__all__ = [
+    "AUDIT_SIGMA",
+    "BAND_SIGMA",
+    "Band",
+    "CANONICAL_DATE",
+    "CANONICAL_SEED",
+    "CheckResult",
+    "CORRELATION_MAGNITUDE_PINS",
+    "CORRELATION_ZERO_PINS",
+    "DerivedBand",
+    "FAMILIES",
+    "GOLDEN_FLEET_DIGESTS",
+    "GOLDEN_STATISTICS_DIGESTS",
+    "METRICS",
+    "MOMENT_PINS",
+    "PIN_BANDS",
+    "PROBES",
+    "Probe",
+    "ProbeContext",
+    "ProbeResult",
+    "QUANTILE_PINS",
+    "SCENARIOS",
+    "Scenario",
+    "TIERS",
+    "TIER_SIZES",
+    "ValidationReport",
+    "ValidationRun",
+    "audit_bands",
+    "derive_bands",
+    "iter_probes",
+    "register_probe",
+    "run_validation",
+    "select_probes",
+]

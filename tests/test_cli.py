@@ -396,6 +396,106 @@ class TestFleetDistributedCli:
         assert match in err and "must be" in err
 
 
+class TestFleetValidate:
+    """Exit-code contract (documented in README "Statistical validation"):
+    0 = every probe passed, 1 = probe failure, 2 = usage error."""
+
+    def test_single_probe_passes_with_report(self, tmp_path, capsys):
+        report_path = tmp_path / "validate.json"
+        assert main(["fleet", "validate", "--probe", "pin/moments",
+                     "--report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "PASS  pin/moments" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["report"] == "fleet-validate"
+        assert payload["ok"] is True
+        assert payload["canonical"] is True
+        assert [p["name"] for p in payload["probes"]] == ["pin/moments"]
+
+    def test_probe_failure_exits_1(self, monkeypatch, capsys):
+        from repro.validation import CheckResult, Probe
+
+        failing = Probe(
+            name="pin/always-fails",
+            family="paper_pin",
+            tier="fast",
+            scenario="paper",
+            check=lambda ctx: [CheckResult("x", 1.0, "[2, 3]", False)],
+            description="synthetic failing probe",
+        )
+        monkeypatch.setattr(
+            "repro.validation.probes.PROBES", {failing.name: failing}
+        )
+        assert main(["fleet", "validate"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL  pin/always-fails" in out
+        assert "observed 1" in out and "[2, 3]" in out
+
+    def test_untripped_control_exits_1(self, monkeypatch, capsys):
+        # a control whose checks PASS (perturbation no longer trips the
+        # pin) must fail the run, not silently succeed
+        from repro.validation import CheckResult, Probe
+
+        pin = Probe(
+            name="pin/target",
+            family="paper_pin",
+            tier="fast",
+            scenario="paper",
+            check=lambda ctx: [CheckResult("x", 1.0, "[0, 2]", True)],
+            description="target",
+        )
+        toothless = Probe(
+            name="control/toothless",
+            family="control",
+            tier="fast",
+            scenario="decoupled",
+            check=lambda ctx: [CheckResult("x", 1.0, "[0, 2]", True)],
+            expect="fail",
+            control_of="pin/target",
+            description="control that no longer trips",
+        )
+        monkeypatch.setattr(
+            "repro.validation.probes.PROBES",
+            {pin.name: pin, toothless.name: toothless},
+        )
+        assert main(["fleet", "validate"]) == 1
+        assert "FAILED TO TRIP" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "argv, match",
+        [
+            (["fleet", "validate", "--size", "0"], "--size"),
+            (["fleet", "validate", "--size", "-3"], "--size"),
+            (["fleet", "validate", "--probe", "no/such-probe"],
+             "unknown probe"),
+            (["fleet", "validate", "--probe",
+              "determinism/distributed-digest"], "unknown probe"),
+            (["fleet", "validate", "--seed", "-1"], "seed"),
+            (["fleet", "validate", "--date", "not-a-date"], "date"),
+        ],
+    )
+    def test_usage_errors_exit_2(self, capsys, argv, match):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert match in err
+        assert "Traceback" not in err
+
+    def test_bad_tier_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "validate", "--tier", "ludicrous"])
+        assert excinfo.value.code == 2
+
+    def test_list_probes(self, capsys):
+        assert main(["fleet", "validate", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "pin/moments" in out
+        assert "control of pin/moments" in out
+        # full-tier-only probes are absent from the default fast listing
+        assert "distributed" not in out
+        assert main(["fleet", "validate", "--list", "--tier", "full"]) == 0
+        assert "determinism/distributed-digest" in capsys.readouterr().out
+
+
 class TestTraceAndFit:
     def test_trace_file_written(self, trace_file):
         assert trace_file.exists()

@@ -1,0 +1,23 @@
+"""Shared fixtures for the validation-probe suite.
+
+The fast tier is executed exactly once per test session — it is the
+object under test here (and the per-push CI gate), so every module
+asserts against the same report rather than re-streaming fleets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def fast_report():
+    """One canonical fast-tier run shared by all validation tests."""
+    from repro.validation import run_validation
+
+    return run_validation("fast")
+
+
+@pytest.fixture(scope="session")
+def fast_results_by_name(fast_report):
+    return {result.name: result for result in fast_report.results}

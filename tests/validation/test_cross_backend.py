@@ -1,0 +1,57 @@
+"""Cross-backend determinism: the validation digests are execution-shape
+invariant.
+
+The fast-tier probe digest must be one value whether the fleet streams
+through one shard, a two-shard pool, or the distributed coordinator with
+two workers — and that value is the pinned golden.  This is the
+end-to-end guarantee that lets the scheduled full-tier job and the
+per-push fast tier compare digests across machines and backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validation import (
+    GOLDEN_FLEET_DIGESTS,
+    GOLDEN_STATISTICS_DIGESTS,
+    ValidationRun,
+)
+
+
+@pytest.fixture(scope="module")
+def fast_run():
+    return ValidationRun("fast")
+
+
+class TestCrossBackendDigests:
+    def test_fleet_digest_identical_across_shards_and_distributed(self, fast_run):
+        single = fast_run.fleet_digest("paper", shards=1)
+        sharded = fast_run.fleet_digest("paper", shards=2)
+        distributed = fast_run.distributed_fleet_digest("paper")
+        assert single == sharded == distributed
+
+    def test_fleet_digest_matches_the_committed_golden(self, fast_run):
+        assert (
+            fast_run.fleet_digest("paper", shards=1)
+            == GOLDEN_FLEET_DIGESTS["fast"]
+        )
+
+    def test_statistics_digest_matches_the_committed_golden(self, fast_run):
+        assert (
+            fast_run.statistics_digest("paper")
+            == GOLDEN_STATISTICS_DIGESTS["fast"]
+        )
+
+    def test_reseeded_scenario_moves_every_digest(self, fast_run):
+        assert fast_run.fleet_digest("reseeded", shards=1) != fast_run.fleet_digest(
+            "paper", shards=1
+        )
+        assert fast_run.statistics_digest("reseeded") != fast_run.statistics_digest(
+            "paper"
+        )
+
+    def test_runs_are_memoised(self, fast_run):
+        assert fast_run.stats("paper", shards=1) is fast_run.stats("paper", shards=1)
+        assert fast_run.fleet_digest("paper", shards=1) == fast_run.fleet_digest(
+            "paper", shards=1
+        )

@@ -1,0 +1,79 @@
+"""Registry meta-test: probes must have teeth.
+
+Every non-control probe must be covered by at least one known-false
+control, and on the canonical fast-tier run every control's raw checks
+must actually fail (the deliberate perturbation trips the assertion).
+A future probe registered without a control — or a control whose
+perturbation stops tripping its target — fails here, so the registry
+cannot silently accumulate toothless pins (SNIPPETS known-false-claims
+pattern)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.validation import PROBES, SCENARIOS, iter_probes
+
+
+def _controls_by_target():
+    targets = defaultdict(list)
+    for probe in PROBES.values():
+        if probe.family == "control":
+            targets[probe.control_of].append(probe)
+    return targets
+
+
+class TestEveryProbeHasAControl:
+    def test_every_non_control_probe_has_at_least_one_control(self):
+        targets = _controls_by_target()
+        uncovered = [
+            probe.name
+            for probe in PROBES.values()
+            if probe.family != "control" and not targets[probe.name]
+        ]
+        assert not uncovered, (
+            f"probes without a known-false control: {uncovered}; register a "
+            f"perturbed-scenario control for each before shipping"
+        )
+
+    def test_controls_run_at_their_targets_tier(self):
+        # a fast-tier pin guarded only by a full-tier control would go
+        # unexercised on every push
+        for control in _controls_by_target().items():
+            target_name, controls = control
+            target = PROBES[target_name]
+            assert any(c.tier == target.tier for c in controls), target_name
+
+    def test_controls_use_a_perturbation_or_false_claim(self):
+        # a control identical to its target proves nothing: it must either
+        # stream a non-paper scenario or assert a different (false) claim
+        for probe in PROBES.values():
+            if probe.family != "control":
+                continue
+            target = PROBES[probe.control_of]
+            perturbed = probe.scenario != target.scenario or SCENARIOS[
+                probe.scenario
+            ].seed_offset != 0
+            false_claim = probe.check is not target.check
+            assert perturbed or false_claim, probe.name
+
+
+class TestControlsTripOnTheFastTier:
+    def test_every_fast_control_raw_checks_fail(self, fast_report):
+        controls = [r for r in fast_report.results if r.family == "control"]
+        assert controls
+        for result in controls:
+            assert result.error is None, result.name
+            assert not result.checks_ok, (
+                f"{result.name}: the deliberate perturbation no longer trips "
+                f"{result.control_of}; the probe has lost its teeth"
+            )
+            assert result.passed, result.name
+
+    def test_fast_tier_covers_every_fast_probe_with_a_fast_control(self):
+        targets = _controls_by_target()
+        for probe in iter_probes("fast"):
+            if probe.family == "control":
+                continue
+            fast_controls = [c for c in targets[probe.name] if c.tier == "fast"]
+            assert fast_controls, probe.name

@@ -1,0 +1,233 @@
+"""The validation probe suite itself: registry shape, fast-tier verdicts,
+report contract, filtering, and the tolerance-derivation audit."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.validation import (
+    CANONICAL_DATE,
+    CANONICAL_SEED,
+    FAMILIES,
+    GOLDEN_FLEET_DIGESTS,
+    GOLDEN_STATISTICS_DIGESTS,
+    METRICS,
+    PIN_BANDS,
+    PROBES,
+    SCENARIOS,
+    TIER_SIZES,
+    TIERS,
+    Band,
+    Probe,
+    iter_probes,
+    register_probe,
+    run_validation,
+    select_probes,
+)
+
+
+class TestRegistryShape:
+    def test_probe_fields_are_valid(self):
+        for probe in PROBES.values():
+            assert probe.tier in TIERS
+            assert probe.family in FAMILIES
+            assert probe.scenario in SCENARIOS
+            assert probe.expect in ("pass", "fail")
+            assert callable(probe.check)
+            assert probe.description
+
+    def test_controls_and_only_controls_expect_failure(self):
+        for probe in PROBES.values():
+            assert (probe.family == "control") == (probe.expect == "fail"), probe.name
+            if probe.family == "control":
+                assert probe.control_of in PROBES, probe.name
+            else:
+                assert probe.control_of is None, probe.name
+
+    def test_fast_tier_is_a_subset_of_full(self):
+        fast = {p.name for p in iter_probes("fast")}
+        full = {p.name for p in iter_probes("full")}
+        assert fast < full
+        assert full == set(PROBES)
+
+    def test_every_pinned_metric_has_a_band_and_extractor(self):
+        assert set(PIN_BANDS) == set(METRICS)
+        for band in PIN_BANDS.values():
+            assert band.lo < band.hi
+
+    def test_band_validation(self):
+        assert Band(0.0, 1.0).contains(0.5)
+        assert not Band(0.0, 1.0).contains(float("nan"))
+        with pytest.raises(ValueError):
+            Band(1.0, 0.0)
+
+    def test_register_rejects_duplicates_and_bad_records(self):
+        existing = next(iter(PROBES.values()))
+        with pytest.raises(ValueError, match="duplicate"):
+            register_probe(existing)
+        with pytest.raises(ValueError, match="unknown scenario"):
+            register_probe(
+                Probe(
+                    name="pin/bogus-scenario",
+                    family="paper_pin",
+                    tier="fast",
+                    scenario="atlantis",
+                    check=lambda ctx: [],
+                    description="x",
+                )
+            )
+        with pytest.raises(ValueError, match="controls"):
+            register_probe(
+                Probe(
+                    name="pin/non-control-expecting-failure",
+                    family="paper_pin",
+                    tier="fast",
+                    scenario="paper",
+                    check=lambda ctx: [],
+                    expect="fail",
+                    description="x",
+                )
+            )
+        with pytest.raises(ValueError, match="unregistered"):
+            register_probe(
+                Probe(
+                    name="control/orphan",
+                    family="control",
+                    tier="fast",
+                    scenario="paper",
+                    check=lambda ctx: [],
+                    expect="fail",
+                    control_of="pin/does-not-exist",
+                    description="x",
+                )
+            )
+        assert "pin/bogus-scenario" not in PROBES
+        assert "control/orphan" not in PROBES
+
+
+class TestFastTierVerdicts:
+    def test_all_probes_pass_on_the_canonical_configuration(self, fast_report):
+        failed = [r.name for r in fast_report.results if not r.passed]
+        assert fast_report.ok, f"failed probes: {failed}"
+
+    def test_run_is_canonical_and_complete(self, fast_report):
+        assert fast_report.canonical
+        assert fast_report.tier == "fast"
+        assert fast_report.size == TIER_SIZES["fast"]
+        assert fast_report.seed == CANONICAL_SEED
+        assert fast_report.date == CANONICAL_DATE
+        assert {r.name for r in fast_report.results} == {
+            p.name for p in iter_probes("fast")
+        }
+
+    def test_every_paper_pin_reports_checks(self, fast_report):
+        for result in fast_report.results:
+            if result.family == "paper_pin":
+                assert result.checks, result.name
+                assert result.error is None, result.name
+
+    def test_golden_digests_checked_not_skipped(self, fast_results_by_name):
+        fleet = fast_results_by_name["determinism/fleet-digest"]
+        golden = {c.label: c for c in fleet.checks}["fleet digest golden"]
+        assert golden.observed == GOLDEN_FLEET_DIGESTS["fast"]
+        stats = fast_results_by_name["determinism/statistics-digest"]
+        pinned = {c.label: c for c in stats.checks}["statistics digest golden"]
+        assert pinned.observed == GOLDEN_STATISTICS_DIGESTS["fast"]
+
+
+class TestReportContract:
+    def test_report_round_trips_as_json(self, fast_report):
+        payload = json.loads(json.dumps(fast_report.to_dict()))
+        assert payload["report"] == "fleet-validate"
+        assert payload["version"] == 1
+        assert payload["ok"] is True
+        assert payload["counts"]["probes"] == len(fast_report.results)
+        assert payload["counts"]["failed"] == 0
+        for probe in payload["probes"]:
+            for key in ("name", "family", "scenario", "passed", "checks"):
+                assert key in probe
+            for check in probe["checks"]:
+                assert set(check) == {"label", "observed", "expected", "ok"}
+
+    def test_format_lines_mention_every_probe(self, fast_report):
+        text = "\n".join(fast_report.format_lines())
+        for result in fast_report.results:
+            assert result.name in text
+        assert "summary:" in text
+        assert "(canonical)" in text
+
+
+class TestSelectionAndOverrides:
+    def test_unknown_probe_name_raises(self):
+        with pytest.raises(ValueError, match="unknown probe"):
+            select_probes("fast", ["no/such-probe"])
+
+    def test_full_tier_probe_invalid_at_fast_tier(self):
+        with pytest.raises(ValueError, match="unknown probe"):
+            select_probes("fast", ["determinism/distributed-digest"])
+
+    def test_unknown_tier_raises(self):
+        with pytest.raises(ValueError, match="unknown tier"):
+            run_validation("ludicrous")
+
+    def test_filter_preserves_order_and_dedupes(self):
+        selected = select_probes("fast", ["pin/moments", "pin/quantiles", "pin/moments"])
+        assert [p.name for p in selected] == ["pin/moments", "pin/quantiles"]
+
+    def test_non_canonical_size_skips_goldens_but_keeps_controls_armed(self):
+        report = run_validation(
+            "fast",
+            size=20_000,
+            probes=[
+                "determinism/fleet-digest",
+                "determinism/statistics-digest",
+                "control/reseeded-fleet-digest",
+            ],
+        )
+        assert not report.canonical
+        assert report.ok, [r.name for r in report.results if not r.passed]
+        by_name = {r.name: r for r in report.results}
+        golden = {
+            c.label: c for c in by_name["determinism/fleet-digest"].checks
+        }["fleet digest golden"]
+        assert "skipped" in golden.expected
+        # the reseeded control compares against the paper fleet at the same
+        # size, so it must still trip without any golden
+        assert by_name["control/reseeded-fleet-digest"].passed
+        assert not by_name["control/reseeded-fleet-digest"].checks_ok
+
+
+class TestToleranceMethodology:
+    def test_registered_bands_cover_a_fresh_seed_panel(self):
+        """The audit invariant at reduced cost: a disjoint 4-seed panel's
+        ±4σ band must sit inside every registered band.  The committed
+        table derives from the 16-seed default panel at ±8σ and audits at
+        ±6σ; a 4-seed σ estimate is noisy enough (χ-distribution spread)
+        that the cheap in-suite proxy drops the multiplier further."""
+        from repro.validation import audit_bands, derive_bands
+
+        derived = derive_bands(seeds=[2000, 2001, 2002, 2003])
+        rows = audit_bands(derived, sigma=4.0)
+        assert rows
+        stale = [row[0].metric for row in rows if not row[2]]
+        assert not stale, f"stale bands: {stale}"
+
+    def test_tolerances_cli_reports_and_passes(self, capsys):
+        from repro.validation.tolerances import main
+
+        code = main(["--seeds", "2", "--seed-base", "3000", "--size", "20000"])
+        out = capsys.readouterr().out
+        assert "tolerance audit" in out
+        assert "corr/cores:memory_mb" in out
+        # a 2-seed panel at reduced size is only a smoke check of the
+        # audit plumbing; coverage may legitimately fail there, so only
+        # the exit-code contract is asserted
+        assert code in (0, 1)
+
+    def test_derive_bands_requires_two_seeds(self):
+        from repro.validation import derive_bands
+
+        with pytest.raises(ValueError, match="two seeds"):
+            derive_bands(seeds=[1])
