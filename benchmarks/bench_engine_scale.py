@@ -5,8 +5,18 @@ Measures hosts/sec for four execution paths of the same fleet —
 * ``batch``          — one-shot ``generate_fleet`` + batch statistics
                        (skipped above ``--batch-max`` hosts),
 * ``streamed``       — single-process reducer pass (``shards=1``),
-* ``sharded``        — ``multiprocessing`` fan-out reducer pass,
-* ``sharded_export`` — ``export_fleet`` segment + manifest writer,
+* ``sharded``        — ``multiprocessing`` fan-out reducer pass over the
+                      warm persistent pool,
+* ``sharded_export_cold`` — ``export_fleet`` with the persistent pools
+                      torn down first, so the timing pays process spawn
+                      (the pre-PR-7 regime every call used to live in),
+* ``sharded_export`` — ``export_fleet`` over the warm pool (the steady
+                      state of a process that exports more than once);
+                      ``warm_pool_speedup`` is warm over cold throughput,
+* ``columnar_export`` — ``export_fleet --format npz-columnar`` (one
+                      contiguous binary array per resource column, warm
+                      pool); ``columnar_speedup`` is columnar over warm
+                      CSV throughput and the fleet sha256 must match,
 * ``checkpointed_export`` — ``export_fleet_blocks`` resumable per-block
                       writer with reducer-state checkpoints (the JSON
                       records its overhead over the plain sharded export;
@@ -14,6 +24,10 @@ Measures hosts/sec for four execution paths of the same fleet —
 * ``distributed_export`` — the coordinator/worker backend with local
                       socket-attached workers (``--shards`` of them);
                       the payload sha256 must equal the sharded export's,
+
+``--matrix-sizes 200000,1000000`` additionally times the warm CSV and
+columnar exports at each listed fleet size (the README's before/after
+table is produced from this matrix),
 
 verifies that the sharded one-pass correlation matrix matches the
 single-process one (and, for fleets small enough to materialise, the batch
@@ -49,6 +63,8 @@ from repro.engine import (
     export_fleet_distributed,
     generate_fleet,
     generate_sharded,
+    pool_stats,
+    shutdown_pools,
 )
 from repro.timeutil import parse_date, year_fraction
 
@@ -117,7 +133,34 @@ def main(argv: "list[str] | None" = None) -> int:
         metavar="X",
         help="fail unless sharded throughput >= X * single-process",
     )
+    parser.add_argument(
+        "--assert-warm-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless warm-pool export throughput >= X * cold-pool",
+    )
+    parser.add_argument(
+        "--assert-columnar-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless columnar export throughput >= X * warm CSV export",
+    )
+    parser.add_argument(
+        "--matrix-sizes",
+        default="",
+        metavar="N,N,...",
+        help="also time warm CSV + columnar exports at each listed fleet "
+        "size (e.g. 200000,1000000); recorded under 'matrix' in the JSON",
+    )
     args = parser.parse_args(argv)
+    try:
+        matrix_sizes = [
+            int(token) for token in args.matrix_sizes.split(",") if token.strip()
+        ]
+    except ValueError:
+        parser.error("--matrix-sizes must be a comma-separated list of ints")
 
     generator = CorrelatedHostGenerator()
     when = year_fraction(parse_date(args.date))
@@ -138,6 +181,24 @@ def main(argv: "list[str] | None" = None) -> int:
         generator, when, args.size, args.seed, shards=1, chunk_size=args.chunk_size
     )
     paths["streamed"] = _report("streamed", single.elapsed_seconds, args.size)
+
+    failures = 0
+
+    # Cold-pool export: tear the persistent pools down first so this
+    # timing pays process spawn — the regime every fan-out lived in
+    # before the pools persisted.
+    shutdown_pools()
+    export_dir = tempfile.mkdtemp(prefix="bench-fleet-export-")
+    try:
+        start = time.perf_counter()
+        export_fleet(
+            generator, when, args.size, args.seed, export_dir, shards=args.shards
+        )
+        paths["sharded_export_cold"] = _report(
+            "cold export", time.perf_counter() - start, args.size
+        )
+    finally:
+        shutil.rmtree(export_dir, ignore_errors=True)
 
     sharded = generate_sharded(
         generator,
@@ -160,10 +221,45 @@ def main(argv: "list[str] | None" = None) -> int:
             generator, when, args.size, args.seed, export_dir, shards=args.shards
         )
         paths["sharded_export"] = _report(
-            "sharded export", time.perf_counter() - start, args.size
+            "warm export", time.perf_counter() - start, args.size
         )
     finally:
         shutil.rmtree(export_dir, ignore_errors=True)
+    warm_pool_speedup = (
+        paths["sharded_export_cold"]["seconds"] / paths["sharded_export"]["seconds"]
+        if paths["sharded_export"]["seconds"] > 0
+        else float("inf")
+    )
+    print(f"  warm-pool speedup: {warm_pool_speedup:.2f}x over cold export")
+
+    columnar_dir = tempfile.mkdtemp(prefix="bench-fleet-columnar-")
+    try:
+        start = time.perf_counter()
+        columnar_manifest = export_fleet(
+            generator,
+            when,
+            args.size,
+            args.seed,
+            columnar_dir,
+            shards=args.shards,
+            fmt="npz-columnar",
+        )
+        paths["columnar_export"] = _report(
+            "columnar export", time.perf_counter() - start, args.size
+        )
+    finally:
+        shutil.rmtree(columnar_dir, ignore_errors=True)
+    columnar_speedup = (
+        paths["sharded_export"]["seconds"] / paths["columnar_export"]["seconds"]
+        if paths["columnar_export"]["seconds"] > 0
+        else float("inf")
+    )
+    print(f"  columnar speedup: {columnar_speedup:.2f}x over warm CSV export")
+    if columnar_manifest.fleet_sha256 != manifest.fleet_sha256:
+        print("  FAIL: columnar export fleet sha256 differs from CSV export")
+        failures += 1
+    else:
+        print("  columnar fleet sha256 matches the CSV export")
 
     # Resume-overhead entry: the per-block resumable writer does the same
     # work as the sharded export plus per-block files, reducer updates and
@@ -194,8 +290,6 @@ def main(argv: "list[str] | None" = None) -> int:
         f"  checkpoint overhead: {checkpoint_overhead:+.1%} over sharded "
         f"export (every {args.checkpoint_every} blocks)"
     )
-
-    failures = 0
 
     distributed_dir = tempfile.mkdtemp(prefix="bench-fleet-distributed-")
     try:
@@ -241,6 +335,50 @@ def main(argv: "list[str] | None" = None) -> int:
             f"{args.assert_speedup:.2f}x"
         )
         failures += 1
+    if (
+        args.assert_warm_speedup is not None
+        and warm_pool_speedup < args.assert_warm_speedup
+    ):
+        print(
+            f"  FAIL: warm-pool speedup {warm_pool_speedup:.2f}x below "
+            f"required {args.assert_warm_speedup:.2f}x"
+        )
+        failures += 1
+    if (
+        args.assert_columnar_speedup is not None
+        and columnar_speedup < args.assert_columnar_speedup
+    ):
+        print(
+            f"  FAIL: columnar speedup {columnar_speedup:.2f}x below "
+            f"required {args.assert_columnar_speedup:.2f}x"
+        )
+        failures += 1
+
+    # Scale matrix: warm CSV vs columnar exports at each requested fleet
+    # size (the pool is warm by now, so these are steady-state numbers).
+    matrix: "dict[str, dict[str, dict[str, float]]]" = {}
+    for matrix_size in matrix_sizes:
+        print(f"  matrix @ {matrix_size} hosts:")
+        entry: "dict[str, dict[str, float]]" = {}
+        for fmt, key in (("csv", "csv_export"), ("npz-columnar", "columnar_export")):
+            matrix_dir = tempfile.mkdtemp(prefix="bench-fleet-matrix-")
+            try:
+                start = time.perf_counter()
+                export_fleet(
+                    generator,
+                    when,
+                    matrix_size,
+                    args.seed,
+                    matrix_dir,
+                    shards=args.shards,
+                    fmt=fmt,
+                )
+                entry[key] = _report(
+                    f"  {fmt}", time.perf_counter() - start, matrix_size
+                )
+            finally:
+                shutil.rmtree(matrix_dir, ignore_errors=True)
+        matrix[str(matrix_size)] = entry
 
     # The fast validation tier is a per-push CI gate, so its wall time is a
     # tracked perf surface like the export paths: time one canonical run
@@ -285,6 +423,12 @@ def main(argv: "list[str] | None" = None) -> int:
             "paths": paths,
             "totals": totals,
             "sharded_speedup": speedup,
+            "warm_pool_speedup": warm_pool_speedup,
+            "columnar_speedup": columnar_speedup,
+            "columnar_fleet_matches": columnar_manifest.fleet_sha256
+            == manifest.fleet_sha256,
+            "pool_stats": pool_stats(),
+            "matrix": matrix,
             "export_segments": len(manifest.segments),
             "checkpoint_every": args.checkpoint_every,
             "checkpoint_overhead": checkpoint_overhead,

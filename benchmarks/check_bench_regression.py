@@ -31,8 +31,16 @@ import os
 import sys
 
 #: Timing keys are tracked when they end with this suffix; everything
-#: else in the JSON (counts, rates, digests, speedup ratios) is context.
+#: else in the JSON (counts, rates, digests) is context.
 TRACKED_SUFFIX = "seconds"
+
+#: Ratio keys (``sharded_speedup``, ``warm_pool_speedup``,
+#: ``columnar_speedup``, ...) are tracked too, with the inequality
+#: flipped: a *lower* ratio than baseline is the regression.  Baseline
+#: ratios below 1.0 are skipped — they record a regime where the
+#: optimisation cannot win (e.g. multi-process speedups on a 1-vCPU
+#: runner), and gating on them would only measure scheduler noise.
+SPEEDUP_SUFFIX = "speedup"
 
 #: Reference-implementation timings the hot-path bench keeps purely as
 #: the "before" yardstick (the frozen pre-optimisation loop, np.savetxt,
@@ -68,6 +76,23 @@ def flatten_timings(payload, prefix: str = "") -> "dict[str, float]":
     return out
 
 
+def flatten_speedups(payload, prefix: str = "") -> "dict[str, float]":
+    """``{dotted.path: ratio}`` for every speedup ratio in a bench JSON."""
+    out: "dict[str, float]" = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and str(key).endswith(SPEEDUP_SUFFIX)
+            ):
+                out[path] = float(value)
+            else:
+                out.update(flatten_speedups(value, path))
+    return out
+
+
 def compare(
     current: dict, baseline: dict, threshold: float
 ) -> "tuple[list[str], list[str]]":
@@ -97,6 +122,25 @@ def compare(
             regressions.append(
                 f"{path}: {now:.3f}s is {ratio:.2f}x the baseline {base:.3f}s "
                 f"(limit {1.0 + threshold:.2f}x)"
+            )
+    current_speedups = flatten_speedups(current)
+    for path, base in sorted(flatten_speedups(baseline).items()):
+        if base < 1.0:
+            continue  # optimisation can't win in the baseline regime
+        now = current_speedups.get(path)
+        if now is None:
+            deltas.append(f"{path} missing")
+            regressions.append(
+                f"{path}: tracked in the baseline but absent from the current "
+                "run; refresh benchmarks/baselines/ if the section was "
+                "renamed or removed"
+            )
+            continue
+        deltas.append(f"{path} {now:.2f}x (base {base:.2f}x)")
+        if now < base / (1.0 + threshold):
+            regressions.append(
+                f"{path}: {now:.2f}x is below the baseline {base:.2f}x "
+                f"(limit {base / (1.0 + threshold):.2f}x)"
             )
     return deltas, regressions
 

@@ -270,6 +270,11 @@ def _cmd_fleet_export(args: argparse.Namespace) -> int:
                 problem = str(error)
     elif connect_specs:
         problem = "--connect requires --backend distributed"
+    if not problem and args.checkpoint_every and args.format == "npz-columnar":
+        problem = (
+            "npz-columnar writes whole columns and has no per-block segments "
+            "to checkpoint; drop --checkpoint-every or use --format csv/npz"
+        )
     if problem:
         sys.stderr.write(f"fleet export: {problem}\n")
         return 2
@@ -279,10 +284,15 @@ def _cmd_fleet_export(args: argparse.Namespace) -> int:
         and os.listdir(args.out_dir)
         and not args.force
     ):
+        entries = sorted(os.listdir(args.out_dir))
+        shown = ", ".join(entries[:4])
+        if len(entries) > 4:
+            shown += f", … {len(entries) - 4} more"
         sys.stderr.write(
-            f"fleet export: {args.out_dir} is not empty; exporting would mix "
-            "old and new segments (and `fleet verify` could pass against "
-            "stale files) — pass --force to export anyway\n"
+            f"fleet export: {args.out_dir} is not empty (contains {shown}); "
+            "exporting would mix old and new segments (and `fleet verify` "
+            "could pass against stale files) — pass --force to export "
+            "anyway\n"
         )
         return 2
     params = _load_parameters(args.params)
@@ -488,6 +498,16 @@ def _dispatch_fleet(args: argparse.Namespace) -> int:
     parser already placed in the namespace, so a ``func`` default on the
     nested subparsers would silently lose to the parent's.
     """
+    from repro.engine import resolve_start_method
+
+    try:
+        # Every fleet sub-mode may fan out worker processes; a typo'd
+        # REPRO_START_METHOD (e.g. "forkserverr") should die here in one
+        # line, not as a multiprocessing traceback mid-export.
+        resolve_start_method()
+    except ValueError as error:
+        sys.stderr.write(f"fleet: {error}\n")
+        return 2
     command = getattr(args, "fleet_command", None)
     if command == "export":
         return _cmd_fleet_export(args)
@@ -729,9 +749,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fleet_export.add_argument(
         "--format",
-        choices=["csv", "npz"],
+        choices=["csv", "npz", "npz-columnar"],
         default="csv",
-        help="segment format (csv concatenates byte-identically)",
+        help="segment format (csv concatenates byte-identically; "
+        "npz-columnar writes one contiguous binary array per resource "
+        "column — the fast path for large fleets)",
     )
     p_fleet_export.add_argument(
         "--checkpoint-every",

@@ -58,6 +58,14 @@ from repro.engine.distributed import (
     parse_endpoint,
     serve_worker,
 )
+from repro.engine.pool import (
+    BlockBuffer,
+    WorkerPool,
+    create_block_buffer,
+    pool_stats,
+    resolve_start_method,
+    shutdown_pools,
+)
 from repro.engine.sharding import (
     DEFAULT_REDUCER_FACTORIES,
     FleetStatistics,
@@ -77,6 +85,7 @@ from repro.engine.streaming import (
     stream_population,
 )
 from repro.engine.writer import (
+    COLUMNAR_FORMAT,
     BlockExportResult,
     FleetManifest,
     SegmentRecord,
@@ -84,6 +93,7 @@ from repro.engine.writer import (
     compact_export,
     export_fleet,
     export_fleet_blocks,
+    read_columnar_export,
     resume_export,
     shard_block_ranges,
     verify_manifest,
@@ -91,9 +101,17 @@ from repro.engine.writer import (
 from repro.stats.state import StateError
 
 __all__ = [
+    "BlockBuffer",
+    "COLUMNAR_FORMAT",
     "CorrelationAccumulator",
     "MomentAccumulator",
+    "WorkerPool",
     "as_matrix",
+    "create_block_buffer",
+    "pool_stats",
+    "read_columnar_export",
+    "resolve_start_method",
+    "shutdown_pools",
     "DECILES",
     "ECDFReducer",
     "ExactQuantileReducer",

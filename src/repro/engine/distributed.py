@@ -77,6 +77,7 @@ from queue import Empty, Queue
 import numpy as np
 
 from repro.engine.accumulate import CorrelationAccumulator, MomentAccumulator
+from repro.engine.pool import discard_pool, get_pool, persistence_enabled
 from repro.engine.reduce import ChunkedFold, QuantileReducer, ReducerSet
 from repro.engine.sharding import (
     FleetStatistics,
@@ -384,6 +385,33 @@ def _local_worker_main(host: str, port: int) -> None:
         pass  # the coordinator tracks worker death through the socket
     finally:
         sock.close()
+
+
+class _PooledWorkerHandle:
+    """Process-shaped view of a local worker running inside the persistent
+    pool, so the coordinator's liveness/teardown code needs no branches.
+
+    ``is_alive`` maps to the task not having completed, ``join`` waits on
+    the ``AsyncResult``, and ``terminate`` discards the whole pool — a
+    single pool task cannot be killed, and a worker a caller wants dead is
+    a worker the pool should not hand to the next fan-out anyway.
+    """
+
+    def __init__(self, pool, result):
+        self._pool = pool
+        self._result = result
+
+    def is_alive(self) -> bool:
+        return not self._result.ready()
+
+    def join(self, timeout: "float | None" = None) -> None:
+        try:
+            self._result.get(timeout=timeout)
+        except Exception:  # timeouts and worker errors surface elsewhere
+            pass
+
+    def terminate(self) -> None:
+        discard_pool(self._pool)
 
 
 def serve_worker(
@@ -872,16 +900,32 @@ def export_fleet_distributed(
                 port = listener.getsockname()[1]
                 # Fork the worker processes *before* starting any
                 # coordinator threads — forking a threaded process is the
-                # deadlock _pool_context exists to avoid.
-                context = _pool_context(start_method)
-                for _ in range(workers):
-                    process = context.Process(
-                        target=_local_worker_main,
-                        args=("127.0.0.1", port),
-                        daemon=True,
-                    )
-                    process.start()
-                    coordinator.processes.append(process)
+                # deadlock _pool_context exists to avoid.  Healthy runs go
+                # through the persistent pool (workers already warm after
+                # the first fan-out); fault injection keeps raw processes,
+                # because a worker that SIGKILLs itself would poison a
+                # pool that outlives this call.
+                if fault_after is None and persistence_enabled():
+                    pool = get_pool(workers, start_method)
+                    for _ in range(workers):
+                        coordinator.processes.append(
+                            _PooledWorkerHandle(
+                                pool,
+                                pool.apply_async(
+                                    _local_worker_main, ("127.0.0.1", port)
+                                ),
+                            )
+                        )
+                else:
+                    context = _pool_context(start_method)
+                    for _ in range(workers):
+                        process = context.Process(
+                            target=_local_worker_main,
+                            args=("127.0.0.1", port),
+                            daemon=True,
+                        )
+                        process.start()
+                        coordinator.processes.append(process)
                 threading.Thread(
                     target=coordinator._accept_loop, args=(listener,), daemon=True
                 ).start()

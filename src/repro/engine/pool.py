@@ -1,0 +1,317 @@
+"""Persistent worker pools and zero-copy block hand-off.
+
+Every multiprocess fan-out in the engine used to spawn a fresh
+``multiprocessing.Pool`` and tear it down with the call.  On small and
+medium fleets that spawn cost *dominates*: the committed
+``BENCH_engine_scale`` baseline shows sharded export stuck near
+0.3 M hosts/s against 2.9 M hosts/s raw generation, and
+``sharded_speedup`` < 1 on one vCPU, purely because every call pays
+process startup again.  This module keeps the workers warm instead:
+
+:func:`get_pool` / :func:`pool_map`
+    A process-wide registry of persistent pools, one per resolved start
+    method.  The first fan-out spawns the workers; every later
+    ``generate_sharded`` / ``export_fleet`` / ``export_fleet_blocks`` /
+    distributed-local-worker call in the same process reuses them, so a
+    CLI command, a benchmark run or a service embedding pays spawn cost
+    once per process, not once per call.  ``REPRO_POOL_PERSIST=0``
+    restores the old spawn-per-call behaviour (the pool is still used,
+    but torn down after each call).
+:class:`BlockBuffer`
+    Zero-copy ndarray hand-off over ``multiprocessing.shared_memory``:
+    the parent allocates one buffer, workers attach by name and write
+    their row ranges in place, and no column data is ever pickled
+    through a result queue.  Platforms (or configurations,
+    ``REPRO_BLOCK_HANDOFF=pickle``) without usable shared memory fall
+    back to pickled ndarray returns transparently — the caller asks for
+    a buffer, gets ``None``, and ships arrays the classic way.
+
+Workers stay daemonic and are terminated at interpreter exit (the same
+``terminate()`` the old ``with Pool():`` blocks issued), so persistence
+changes when spawn cost is paid, never what runs or what is left behind.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import threading
+
+import numpy as np
+
+#: Set to ``0`` to disable cross-call pool persistence (each fan-out then
+#: spawns and tears down its own pool, as the engine did before PR 7).
+ENV_POOL_PERSIST = "REPRO_POOL_PERSIST"
+
+#: Set to ``pickle`` to force the pickled-ndarray fallback path even where
+#: shared memory is available (exercised by the test suite).
+ENV_BLOCK_HANDOFF = "REPRO_BLOCK_HANDOFF"
+
+
+def resolve_start_method(start_method: "str | None" = None) -> str:
+    """The start method every engine fan-out resolves through.
+
+    Resolution order: an explicit ``start_method`` argument, then the
+    ``REPRO_START_METHOD`` environment variable, then fork where the
+    platform offers it (cheap: no re-import, no pickling of the parent
+    state) with spawn as the fallback.  The override exists because fork
+    is unsafe under threaded callers (a forked child inherits locks held
+    by threads that no longer exist and deadlocks) — such embedders pass
+    ``"spawn"`` or export ``REPRO_START_METHOD=spawn``.  An unsupported
+    name raises :class:`ValueError` in one line, naming the source of
+    the bad value and the platform's choices.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    method = start_method
+    source = "start_method"
+    if method is None:
+        method = os.environ.get("REPRO_START_METHOD") or None
+        source = "REPRO_START_METHOD"
+    if method is None:
+        return "fork" if "fork" in methods else "spawn"
+    if method not in methods:
+        raise ValueError(
+            f"unsupported multiprocessing start method {method!r} "
+            f"(from {source}); this platform supports {', '.join(methods)}"
+        )
+    return method
+
+
+class WorkerPool:
+    """A ``multiprocessing.Pool`` that outlives a single fan-out call.
+
+    Thin by design: the scheduling semantics are exactly
+    ``Pool.map(chunksize=1)`` / ``Pool.apply_async``, plus the counters
+    the benchmarks and tests read (``jobs_dispatched``, ``maps_run``).
+    """
+
+    def __init__(self, processes: int, start_method: "str | None" = None):
+        if processes < 1:
+            raise ValueError("processes must be at least 1")
+        self.start_method = resolve_start_method(start_method)
+        self.processes = processes
+        self.jobs_dispatched = 0
+        self.maps_run = 0
+        context = multiprocessing.get_context(self.start_method)
+        self._pool = context.Pool(processes=processes)
+
+    def map(self, func, payloads: list) -> list:
+        """Run ``func`` over ``payloads``, one payload per task."""
+        self.jobs_dispatched += len(payloads)
+        self.maps_run += 1
+        return self._pool.map(func, payloads, chunksize=1)
+
+    def apply_async(self, func, args: tuple = ()):
+        """Submit one task; returns the ``AsyncResult``."""
+        self.jobs_dispatched += 1
+        return self._pool.apply_async(func, args)
+
+    def close(self) -> None:
+        """Terminate the workers (idempotent)."""
+        self._pool.terminate()
+        self._pool.join()
+
+
+_LOCK = threading.Lock()
+_POOLS: "dict[str, WorkerPool]" = {}
+_SPAWN_COUNT = 0  # pools created since import; tests pin reuse through it
+_ATEXIT_ARMED = False
+
+
+def persistence_enabled() -> bool:
+    """Whether pools persist across calls (``REPRO_POOL_PERSIST`` != 0)."""
+    return os.environ.get(ENV_POOL_PERSIST, "1") != "0"
+
+
+def get_pool(processes: int, start_method: "str | None" = None) -> WorkerPool:
+    """The persistent pool for ``start_method``, grown to ``processes``.
+
+    One pool lives per resolved start method.  A request for more
+    processes than the pool holds replaces it with a larger one (the old
+    workers are terminated first); a request for fewer reuses the larger
+    pool — idle workers cost nothing, and the caller's payload list
+    alone decides how much runs in parallel.
+    """
+    global _SPAWN_COUNT, _ATEXIT_ARMED
+    method = resolve_start_method(start_method)
+    with _LOCK:
+        pool = _POOLS.get(method)
+        if pool is None or pool.processes < processes:
+            if pool is not None:
+                pool.close()
+            pool = WorkerPool(processes, method)
+            _POOLS[method] = pool
+            _SPAWN_COUNT += 1
+            if not _ATEXIT_ARMED:
+                atexit.register(shutdown_pools)
+                _ATEXIT_ARMED = True
+        return pool
+
+
+def discard_pool(pool: WorkerPool) -> None:
+    """Terminate ``pool`` and drop it from the registry if present.
+
+    The recovery path for a pool a caller believes is wedged (e.g. a
+    distributed local worker that never exited): the next fan-out simply
+    spawns a fresh one.
+    """
+    with _LOCK:
+        for method, registered in list(_POOLS.items()):
+            if registered is pool:
+                del _POOLS[method]
+    pool.close()
+
+
+def shutdown_pools() -> None:
+    """Terminate every persistent pool (benchmarks measure cold starts
+    by calling this between timings; also the atexit hook)."""
+    with _LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.close()
+
+
+def pool_stats() -> "dict[str, dict[str, int]]":
+    """Per-start-method counters of the live persistent pools."""
+    with _LOCK:
+        return {
+            method: {
+                "processes": pool.processes,
+                "jobs_dispatched": pool.jobs_dispatched,
+                "maps_run": pool.maps_run,
+            }
+            for method, pool in _POOLS.items()
+        }
+
+
+def pools_spawned() -> int:
+    """How many pools this process has created (reuse leaves it flat)."""
+    return _SPAWN_COUNT
+
+
+def pool_map(
+    func, payloads: list, processes: int, start_method: "str | None" = None
+) -> list:
+    """Fan ``payloads`` out over the persistent pool (the engine's one
+    fan-out entry point).
+
+    With persistence disabled the pool is created for this call and torn
+    down after it — byte-for-byte the engine's old behaviour.  A payload
+    that *raises* propagates after every task finished, exactly like
+    ``Pool.map``; the pool stays healthy and keeps its workers either
+    way (a raised task is a normal result, not a dead process).
+    """
+    if not payloads:
+        return []
+    processes = min(processes, len(payloads))
+    if not persistence_enabled():
+        pool = WorkerPool(processes, start_method)
+        try:
+            return pool.map(func, payloads)
+        finally:
+            pool.close()
+    return get_pool(processes, start_method).map(func, payloads)
+
+
+# -- zero-copy block hand-off ------------------------------------------------
+
+
+class BlockBuffer:
+    """A shared-memory ndarray both sides of a pool boundary can address.
+
+    The parent calls :func:`create_block_buffer`; workers receive the
+    small picklable :meth:`handle` ``(path, shape, dtype)`` tuple in
+    their payload, :meth:`attach`, and write rows in place — the column
+    data itself never crosses a pickle boundary.  The creating side owns
+    the segment and must :meth:`unlink` it (``close`` alone detaches).
+
+    Backing store: a ``MAP_SHARED`` :class:`numpy.memmap` over an
+    unlinked-on-close file in ``/dev/shm`` (plain POSIX shared memory —
+    the same tmpfs ``shm_open`` uses) with the system temp directory as
+    the fallback.  This sidesteps ``multiprocessing.shared_memory``'s
+    resource tracker, whose attach-side registration misfires for
+    persistent fork pools (the workers share the parent's tracker, and
+    close/unregister races print spurious leak reports at exit).
+    """
+
+    def __init__(self, path: str, shape, dtype, owner: bool):
+        self.path = path
+        self.shape = tuple(int(n) for n in shape)
+        self.dtype = np.dtype(dtype)
+        self._owner = owner
+        self.array = np.memmap(path, dtype=self.dtype, mode="r+", shape=self.shape)
+
+    @classmethod
+    def create(cls, shape, dtype=np.float64) -> "BlockBuffer":
+        import tempfile
+
+        directory = "/dev/shm" if os.path.isdir("/dev/shm") else None
+        fd, path = tempfile.mkstemp(prefix="repro-block-", dir=directory)
+        try:
+            nbytes = (
+                int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+            )
+            os.ftruncate(fd, max(1, nbytes))
+        finally:
+            os.close(fd)
+        try:
+            return cls(path, shape, dtype, owner=True)
+        except Exception:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def attach(cls, handle: "tuple[str, tuple, str]") -> "BlockBuffer":
+        path, shape, dtype = handle
+        return cls(path, shape, dtype, owner=False)
+
+    def handle(self) -> "tuple[str, tuple, str]":
+        """The picklable ``(path, shape, dtype)`` attach token."""
+        return (self.path, self.shape, self.dtype.str)
+
+    def close(self) -> None:
+        """Detach this mapping (workers call this; the data survives —
+        writes are visible to every attached process through the shared
+        page cache, no flush needed)."""
+        array, self.array = self.array, None
+        if array is None:
+            return
+        mapping = getattr(array, "_mmap", None)
+        del array
+        if mapping is not None:
+            try:
+                mapping.close()
+            except BufferError:  # a live view still references the pages
+                pass
+
+    def unlink(self) -> None:
+        """Detach and remove the segment (owner side, exactly once)."""
+        self.close()
+        if self._owner:
+            try:
+                os.remove(self.path)
+            except OSError:  # already gone (e.g. double unlink)
+                pass
+
+
+def create_block_buffer(shape, dtype=np.float64) -> "BlockBuffer | None":
+    """A :class:`BlockBuffer`, or ``None`` where the pickling fallback
+    must be used instead.
+
+    ``None`` (rather than an exception) is the fallback signal so call
+    sites read as one branch: platforms without a writable shared-memory
+    mount, a full ``/dev/shm``, and the explicit
+    ``REPRO_BLOCK_HANDOFF=pickle`` override all land here, and the
+    workers ship their arrays pickled as before.
+    """
+    if os.environ.get(ENV_BLOCK_HANDOFF) == "pickle":
+        return None
+    try:
+        return BlockBuffer.create(shape, dtype)
+    except (OSError, ValueError):
+        return None

@@ -13,13 +13,13 @@ from __future__ import annotations
 
 import datetime as _dt
 import multiprocessing
-import os
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.engine.accumulate import CorrelationAccumulator, MomentAccumulator
+from repro.engine.pool import pool_map, resolve_start_method
 from repro.engine.reduce import (
     ChunkedFold,
     QuantileReducer,
@@ -157,27 +157,16 @@ def _pool_context(
 ) -> multiprocessing.context.BaseContext:
     """The multiprocessing context every engine fan-out spawns through.
 
-    Resolution order: an explicit ``start_method`` argument, then the
-    ``REPRO_START_METHOD`` environment variable, then fork where the
-    platform offers it (cheap: no re-import, no pickling of the parent
-    state) with spawn as the fallback.  The override exists because fork
-    is unsafe under threaded callers (a forked child inherits locks held
-    by threads that no longer exist and deadlocks) — such embedders set
-    ``start_method="spawn"`` or export ``REPRO_START_METHOD=spawn``,
-    matching the direction of the py3.12+ default change.  An
-    unsupported method name raises :class:`ValueError` naming the
-    platform's choices.
+    Start-method resolution (explicit argument, then
+    ``REPRO_START_METHOD``, then fork-with-spawn-fallback) lives in
+    :func:`repro.engine.pool.resolve_start_method`; an unsupported name
+    raises :class:`ValueError` naming the source of the bad value and
+    the platform's choices.  Since PR 7 the fan-outs themselves go
+    through the persistent pools of :mod:`repro.engine.pool` — this
+    context is what the pools (and the distributed backend's raw worker
+    processes) spawn from.
     """
-    method = start_method or os.environ.get("REPRO_START_METHOD") or None
-    methods = multiprocessing.get_all_start_methods()
-    if method is not None:
-        if method not in methods:
-            raise ValueError(
-                f"unsupported multiprocessing start method {method!r}; this "
-                f"platform supports {methods}"
-            )
-        return multiprocessing.get_context(method)
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    return multiprocessing.get_context(resolve_start_method(start_method))
 
 
 def generate_sharded(
@@ -229,8 +218,9 @@ def generate_sharded(
     if shards == 1:
         results = [_run_shard(payloads[0])]
     else:
-        with _pool_context(start_method).Pool(processes=shards) as pool:
-            results = pool.map(_run_shard, payloads)
+        # The persistent pool (repro.engine.pool) amortises process spawn
+        # across calls: only the first fan-out in a process pays startup.
+        results = pool_map(_run_shard, payloads, shards, start_method)
     elapsed = time.perf_counter() - start
 
     results.sort(key=lambda item: item[0])

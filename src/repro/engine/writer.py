@@ -57,10 +57,10 @@ from dataclasses import asdict, dataclass, field
 import numpy as np
 
 from repro.engine.csvfmt import encode_csv_rows
+from repro.engine.pool import BlockBuffer, create_block_buffer, pool_map
 from repro.engine.reduce import ChunkedFold, ReducerFactory, ReducerSet
 from repro.engine.sharding import (
     FleetStatistics,
-    _pool_context,
     _resolve_factories,
     _when_as_float,
 )
@@ -87,8 +87,18 @@ MANIFEST_VERSION = 1
 HOST_CSV_HEADER = "cores,memory_mb,dhrystone_mips,whetstone_mips,disk_gb\n"
 HOST_CSV_FMT = "%d,%.1f,%.1f,%.1f,%.2f"
 
+#: The columnar binary format: one contiguous ``.npy`` array per resource
+#: column (see :func:`read_columnar_export`).  Unlike ``npz``, plain
+#: ``.npy`` bytes are deterministic (no zip timestamps), so columnar
+#: payload digests pin like CSV ones.
+COLUMNAR_FORMAT = "npz-columnar"
+
 #: Supported segment formats.
-FORMATS = ("csv", "npz")
+FORMATS = ("csv", "npz", COLUMNAR_FORMAT)
+
+#: Formats a *per-shard or per-block row-segment* writer can produce;
+#: the columnar layout has its own whole-column writer.
+ROW_SEGMENT_FORMATS = ("csv", "npz")
 
 
 #: Rows rendered per encoder call in :func:`write_population_csv` —
@@ -268,7 +278,9 @@ def _write_segment(payload: tuple):
         np.savez(path, **columns)
         _hash_file_into(path, file_hash)
     else:
-        raise ValueError(f"unknown segment format {fmt!r}; supported: {FORMATS}")
+        raise ValueError(
+            f"unknown segment format {fmt!r}; supported: {ROW_SEGMENT_FORMATS}"
+        )
 
     return shard, file_hash.hexdigest(), digests
 
@@ -293,6 +305,11 @@ def export_fleet(
     only CSV segments carry the byte-concatenation guarantee; the
     ``fleet_sha256`` row-digest chain identifies the fleet in either
     format.
+
+    ``fmt=`` :data:`COLUMNAR_FORMAT` switches to the columnar binary
+    layout (one contiguous ``.npy`` per resource column, written by the
+    parent from worker rows handed over shared memory) — see
+    :func:`read_columnar_export` for the decode side.
     """
     if size < 0:
         raise ValueError("size must be non-negative")
@@ -300,6 +317,11 @@ def export_fleet(
         raise ValueError(f"unknown segment format {fmt!r}; supported: {FORMATS}")
     root = as_seed_sequence(rng)
     os.makedirs(out_dir, exist_ok=True)
+    if fmt == COLUMNAR_FORMAT:
+        return _export_fleet_columnar(
+            generator, when, size, root, out_dir, shards, manifest_name,
+            start_method,
+        )
     n_blocks = block_count(size)
     ranges = shard_block_ranges(n_blocks, shards)
     payloads = [
@@ -311,8 +333,7 @@ def export_fleet(
     if in_process:
         results = [_write_segment(payloads[0])]
     else:
-        with _pool_context(start_method).Pool(processes=len(payloads)) as pool:
-            results = pool.map(_write_segment, payloads)
+        results = pool_map(_write_segment, payloads, len(payloads), start_method)
     results.sort(key=lambda item: item[0])
 
     # The payload digest spans every segment's bytes in manifest order.
@@ -358,6 +379,205 @@ def export_fleet(
     )
     manifest.save(os.path.join(out_dir, manifest_name))
     return manifest
+
+
+# -- columnar binary export --------------------------------------------------
+
+
+class _HashingWriter:
+    """File-like tee: forwards every write and folds the bytes into one
+    or more running hashes, so column files are digested as they are
+    written rather than re-read."""
+
+    def __init__(self, handle, *hashes):
+        self._handle = handle
+        self._hashes = hashes
+
+    def write(self, data) -> int:
+        self._handle.write(data)
+        for digest in self._hashes:
+            digest.update(data)
+        return len(data)
+
+
+def _column_name(index: int, label: str) -> str:
+    return f"column-{index}-{label}.npy"
+
+
+def _fill_columnar_rows(payload: tuple):
+    """Worker: generate blocks ``[block_lo, block_hi)`` into the shared
+    row matrix (or a local one where shared memory is unavailable).
+
+    ``handle`` is a :class:`~repro.engine.pool.BlockBuffer` attach token
+    for the parent's ``(size, n_resources)`` matrix — rows are written in
+    place at their absolute offsets and nothing but the small digest list
+    returns through the pool.  With ``handle=None`` (pickling fallback,
+    or the in-process single-shard path) the worker materialises its own
+    row range and returns it as the third tuple element.
+    """
+    generator, when, size, root, shard, block_lo, block_hi, handle = payload
+    seeds = block_seeds(root, size)
+    row_lo = min(block_lo * RNG_BLOCK_SIZE, size)
+    row_hi = min(block_hi * RNG_BLOCK_SIZE, size)
+    buffer = None
+    if handle is not None:
+        buffer = BlockBuffer.attach(handle)
+        target = buffer.array
+    else:
+        target = np.empty((row_hi - row_lo, len(RESOURCE_LABELS)))
+    digests: "list[tuple[int, bytes]]" = []
+    try:
+        for index in range(block_lo, block_hi):
+            lo = index * RNG_BLOCK_SIZE
+            block = generator.generate(
+                when,
+                min(RNG_BLOCK_SIZE, size - lo),
+                np.random.default_rng(seeds[index]),
+            )
+            matrix = block.to_matrix()
+            # Same bytes population_digest hashes — reusing the stacked
+            # matrix spares a second column_stack per block.
+            digests.append((index, hashlib.sha256(matrix.tobytes()).digest()))
+            at = lo if handle is not None else lo - row_lo
+            target[at : at + len(block)] = matrix
+    finally:
+        if buffer is not None:
+            buffer.close()
+    return shard, digests, None if handle is not None else target
+
+
+def _export_fleet_columnar(
+    generator, when, size, root, out_dir, shards, manifest_name, start_method
+) -> FleetManifest:
+    """Write a fleet as one contiguous ``.npy`` file per resource column.
+
+    Workers generate contiguous block ranges straight into one
+    shared-memory row matrix (:class:`~repro.engine.pool.BlockBuffer`;
+    pickled row slabs where shared memory is unavailable), then the
+    parent serialises each column once, hashing the bytes as they are
+    written.  ``.npy`` v1.0 bytes are a pure function of dtype, shape
+    and data, so ``payload_sha256`` pins the columnar export exactly as
+    it pins CSV — and is identical for every shard count.  The
+    manifest's ``header`` records the column order (the CSV header
+    names); each segment's ``shard`` field is the column index.
+    """
+    n_blocks = block_count(size)
+    ranges = shard_block_ranges(n_blocks, shards)
+    buffer = None
+    handle = None
+    if len(ranges) > 1:
+        buffer = create_block_buffer((size, len(RESOURCE_LABELS)))
+        handle = None if buffer is None else buffer.handle()
+    payloads = [
+        (generator, when, size, root, shard, lo, hi, handle)
+        for shard, (lo, hi) in enumerate(ranges)
+    ]
+    try:
+        if len(payloads) == 1:
+            results = [_fill_columnar_rows(payloads[0])]
+        else:
+            results = pool_map(
+                _fill_columnar_rows, payloads, len(payloads), start_method
+            )
+        results.sort(key=lambda item: item[0])
+        if buffer is not None:
+            matrix = buffer.array
+        elif len(results) == 1:
+            matrix = results[0][2]
+        else:
+            # Pickling fallback: stitch the returned row slabs together.
+            matrix = np.empty((size, len(RESOURCE_LABELS)))
+            for (_, _, slab), (lo, hi) in zip(results, ranges):
+                matrix[min(lo * RNG_BLOCK_SIZE, size):
+                       min(hi * RNG_BLOCK_SIZE, size)] = slab
+
+        payload_hash = hashlib.sha256()
+        segments: "list[SegmentRecord]" = []
+        for column, label in enumerate(RESOURCE_LABELS):
+            name = _column_name(column, label)
+            path = os.path.join(out_dir, name)
+            file_hash = hashlib.sha256()
+            with open(path, "wb") as out:
+                np.lib.format.write_array(
+                    _HashingWriter(out, file_hash, payload_hash),
+                    np.ascontiguousarray(matrix[:, column]),
+                    version=(1, 0),
+                )
+            segments.append(
+                SegmentRecord(
+                    path=name,
+                    shard=column,
+                    block_lo=0,
+                    block_hi=n_blocks,
+                    row_lo=0,
+                    row_hi=size,
+                    sha256=file_hash.hexdigest(),
+                    bytes=os.path.getsize(path),
+                )
+            )
+    finally:
+        if buffer is not None:
+            buffer.unlink()
+
+    all_digests = [entry for _, digests, _ in results for entry in digests]
+    manifest = FleetManifest(
+        version=MANIFEST_VERSION,
+        format=COLUMNAR_FORMAT,
+        size=size,
+        when=_when_as_float(when),
+        entropy=str(root.entropy),
+        spawn_key=tuple(int(k) for k in root.spawn_key),
+        shards=len(ranges),
+        block_size=RNG_BLOCK_SIZE,
+        header=HOST_CSV_HEADER,
+        payload_sha256=payload_hash.hexdigest(),
+        fleet_sha256=combine_block_digests(all_digests),
+        segments=tuple(segments),
+        layout="columnar",
+    )
+    manifest.save(os.path.join(out_dir, manifest_name))
+    return manifest
+
+
+def read_columnar_export(manifest_path: str) -> "tuple[FleetManifest, dict]":
+    """Decode a columnar export: ``(manifest, {label: column ndarray})``.
+
+    Validates the manifest's format, the per-column file names against
+    the canonical :data:`~repro.hosts.population.RESOURCE_LABELS` order
+    and every decoded array's shape, raising :class:`ValueError` on any
+    mismatch.  Byte integrity is :func:`verify_manifest`'s job; this
+    reader checks *structure* so a verified export always decodes.
+    """
+    manifest = FleetManifest.load(manifest_path)
+    if manifest.format != COLUMNAR_FORMAT:
+        raise ValueError(
+            f"manifest {manifest_path} is a {manifest.format!r} export, "
+            f"not {COLUMNAR_FORMAT!r}"
+        )
+    if len(manifest.segments) != len(RESOURCE_LABELS):
+        raise ValueError(
+            f"columnar manifest {manifest_path} lists "
+            f"{len(manifest.segments)} segment(s); expected one per "
+            f"resource column {RESOURCE_LABELS}"
+        )
+    base = os.path.dirname(os.path.abspath(manifest_path))
+    columns: "dict[str, np.ndarray]" = {}
+    for index, (segment, label) in enumerate(
+        zip(manifest.segments, RESOURCE_LABELS)
+    ):
+        if segment.path != _column_name(index, label):
+            raise ValueError(
+                f"columnar manifest {manifest_path} segment {segment.path!r} "
+                f"is not the expected file for column {label!r}"
+            )
+        array = np.load(os.path.join(base, segment.path), allow_pickle=False)
+        if array.shape != (manifest.size,):
+            raise ValueError(
+                f"column {label!r} decodes to shape {array.shape}; expected "
+                f"({manifest.size},)"
+            )
+        columns[label] = array
+    return manifest, columns
 
 
 # -- resumable block-layout export ------------------------------------------
@@ -454,7 +674,9 @@ def _write_block_file(path: str, block, fmt: str) -> "tuple[str, int, bytes]":
         np.savez(buffer, **columns)
         data = buffer.getvalue()
     else:
-        raise ValueError(f"unknown segment format {fmt!r}; supported: {FORMATS}")
+        raise ValueError(
+            f"unknown segment format {fmt!r}; supported: {ROW_SEGMENT_FORMATS}"
+        )
     with open(path, "wb") as handle:
         handle.write(data)
     return hashlib.sha256(data).hexdigest(), len(data), data
@@ -663,6 +885,12 @@ def export_fleet_blocks(
     """
     if size < 0:
         raise ValueError("size must be non-negative")
+    if fmt == COLUMNAR_FORMAT:
+        raise ValueError(
+            f"{COLUMNAR_FORMAT!r} writes whole columns and has no per-block "
+            "segments to checkpoint; use export_fleet for the columnar "
+            "layout, or csv/npz here"
+        )
     if fmt not in FORMATS:
         raise ValueError(f"unknown segment format {fmt!r}; supported: {FORMATS}")
     if checkpoint_every < 0:
@@ -935,8 +1163,9 @@ def _run_block_export(
     if in_process:
         results = [_write_block_shard(payloads[0])]
     else:
-        with _pool_context(start_method).Pool(processes=len(payloads)) as pool:
-            results = pool.map(_write_block_shard, payloads)
+        results = pool_map(
+            _write_block_shard, payloads, len(payloads), start_method
+        )
     elapsed = time.perf_counter() - start
 
     results.sort(key=lambda item: item[0])

@@ -1,0 +1,183 @@
+"""Tests for the persistent worker pool and the zero-copy BlockBuffer."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.engine import pool as pool_mod
+from repro.engine.pool import (
+    BlockBuffer,
+    WorkerPool,
+    create_block_buffer,
+    discard_pool,
+    get_pool,
+    persistence_enabled,
+    pool_map,
+    pool_stats,
+    pools_spawned,
+    resolve_start_method,
+    shutdown_pools,
+)
+
+
+def _worker_pid(_payload) -> int:
+    """Module-level so it pickles under every start method."""
+    return os.getpid()
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+def _fill_buffer_row(payload) -> int:
+    handle, row, value = payload
+    buffer = BlockBuffer.attach(handle)
+    try:
+        buffer.array[row, :] = value
+    finally:
+        buffer.close()
+    return row
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pools():
+    """Each test starts and ends without live pools (the registry is
+    process-global, so a leaked pool would couple tests)."""
+    shutdown_pools()
+    yield
+    shutdown_pools()
+
+
+class TestResolveStartMethod:
+    def test_explicit_argument_wins(self):
+        assert resolve_start_method("spawn") == "spawn"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        assert resolve_start_method() == "spawn"
+
+    def test_invalid_name_is_one_line_error(self):
+        with pytest.raises(ValueError, match="unsupported") as excinfo:
+            resolve_start_method("forkserverr")
+        message = str(excinfo.value)
+        assert "forkserverr" in message
+        assert "\n" not in message
+
+    def test_invalid_env_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_START_METHOD", "frobnicate")
+        with pytest.raises(ValueError, match="REPRO_START_METHOD"):
+            resolve_start_method()
+
+
+class TestPersistentPool:
+    def test_pool_reused_across_maps(self):
+        first = pool_map(_worker_pid, [0, 1], 2)
+        spawned = pools_spawned()
+        second = pool_map(_worker_pid, [0, 1], 2)
+        assert pools_spawned() == spawned  # no new pool
+        # Both maps ran inside the same 2-worker pool (which worker takes
+        # which task is the scheduler's business).
+        assert len(set(first) | set(second)) <= 2
+
+    def test_results_are_correct_and_ordered(self):
+        assert pool_map(_square, list(range(7)), 3) == [
+            n * n for n in range(7)
+        ]
+
+    def test_pool_grows_when_more_processes_requested(self):
+        small = get_pool(1)
+        grown = get_pool(2)
+        assert grown is not small
+        assert grown.processes == 2
+        assert get_pool(1) is grown  # smaller requests reuse the big pool
+
+    def test_persistence_disabled_spawns_per_call(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_PERSIST", "0")
+        assert not persistence_enabled()
+        assert pool_map(_square, [2, 3], 2) == [4, 9]
+        assert pool_stats() == {}  # nothing persisted
+
+    def test_empty_payloads_short_circuit(self):
+        spawned = pools_spawned()
+        assert pool_map(_square, [], 4) == []
+        assert pools_spawned() == spawned
+
+    def test_discard_pool_removes_from_registry(self):
+        pool = get_pool(1)
+        discard_pool(pool)
+        assert pool_stats() == {}
+        assert get_pool(1) is not pool
+
+    def test_stats_count_jobs(self):
+        pool_map(_square, [1, 2, 3], 2)
+        (stats,) = pool_stats().values()
+        assert stats["jobs_dispatched"] == 3
+        assert stats["maps_run"] == 1
+
+    def test_worker_pool_rejects_zero_processes(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            WorkerPool(0)
+
+
+class TestBlockBuffer:
+    def test_roundtrip_through_handle(self):
+        buffer = create_block_buffer((4, 5))
+        assert buffer is not None
+        try:
+            buffer.array[:] = 0.0
+            attached = BlockBuffer.attach(buffer.handle())
+            attached.array[2, :] = 7.5
+            attached.close()
+            assert buffer.array[2, 0] == 7.5
+            assert buffer.array[0, 0] == 0.0
+        finally:
+            buffer.unlink()
+
+    def test_workers_write_through_shared_memory(self):
+        buffer = create_block_buffer((3, 5))
+        assert buffer is not None
+        try:
+            buffer.array[:] = -1.0
+            handle = buffer.handle()
+            rows = pool_map(
+                _fill_buffer_row, [(handle, row, float(row)) for row in range(3)], 2
+            )
+            assert sorted(rows) == [0, 1, 2]
+            np.testing.assert_array_equal(
+                buffer.array, np.repeat([[0.0], [1.0], [2.0]], 5, axis=1)
+            )
+        finally:
+            buffer.unlink()
+
+    def test_unlink_removes_backing_file(self):
+        buffer = create_block_buffer((2, 2))
+        assert buffer is not None
+        path = buffer.path
+        assert os.path.exists(path)
+        buffer.unlink()
+        assert not os.path.exists(path)
+        buffer.unlink()  # idempotent
+
+    def test_pickle_fallback_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BLOCK_HANDOFF", "pickle")
+        assert create_block_buffer((4, 5)) is None
+
+    def test_dtype_travels_in_handle(self):
+        buffer = create_block_buffer((2, 3), dtype=np.float32)
+        assert buffer is not None
+        try:
+            attached = BlockBuffer.attach(buffer.handle())
+            assert attached.array.dtype == np.float32
+            assert attached.array.shape == (2, 3)
+            attached.close()
+        finally:
+            buffer.unlink()
+
+
+class TestAtexitRegistration:
+    def test_shutdown_is_armed_once_pools_exist(self):
+        get_pool(1)
+        assert pool_mod._ATEXIT_ARMED

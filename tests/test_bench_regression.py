@@ -2,8 +2,9 @@
 
 ``benchmarks/check_bench_regression.py`` is what CI runs against the
 committed baselines, so its comparison semantics (tracked ``*seconds``
-keys only, one-sided threshold, noise floor, escape hatch) are pinned
-here with synthetic payloads.
+keys, one-sided threshold, noise floor, escape hatch, and the flipped
+one-sided gate on ``*speedup`` ratios) are pinned here with synthetic
+payloads.
 """
 
 from __future__ import annotations
@@ -131,6 +132,47 @@ class TestCompare:
         out = capsys.readouterr().out
         assert "bench delta vs baseline [hotpaths]:" in out
         assert "1.00x" in out
+
+    def test_speedup_drop_beyond_threshold_fails(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(check.ENV_ESCAPE_HATCH, raising=False)
+        current = json.loads(json.dumps(BASELINE))
+        current["sections"]["csv_encode"]["speedup"] = 2.0  # limit: 3.0/1.3
+        rc = check.main(
+            [_write(tmp_path, "cur.json", current), _write(tmp_path, "base.json", BASELINE)]
+        )
+        assert rc == 1
+
+    def test_speedup_within_threshold_passes(self, tmp_path):
+        current = json.loads(json.dumps(BASELINE))
+        current["sections"]["csv_encode"]["speedup"] = 2.5
+        rc = check.main(
+            [_write(tmp_path, "cur.json", current), _write(tmp_path, "base.json", BASELINE)]
+        )
+        assert rc == 0
+
+    def test_sub_unity_baseline_speedup_is_not_gated(self, tmp_path, monkeypatch):
+        # A baseline ratio < 1 records a regime where the optimisation
+        # cannot win (e.g. sharding on one vCPU); gating it would only
+        # measure scheduler noise.
+        monkeypatch.delenv(check.ENV_ESCAPE_HATCH, raising=False)
+        baseline = json.loads(json.dumps(BASELINE))
+        baseline["sharded_speedup"] = 0.36
+        current = json.loads(json.dumps(baseline))
+        current["sharded_speedup"] = 0.01
+        rc = check.main(
+            [_write(tmp_path, "cur.json", current), _write(tmp_path, "base.json", baseline)]
+        )
+        assert rc == 0
+
+    def test_missing_speedup_fails_the_gate(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv(check.ENV_ESCAPE_HATCH, raising=False)
+        current = json.loads(json.dumps(BASELINE))
+        del current["sections"]["csv_encode"]["speedup"]
+        rc = check.main(
+            [_write(tmp_path, "cur.json", current), _write(tmp_path, "base.json", BASELINE)]
+        )
+        assert rc == 1
+        assert "speedup" in capsys.readouterr().out
 
     def test_bad_threshold_rejected(self, tmp_path):
         with pytest.raises(SystemExit):

@@ -337,6 +337,82 @@ class TestFleetExportForce:
                      "--out-dir", str(out_dir)]) == 0
 
 
+class TestFleetStartMethodEnv:
+    def test_invalid_env_value_fails_fast(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_START_METHOD", "forkserverr")
+        assert main(["fleet", "summary", "--size", "100"]) == 2
+        err = capsys.readouterr().err
+        assert err == (
+            "fleet: unsupported multiprocessing start method 'forkserverr' "
+            "(from REPRO_START_METHOD); this platform supports "
+            "fork, spawn, forkserver\n"
+        )
+
+    def test_invalid_env_value_fails_export_too(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        monkeypatch.setenv("REPRO_START_METHOD", "frobnicate")
+        assert main(["fleet", "export", "--size", "100",
+                     "--out-dir", str(tmp_path / "out")]) == 2
+        err = capsys.readouterr().err
+        assert "unsupported multiprocessing start method" in err
+        assert err.count("\n") == 1  # one line, not a traceback
+
+
+class TestFleetExportNonEmptyListing:
+    def test_refusal_lists_offending_entries(self, tmp_path, capsys):
+        out_dir = tmp_path / "occupied"
+        out_dir.mkdir()
+        for name in ("stale-a.csv", "stale-b.csv", "unrelated.txt"):
+            (out_dir / name).write_text("x")
+        assert main(["fleet", "export", "--size", "100",
+                     "--out-dir", str(out_dir)]) == 2
+        err = capsys.readouterr().err
+        assert "not empty" in err and "--force" in err
+        assert "stale-a.csv" in err
+        assert "stale-b.csv" in err
+        assert "unrelated.txt" in err
+
+    def test_refusal_truncates_long_listings(self, tmp_path, capsys):
+        out_dir = tmp_path / "crowded"
+        out_dir.mkdir()
+        for index in range(9):
+            (out_dir / f"seg-{index}.csv").write_text("x")
+        assert main(["fleet", "export", "--size", "100",
+                     "--out-dir", str(out_dir)]) == 2
+        err = capsys.readouterr().err
+        assert "seg-0.csv" in err
+        assert "5 more" in err
+
+
+class TestFleetColumnarCli:
+    def test_columnar_export_then_verify(self, tmp_path, capsys):
+        out_dir = tmp_path / "columnar"
+        assert main(["fleet", "export", "--size", "5000", "--shards", "2",
+                     "--out-dir", str(out_dir),
+                     "--format", "npz-columnar"]) == 0
+        out = capsys.readouterr().out
+        assert "npz-columnar" in out and "columnar" in out
+        assert main(["fleet", "verify", str(out_dir / "manifest.json")]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_columnar_rejects_checkpointing(self, tmp_path, capsys):
+        assert main(["fleet", "export", "--size", "5000",
+                     "--out-dir", str(tmp_path / "x"),
+                     "--format", "npz-columnar",
+                     "--checkpoint-every", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "npz-columnar" in err and "--checkpoint-every" in err
+
+    def test_columnar_rejected_by_distributed_backend(self, tmp_path, capsys):
+        assert main(["fleet", "export", "--size", "5000",
+                     "--out-dir", str(tmp_path / "x"),
+                     "--format", "npz-columnar",
+                     "--backend", "distributed", "--workers", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "csv segments only" in err
+
+
 class TestFleetDistributedCli:
     def test_distributed_export_matches_single_process(self, tmp_path, capsys):
         single_dir = tmp_path / "single"
