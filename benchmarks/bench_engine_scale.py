@@ -294,6 +294,8 @@ def main(argv: "list[str] | None" = None) -> int:
     distributed_dir = tempfile.mkdtemp(prefix="bench-fleet-distributed-")
     try:
         start = time.perf_counter()
+        # Token auth armed so the benchmark times the hardened
+        # production path, not a config that would never be deployed.
         distributed = export_fleet_distributed(
             generator,
             when,
@@ -301,6 +303,7 @@ def main(argv: "list[str] | None" = None) -> int:
             args.seed,
             distributed_dir,
             workers=args.shards,
+            token="bench-engine-scale",
         )
         paths["distributed_export"] = _report(
             f"distributed (n={distributed.workers})",
@@ -314,6 +317,15 @@ def main(argv: "list[str] | None" = None) -> int:
         failures += 1
     else:
         print("  distributed payload sha256 matches the sharded export")
+    lease_timings = [
+        event["seconds"] for event in distributed.metrics.get("leases", [])
+    ]
+    print(
+        f"  distributed leases: {distributed.metrics.get('leases_total', 0)} "
+        f"({distributed.metrics.get('requeued_leases', 0)} requeued, "
+        f"{distributed.metrics.get('stolen_leases', 0)} stolen), "
+        f"slowest {max(lease_timings, default=0.0) * 1e3:.1f} ms"
+    )
     cross = sharded.correlation.matrix().max_abs_difference(
         single.correlation.matrix()
     )
@@ -435,6 +447,22 @@ def main(argv: "list[str] | None" = None) -> int:
             "distributed_workers": distributed.workers,
             "distributed_payload_matches": distributed.manifest.payload_sha256
             == manifest.payload_sha256,
+            # Scheduler health from the coordinator's metrics document.
+            # Deliberately not "*_seconds"-suffixed: lease wall time on a
+            # shared runner is too noisy for the ±30 % timing gate.
+            "distributed_leases": distributed.metrics.get("leases_total", 0),
+            "distributed_requeued_leases": distributed.metrics.get(
+                "requeued_leases", 0
+            ),
+            "distributed_stolen_leases": distributed.metrics.get(
+                "stolen_leases", 0
+            ),
+            "distributed_lease_max_ms": max(lease_timings, default=0.0) * 1e3,
+            "distributed_lease_mean_ms": (
+                sum(lease_timings) / len(lease_timings) * 1e3
+                if lease_timings
+                else 0.0
+            ),
             "validate_fast_ok": validation.ok,
             "failures": failures,
         }

@@ -95,19 +95,23 @@ def _check_fleet_ints(
 
     The one validation path every ``fleet`` sub-mode shares, so new flags
     cannot invent a divergent policy: positive integers (``--shards``,
-    ``--chunk-size``, ``--lease-blocks``, ``--max-jobs``,
-    ``--fault-after``), non-negative integers (``--size``,
-    ``--checkpoint-every``, ``--workers``) and the TCP port range
-    (``--port``).  Options absent from the invoked sub-mode's namespace
-    are skipped; argparse itself already rejects non-integer garbage with
-    the same exit status 2.
+    ``--chunk-size``, ``--lease-blocks``, ``--lease-depth``,
+    ``--max-jobs``, ``--fault-after`` and friends), non-negative integers
+    (``--size``, ``--checkpoint-every``, ``--workers``) and the TCP port
+    range (``--port``; 0 asks the OS for an ephemeral port).  Options
+    absent from the invoked sub-mode's namespace are skipped; argparse
+    itself already rejects non-integer garbage with the same exit
+    status 2.
     """
     positive = (
         ("shards", "--shards"),
         ("chunk_size", "--chunk-size"),
         ("lease_blocks", "--lease-blocks"),
+        ("lease_depth", "--lease-depth"),
         ("max_jobs", "--max-jobs"),
         ("fault_after", "--fault-after"),
+        ("coordinator_fault_after", "--coordinator-fault-after"),
+        ("drain_after", "--drain-after"),
         ("validate_size", "--size"),  # fleet validate: a fleet of >= 1 host
     )
     non_negative = (
@@ -124,8 +128,8 @@ def _check_fleet_ints(
         if value is not None and value < 0:
             return f"{command}: {flag} must be non-negative (got {value})"
     port = getattr(args, "port", None)
-    if port is not None and not 1 <= port <= 65535:
-        return f"{command}: --port must be in [1, 65535] (got {port})"
+    if port is not None and not 0 <= port <= 65535:
+        return f"{command}: --port must be in [0, 65535] (got {port})"
     return None
 
 
@@ -249,12 +253,10 @@ def _cmd_fleet_export(args: argparse.Namespace) -> int:
     connect_specs = args.connect or []
     endpoints: "list[tuple[str, int]]" = []
     if args.backend == "distributed":
-        if args.resume:
-            problem = "--resume applies to checkpointed local exports only"
-        elif args.checkpoint_every:
+        if args.checkpoint_every:
             problem = (
                 "--checkpoint-every applies to the local backend only "
-                "(distributed runs reassign lost work instead of resuming)"
+                "(distributed runs checkpoint every completed lease)"
             )
         elif args.format != "csv":
             problem = "--backend distributed writes csv segments only"
@@ -270,6 +272,10 @@ def _cmd_fleet_export(args: argparse.Namespace) -> int:
                 problem = str(error)
     elif connect_specs:
         problem = "--connect requires --backend distributed"
+    elif args.token_file or args.metrics:
+        problem = "--token-file and --metrics require --backend distributed"
+    elif args.lease_depth != 1:
+        problem = "--lease-depth requires --backend distributed"
     if not problem and args.checkpoint_every and args.format == "npz-columnar":
         problem = (
             "npz-columnar writes whole columns and has no per-block segments "
@@ -298,32 +304,71 @@ def _cmd_fleet_export(args: argparse.Namespace) -> int:
     params = _load_parameters(args.params)
     generator = CorrelatedHostGenerator(params)
     if args.backend == "distributed":
-        from repro.engine import export_fleet_distributed
+        from repro.engine import (
+            export_fleet_distributed,
+            resolve_fleet_token,
+            resume_fleet_distributed,
+        )
 
-        when = year_fraction(parse_date(args.date))
         try:
-            result = export_fleet_distributed(
-                generator,
-                when,
-                args.size,
-                args.seed,
-                args.out_dir,
-                workers=args.workers,
-                connect=endpoints,
-                chunk_size=args.chunk_size,
-                lease_blocks=args.lease_blocks,
-                fault_after=args.fault_after,
-            )
+            token = resolve_fleet_token(args.token_file)
+        except (OSError, ValueError) as error:
+            sys.stderr.write(f"fleet export: {error}\n")
+            return 2
+        try:
+            if args.resume:
+                # Size, date, seed, lease grid and reducers all come from
+                # the plan the interrupted run pinned into --out-dir.
+                result = resume_fleet_distributed(
+                    generator,
+                    args.out_dir,
+                    workers=args.workers,
+                    connect=endpoints,
+                    lease_depth=args.lease_depth,
+                    token=token,
+                    metrics_path=args.metrics,
+                    fault_after=args.fault_after,
+                    coordinator_fault_after=args.coordinator_fault_after,
+                )
+            else:
+                when = year_fraction(parse_date(args.date))
+                result = export_fleet_distributed(
+                    generator,
+                    when,
+                    args.size,
+                    args.seed,
+                    args.out_dir,
+                    workers=args.workers,
+                    connect=endpoints,
+                    chunk_size=args.chunk_size,
+                    lease_blocks=args.lease_blocks,
+                    lease_depth=args.lease_depth,
+                    fault_after=args.fault_after,
+                    token=token,
+                    metrics_path=args.metrics,
+                    coordinator_fault_after=args.coordinator_fault_after,
+                )
         except (RuntimeError, ValueError, OSError) as error:
-            # RuntimeError covers worker-fleet death (incl. ProtocolError),
-            # OSError a dead --connect endpoint or a disk failure.
+            # RuntimeError covers worker-fleet death (incl. ProtocolError
+            # and auth failures), ValueError a StateError from a corrupt
+            # or mismatched resume plan, OSError a dead --connect
+            # endpoint or a disk failure.
             sys.stderr.write(f"fleet export: {error}\n")
             return 1
         manifest = result.manifest
+        drained = result.metrics.get("drained_workers", 0)
         print(
             f"distributed: {result.workers} worker(s), "
-            f"{result.reassigned_leases} lease(s) reassigned"
+            f"{result.reassigned_leases} lease(s) reassigned, "
+            f"{drained} drained"
         )
+        if args.resume:
+            print(
+                f"resumed: {result.resumed_leases} lease(s) restored from "
+                "checkpoints"
+            )
+        if args.metrics:
+            print(f"metrics: {args.metrics}")
     elif args.resume:
         try:
             result = resume_export(generator, args.out_dir)
@@ -468,24 +513,61 @@ def _cmd_fleet_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet_serve_worker(args: argparse.Namespace) -> int:
-    """``fleet serve-worker``: serve this machine as a distributed worker."""
-    from repro.engine import serve_worker
+    """``fleet serve-worker``: serve this machine as a distributed worker.
+
+    Exit codes follow the fleet convention: 0 after a clean stop (job
+    budget exhausted, SIGTERM drain, or Ctrl-C — each prints the served
+    summary), 1 when the listener itself fails (e.g. the port is taken),
+    2 on a usage error such as an unreadable or empty token file.  A
+    coordinator that fails the token check is rejected and logged but
+    does not consume a job slot or change the exit code — auth failures
+    are the *coordinator's* error (its export exits 1), not the
+    worker's.
+    """
+    import signal
+    import threading
+
+    from repro.engine import resolve_fleet_token, serve_worker
 
     problem = _check_fleet_ints(args, "fleet serve-worker")
     if problem:
         sys.stderr.write(problem + "\n")
         return 2
-    jobs = None if args.forever else args.max_jobs
-    print(
-        f"serving fleet worker on {args.host}:{args.port} "
-        f"({'forever' if jobs is None else f'up to {jobs} job(s)'})",
-        flush=True,
-    )
     try:
-        served = serve_worker(args.host, args.port, max_jobs=jobs)
+        token = resolve_fleet_token(args.token_file)
+    except (OSError, ValueError) as error:
+        sys.stderr.write(f"fleet serve-worker: {error}\n")
+        return 2
+    jobs = None if args.forever else args.max_jobs
+    drain = threading.Event()
+    previous = signal.signal(signal.SIGTERM, lambda *_: drain.set())
+
+    def on_bound(port: int) -> None:
+        # Printed only once actually listening (and with the real port
+        # when --port 0 asked the OS for an ephemeral one) so
+        # supervisors and tests can key on this line.
+        print(
+            f"serving fleet worker on {args.host}:{port} "
+            f"({'forever' if jobs is None else f'up to {jobs} job(s)'}"
+            f"{', token auth' if token else ''})",
+            flush=True,
+        )
+
+    try:
+        served = serve_worker(
+            args.host,
+            args.port,
+            max_jobs=jobs,
+            on_bound=on_bound,
+            token=token,
+            drain_event=drain,
+            drain_after=args.drain_after,
+        )
     except OSError as error:
         sys.stderr.write(f"fleet serve-worker: {error}\n")
         return 1
+    finally:
+        signal.signal(signal.SIGTERM, previous)
     print(f"served {served} job(s)")
     return 0
 
@@ -797,6 +879,27 @@ def build_parser() -> argparse.ArgumentParser:
         "stragglers faster)",
     )
     p_fleet_export.add_argument(
+        "--lease-depth",
+        type=int,
+        default=1,
+        help="leases a distributed worker may hold in flight (2 pipelines "
+        "the next assign while it generates)",
+    )
+    p_fleet_export.add_argument(
+        "--token-file",
+        default=None,
+        metavar="PATH",
+        help="file holding the shared fleet auth token (overrides the "
+        "REPRO_FLEET_TOKEN environment variable; --backend distributed)",
+    )
+    p_fleet_export.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write the distributed run's JSON metrics document here "
+        "(per-lease timings, heartbeat gaps, requeue/steal counts)",
+    )
+    p_fleet_export.add_argument(
         "--force",
         action="store_true",
         help="export into a non-empty directory (stale segments from a "
@@ -807,6 +910,14 @@ def build_parser() -> argparse.ArgumentParser:
     # distributed backend the first local worker SIGKILLs itself instead.
     p_fleet_export.add_argument(
         "--fault-after", type=int, default=None, help=argparse.SUPPRESS
+    )
+    # Companion crash injection for the distributed resume smokes: the
+    # *coordinator* SIGKILLs itself after N lease checkpoints.
+    p_fleet_export.add_argument(
+        "--coordinator-fault-after",
+        type=int,
+        default=None,
+        help=argparse.SUPPRESS,
     )
 
     p_fleet_compact = fleet_sub.add_parser(
@@ -903,7 +1014,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--host", default="127.0.0.1", help="interface to listen on"
     )
     p_fleet_serve.add_argument(
-        "--port", type=int, required=True, help="TCP port to listen on"
+        "--port",
+        type=int,
+        required=True,
+        help="TCP port to listen on (0 = any free port, printed once bound)",
     )
     p_fleet_serve.add_argument(
         "--max-jobs",
@@ -914,7 +1028,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet_serve.add_argument(
         "--forever",
         action="store_true",
-        help="keep serving jobs until killed (overrides --max-jobs)",
+        help="keep serving jobs until killed (overrides --max-jobs; "
+        "SIGTERM drains gracefully, Ctrl-C stops cleanly)",
+    )
+    p_fleet_serve.add_argument(
+        "--token-file",
+        default=None,
+        metavar="PATH",
+        help="file holding the shared fleet auth token (overrides "
+        "REPRO_FLEET_TOKEN); unauthenticated coordinators are rejected",
+    )
+    # Graceful-drain injection for the tests/CI smoke: after serving N
+    # leases of the current job, finish them and deregister cleanly.
+    p_fleet_serve.add_argument(
+        "--drain-after", type=int, default=None, help=argparse.SUPPRESS
     )
 
     p_trace = sub.add_parser("trace", help="synthesise a SETI@home-like trace")

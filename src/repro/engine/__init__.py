@@ -52,10 +52,13 @@ from repro.engine.reduce import (
 from repro.engine.distributed import (
     PROTOCOL_VERSION,
     WIRE_REDUCER_FACTORIES,
+    AuthenticationError,
     DistributedExportResult,
     ProtocolError,
     export_fleet_distributed,
     parse_endpoint,
+    resolve_fleet_token,
+    resume_fleet_distributed,
     serve_worker,
 )
 from repro.engine.pool import (
@@ -135,6 +138,7 @@ __all__ = [
     "iter_blocks",
     "population_digest",
     "stream_population",
+    "AuthenticationError",
     "BlockExportResult",
     "DistributedExportResult",
     "FleetManifest",
@@ -144,6 +148,8 @@ __all__ = [
     "WIRE_REDUCER_FACTORIES",
     "export_fleet_distributed",
     "parse_endpoint",
+    "resolve_fleet_token",
+    "resume_fleet_distributed",
     "serve_worker",
     "SegmentRecord",
     "StateError",

@@ -29,29 +29,78 @@ Frames are ``>I`` length-prefixed UTF-8 JSON objects capped at
 is a *torn frame* and raises :class:`ProtocolError`, as do oversized,
 empty, non-JSON and non-object frames.  The worker speaks first::
 
-    worker → hello {protocol}       coordinator → job {params, seed, ...}
-    worker → ready                  coordinator → assign {block_lo, block_hi}
+    worker → hello {protocol, token?}   coordinator → job {params, seed, token?, ...}
+    worker → ready                      coordinator → assign {block_lo, block_hi}
     worker → result {blocks, reducers}     ... repeat ...
     worker → heartbeat (background thread, any time)
-                                    coordinator → shutdown
+    worker → drain (finish held leases, deregister cleanly)
+                                        coordinator → heartbeat (liveness beacon)
+                                        coordinator → shutdown
+
+Authentication
+--------------
+When a shared token is configured (:func:`resolve_fleet_token`:
+``--token-file`` beats the ``REPRO_FLEET_TOKEN`` environment variable)
+both directions check it with a constant-time compare: the coordinator
+drops a ``hello`` whose token is wrong or missing
+(:class:`AuthenticationError`), and a token-holding worker refuses a
+``job`` frame that fails the same check — without telling the
+unauthenticated coordinator why.  The token travels the wire in clear
+text; deploy on trusted networks or behind a TLS tunnel.
+
+Backpressure and drain
+----------------------
+Each worker holds at most ``lease_depth`` leases in flight (``ready``
+frames are credits; the coordinator never assigns beyond them).  A
+draining worker (``serve_worker(drain_event=...)``, SIGTERM on the CLI)
+finishes the leases it holds, sends ``drain`` instead of the next
+``ready``, and deregisters without tripping failure reassignment.
 
 Failure semantics
 -----------------
 The coordinator tracks per-worker liveness (last frame seen).  A dropped
-connection, a protocol violation, a reducer payload that fails
-``ReducerSet.from_state`` (corrupt or version-mismatched state) or a
-heartbeat gap beyond ``worker_timeout`` retires the worker and requeues
-its outstanding lease.  When the lease queue drains while stragglers
-still hold leases, idle workers steal the oldest outstanding lease
-(speculative re-execution); the determinism contract makes duplicates
-byte-identical, so the first result wins and later ones are discarded.
-The run fails only when *no* workers remain.
+connection, a protocol violation, an authentication failure, a reducer
+payload that fails ``ReducerSet.from_state`` (corrupt or
+version-mismatched state) or a heartbeat gap beyond ``worker_timeout``
+retires the worker and requeues its outstanding leases.  Workers apply
+the same deadline in reverse: the job frame carries ``worker_timeout``,
+the coordinator heartbeats every :data:`HEARTBEAT_INTERVAL` seconds, and
+a worker that sees no frame for ``worker_timeout`` declares the
+coordinator dead and abandons the job instead of wedging forever.  When
+the lease queue drains while stragglers still hold leases, idle workers
+steal the oldest outstanding lease (speculative re-execution); the
+determinism contract makes duplicates byte-identical, so the first
+result wins and later ones are discarded.  The run fails only when *no*
+workers remain.
+
+Resumable runs
+--------------
+Before any worker spawns the coordinator writes a plan
+(:data:`DISTRIBUTED_PLAN_NAME`, kind ``FleetDistributedPlan``) pinning
+the run parameters, then appends one ``FleetLeaseCheckpoint`` envelope
+line to :data:`DISTRIBUTED_LEASE_LOG` per completed lease — the same
+``stats/state.py`` envelope contract the PR 3 checkpoint layer uses.
+:func:`resume_fleet_distributed` (CLI: ``fleet export --backend
+distributed --resume``) validates the plan against the generator,
+re-verifies every checkpointed block file on disk, restores the reducer
+states, and re-leases only the incomplete ranges; a torn final log line
+(the coordinator died mid-append) is discarded and its lease re-run.
+Both files are removed when the manifest is finalised.
+
+Observability
+-------------
+The coordinator collects per-lease timings, per-worker frame/lease
+counters, heartbeat-gap histograms and requeue/steal/drain counts into a
+``FleetDistributedMetrics`` JSON document, embedded in
+:class:`DistributedExportResult` and optionally written to
+``metrics_path`` (CLI: ``--metrics PATH``) for a future ``fleet serve``
+scraper.
 
 Byte identity
 -------------
 Every block's bytes are a pure function of ``(parameters, when, size,
-seed)``, so worker placement, crashes and steals cannot change the
-export: the manifest is byte-identical to
+seed)``, so worker placement, crashes, steals, drains and resumes cannot
+change the export: the manifest is byte-identical to
 ``export_fleet_blocks(shards=1, checkpoint_every=0)`` and the CSV
 concatenation (hence ``payload_sha256`` and ``fleet_sha256``) to the
 single-process ``export_fleet`` of the same fleet.  Statistics merge
@@ -63,6 +112,7 @@ from __future__ import annotations
 
 import base64
 import hashlib
+import hmac
 import json
 import os
 import signal
@@ -70,8 +120,9 @@ import socket
 import struct
 import threading
 import time
+from bisect import bisect_right
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from queue import Empty, Queue
 
 import numpy as np
@@ -102,12 +153,19 @@ from repro.engine.writer import (
     FleetManifest,
     SegmentRecord,
     _block_name,
+    _generator_fingerprint,
     _hash_file_into,
+    _load_json,
+    _read_matching_block,
+    _remove_quiet,
+    _write_json_atomic,
 )
-from repro.stats.state import StateError
+from repro.stats.state import StateError, make_envelope, require_state, state_field
 
 #: Wire protocol schema version; hello/job frames carry and check it.
-PROTOCOL_VERSION = 1
+#: v2 added token auth, coordinator heartbeats, worker read deadlines,
+#: lease-depth credits and the drain frame.
+PROTOCOL_VERSION = 2
 
 #: Frame length prefix: 4-byte big-endian unsigned length.
 _FRAME_HEADER = struct.Struct(">I")
@@ -122,14 +180,47 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 #: stragglers faster; larger leases amortise protocol round trips.
 DEFAULT_LEASE_BLOCKS = 4
 
-#: Seconds of frame silence after which a worker is declared dead.
+#: Leases a worker may hold in flight (its backpressure bound).  1 keeps
+#: the strict ready→assign→result lockstep; 2 lets the coordinator
+#: pipeline the next assign while the worker generates.
+DEFAULT_LEASE_DEPTH = 1
+
+#: Seconds of frame silence after which a peer is declared dead — applied
+#: by the coordinator to workers and (since the job frame carries it) by
+#: workers to the coordinator.
 DEFAULT_WORKER_TIMEOUT = 60.0
 
-#: Cadence of the worker-side background heartbeat thread.
+#: Cadence of the background heartbeat beacons (both directions).
 HEARTBEAT_INTERVAL = 2.0
 
 #: Age an outstanding lease must reach before an idle worker steals it.
 STEAL_AFTER = 5.0
+
+#: Environment variable supplying the shared fleet token.
+FLEET_TOKEN_ENV = "REPRO_FLEET_TOKEN"
+
+#: Plan file a distributed run writes before spawning workers; its
+#: presence (without a final manifest) marks an interrupted run.  Named
+#: distinctly from the writer's ``manifest.partial.json`` so
+#: ``resume_export`` and ``resume_fleet_distributed`` cannot mistake one
+#: another's layouts.
+DISTRIBUTED_PLAN_NAME = "distributed-plan.json"
+
+#: Append-only lease checkpoint log (one JSON envelope per line).
+DISTRIBUTED_LEASE_LOG = "distributed-leases.jsonl"
+
+#: Envelope kinds of the distributed plan/checkpoint/metrics payloads.
+DISTRIBUTED_PLAN_KIND = "FleetDistributedPlan"
+LEASE_CHECKPOINT_KIND = "FleetLeaseCheckpoint"
+DISTRIBUTED_METRICS_KIND = "FleetDistributedMetrics"
+
+#: Schema version of the distributed plan/checkpoint/metrics envelopes.
+DISTRIBUTED_STATE_VERSION = 1
+
+#: Upper edges (seconds) of the heartbeat-gap histogram buckets; the
+#: final bucket is open-ended.  Gaps land left of the first edge when the
+#: fleet is healthy (heartbeats every :data:`HEARTBEAT_INTERVAL` s).
+HEARTBEAT_GAP_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0)
 
 #: Reducers that may travel the wire by *name* (the job frame carries
 #: names, never callables — workers instantiate from this registry, so a
@@ -143,6 +234,45 @@ WIRE_REDUCER_FACTORIES = {
 
 class ProtocolError(RuntimeError):
     """A frame violated the length-prefixed JSON wire protocol."""
+
+
+class AuthenticationError(ProtocolError):
+    """A peer failed the shared-token check."""
+
+
+def resolve_fleet_token(token_file: "str | None" = None) -> "str | None":
+    """The shared fleet token, or ``None`` when auth is not configured.
+
+    ``token_file`` (CLI ``--token-file``) wins over the
+    :data:`FLEET_TOKEN_ENV` environment variable; surrounding whitespace
+    is stripped so a trailing newline in the file is harmless.  An
+    unreadable file raises :class:`OSError`; a file or variable that is
+    set but blank raises :class:`ValueError` — silently running
+    unauthenticated when the operator configured a token would be worse
+    than failing.
+    """
+    if token_file is not None:
+        with open(token_file, "r", encoding="utf-8") as handle:
+            token = handle.read().strip()
+        if not token:
+            raise ValueError(f"token file {token_file} is empty")
+        return token
+    raw = os.environ.get(FLEET_TOKEN_ENV)
+    if raw is None:
+        return None
+    token = raw.strip()
+    if not token:
+        raise ValueError(f"{FLEET_TOKEN_ENV} is set but blank")
+    return token
+
+
+def _token_matches(expected: str, supplied) -> bool:
+    """Constant-time token comparison (False for non-string payloads)."""
+    if not isinstance(supplied, str):
+        return False
+    return hmac.compare_digest(
+        supplied.encode("utf-8"), expected.encode("utf-8")
+    )
 
 
 # -- framing -----------------------------------------------------------------
@@ -239,15 +369,30 @@ def _heartbeat_loop(send, stop: threading.Event, interval: float) -> None:
             return
 
 
-def _worker_loop(sock: socket.socket) -> None:
+def _worker_loop(
+    sock: socket.socket,
+    token: "str | None" = None,
+    drain_event: "threading.Event | None" = None,
+    drain_after: "int | None" = None,
+) -> None:
     """Serve one coordinator over an established connection.
 
-    Sends ``hello``, receives the job (generator parameters, seed,
-    reducer names), then loops ``ready`` → ``assign`` → ``result`` until
-    ``shutdown``.  A background thread heartbeats every
-    :data:`HEARTBEAT_INTERVAL` seconds so slow block generation never
-    reads as death.  Job problems (protocol/block-size/reducer-name
-    mismatches) are reported with an ``error`` frame rather than silence.
+    Sends ``hello`` (carrying ``token`` when auth is configured),
+    receives the job, then pipelines up to the job's ``lease_depth``
+    leases: each ``ready`` is a credit the coordinator answers with an
+    ``assign``, and results flow back as leases finish.  A background
+    thread heartbeats every :data:`HEARTBEAT_INTERVAL` seconds so slow
+    block generation never reads as death; symmetrically, the job's
+    ``worker_timeout`` bounds how long a silent coordinator is trusted
+    before the worker abandons the job (:class:`ProtocolError`).  Job
+    problems (protocol/block-size/reducer-name mismatches) are reported
+    with an ``error`` frame rather than silence; a job that fails the
+    token check raises :class:`AuthenticationError` without explaining
+    itself to the unauthenticated coordinator.
+
+    When ``drain_event`` fires (or ``drain_after`` completed leases are
+    reached) the worker finishes the leases it holds, sends ``drain``
+    and returns — a clean deregistration, not a failure.
     """
     # Imported lazily: the engine package must stay importable without
     # dragging the model layer in, and only workers rebuild generators.
@@ -263,16 +408,22 @@ def _worker_loop(sock: socket.socket) -> None:
 
     # A connection that never sends the job (port scanner, half-open
     # leftover of a crashed coordinator) must not wedge this worker
-    # forever: bound the handshake, then remove the limit — waiting for
-    # an assign legitimately takes as long as the other leases do.
+    # forever: bound the handshake with the default deadline, then switch
+    # to the job's worker_timeout for the rest of the session.
     sock.settimeout(DEFAULT_WORKER_TIMEOUT)
-    send({"type": "hello", "protocol": PROTOCOL_VERSION, "pid": os.getpid()})
+    hello = {"type": "hello", "protocol": PROTOCOL_VERSION, "pid": os.getpid()}
+    if token is not None:
+        hello["token"] = token
+    send(hello)
     job = recv_frame(sock)
-    sock.settimeout(None)
     if job is None:
         return
     if job.get("type") != "job":
         raise ProtocolError(f"expected a job frame, got {job.get('type')!r}")
+    if token is not None and not _token_matches(token, job.get("token")):
+        raise AuthenticationError(
+            "coordinator failed the shared-token check; refusing its job"
+        )
 
     def refuse(message: str) -> None:
         send({"type": "error", "message": message})
@@ -303,12 +454,22 @@ def _worker_loop(sock: socket.socket) -> None:
         size = int(job["size"])
         when = float(job["when"])
         chunk_size = int(job["chunk_size"])
+        worker_timeout = float(job.get("worker_timeout", DEFAULT_WORKER_TIMEOUT))
+        lease_depth = int(job.get("lease_depth", DEFAULT_LEASE_DEPTH))
         root = np.random.SeedSequence(
             entropy=int(job["entropy"]),
             spawn_key=tuple(int(k) for k in job["spawn_key"]),
         )
     except (KeyError, TypeError, ValueError) as error:
         return refuse(f"malformed job: {error}")
+    if not worker_timeout > 0:
+        return refuse(f"malformed job: worker_timeout must be positive")
+    if lease_depth < 1:
+        return refuse(f"malformed job: lease_depth must be at least 1")
+    # The coordinator beacons every HEARTBEAT_INTERVAL, so a worker that
+    # sees nothing for worker_timeout is orphaned (dead or partitioned
+    # coordinator) and must exit rather than wedge a serve-worker slot.
+    sock.settimeout(worker_timeout)
     seeds = block_seeds(root, size)
     out_dir = job.get("out_dir")
     fault_after = job.get("fault_after")
@@ -319,17 +480,43 @@ def _worker_loop(sock: socket.socket) -> None:
     )
     heartbeat.start()
     written = 0
+    leases_done = 0
+    credits = 0
+    assigned: "deque[tuple[int, int]]" = deque()
     try:
         while True:
-            send({"type": "ready"})
-            message = recv_frame(sock)
-            if message is None or message.get("type") == "shutdown":
+            draining = (drain_event is not None and drain_event.is_set()) or (
+                drain_after is not None and leases_done >= drain_after
+            )
+            if draining and not assigned:
+                send({"type": "drain"})
                 return
-            if message.get("type") != "assign":
-                raise ProtocolError(
-                    f"expected assign/shutdown, got {message.get('type')!r}"
+            while not draining and credits + len(assigned) < lease_depth:
+                send({"type": "ready"})
+                credits += 1
+            if not assigned:
+                try:
+                    message = recv_frame(sock)
+                except TimeoutError:
+                    raise ProtocolError(
+                        f"coordinator sent no frame for {worker_timeout:.0f} s; "
+                        "presuming it dead and abandoning the job"
+                    )
+                if message is None or message.get("type") == "shutdown":
+                    return
+                if message.get("type") == "heartbeat":
+                    continue
+                if message.get("type") != "assign":
+                    raise ProtocolError(
+                        f"expected assign/heartbeat/shutdown, got "
+                        f"{message.get('type')!r}"
+                    )
+                credits -= 1
+                assigned.append(
+                    (int(message["block_lo"]), int(message["block_hi"]))
                 )
-            lo, hi = int(message["block_lo"]), int(message["block_hi"])
+                continue
+            lo, hi = assigned.popleft()
             reducers = ReducerSet.from_factories(factories)
             fold = ChunkedFold(reducers, chunk_size)
             blocks: "list[dict]" = []
@@ -371,16 +558,17 @@ def _worker_loop(sock: socket.socket) -> None:
                     "reducers": reducers.to_state(),
                 }
             )
+            leases_done += 1
     finally:
         stop.set()
 
 
-def _local_worker_main(host: str, port: int) -> None:
+def _local_worker_main(host: str, port: int, token: "str | None" = None) -> None:
     """Entry point of a spawned local worker process (module-level so it
     pickles under every multiprocessing start method)."""
     sock = socket.create_connection((host, port))
     try:
-        _worker_loop(sock)
+        _worker_loop(sock, token=token)
     except (ProtocolError, OSError):
         pass  # the coordinator tracks worker death through the socket
     finally:
@@ -419,6 +607,9 @@ def serve_worker(
     port: int = 0,
     max_jobs: "int | None" = 1,
     on_bound=None,
+    token: "str | None" = None,
+    drain_event: "threading.Event | None" = None,
+    drain_after: "int | None" = None,
 ) -> int:
     """Listen for a coordinator and serve jobs (CLI: ``fleet serve-worker``).
 
@@ -426,7 +617,12 @@ def serve_worker(
     returns the number served.  ``on_bound`` (tests, supervisors) is
     called with the bound port once listening — useful with ``port=0``.
     A failed job (protocol violation, coordinator death) is logged to
-    the exception's consumer and does not stop the next job.
+    stderr and does not stop the next job; an unauthenticated coordinator
+    (``token`` set, :class:`AuthenticationError`) is rejected without
+    consuming a job slot.  ``drain_event`` (the CLI arms it on SIGTERM)
+    drains the in-progress job gracefully and stops accepting;
+    KeyboardInterrupt (Ctrl-C) stops the loop cleanly so the caller can
+    print its served summary instead of a traceback.
     """
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -434,12 +630,34 @@ def serve_worker(
     try:
         listener.bind((host, port))
         listener.listen(1)
+        # Poll the listener so a drain request arriving between jobs is
+        # honoured promptly instead of after the next coordinator dials.
+        listener.settimeout(0.5)
         if on_bound is not None:
             on_bound(listener.getsockname()[1])
         while max_jobs is None or served < max_jobs:
-            conn, _ = listener.accept()
+            if drain_event is not None and drain_event.is_set():
+                break
             try:
-                _worker_loop(conn)
+                conn, _ = listener.accept()
+            except TimeoutError:
+                continue
+            conn.settimeout(None)
+            try:
+                _worker_loop(
+                    conn,
+                    token=token,
+                    drain_event=drain_event,
+                    drain_after=drain_after,
+                )
+            except AuthenticationError as error:
+                import sys
+
+                sys.stderr.write(
+                    f"serve-worker: rejected unauthenticated coordinator: "
+                    f"{error}\n"
+                )
+                continue
             except (ProtocolError, StateError, OSError) as error:
                 import sys
 
@@ -447,6 +665,8 @@ def serve_worker(
             finally:
                 conn.close()
             served += 1
+    except KeyboardInterrupt:
+        pass  # Ctrl-C: stop accepting; the caller prints the served summary
     finally:
         listener.close()
     return served
@@ -461,13 +681,19 @@ class DistributedExportResult:
 
     ``workers`` counts connections that completed the handshake;
     ``reassigned_leases`` counts leases requeued after a worker died plus
-    leases stolen from stragglers by idle workers.
+    leases stolen from stragglers by idle workers (graceful drains do not
+    contribute).  ``metrics`` is the run's ``FleetDistributedMetrics``
+    document (per-lease timings, heartbeat-gap histograms, per-worker
+    counters); ``resumed_leases`` counts leases restored from the
+    checkpoint log rather than re-run.
     """
 
     manifest: FleetManifest
     statistics: FleetStatistics
     workers: int
     reassigned_leases: int
+    metrics: dict = field(default_factory=dict)
+    resumed_leases: int = 0
 
 
 class _Remote:
@@ -478,8 +704,11 @@ class _Remote:
         self.name = name
         self.local = local
         self.state = "hello"
-        self.lease: "tuple[int, int] | None" = None
-        self.lease_started = 0.0
+        #: Outstanding leases held by this worker → monotonic assign time.
+        self.leases: "dict[tuple[int, int], float]" = {}
+        #: Unconsumed ``ready`` credits (assignable without overrunning
+        #: the worker's in-flight cap).
+        self.credits = 0
         self.last_seen = time.monotonic()
         self.idle = False
         self.alive = True
@@ -490,6 +719,57 @@ def _lease_ranges(n_blocks: int, lease_blocks: int) -> "list[tuple[int, int]]":
         (lo, min(lo + lease_blocks, n_blocks))
         for lo in range(0, n_blocks, lease_blocks)
     ]
+
+
+def _decode_block_entries(
+    blocks, lease: "tuple[int, int]", size: int, inline: bool
+) -> "tuple[list[SegmentRecord], list[tuple[int, bytes]], list[tuple[int, bytes]]]":
+    """Decode one lease's block entries into segment records and digests.
+
+    Shared by live result validation and checkpoint-log restore: both
+    carry the same ``{index, sha256, bytes, digest}`` entries, the former
+    with inline base64 data for remote workers (``inline=True``).  Any
+    malformed piece raises :class:`ProtocolError` (or the decode errors
+    the callers map).
+    """
+    lo, hi = lease
+    if not isinstance(blocks, list) or len(blocks) != hi - lo:
+        raise ProtocolError(f"result must carry exactly {hi - lo} block entries")
+    records: "list[SegmentRecord]" = []
+    digests: "list[tuple[int, bytes]]" = []
+    writes: "list[tuple[int, bytes]]" = []
+    for position, raw in enumerate(blocks):
+        index = lo + position
+        if not isinstance(raw, dict) or raw.get("index") != index:
+            raise ProtocolError(f"block entry {position} is not block {index}")
+        digest = bytes.fromhex(raw["digest"])
+        sha = raw["sha256"]
+        nbytes = raw["bytes"]
+        if not isinstance(sha, str) or len(bytes.fromhex(sha)) != 32:
+            raise ProtocolError(f"block {index} sha256 is malformed")
+        if not isinstance(nbytes, int) or isinstance(nbytes, bool) or nbytes < 0:
+            raise ProtocolError(f"block {index} byte count is malformed")
+        if inline:
+            data = base64.b64decode(raw["data"], validate=True)
+            if hashlib.sha256(data).hexdigest() != sha or len(data) != nbytes:
+                raise ProtocolError(
+                    f"block {index} inline data does not match its digest"
+                )
+            writes.append((index, data))
+        records.append(
+            SegmentRecord(
+                path=_block_name(index, "csv"),
+                shard=0,
+                block_lo=index,
+                block_hi=index + 1,
+                row_lo=min(index * RNG_BLOCK_SIZE, size),
+                row_hi=min((index + 1) * RNG_BLOCK_SIZE, size),
+                sha256=sha,
+                bytes=nbytes,
+            )
+        )
+        digests.append((index, digest))
+    return records, digests, writes
 
 
 class _Coordinator:
@@ -503,7 +783,12 @@ class _Coordinator:
         factories: dict,
         size: int,
         worker_timeout: float,
-        fault_after: "int | None",
+        fault_after: "int | None" = None,
+        token: "str | None" = None,
+        lease_depth: int = DEFAULT_LEASE_DEPTH,
+        coordinator_fault_after: "int | None" = None,
+        checkpoint_log=None,
+        completed: "dict | None" = None,
     ):
         self.job = job
         self.leases = leases
@@ -513,14 +798,26 @@ class _Coordinator:
         self.worker_timeout = worker_timeout
         self.fault_after = fault_after
         self.fault_assigned = False
+        self.token = token
+        self.lease_depth = lease_depth
+        self.coordinator_fault_after = coordinator_fault_after
+        self.checkpoint_log = checkpoint_log
         self.events: Queue = Queue()
         self.remotes: "list[_Remote]" = []
-        self.pending: "deque[tuple[int, int]]" = deque(leases)
-        self.completed: "dict[tuple[int, int], dict]" = {}
-        self.reassigned = 0
+        self.completed: "dict[tuple[int, int], dict]" = dict(completed or {})
+        self.pending: "deque[tuple[int, int]]" = deque(
+            lease for lease in leases if lease not in self.completed
+        )
+        self.requeued = 0
+        self.stolen = 0
+        self.drained = 0
+        self.checkpointed = 0
         self.workers_seen = 0
+        self.last_progress = time.monotonic()
         self.last_error: "BaseException | None" = None
         self.processes: "list" = []
+        self.lease_events: "list[dict]" = []
+        self.worker_metrics: "dict[str, dict]" = {}
 
     # -- connection plumbing -------------------------------------------------
 
@@ -563,84 +860,131 @@ class _Coordinator:
             return False
 
     def _drop(self, remote: _Remote, error: "BaseException | str | None") -> None:
+        """Retire a failed worker, recording its error and requeueing."""
         if not remote.alive:
             return
-        remote.alive = False
-        remote.idle = False
         if error is not None:
             self.last_error = (
                 error if isinstance(error, BaseException) else RuntimeError(error)
             )
+        self._release(remote)
+
+    def _release(self, remote: _Remote) -> None:
+        """Deregister a worker and requeue its outstanding leases.
+
+        Shared by failure drops and graceful drains; a cleanly draining
+        worker holds no leases by protocol, so the drain path normally
+        requeues nothing (the cap race at ``lease_depth > 1`` — an assign
+        in flight when the drain frame was sent — is the exception).
+        """
+        remote.alive = False
+        remote.idle = False
+        remote.credits = 0
         try:
             remote.sock.close()
         except OSError:
             pass
-        lease = remote.lease
-        remote.lease = None
-        if (
-            lease is not None
-            and lease not in self.completed
-            and not any(r.alive and r.lease == lease for r in self.remotes)
-        ):
+        outstanding = list(remote.leases)
+        remote.leases.clear()
+        requeued = False
+        for lease in outstanding:
+            if lease in self.completed:
+                continue
+            if any(r.alive and lease in r.leases for r in self.remotes):
+                continue
             self.pending.appendleft(lease)
-            self.reassigned += 1
+            self.requeued += 1
+            requeued = True
+        if requeued:
             for other in self.remotes:
-                if other.alive and other.idle:
+                if other.alive and other.credits > 0:
                     self._offer(other)
-                    break
 
     def _assign(self, remote: _Remote, lease: "tuple[int, int]") -> None:
-        remote.idle = False
-        remote.lease = lease
-        remote.lease_started = time.monotonic()
+        remote.credits -= 1
+        remote.idle = remote.credits > 0
+        remote.leases[lease] = time.monotonic()
         self._send(
             remote,
             {"type": "assign", "block_lo": lease[0], "block_hi": lease[1]},
         )
 
     def _offer(self, remote: _Remote) -> None:
-        if self.pending:
+        while remote.credits > 0 and self.pending:
             self._assign(remote, self.pending.popleft())
-        else:
-            remote.idle = True
+        remote.idle = remote.alive and remote.credits > 0
 
     def _steal(self, now: float) -> None:
-        """Give idle workers the oldest outstanding straggler leases.
+        """Give fully idle workers the oldest outstanding straggler leases.
 
         Each pass spreads the idle workers across *distinct* stragglers
         (oldest first) — duplicating one straggler's lease onto every
         idle worker would triplicate its blocks while the other
-        stragglers got no help at all.
+        stragglers got no help at all.  Only workers holding no lease of
+        their own steal, so speculation never competes with real work.
         """
         if self.pending:
             return
         taken: "set[tuple[int, int]]" = set()
         for remote in self.remotes:
-            if not (remote.alive and remote.idle):
+            if not (
+                remote.alive
+                and remote.state == "active"
+                and remote.credits > 0
+                and not remote.leases
+            ):
                 continue
             candidates = [
-                other
+                (started, lease)
                 for other in self.remotes
-                if other.alive
-                and other is not remote
-                and other.lease is not None
-                and other.lease not in self.completed
-                and other.lease not in taken
-                and now - other.lease_started > STEAL_AFTER
+                if other.alive and other is not remote
+                for lease, started in other.leases.items()
+                if lease not in self.completed
+                and lease not in taken
+                and now - started > STEAL_AFTER
             ]
             if not candidates:
                 return
-            straggler = min(candidates, key=lambda other: other.lease_started)
-            taken.add(straggler.lease)
-            self.reassigned += 1
-            self._assign(remote, straggler.lease)
+            started, lease = min(candidates)
+            taken.add(lease)
+            self.stolen += 1
+            self._worker_entry(remote)["stolen_leases"] += 1
+            self._assign(remote, lease)
+
+    # -- metrics -------------------------------------------------------------
+
+    def _worker_entry(self, remote: _Remote) -> dict:
+        entry = self.worker_metrics.get(remote.name)
+        if entry is None:
+            entry = self.worker_metrics[remote.name] = {
+                "local": remote.local,
+                "frames": 0,
+                "leases_completed": 0,
+                "blocks_completed": 0,
+                "stolen_leases": 0,
+                "drained": False,
+                "heartbeat_gap_histogram": [0] * (len(HEARTBEAT_GAP_BUCKETS) + 1),
+                "max_frame_gap_seconds": 0.0,
+            }
+        return entry
 
     # -- frame handling ------------------------------------------------------
 
     def _handle_frame(self, remote: _Remote, message: dict) -> None:
         if not remote.alive:
             return
-        remote.last_seen = time.monotonic()
+        now = time.monotonic()
+        if remote.state == "active":
+            gap = now - remote.last_seen
+            entry = self._worker_entry(remote)
+            entry["frames"] += 1
+            entry["heartbeat_gap_histogram"][
+                bisect_right(HEARTBEAT_GAP_BUCKETS, gap)
+            ] += 1
+            if gap > entry["max_frame_gap_seconds"]:
+                entry["max_frame_gap_seconds"] = gap
+        remote.last_seen = now
+        self.last_progress = now
         kind = message.get("type")
         if kind == "hello":
             if remote.state != "hello":
@@ -651,8 +995,19 @@ class _Coordinator:
                     f"{remote.name} speaks protocol "
                     f"{message.get('protocol')!r}, not {PROTOCOL_VERSION}",
                 )
+            if self.token is not None and not _token_matches(
+                self.token, message.get("token")
+            ):
+                return self._drop(
+                    remote,
+                    AuthenticationError(
+                        f"{remote.name} failed authentication (bad or "
+                        "missing worker token)"
+                    ),
+                )
             remote.state = "active"
             self.workers_seen += 1
+            self._worker_entry(remote)
             job = dict(self.job)
             job["out_dir"] = self.out_dir if remote.local else None
             if self.fault_after is not None and remote.local and not self.fault_assigned:
@@ -662,11 +1017,24 @@ class _Coordinator:
         elif kind == "ready":
             if remote.state != "active":
                 return self._drop(remote, f"{remote.name} sent ready before hello")
+            remote.credits += 1
+            if remote.credits + len(remote.leases) > self.lease_depth:
+                return self._drop(
+                    remote,
+                    f"{remote.name} exceeded the in-flight lease cap "
+                    f"({self.lease_depth})",
+                )
             self._offer(remote)
         elif kind == "heartbeat":
             pass
         elif kind == "result":
             self._handle_result(remote, message)
+        elif kind == "drain":
+            if remote.state != "active":
+                return self._drop(remote, f"{remote.name} sent drain before hello")
+            self.drained += 1
+            self._worker_entry(remote)["drained"] = True
+            self._release(remote)
         elif kind == "error":
             self._drop(
                 remote,
@@ -677,12 +1045,12 @@ class _Coordinator:
 
     def _handle_result(self, remote: _Remote, message: dict) -> None:
         lease = (message.get("block_lo"), message.get("block_hi"))
-        if remote.lease != lease:
+        if lease not in remote.leases:
             return self._drop(
                 remote, f"{remote.name} sent a result for a lease it does not hold"
             )
         if lease in self.completed:
-            remote.lease = None
+            del remote.leases[lease]
             return  # a speculative duplicate lost the race; first result won
         try:
             entry = self._validate_result(remote, lease, message)
@@ -693,13 +1061,43 @@ class _Coordinator:
             return self._drop(
                 remote, f"rejected result from {remote.name}: {error}"
             )
-        remote.lease = None
+        started = remote.leases.pop(lease)
         for index, data in entry.pop("writes"):
             with open(
                 os.path.join(self.out_dir, _block_name(index, "csv")), "wb"
             ) as handle:
                 handle.write(data)
         self.completed[lease] = entry
+        now = time.monotonic()
+        self.last_progress = now
+        self.lease_events.append(
+            {
+                "block_lo": lease[0],
+                "block_hi": lease[1],
+                "worker": remote.name,
+                "seconds": now - started,
+            }
+        )
+        stats = self._worker_entry(remote)
+        stats["leases_completed"] += 1
+        stats["blocks_completed"] += lease[1] - lease[0]
+        self._checkpoint(lease, entry)
+
+    def _checkpoint(self, lease: "tuple[int, int]", entry: dict) -> None:
+        """Append one lease-completion envelope to the checkpoint log."""
+        if self.checkpoint_log is None:
+            return
+        self.checkpoint_log.write(_checkpoint_line(lease, entry))
+        self.checkpoint_log.flush()
+        self.checkpointed += 1
+        if (
+            self.coordinator_fault_after is not None
+            and self.checkpointed >= self.coordinator_fault_after
+        ):
+            # Crash injection for the resume tests/CI: kill the
+            # *coordinator* the hard way with the checkpoint durable.
+            os.fsync(self.checkpoint_log.fileno())
+            os.kill(os.getpid(), getattr(signal, "SIGKILL", signal.SIGTERM))
 
     def _validate_result(
         self, remote: _Remote, lease: "tuple[int, int]", message: dict
@@ -712,46 +1110,9 @@ class _Coordinator:
         so a corrupt or version-mismatched state is caught while we can
         still retire the worker and requeue its lease.
         """
-        lo, hi = lease
-        blocks = message.get("blocks")
-        if not isinstance(blocks, list) or len(blocks) != hi - lo:
-            raise ProtocolError(
-                f"result must carry exactly {hi - lo} block entries"
-            )
-        records: "list[SegmentRecord]" = []
-        digests: "list[tuple[int, bytes]]" = []
-        writes: "list[tuple[int, bytes]]" = []
-        for position, raw in enumerate(blocks):
-            index = lo + position
-            if not isinstance(raw, dict) or raw.get("index") != index:
-                raise ProtocolError(f"block entry {position} is not block {index}")
-            digest = bytes.fromhex(raw["digest"])
-            sha = raw["sha256"]
-            nbytes = raw["bytes"]
-            if not isinstance(sha, str) or len(bytes.fromhex(sha)) != 32:
-                raise ProtocolError(f"block {index} sha256 is malformed")
-            if not isinstance(nbytes, int) or isinstance(nbytes, bool) or nbytes < 0:
-                raise ProtocolError(f"block {index} byte count is malformed")
-            if not remote.local:
-                data = base64.b64decode(raw["data"], validate=True)
-                if hashlib.sha256(data).hexdigest() != sha or len(data) != nbytes:
-                    raise ProtocolError(
-                        f"block {index} inline data does not match its digest"
-                    )
-                writes.append((index, data))
-            records.append(
-                SegmentRecord(
-                    path=_block_name(index, "csv"),
-                    shard=0,
-                    block_lo=index,
-                    block_hi=index + 1,
-                    row_lo=min(index * RNG_BLOCK_SIZE, self.size),
-                    row_hi=min((index + 1) * RNG_BLOCK_SIZE, self.size),
-                    sha256=sha,
-                    bytes=nbytes,
-                )
-            )
-            digests.append((index, digest))
+        records, digests, writes = _decode_block_entries(
+            message.get("blocks"), lease, self.size, inline=not remote.local
+        )
         restored = ReducerSet.from_state(message["reducers"])
         if set(restored.names()) != set(self.factories):
             raise StateError(
@@ -768,7 +1129,8 @@ class _Coordinator:
     # -- main loop -----------------------------------------------------------
 
     def run(self) -> None:
-        start = time.monotonic()
+        self.last_progress = time.monotonic()
+        last_beat = self.last_progress
         while len(self.completed) < len(self.leases):
             try:
                 event = self.events.get(timeout=0.2)
@@ -777,21 +1139,36 @@ class _Coordinator:
             if event is not None:
                 if event[0] == "connect":
                     self.attach(event[1], f"local-{len(self.remotes)}", local=True)
+                    self.last_progress = time.monotonic()
                 elif event[0] == "frame":
                     self._handle_frame(event[1], event[2])
                 elif event[0] == "close":
                     self._drop(event[1], event[2])
             now = time.monotonic()
+            if now - last_beat >= HEARTBEAT_INTERVAL:
+                # The reverse beacon: workers reset their read deadline on
+                # any frame, so this is what keeps an idle (credit-holding)
+                # worker from declaring a healthy coordinator dead.
+                last_beat = now
+                for remote in list(self.remotes):
+                    if remote.alive and remote.state == "active":
+                        self._send(remote, {"type": "heartbeat"})
             for remote in self.remotes:
                 if remote.alive and now - remote.last_seen > self.worker_timeout:
                     self._drop(remote, f"{remote.name} heartbeat timeout")
             self._steal(now)
             if not any(remote.alive for remote in self.remotes):
                 if any(process.is_alive() for process in self.processes):
-                    if now - start > self.worker_timeout:
+                    if now - self.last_progress > self.worker_timeout:
+                        if self.workers_seen == 0:
+                            raise RuntimeError(
+                                "distributed export stalled: no worker "
+                                f"connected within {self.worker_timeout:.0f} s"
+                            )
                         raise RuntimeError(
-                            "distributed export stalled: no worker connected "
-                            f"within {self.worker_timeout:.0f} s"
+                            "distributed export stalled: workers went silent "
+                            f"after completing {len(self.completed)}/"
+                            f"{len(self.leases)} leases"
                         )
                     continue
                 detail = f" (last error: {self.last_error})" if self.last_error else ""
@@ -802,6 +1179,143 @@ class _Coordinator:
         for remote in self.remotes:
             if remote.alive:
                 self._send(remote, {"type": "shutdown"})
+
+
+# -- plan / checkpoint log ---------------------------------------------------
+
+
+def _checkpoint_line(lease: "tuple[int, int]", entry: dict) -> str:
+    """One ``FleetLeaseCheckpoint`` envelope as a checkpoint-log line."""
+    blocks = [
+        {
+            "index": record.block_lo,
+            "sha256": record.sha256,
+            "bytes": record.bytes,
+            "digest": digest.hex(),
+        }
+        for record, (_, digest) in zip(entry["records"], entry["digests"])
+    ]
+    payload = make_envelope(
+        LEASE_CHECKPOINT_KIND,
+        DISTRIBUTED_STATE_VERSION,
+        {
+            "block_lo": lease[0],
+            "block_hi": lease[1],
+            "blocks": blocks,
+            "reducers": entry["reducers"].to_state(),
+        },
+    )
+    return json.dumps(payload, separators=(",", ":")) + "\n"
+
+
+def _build_plan(
+    generator,
+    when_value: float,
+    size: int,
+    entropy: str,
+    spawn_key: "tuple[int, ...]",
+    lease_blocks: int,
+    chunk_size: int,
+    factories: dict,
+    manifest_name: str,
+) -> dict:
+    """The ``FleetDistributedPlan`` envelope pinning a run's parameters."""
+    return make_envelope(
+        DISTRIBUTED_PLAN_KIND,
+        DISTRIBUTED_STATE_VERSION,
+        {
+            "version": MANIFEST_VERSION,
+            "format": "csv",
+            "size": size,
+            "when": when_value,
+            "entropy": entropy,
+            "spawn_key": list(spawn_key),
+            "block_size": RNG_BLOCK_SIZE,
+            "lease_blocks": lease_blocks,
+            "chunk_size": chunk_size,
+            "reducers": sorted(factories),
+            "generator_sha256": _generator_fingerprint(generator),
+            "manifest_name": manifest_name,
+        },
+    )
+
+
+def _load_lease_checkpoints(
+    out_dir: str,
+    leases: "list[tuple[int, int]]",
+    factories: dict,
+    size: int,
+) -> "dict[tuple[int, int], dict]":
+    """Completed-lease entries restored from the checkpoint log.
+
+    Every checkpointed block file is re-verified against its recorded
+    size and sha256 (:func:`_read_matching_block`); a lease whose files
+    vanished or rotted is silently treated as incomplete and re-run.  A
+    torn *final* line — the coordinator was killed mid-append — is
+    discarded; malformed JSON anywhere earlier is corruption and raises
+    :class:`StateError`, as do envelope/lease-grid/reducer mismatches.
+    """
+    path = os.path.join(out_dir, DISTRIBUTED_LEASE_LOG)
+    completed: "dict[tuple[int, int], dict]" = {}
+    if not os.path.exists(path):
+        return completed
+    expected = set(leases)
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    for number, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            if number == len(lines):
+                break  # torn tail from the crash; its lease is re-run
+            raise StateError(
+                f"lease checkpoint line {number} of {path} is not valid JSON"
+            )
+        require_state(payload, LEASE_CHECKPOINT_KIND, DISTRIBUTED_STATE_VERSION)
+        lo = state_field(payload, LEASE_CHECKPOINT_KIND, "block_lo")
+        hi = state_field(payload, LEASE_CHECKPOINT_KIND, "block_hi")
+        lease = (lo, hi)
+        if lease not in expected:
+            raise StateError(
+                f"lease checkpoint [{lo}, {hi}) does not match the plan's "
+                "lease grid"
+            )
+        try:
+            records, digests, _ = _decode_block_entries(
+                state_field(payload, LEASE_CHECKPOINT_KIND, "blocks"),
+                lease,
+                size,
+                inline=False,
+            )
+        except (ProtocolError, TypeError, ValueError, KeyError) as error:
+            raise StateError(f"lease checkpoint [{lo}, {hi}) is malformed: {error}")
+        if any(
+            _read_matching_block(os.path.join(out_dir, record.path), record) is None
+            for record in records
+        ):
+            continue  # block file missing or corrupt: regenerate the lease
+        restored = ReducerSet.from_state(
+            state_field(payload, LEASE_CHECKPOINT_KIND, "reducers")
+        )
+        if set(restored.names()) != set(factories):
+            raise StateError(
+                f"lease checkpoint [{lo}, {hi}) reducers "
+                f"{sorted(restored.names())} do not match the plan's "
+                f"{sorted(factories)}"
+            )
+        completed[lease] = {
+            "records": records,
+            "digests": digests,
+            "reducers": restored,
+            "writes": [],
+        }
+    return completed
+
+
+# -- entry points ------------------------------------------------------------
 
 
 def export_fleet_distributed(
@@ -820,23 +1334,33 @@ def export_fleet_distributed(
     manifest_name: str = "manifest.json",
     start_method: "str | None" = None,
     fault_after: "int | None" = None,
+    lease_depth: int = DEFAULT_LEASE_DEPTH,
+    token: "str | None" = None,
+    metrics_path: "str | None" = None,
+    coordinator_fault_after: "int | None" = None,
 ) -> DistributedExportResult:
     """Export a fleet through coordinator-scheduled distributed workers.
 
     Spawns ``workers`` local worker processes and/or dials the
     ``connect`` list of ``(host, port)`` :func:`serve_worker` endpoints,
-    leases them RNG-block ranges of ``lease_blocks`` blocks with
-    work-stealing and failure reassignment, and merges their serialized
+    leases them RNG-block ranges of ``lease_blocks`` blocks (at most
+    ``lease_depth`` in flight per worker) with work-stealing and failure
+    reassignment, and merges their serialized
     :class:`~repro.engine.reduce.ReducerSet` states in block order.  The
     resulting manifest (``layout="block"``, CSV only) and payload bytes
     are byte-identical to the single-process export of the same
     ``(parameters, when, size, seed)`` fleet; see the module docstring.
 
-    ``reducers`` accepts the :data:`WIRE_REDUCER_FACTORIES` subset by
-    name (factories cannot travel a JSON wire); ``fault_after`` makes the
-    first local worker SIGKILL itself after that many blocks (crash
-    injection for tests/CI).  Raises :class:`RuntimeError` when every
-    worker has died with leases outstanding.
+    ``token`` arms mutual shared-token auth; ``metrics_path`` writes the
+    run's ``FleetDistributedMetrics`` JSON.  The run checkpoints every
+    completed lease (see :func:`resume_fleet_distributed`).  ``reducers``
+    accepts the :data:`WIRE_REDUCER_FACTORIES` subset by name (factories
+    cannot travel a JSON wire); ``fault_after`` makes the first local
+    worker SIGKILL itself after that many blocks and
+    ``coordinator_fault_after`` SIGKILLs the coordinator itself after
+    that many lease checkpoints (crash injection for tests/CI).  Raises
+    :class:`RuntimeError` when every worker has died with leases
+    outstanding.
     """
     if size < 0:
         raise ValueError("size must be non-negative")
@@ -844,6 +1368,8 @@ def export_fleet_distributed(
         raise ValueError("chunk_size must be at least 1")
     if lease_blocks < 1:
         raise ValueError("lease_blocks must be at least 1")
+    if lease_depth < 1:
+        raise ValueError("lease_depth must be at least 1")
     if workers < 0:
         raise ValueError("workers must be non-negative")
     connect = list(connect)
@@ -851,6 +1377,8 @@ def export_fleet_distributed(
         raise ValueError("need at least one worker (workers >= 1 or connect=...)")
     if worker_timeout <= 0:
         raise ValueError("worker_timeout must be positive")
+    if coordinator_fault_after is not None and coordinator_fault_after < 1:
+        raise ValueError("coordinator_fault_after must be at least 1")
     to_json = getattr(getattr(generator, "parameters", None), "to_json", None)
     if to_json is None:
         raise ValueError(
@@ -868,31 +1396,248 @@ def export_fleet_distributed(
     when_value = _when_as_float(when)
     out_dir = os.path.abspath(out_dir)
     os.makedirs(out_dir, exist_ok=True)
-    n_blocks = block_count(size)
-    leases = _lease_ranges(n_blocks, lease_blocks)
+    entropy = str(root.entropy)
+    spawn_key = tuple(int(k) for k in root.spawn_key)
+    leases = _lease_ranges(block_count(size), lease_blocks)
+    plan = _build_plan(
+        generator,
+        when_value,
+        size,
+        entropy,
+        spawn_key,
+        lease_blocks,
+        chunk_size,
+        factories,
+        manifest_name,
+    )
+    # A fresh run owns the directory: pin the plan, discard any stale
+    # checkpoint log so old lease lines cannot splice into this export.
+    _write_json_atomic(os.path.join(out_dir, DISTRIBUTED_PLAN_NAME), plan)
+    _remove_quiet(os.path.join(out_dir, DISTRIBUTED_LEASE_LOG))
+    return _run_distributed(
+        generator=generator,
+        when_value=when_value,
+        size=size,
+        entropy=entropy,
+        spawn_key=spawn_key,
+        out_dir=out_dir,
+        factories=factories,
+        chunk_size=chunk_size,
+        lease_blocks=lease_blocks,
+        leases=leases,
+        completed={},
+        resumed_leases=0,
+        workers=workers,
+        connect=connect,
+        worker_timeout=worker_timeout,
+        lease_depth=lease_depth,
+        manifest_name=manifest_name,
+        start_method=start_method,
+        fault_after=fault_after,
+        coordinator_fault_after=coordinator_fault_after,
+        token=token,
+        metrics_path=metrics_path,
+    )
 
+
+def resume_fleet_distributed(
+    generator,
+    out_dir: str,
+    workers: int = 2,
+    connect: "list[tuple[str, int]] | tuple" = (),
+    worker_timeout: float = DEFAULT_WORKER_TIMEOUT,
+    start_method: "str | None" = None,
+    fault_after: "int | None" = None,
+    lease_depth: int = DEFAULT_LEASE_DEPTH,
+    token: "str | None" = None,
+    metrics_path: "str | None" = None,
+    coordinator_fault_after: "int | None" = None,
+) -> DistributedExportResult:
+    """Finish an interrupted distributed export byte-identically.
+
+    Reads the run parameters from :data:`DISTRIBUTED_PLAN_NAME` (size,
+    date, seed, lease grid and reducer set all come from the plan, not
+    the caller), restores every lease recorded in
+    :data:`DISTRIBUTED_LEASE_LOG` whose block files still verify, and
+    re-leases only the incomplete ranges to a fresh worker fleet.  The
+    finalised manifest, payload bytes and merged statistics are identical
+    to an uninterrupted run.  Raises :class:`StateError` when there is
+    nothing to resume or the plan/checkpoints are corrupt, mismatched
+    with ``generator``, or wrong-versioned.
+    """
+    if workers < 0:
+        raise ValueError("workers must be non-negative")
+    connect = list(connect)
+    if workers + len(connect) < 1:
+        raise ValueError("need at least one worker (workers >= 1 or connect=...)")
+    if worker_timeout <= 0:
+        raise ValueError("worker_timeout must be positive")
+    if lease_depth < 1:
+        raise ValueError("lease_depth must be at least 1")
+    out_dir = os.path.abspath(out_dir)
+    plan_path = os.path.join(out_dir, DISTRIBUTED_PLAN_NAME)
+    if not os.path.exists(plan_path):
+        raise StateError(
+            f"nothing to resume in {out_dir}: no {DISTRIBUTED_PLAN_NAME} "
+            "(not a distributed export, or it already finalised)"
+        )
+    plan = _load_json(plan_path, "distributed plan")
+    require_state(plan, DISTRIBUTED_PLAN_KIND, DISTRIBUTED_STATE_VERSION)
+
+    def plan_int(name: str, minimum: int) -> int:
+        value = state_field(plan, DISTRIBUTED_PLAN_KIND, name)
+        if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+            raise StateError(
+                f"distributed plan field {name!r} must be an integer >= "
+                f"{minimum}, got {value!r}"
+            )
+        return value
+
+    size = plan_int("size", 0)
+    lease_blocks = plan_int("lease_blocks", 1)
+    chunk_size = plan_int("chunk_size", 1)
+    if plan_int("block_size", 1) != RNG_BLOCK_SIZE:
+        raise StateError(
+            f"distributed plan block size {plan['block_size']} does not match "
+            f"this engine's {RNG_BLOCK_SIZE}"
+        )
+    if plan.get("version") != MANIFEST_VERSION:
+        raise StateError(
+            f"distributed plan manifest version {plan.get('version')!r} is "
+            f"not the supported {MANIFEST_VERSION}"
+        )
+    if state_field(plan, DISTRIBUTED_PLAN_KIND, "format") != "csv":
+        raise StateError(
+            f"distributed plan format {plan['format']!r} is not csv"
+        )
+    fingerprint = _generator_fingerprint(generator)
+    recorded = state_field(plan, DISTRIBUTED_PLAN_KIND, "generator_sha256")
+    if fingerprint != recorded:
+        raise StateError(
+            "generator parameters do not match the interrupted export "
+            f"(plan sha256 {recorded!r}, resuming generator {fingerprint!r})"
+        )
+    names = state_field(plan, DISTRIBUTED_PLAN_KIND, "reducers")
+    if not isinstance(names, list) or not all(isinstance(n, str) for n in names):
+        raise StateError("distributed plan field 'reducers' must be a name list")
+    factories = {}
+    for name in names:
+        factory = WIRE_REDUCER_FACTORIES.get(name)
+        if factory is None:
+            raise StateError(f"distributed plan names unknown wire reducer {name!r}")
+        factories[name] = factory
+    entropy = state_field(plan, DISTRIBUTED_PLAN_KIND, "entropy")
+    raw_spawn_key = state_field(plan, DISTRIBUTED_PLAN_KIND, "spawn_key")
+    try:
+        int(entropy)
+        spawn_key = tuple(int(k) for k in raw_spawn_key)
+        when_value = float(state_field(plan, DISTRIBUTED_PLAN_KIND, "when"))
+    except (TypeError, ValueError) as error:
+        raise StateError(f"distributed plan seed fields are malformed: {error}")
+    manifest_name = state_field(plan, DISTRIBUTED_PLAN_KIND, "manifest_name")
+    if not isinstance(manifest_name, str) or not manifest_name:
+        raise StateError("distributed plan field 'manifest_name' is malformed")
+    leases = _lease_ranges(block_count(size), lease_blocks)
+    completed = _load_lease_checkpoints(out_dir, leases, factories, size)
+    return _run_distributed(
+        generator=generator,
+        when_value=when_value,
+        size=size,
+        entropy=entropy,
+        spawn_key=spawn_key,
+        out_dir=out_dir,
+        factories=factories,
+        chunk_size=chunk_size,
+        lease_blocks=lease_blocks,
+        leases=leases,
+        completed=completed,
+        resumed_leases=len(completed),
+        workers=workers,
+        connect=connect,
+        worker_timeout=worker_timeout,
+        lease_depth=lease_depth,
+        manifest_name=manifest_name,
+        start_method=start_method,
+        fault_after=fault_after,
+        coordinator_fault_after=coordinator_fault_after,
+        token=token,
+        metrics_path=metrics_path,
+    )
+
+
+def _run_distributed(
+    generator,
+    when_value: float,
+    size: int,
+    entropy: str,
+    spawn_key: "tuple[int, ...]",
+    out_dir: str,
+    factories: dict,
+    chunk_size: int,
+    lease_blocks: int,
+    leases: "list[tuple[int, int]]",
+    completed: "dict[tuple[int, int], dict]",
+    resumed_leases: int,
+    workers: int,
+    connect: "list[tuple[str, int]]",
+    worker_timeout: float,
+    lease_depth: int,
+    manifest_name: str,
+    start_method: "str | None",
+    fault_after: "int | None",
+    coordinator_fault_after: "int | None",
+    token: "str | None",
+    metrics_path: "str | None",
+) -> DistributedExportResult:
+    """Shared core of fresh and resumed distributed exports: run the
+    coordinator over the pending leases, then finalise manifest,
+    statistics and metrics."""
     job = {
         "type": "job",
         "protocol": PROTOCOL_VERSION,
         "generator": "CorrelatedHostGenerator",
-        "params": to_json(),
+        "params": generator.parameters.to_json(),
         "when": when_value,
         "size": size,
-        "entropy": str(root.entropy),
-        "spawn_key": [int(k) for k in root.spawn_key],
+        "entropy": entropy,
+        "spawn_key": [int(k) for k in spawn_key],
         "block_size": RNG_BLOCK_SIZE,
         "format": "csv",
         "chunk_size": chunk_size,
         "reducers": sorted(factories),
+        "worker_timeout": worker_timeout,
+        "lease_depth": lease_depth,
     }
+    if token is not None:
+        job["token"] = token
+    # Rewrite the log from the restored entries rather than appending: a
+    # torn tail line from the crash would otherwise sit mid-file after
+    # this run's first checkpoint, corrupting any *second* resume.
+    checkpoint_log = open(
+        os.path.join(out_dir, DISTRIBUTED_LEASE_LOG), "w", encoding="utf-8"
+    )
+    for lease in sorted(completed):
+        checkpoint_log.write(_checkpoint_line(lease, completed[lease]))
+    checkpoint_log.flush()
     coordinator = _Coordinator(
-        job, leases, out_dir, factories, size, worker_timeout, fault_after
+        job,
+        leases,
+        out_dir,
+        factories,
+        size,
+        worker_timeout,
+        fault_after,
+        token=token,
+        lease_depth=lease_depth,
+        coordinator_fault_after=coordinator_fault_after,
+        checkpoint_log=checkpoint_log,
+        completed=completed,
     )
 
     start = time.perf_counter()
     listener = None
     try:
-        if leases:
+        if coordinator.pending:
             if workers:
                 listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
                 listener.bind(("127.0.0.1", 0))
@@ -902,17 +1647,22 @@ def export_fleet_distributed(
                 # coordinator threads — forking a threaded process is the
                 # deadlock _pool_context exists to avoid.  Healthy runs go
                 # through the persistent pool (workers already warm after
-                # the first fan-out); fault injection keeps raw processes,
-                # because a worker that SIGKILLs itself would poison a
-                # pool that outlives this call.
-                if fault_after is None and persistence_enabled():
+                # the first fan-out); fault injection — of a worker *or*
+                # of this coordinator — keeps raw processes, because a
+                # process that SIGKILLs itself (or loses its parent to
+                # SIGKILL) would poison a pool that outlives this call.
+                if (
+                    fault_after is None
+                    and coordinator_fault_after is None
+                    and persistence_enabled()
+                ):
                     pool = get_pool(workers, start_method)
                     for _ in range(workers):
                         coordinator.processes.append(
                             _PooledWorkerHandle(
                                 pool,
                                 pool.apply_async(
-                                    _local_worker_main, ("127.0.0.1", port)
+                                    _local_worker_main, ("127.0.0.1", port, token)
                                 ),
                             )
                         )
@@ -921,7 +1671,7 @@ def export_fleet_distributed(
                     for _ in range(workers):
                         process = context.Process(
                             target=_local_worker_main,
-                            args=("127.0.0.1", port),
+                            args=("127.0.0.1", port, token),
                             daemon=True,
                         )
                         process.start()
@@ -935,6 +1685,7 @@ def export_fleet_distributed(
                 coordinator.attach(sock, f"tcp-{host}:{port}", local=False)
             coordinator.run()
     finally:
+        checkpoint_log.close()
         if listener is not None:
             listener.close()
         for remote in coordinator.remotes:
@@ -974,8 +1725,8 @@ def export_fleet_distributed(
         format="csv",
         size=size,
         when=when_value,
-        entropy=str(root.entropy),
-        spawn_key=tuple(int(k) for k in root.spawn_key),
+        entropy=entropy,
+        spawn_key=spawn_key,
         shards=1,
         block_size=RNG_BLOCK_SIZE,
         header=HOST_CSV_HEADER,
@@ -986,6 +1737,10 @@ def export_fleet_distributed(
         checkpoint_every=0,
     )
     manifest.save(os.path.join(out_dir, manifest_name))
+    # The run is finalised: the plan and lease log are no longer needed
+    # (and their absence is what marks the directory as complete).
+    _remove_quiet(os.path.join(out_dir, DISTRIBUTED_PLAN_NAME))
+    _remove_quiet(os.path.join(out_dir, DISTRIBUTED_LEASE_LOG))
 
     statistics = FleetStatistics(
         size=size,
@@ -995,9 +1750,36 @@ def export_fleet_distributed(
         elapsed_seconds=elapsed,
         digest=manifest.fleet_sha256,
     )
+    metrics = make_envelope(
+        DISTRIBUTED_METRICS_KIND,
+        DISTRIBUTED_STATE_VERSION,
+        {
+            "elapsed_seconds": elapsed,
+            "size": size,
+            "lease_blocks": lease_blocks,
+            "lease_depth": lease_depth,
+            "leases_total": len(leases),
+            "leases_run": len(coordinator.completed) - resumed_leases,
+            "resumed_leases": resumed_leases,
+            "workers_seen": coordinator.workers_seen,
+            "requeued_leases": coordinator.requeued,
+            "stolen_leases": coordinator.stolen,
+            "drained_workers": coordinator.drained,
+            "heartbeat_gap_bucket_seconds": list(HEARTBEAT_GAP_BUCKETS),
+            "workers": coordinator.worker_metrics,
+            "leases": sorted(
+                coordinator.lease_events,
+                key=lambda event: (event["block_lo"], event["block_hi"]),
+            ),
+        },
+    )
+    if metrics_path is not None:
+        _write_json_atomic(os.path.abspath(metrics_path), metrics)
     return DistributedExportResult(
         manifest=manifest,
         statistics=statistics,
         workers=coordinator.workers_seen,
-        reassigned_leases=coordinator.reassigned,
+        reassigned_leases=coordinator.requeued + coordinator.stolen,
+        metrics=metrics,
+        resumed_leases=resumed_leases,
     )

@@ -581,6 +581,13 @@ def read_columnar_export(manifest_path: str) -> "tuple[FleetManifest, dict]":
 
 
 # -- resumable block-layout export ------------------------------------------
+#
+# The distributed backend reuses this layer's building blocks for its own
+# plan/checkpoint files (`distributed-plan.json` + the per-lease log):
+# `_write_json_atomic`, `_load_json`, `_remove_quiet`,
+# `_generator_fingerprint` and the `_read_matching_block` re-verification
+# all serve both resume paths, so the two crash-recovery formats cannot
+# drift in how they persist, validate, or distrust on-disk state.
 
 #: The partial-manifest file a resumable export writes before any segment;
 #: its presence (without a final manifest) marks an interrupted run.

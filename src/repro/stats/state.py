@@ -36,6 +36,28 @@ class StateError(ValueError):
     """A reducer state payload is corrupt, mismatched or unsupported."""
 
 
+def make_envelope(kind: str, version: int, fields: "dict | None" = None) -> dict:
+    """A fresh state payload carrying the standard ``kind``/``state_version``
+    envelope, plus the caller's fields.
+
+    The construction-side counterpart of :func:`require_state`: payloads
+    built through this (reducer states, export plans, the distributed
+    backend's lease checkpoints and metrics documents) cannot drift from
+    the envelope shape the validators check.  ``fields`` may not shadow
+    the envelope keys.
+    """
+    payload = {"kind": kind, "state_version": version}
+    if fields:
+        overlap = {"kind", "state_version"} & set(fields)
+        if overlap:
+            raise ValueError(
+                f"envelope fields {sorted(overlap)} are reserved for the "
+                "kind/state_version envelope"
+            )
+        payload.update(fields)
+    return payload
+
+
 def require_state(state: Any, kind: str, version: int) -> dict:
     """Validate a state payload's envelope and return it as a dict.
 

@@ -544,6 +544,52 @@ def check_distributed_digest_matches_paper(ctx) -> "list[CheckResult]":
     ]
 
 
+def check_distributed_hardened(ctx) -> "list[CheckResult]":
+    """The hardened transport: token-authed digest plus sane metrics.
+
+    The run behind ``ctx.distributed_metrics()`` is the same memoised
+    token-authed export the digest probe uses, so this costs no extra
+    fleet pass — it checks that the observability document the
+    coordinator emits is internally consistent: every lease carries a
+    timing, heartbeat-gap histograms account for every frame, and the
+    requeue/steal/drain counters exist.
+    """
+    digest = ctx.distributed_fleet_digest()
+    single = ctx.fleet_digest(shards=1)
+    metrics = ctx.distributed_metrics()
+    leases = metrics.get("leases", [])
+    workers = metrics.get("workers", {})
+    timings_ok = bool(leases) and all(
+        isinstance(event.get("seconds"), float) and event["seconds"] >= 0
+        for event in leases
+    )
+    histograms_ok = bool(workers) and all(
+        sum(entry["heartbeat_gap_histogram"]) == entry["frames"]
+        for entry in workers.values()
+    )
+    counters_ok = all(
+        isinstance(metrics.get(name), int) and metrics[name] >= 0
+        for name in ("requeued_leases", "stolen_leases", "drained_workers")
+    )
+    return [
+        CheckResult("token-authed distributed digest", digest,
+                    f"streamed shards=1 digest {single}", digest == single),
+        CheckResult("metrics envelope kind", metrics.get("kind"),
+                    "FleetDistributedMetrics",
+                    metrics.get("kind") == "FleetDistributedMetrics"),
+        CheckResult("per-lease timings recorded", len(leases),
+                    f"{metrics.get('leases_total')} events, seconds >= 0",
+                    timings_ok and len(leases) == metrics.get("leases_total")),
+        CheckResult("heartbeat-gap histograms cover every frame",
+                    {name: sum(entry["heartbeat_gap_histogram"])
+                     for name, entry in workers.items()},
+                    {name: entry["frames"] for name, entry in workers.items()},
+                    histograms_ok),
+        CheckResult("requeue/steal/drain counters present", counters_ok,
+                    "non-negative integers", counters_ok),
+    ]
+
+
 # ---------------------------------------------------------------------------
 # Golden digests (canonical configurations only)
 # ---------------------------------------------------------------------------
@@ -708,6 +754,15 @@ def _register_builtin_probes() -> None:
         description="the distributed backend's fleet digest equals the "
                     "streamed one (and the canonical golden)",
     ))
+    register_probe(Probe(
+        name="determinism/distributed-hardened",
+        family="determinism",
+        tier="full",
+        scenario="paper",
+        check=check_distributed_hardened,
+        description="the token-authed distributed path keeps the digest and "
+                    "emits an internally consistent metrics document",
+    ))
 
     # --- known-false controls ---------------------------------------------
     register_probe(Probe(
@@ -809,6 +864,17 @@ def _register_builtin_probes() -> None:
         expect="fail",
         control_of="determinism/distributed-digest",
         description="a shifted seed must change the distributed digest",
+    ))
+    register_probe(Probe(
+        name="control/reseeded-hardened-digest",
+        family="control",
+        tier="full",
+        scenario="reseeded",
+        check=check_distributed_digest_matches_paper,
+        expect="fail",
+        control_of="determinism/distributed-hardened",
+        description="a shifted seed must change the token-authed "
+                    "distributed digest too",
     ))
 
 

@@ -1,0 +1,53 @@
+"""Unit tests for the shared state-envelope helpers.
+
+The decode/validate side (``require_state``/``state_field``/
+``decode_floats``) is exercised throughout the reducer and checkpoint
+suites; this file pins the construction side — :func:`make_envelope` —
+which every plan, lease checkpoint and metrics document is built through.
+"""
+
+import pytest
+
+from repro.stats.state import StateError, make_envelope, require_state
+
+
+class TestMakeEnvelope:
+    def test_round_trips_through_require_state(self):
+        payload = make_envelope("Thing", 3, {"count": 7, "label": "x"})
+        assert require_state(payload, "Thing", 3) is payload
+        assert payload["count"] == 7
+        assert payload["label"] == "x"
+
+    def test_no_fields_is_a_bare_envelope(self):
+        assert make_envelope("Thing", 1) == {"kind": "Thing", "state_version": 1}
+        assert make_envelope("Thing", 1, None) == {
+            "kind": "Thing", "state_version": 1,
+        }
+        assert make_envelope("Thing", 1, {}) == {
+            "kind": "Thing", "state_version": 1,
+        }
+
+    @pytest.mark.parametrize(
+        "fields",
+        [
+            {"kind": "Other"},
+            {"state_version": 9},
+            {"kind": "Other", "state_version": 9, "ok": 1},
+        ],
+    )
+    def test_reserved_keys_are_rejected(self, fields):
+        with pytest.raises(ValueError, match="reserved"):
+            make_envelope("Thing", 1, fields)
+
+    def test_does_not_mutate_the_caller_fields(self):
+        fields = {"count": 7}
+        payload = make_envelope("Thing", 1, fields)
+        payload["count"] = 8
+        assert fields == {"count": 7}
+
+    def test_wrong_kind_still_fails_validation(self):
+        payload = make_envelope("Thing", 1)
+        with pytest.raises(StateError, match="cannot restore"):
+            require_state(payload, "Other", 1)
+        with pytest.raises(StateError, match="version"):
+            require_state(payload, "Thing", 2)

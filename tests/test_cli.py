@@ -441,10 +441,14 @@ class TestFleetDistributedCli:
             (["--backend", "distributed", "--connect", "nohost"], "endpoint"),
             (["--backend", "distributed", "--connect", "host:0"], "endpoint"),
             (["--backend", "distributed", "--format", "npz"], "csv"),
-            (["--backend", "distributed", "--resume"], "--resume"),
+            (["--backend", "distributed", "--lease-depth", "0"],
+             "--lease-depth"),
             (["--backend", "distributed", "--checkpoint-every", "2"],
              "--checkpoint-every"),
             (["--connect", "host:1"], "--backend"),
+            (["--token-file", "fleet.token"], "--token-file"),
+            (["--metrics", "metrics.json"], "--metrics"),
+            (["--lease-depth", "2"], "--lease-depth"),
             (["--checkpoint-every", "-1"], "--checkpoint-every"),
         ],
     )
@@ -459,17 +463,36 @@ class TestFleetDistributedCli:
     @pytest.mark.parametrize(
         "argv, match",
         [
-            (["fleet", "serve-worker", "--port", "0"], "--port"),
             (["fleet", "serve-worker", "--port", "-7"], "--port"),
             (["fleet", "serve-worker", "--port", "70000"], "--port"),
             (["fleet", "serve-worker", "--port", "7070", "--max-jobs", "0"],
              "--max-jobs"),
+            (["fleet", "serve-worker", "--port", "7070", "--drain-after", "0"],
+             "--drain-after"),
         ],
     )
     def test_serve_worker_validation_exits_2(self, capsys, argv, match):
         assert main(argv) == 2
         err = capsys.readouterr().err
         assert match in err and "must be" in err
+
+    def test_distributed_resume_without_plan_exits_1(self, tmp_path, capsys):
+        assert main(["fleet", "export", "--size", "100",
+                     "--out-dir", str(tmp_path / "x"),
+                     "--backend", "distributed", "--workers", "1",
+                     "--resume"]) == 1
+        err = capsys.readouterr().err
+        assert "nothing to resume" in err
+        assert "Traceback" not in err
+
+    def test_bad_token_file_exits_2(self, tmp_path, capsys):
+        assert main(["fleet", "export", "--size", "100",
+                     "--out-dir", str(tmp_path / "x"),
+                     "--backend", "distributed", "--workers", "1",
+                     "--token-file", str(tmp_path / "absent.token")]) == 2
+        err = capsys.readouterr().err
+        assert "token" in err
+        assert "Traceback" not in err
 
 
 class TestFleetValidate:
