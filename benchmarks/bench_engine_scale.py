@@ -409,6 +409,21 @@ def main(argv: "list[str] | None" = None) -> int:
         print("  FAIL: fast-tier validation probes failed during benchmark")
         failures += 1
 
+    # The scenario registry streams through the same engine paths with a
+    # non-host schema, so one timed pass tracks its overhead (ColumnBlock
+    # hand-off, profile reducers) the way validate_fast tracks the probes.
+    from repro.scenarios import ScenarioRun
+
+    start = time.perf_counter()
+    scenario = ScenarioRun("availability", size=args.size, seed=args.seed)
+    scenario_digest = scenario.digest(shards=args.shards)
+    scenario_run_seconds = time.perf_counter() - start
+    print(
+        f"  scenario_run: {scenario_run_seconds:.2f} s "
+        f"(availability @ {args.size} rows, {args.shards} shard(s), "
+        f"digest {scenario_digest[:12]}…)"
+    )
+
     # Before/after-comparable totals: one number per concern so two runs
     # of this script (e.g. a PR and its baseline) diff at a glance
     # without re-deriving sums from the per-path entries.
@@ -417,6 +432,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "checkpointed_export_wall_seconds": paths["checkpointed_export"]["seconds"],
         "all_paths_wall_seconds": sum(p["seconds"] for p in paths.values()),
         "validate_fast_seconds": validate_fast_seconds,
+        "scenario_run_seconds": scenario_run_seconds,
     }
     print(
         f"  totals: export {totals['export_wall_seconds']:.2f} s, "

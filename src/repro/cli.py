@@ -15,9 +15,12 @@ Subcommands
               workers and/or attached ``fleet serve-worker`` endpoints),
               ``fleet compact`` (merge block segments back into the
               per-shard layout), ``fleet verify`` (re-hash an export
-              against its manifest) and ``fleet serve-worker`` (serve this
-              machine as a distributed worker).  Plain ``fleet [flags]``
-              remains the PR-1 summary behaviour.
+              against its manifest), ``fleet validate`` (the statistical
+              probe suite), ``fleet scenario`` (list/run/compare the
+              declarative scenario registry through the same engine
+              paths) and ``fleet serve-worker`` (serve this machine as a
+              distributed worker).  Plain ``fleet [flags]`` remains the
+              PR-1 summary behaviour.
 ``predict``   print the Figs 13/14 forecasts and §VI-C scalar predictions
 ``validate``  fit on a trace, generate for Sep 2010, print Fig 12 comparison
 ``simulate``  run the Fig 15 utility experiment on a trace
@@ -36,6 +39,11 @@ Examples
     resmodel fleet serve-worker --port 7070
     resmodel fleet compact fleet/manifest.json --out-dir compact/ --shards 4
     resmodel fleet verify fleet/manifest.json
+    resmodel fleet scenario list
+    resmodel fleet scenario run availability --size 50000 --shards 2
+    resmodel fleet scenario run bandwidth --out-dir links/ \
+        --backend distributed --workers 2
+    resmodel fleet scenario compare lifetimes --shards 1 2 4
     resmodel trace --scale 0.01 --out trace.csv.gz
     resmodel fit --trace trace.csv.gz --out params.json
     resmodel predict --year 2014
@@ -76,6 +84,10 @@ def _load_parameters(path: "str | None") -> ModelParameters:
 def _cmd_generate(args: argparse.Namespace) -> int:
     from repro.engine.writer import HOST_CSV_HEADER, write_population_csv
 
+    problem = _check_fleet_ints(args, "generate")
+    if problem:
+        sys.stderr.write(problem + "\n")
+        return 2
     params = _load_parameters(args.params)
     generator = CorrelatedHostGenerator(params)
     when = year_fraction(parse_date(args.date))
@@ -91,17 +103,19 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _check_fleet_ints(
     args: argparse.Namespace, command: str = "fleet"
 ) -> "str | None":
-    """Clear error message for an out-of-range fleet integer (else None).
+    """Clear error message for an out-of-range numeric option (else None).
 
-    The one validation path every ``fleet`` sub-mode shares, so new flags
-    cannot invent a divergent policy: positive integers (``--shards``,
-    ``--chunk-size``, ``--lease-blocks``, ``--lease-depth``,
-    ``--max-jobs``, ``--fault-after`` and friends), non-negative integers
-    (``--size``, ``--checkpoint-every``, ``--workers``) and the TCP port
-    range (``--port``; 0 asks the OS for an ephemeral port).  Options
-    absent from the invoked sub-mode's namespace are skipped; argparse
-    itself already rejects non-integer garbage with the same exit
-    status 2.
+    The one validation path every command shares — the ``fleet``
+    sub-modes *and* the legacy ``trace``/``predict``/``validate``/
+    ``simulate``/``generate`` commands — so new flags cannot invent a
+    divergent policy: positive integers (``--shards``, ``--chunk-size``,
+    ``--lease-blocks``, ``--lease-depth``, ``--max-jobs``, ``--hosts``,
+    ``--fault-after`` and friends), non-negative integers (``--size``,
+    ``--checkpoint-every``, ``--workers``, every ``--seed``), positive
+    floats (``--scale``, ``--year``) and the TCP port range (``--port``;
+    0 asks the OS for an ephemeral port).  Options absent from the
+    invoked command's namespace are skipped; argparse itself already
+    rejects non-numeric garbage with the same exit status 2.
     """
     positive = (
         ("shards", "--shards"),
@@ -109,6 +123,7 @@ def _check_fleet_ints(
         ("lease_blocks", "--lease-blocks"),
         ("lease_depth", "--lease-depth"),
         ("max_jobs", "--max-jobs"),
+        ("hosts", "--hosts"),
         ("fault_after", "--fault-after"),
         ("coordinator_fault_after", "--coordinator-fault-after"),
         ("drain_after", "--drain-after"),
@@ -118,6 +133,12 @@ def _check_fleet_ints(
         ("size", "--size"),
         ("checkpoint_every", "--checkpoint-every"),
         ("workers", "--workers"),
+        ("seed", "--seed"),
+        ("validate_seed", "--seed"),
+    )
+    positive_floats = (
+        ("scale", "--scale"),
+        ("year", "--year"),
     )
     for attr, flag in positive:
         value = getattr(args, attr, None)
@@ -127,6 +148,10 @@ def _check_fleet_ints(
         value = getattr(args, attr, None)
         if value is not None and value < 0:
             return f"{command}: {flag} must be non-negative (got {value})"
+    for attr, flag in positive_floats:
+        value = getattr(args, attr, None)
+        if value is not None and value <= 0:
+            return f"{command}: {flag} must be positive (got {value})"
     port = getattr(args, "port", None)
     if port is not None and not 0 <= port <= 65535:
         return f"{command}: --port must be in [0, 65535] (got {port})"
@@ -572,6 +597,278 @@ def _cmd_fleet_serve_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet_scenario_list(args: argparse.Namespace) -> int:
+    """``fleet scenario list``: print the registered scenario specs."""
+    from repro.scenarios import iter_scenario_specs
+
+    for spec in iter_scenario_specs():
+        print(f"{spec.key:<14} {spec.title}")
+        print(f"{'':<14} columns: {', '.join(spec.schema.labels)}")
+        if spec.description:
+            print(f"{'':<14} {spec.description}")
+    return 0
+
+
+def _cmd_fleet_scenario_run(args: argparse.Namespace) -> int:
+    """``fleet scenario run``: stream one scenario, summarise or export it.
+
+    Without ``--out-dir`` this is the scenario counterpart of ``fleet
+    summary``: one memoised streamed pass prints per-column statistics
+    plus the fleet and statistics digests.  With ``--out-dir`` it is the
+    counterpart of ``fleet export`` — the same per-shard, resumable
+    per-block and distributed layouts, driven by the scenario's
+    registered generator and reducer profile.  Exit codes follow the
+    fleet convention (0 ok, 1 runtime failure, 2 usage error).
+    """
+    from repro.scenarios import ScenarioRun, get_scenario_spec
+
+    problem = _check_fleet_ints(args, "fleet scenario run")
+    if problem:
+        sys.stderr.write(problem + "\n")
+        return 2
+    exporting = args.out_dir is not None
+    if not exporting and (
+        args.checkpoint_every
+        or args.resume
+        or args.force
+        or args.backend != "local"
+    ):
+        problem = (
+            "--backend, --checkpoint-every, --resume and --force "
+            "shape exports; pass --out-dir"
+        )
+    elif args.backend == "distributed" and args.checkpoint_every:
+        problem = (
+            "--checkpoint-every applies to the local backend only "
+            "(distributed runs checkpoint every completed lease)"
+        )
+    elif args.backend == "distributed" and args.workers == 0:
+        problem = "distributed backend needs --workers >= 1"
+    if problem:
+        sys.stderr.write(f"fleet scenario run: {problem}\n")
+        return 2
+    try:
+        spec = get_scenario_spec(args.key)
+    except ValueError as error:
+        sys.stderr.write(f"fleet scenario run: {error}\n")
+        return 2
+
+    if not exporting:
+        try:
+            run = ScenarioRun(
+                args.key, size=args.size, seed=args.seed, date=args.date
+            )
+        except ValueError as error:
+            sys.stderr.write(f"fleet scenario run: {error}\n")
+            return 2
+        stats = run.stats(shards=args.shards)
+        print(f"scenario '{spec.key}': {spec.title}")
+        print(
+            f"streamed {stats.size} rows @ {stats.when:.3f} "
+            f"({stats.shards} shard(s), {stats.elapsed_seconds:.2f} s)"
+        )
+        print(f"{'column':>18} {'mean':>14} {'std':>14} {'median':>14}")
+        for row in run.summary_rows(shards=args.shards):
+            print(
+                f"{row['column']:>18} {row['mean']:>14.6g} "
+                f"{row['std']:>14.6g} {row['median']:>14.6g}"
+            )
+        print(f"fleet sha256:      {run.digest(shards=args.shards)}")
+        print(f"statistics sha256: {run.statistics_digest()}")
+        return 0
+
+    try:
+        when = year_fraction(parse_date(args.date))
+    except ValueError as error:
+        sys.stderr.write(f"fleet scenario run: {error}\n")
+        return 2
+    if args.size < 1:
+        sys.stderr.write("fleet scenario run: size must be at least 1\n")
+        return 2
+    if (
+        not args.resume
+        and os.path.isdir(args.out_dir)
+        and os.listdir(args.out_dir)
+        and not args.force
+    ):
+        entries = sorted(os.listdir(args.out_dir))
+        shown = ", ".join(entries[:4])
+        if len(entries) > 4:
+            shown += f", … {len(entries) - 4} more"
+        sys.stderr.write(
+            f"fleet scenario run: {args.out_dir} is not empty (contains "
+            f"{shown}); exporting would mix old and new segments (and "
+            "`fleet verify` could pass against stale files) — pass --force "
+            "to export anyway\n"
+        )
+        return 2
+    generator = spec.make_generator()
+    seed = args.seed + spec.seed_offset
+    fault_after = getattr(args, "fault_after", None)
+    if args.backend == "distributed":
+        from repro.engine import (
+            export_fleet_distributed,
+            resume_fleet_distributed,
+        )
+
+        try:
+            if args.resume:
+                # Size, date, seed, lease grid and reducers all come from
+                # the plan the interrupted run pinned into --out-dir.
+                result = resume_fleet_distributed(
+                    generator,
+                    args.out_dir,
+                    workers=args.workers,
+                    fault_after=fault_after,
+                    coordinator_fault_after=args.coordinator_fault_after,
+                )
+            else:
+                result = export_fleet_distributed(
+                    generator,
+                    when,
+                    args.size,
+                    seed,
+                    args.out_dir,
+                    workers=args.workers,
+                    chunk_size=args.chunk_size,
+                    lease_blocks=args.lease_blocks,
+                    reducers=spec.profile(),
+                    fault_after=fault_after,
+                    coordinator_fault_after=args.coordinator_fault_after,
+                )
+        except (RuntimeError, ValueError, OSError) as error:
+            sys.stderr.write(f"fleet scenario run: {error}\n")
+            return 1
+        manifest = result.manifest
+        print(
+            f"distributed: {result.workers} worker(s), "
+            f"{result.reassigned_leases} lease(s) reassigned"
+        )
+        if args.resume:
+            print(
+                f"resumed: {result.resumed_leases} lease(s) restored from "
+                "checkpoints"
+            )
+    elif args.resume:
+        from repro.engine import StateError, resume_export
+
+        try:
+            result = resume_export(
+                generator,
+                args.out_dir,
+                reducers=spec.profile(),
+                fault_after=fault_after,
+            )
+        except StateError as error:
+            sys.stderr.write(f"fleet scenario run --resume: {error}\n")
+            return 1
+        manifest = result.manifest
+        if result.statistics is None:
+            print(f"{args.out_dir} is already finalised; nothing to resume")
+        else:
+            fresh = len(manifest.segments) - result.resumed_blocks
+            print(
+                f"resumed: {result.resumed_blocks} block(s) restored from "
+                f"checkpoints, {fresh} regenerated"
+            )
+    elif args.checkpoint_every:
+        from repro.engine import export_fleet_blocks
+
+        result = export_fleet_blocks(
+            generator,
+            when,
+            args.size,
+            seed,
+            args.out_dir,
+            shards=args.shards,
+            checkpoint_every=args.checkpoint_every,
+            chunk_size=args.chunk_size,
+            reducers=spec.profile(),
+            fault_after=fault_after,
+        )
+        manifest = result.manifest
+    else:
+        from repro.engine import export_fleet
+
+        manifest = export_fleet(
+            generator,
+            when,
+            args.size,
+            seed,
+            args.out_dir,
+            shards=args.shards,
+        )
+    print(
+        f"exported {manifest.size} rows of scenario '{spec.key}' @ "
+        f"{manifest.when:.3f} as {len(manifest.segments)} {manifest.format} "
+        f"{manifest.layout} segment(s) to {args.out_dir}"
+    )
+    print(f"payload sha256: {manifest.payload_sha256}")
+    print(f"fleet sha256:   {manifest.fleet_sha256}")
+    print(f"manifest: {args.out_dir}/manifest.json")
+    return 0
+
+
+def _cmd_fleet_scenario_compare(args: argparse.Namespace) -> int:
+    """``fleet scenario compare``: prove shard-count invariance of a run.
+
+    Streams the same scenario once per requested shard count over one
+    memoised :class:`~repro.scenarios.runner.ScenarioRun` and exits 1
+    unless every fleet digest is identical — the CLI face of the
+    per-RNG-block determinism contract.
+    """
+    from repro.scenarios import ScenarioRun
+
+    problem = _check_fleet_ints(args, "fleet scenario compare")
+    if problem:
+        sys.stderr.write(problem + "\n")
+        return 2
+    shard_counts: "list[int]" = []
+    for value in args.compare_shards:
+        if value <= 0:
+            sys.stderr.write(
+                "fleet scenario compare: --shards must be positive "
+                f"integers (got {value})\n"
+            )
+            return 2
+        if value not in shard_counts:
+            shard_counts.append(value)
+    try:
+        run = ScenarioRun(
+            args.key, size=args.size, seed=args.seed, date=args.date
+        )
+    except ValueError as error:
+        sys.stderr.write(f"fleet scenario compare: {error}\n")
+        return 2
+    print(
+        f"scenario '{run.spec.key}': {run.size} rows @ {run.when:.3f}, "
+        f"seed {run.seed}"
+    )
+    digests = {}
+    for shards in shard_counts:
+        digests[shards] = run.digest(shards=shards)
+        print(f"  shards {shards}: fleet sha256 {digests[shards]}")
+    if len(set(digests.values())) > 1:
+        sys.stderr.write(
+            "fleet scenario compare: fleet digests diverged across shard "
+            "counts — the block determinism contract is broken\n"
+        )
+        return 1
+    print(f"statistics sha256: {run.statistics_digest()}")
+    print(f"identical across {len(shard_counts)} shard count(s)")
+    return 0
+
+
+def _cmd_fleet_scenario(args: argparse.Namespace) -> int:
+    """Route ``fleet scenario [list|run|compare]``."""
+    command = getattr(args, "scenario_command", None)
+    if command == "run":
+        return _cmd_fleet_scenario_run(args)
+    if command == "compare":
+        return _cmd_fleet_scenario_compare(args)
+    return _cmd_fleet_scenario_list(args)
+
+
 def _dispatch_fleet(args: argparse.Namespace) -> int:
     """Route ``fleet [summary|export|verify]``.
 
@@ -601,6 +898,8 @@ def _dispatch_fleet(args: argparse.Namespace) -> int:
         return _cmd_fleet_validate(args)
     if command == "serve-worker":
         return _cmd_fleet_serve_worker(args)
+    if command == "scenario":
+        return _cmd_fleet_scenario(args)
     return _cmd_fleet(args)
 
 
@@ -609,6 +908,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.traces.io import write_trace_csv
     from repro.traces.synthesis import generate_trace
 
+    problem = _check_fleet_ints(args, "trace")
+    if problem:
+        sys.stderr.write(problem + "\n")
+        return 2
     config = TraceConfig(scale=args.scale, seed=args.seed)
     trace = generate_trace(config)
     write_trace_csv(trace, args.out)
@@ -637,6 +940,10 @@ def _cmd_fit(args: argparse.Namespace) -> int:
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
+    problem = _check_fleet_ints(args, "predict")
+    if problem:
+        sys.stderr.write(problem + "\n")
+        return 2
     params = _load_parameters(args.params)
     scalars = predict_scalars(params, float(args.year))
     print(f"Predictions for {args.year}:")
@@ -671,6 +978,10 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.fitting.pipeline import fit_model_from_trace
     from repro.traces.io import read_trace_csv
 
+    problem = _check_fleet_ints(args, "validate")
+    if problem:
+        sys.stderr.write(problem + "\n")
+        return 2
     trace = read_trace_csv(args.trace)
     report = fit_model_from_trace(trace)
     generator = CorrelatedHostGenerator(report.parameters)
@@ -705,6 +1016,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.fitting.pipeline import fit_model_from_trace
     from repro.traces.io import read_trace_csv
 
+    problem = _check_fleet_ints(args, "simulate")
+    if problem:
+        sys.stderr.write(problem + "\n")
+        return 2
     trace = read_trace_csv(args.trace)
     fitted = fit_model_from_trace(trace).parameters
     models = [
@@ -1042,6 +1357,137 @@ def build_parser() -> argparse.ArgumentParser:
     # leases of the current job, finish them and deregister cleanly.
     p_fleet_serve.add_argument(
         "--drain-after", type=int, default=None, help=argparse.SUPPRESS
+    )
+
+    p_fleet_scenario = fleet_sub.add_parser(
+        "scenario",
+        help="list/run/compare the registered declarative scenarios",
+        description=(
+            "The scenario registry: declarative specs bundling a chunked "
+            "generator, a reducer profile and a column schema, streamed "
+            "through the same engine paths as the host fleet.  `list` "
+            "prints the registered specs, `run` streams one (summary "
+            "statistics, or a manifest export with --out-dir), and "
+            "`compare` proves shard-count invariance of its digests."
+        ),
+    )
+    scenario_sub = p_fleet_scenario.add_subparsers(
+        dest="scenario_command", required=True
+    )
+
+    scenario_sub.add_parser("list", help="list the registered scenarios")
+
+    def _add_scenario_stream_flags(parser: argparse.ArgumentParser) -> None:
+        # SUPPRESS defaults for the same reason as _add_fleet_common: the
+        # parent `fleet` parser owns the real size/date/seed/shards/
+        # chunk-size defaults and pre-3.13 argparse would otherwise let
+        # these clobber flags given before the subcommand.
+        parser.add_argument("key", help="registered scenario key (see list)")
+        parser.add_argument(
+            "--size",
+            type=int,
+            default=argparse.SUPPRESS,
+            help="number of rows (default 100000)",
+        )
+        parser.add_argument(
+            "--date",
+            default=argparse.SUPPRESS,
+            help="YYYY-MM-DD or year (default 2010-09-01)",
+        )
+        parser.add_argument(
+            "--seed",
+            type=int,
+            default=argparse.SUPPRESS,
+            help="base seed; the spec's registered offset is added "
+            "(default 0)",
+        )
+        parser.add_argument(
+            "--chunk-size",
+            type=int,
+            default=argparse.SUPPRESS,
+            help="rows per reducer chunk (default 65536)",
+        )
+
+    p_sc_run = scenario_sub.add_parser(
+        "run",
+        help="stream one scenario: summary statistics, or an export "
+        "with --out-dir",
+    )
+    _add_scenario_stream_flags(p_sc_run)
+    p_sc_run.add_argument(
+        "--shards",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="worker processes (default 1)",
+    )
+    p_sc_run.add_argument(
+        "--out-dir",
+        default=None,
+        help="export segments + manifest.json here instead of printing "
+        "summary statistics",
+    )
+    p_sc_run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="resumable per-block export with a reducer checkpoint every "
+        "N blocks (0 = per-shard layout; needs --out-dir)",
+    )
+    p_sc_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="finish an interrupted resumable export in --out-dir",
+    )
+    p_sc_run.add_argument(
+        "--backend",
+        choices=["local", "distributed"],
+        default="local",
+        help="export backend: a local process pool, or the "
+        "coordinator/worker engine (needs --out-dir)",
+    )
+    p_sc_run.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="local worker processes to spawn (--backend distributed)",
+    )
+    p_sc_run.add_argument(
+        "--lease-blocks",
+        type=int,
+        default=4,
+        help="RNG blocks per distributed work lease",
+    )
+    p_sc_run.add_argument(
+        "--force",
+        action="store_true",
+        help="export into a non-empty directory",
+    )
+    # The same deterministic crash injection the export smokes use.
+    p_sc_run.add_argument(
+        "--fault-after", type=int, default=None, help=argparse.SUPPRESS
+    )
+    p_sc_run.add_argument(
+        "--coordinator-fault-after",
+        type=int,
+        default=None,
+        help=argparse.SUPPRESS,
+    )
+
+    p_sc_compare = scenario_sub.add_parser(
+        "compare",
+        help="stream one scenario at several shard counts and require "
+        "identical digests",
+    )
+    _add_scenario_stream_flags(p_sc_compare)
+    p_sc_compare.add_argument(
+        "--shards",
+        dest="compare_shards",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        metavar="N",
+        help="shard counts to compare (default: 1 2 4)",
     )
 
     p_trace = sub.add_parser("trace", help="synthesise a SETI@home-like trace")

@@ -51,8 +51,10 @@ from repro.engine.reduce import (
 )
 from repro.engine.distributed import (
     PROTOCOL_VERSION,
+    WIRE_GENERATOR_BUILDERS,
     WIRE_REDUCER_FACTORIES,
     AuthenticationError,
+    register_wire_generator,
     DistributedExportResult,
     ProtocolError,
     export_fleet_distributed,
@@ -73,6 +75,15 @@ from repro.engine.sharding import (
     DEFAULT_REDUCER_FACTORIES,
     FleetStatistics,
     generate_sharded,
+)
+from repro.engine.table import (
+    HOST_CSV_FMT,
+    HOST_CSV_HEADER,
+    HOST_SCHEMA,
+    ColumnBlock,
+    TableSchema,
+    block_schema,
+    generator_schema,
 )
 from repro.engine.streaming import (
     DEFAULT_CHUNK_SIZE,
@@ -106,6 +117,13 @@ from repro.stats.state import StateError
 __all__ = [
     "BlockBuffer",
     "COLUMNAR_FORMAT",
+    "ColumnBlock",
+    "HOST_CSV_FMT",
+    "HOST_CSV_HEADER",
+    "HOST_SCHEMA",
+    "TableSchema",
+    "block_schema",
+    "generator_schema",
     "CorrelationAccumulator",
     "MomentAccumulator",
     "WorkerPool",
@@ -145,7 +163,9 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
     "STATE_KINDS",
+    "WIRE_GENERATOR_BUILDERS",
     "WIRE_REDUCER_FACTORIES",
+    "register_wire_generator",
     "export_fleet_distributed",
     "parse_endpoint",
     "resolve_fleet_token",

@@ -111,6 +111,7 @@ counts and failure schedules too.
 from __future__ import annotations
 
 import base64
+import functools
 import hashlib
 import hmac
 import json
@@ -146,9 +147,8 @@ from repro.engine.streaming import (
     population_digest,
 )
 from repro.engine.csvfmt import encode_csv_rows
+from repro.engine.table import block_schema, generator_schema
 from repro.engine.writer import (
-    HOST_CSV_FMT,
-    HOST_CSV_HEADER,
     MANIFEST_VERSION,
     FleetManifest,
     SegmentRecord,
@@ -230,6 +230,122 @@ WIRE_REDUCER_FACTORIES = {
     "correlation": CorrelationAccumulator,
     "quantiles": QuantileReducer,
 }
+
+#: Generators that may travel the wire by *name*: ``{wire_name:
+#: builder(params_json) -> generator}``.  Populated by
+#: :func:`register_wire_generator` (the scenario registry registers its
+#: generators on import); the host-resource default is resolved lazily in
+#: :func:`_resolve_wire_generator` so the engine package stays importable
+#: without the model layer.
+WIRE_GENERATOR_BUILDERS: "dict[str, object]" = {}
+
+
+def register_wire_generator(name: str, builder) -> None:
+    """Allow a generator family onto the wire under ``name``.
+
+    ``builder`` takes the job's ``params`` JSON string and returns a
+    generator.  Like reducers, generators travel by name — a coordinator
+    can only select from what the worker has registered, never ship code.
+    """
+    existing = WIRE_GENERATOR_BUILDERS.get(name)
+    if existing is not None and existing is not builder:
+        raise ValueError(f"wire generator {name!r} is already registered")
+    WIRE_GENERATOR_BUILDERS[name] = builder
+
+
+def _build_host_generator(params_json: str):
+    # Imported lazily: the engine package must stay importable without
+    # dragging the model layer in, and only workers rebuild generators.
+    from repro.core.generator import CorrelatedHostGenerator
+    from repro.core.parameters import ModelParameters
+
+    return CorrelatedHostGenerator(ModelParameters.from_json(params_json))
+
+
+def _resolve_wire_generator(name):
+    """The builder for a wire generator name, or ``None`` if unknown.
+
+    Unknown names trigger one lazy import of :mod:`repro.scenarios` (whose
+    import registers the scenario generators) before giving up.
+    """
+    if name == "CorrelatedHostGenerator":
+        return _build_host_generator
+    builder = WIRE_GENERATOR_BUILDERS.get(name)
+    if builder is None:
+        try:
+            import repro.scenarios  # noqa: F401  (registers on import)
+        except ImportError:
+            return None
+        builder = WIRE_GENERATOR_BUILDERS.get(name)
+    return builder
+
+
+def _wire_reducer_spec(name: str, factory) -> "list":
+    """Encode one reducer factory's constructor arguments for the wire.
+
+    A factory is either a :data:`WIRE_REDUCER_FACTORIES` class itself
+    (``[]``) or a ``functools.partial`` of one whose positional arguments
+    are label tuples or numeric scalars (the scenario profiles).  Anything
+    else cannot travel a JSON wire and raises :class:`ValueError`.
+    """
+    base = factory
+    args: "tuple" = ()
+    if isinstance(base, functools.partial):
+        if base.keywords:
+            raise ValueError(
+                f"reducer {name!r} cannot travel the wire: partial keywords "
+                "are not supported"
+            )
+        args = base.args
+        base = base.func
+    if WIRE_REDUCER_FACTORIES.get(name) is not base:
+        raise ValueError(
+            f"reducer {name!r} cannot travel the wire; the distributed "
+            f"backend ships names from {sorted(WIRE_REDUCER_FACTORIES)}"
+        )
+    encoded: "list" = []
+    for arg in args:
+        if isinstance(arg, (list, tuple)) and all(
+            isinstance(item, str) for item in arg
+        ):
+            encoded.append(list(arg))
+        elif isinstance(arg, (int, float)) and not isinstance(arg, bool):
+            encoded.append(arg)
+        else:
+            raise ValueError(
+                f"reducer {name!r} argument {arg!r} cannot travel the wire "
+                "(label lists and numeric scalars only)"
+            )
+    return encoded
+
+
+def _rebuild_wire_factory(cls, raw):
+    """Rebuild a reducer factory from its :func:`_wire_reducer_spec` form.
+
+    ``None``/``[]`` mean the bare registry class; label lists come back as
+    tuples.  Malformed payloads raise :class:`ValueError`.
+    """
+    if not raw:
+        return cls
+    if not isinstance(raw, list):
+        raise ValueError(f"reducer argument payload must be a list, got {raw!r}")
+    args: "list" = []
+    for item in raw:
+        if isinstance(item, list) and all(isinstance(v, str) for v in item):
+            args.append(tuple(item))
+        elif isinstance(item, (int, float)) and not isinstance(item, bool):
+            args.append(item)
+        else:
+            raise ValueError(f"malformed wire reducer argument {item!r}")
+    return functools.partial(cls, *args)
+
+
+def _wire_reducer_args(factories: dict) -> "dict[str, list]":
+    """The job/plan ``reducer_args`` field for a validated factory dict."""
+    return {
+        name: _wire_reducer_spec(name, factory)
+        for name, factory in sorted(factories.items())
+    }
 
 
 class ProtocolError(RuntimeError):
@@ -358,7 +474,7 @@ def parse_endpoint(spec: str) -> "tuple[str, int]":
 
 def _render_block_csv(block) -> bytes:
     """A block's CSV rows, byte-identical to every other export path."""
-    return encode_csv_rows(block.to_matrix(), HOST_CSV_FMT)
+    return encode_csv_rows(block.to_matrix(), block_schema(block).csv_fmt)
 
 
 def _heartbeat_loop(send, stop: threading.Event, interval: float) -> None:
@@ -394,11 +510,6 @@ def _worker_loop(
     reached) the worker finishes the leases it holds, sends ``drain``
     and returns — a clean deregistration, not a failure.
     """
-    # Imported lazily: the engine package must stay importable without
-    # dragging the model layer in, and only workers rebuild generators.
-    from repro.core.generator import CorrelatedHostGenerator
-    from repro.core.parameters import ModelParameters
-
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     send_lock = threading.Lock()
 
@@ -440,7 +551,17 @@ def _worker_loop(
         )
     if job.get("format") != "csv":
         return refuse(f"unsupported segment format {job.get('format')!r}")
+    generator_name = job.get("generator", "CorrelatedHostGenerator")
+    builder = _resolve_wire_generator(generator_name)
+    if builder is None:
+        return refuse(
+            f"unknown wire generator {generator_name!r}; this worker only "
+            "builds registered generator families"
+        )
     factories = {}
+    reducer_args = job.get("reducer_args", {})
+    if not isinstance(reducer_args, dict):
+        return refuse("malformed job: reducer_args must be an object")
     for name in job.get("reducers", []):
         factory = WIRE_REDUCER_FACTORIES.get(name)
         if factory is None:
@@ -448,9 +569,12 @@ def _worker_loop(
                 f"unknown wire reducer {name!r}; this worker knows "
                 f"{sorted(WIRE_REDUCER_FACTORIES)}"
             )
-        factories[name] = factory
+        try:
+            factories[name] = _rebuild_wire_factory(factory, reducer_args.get(name))
+        except ValueError as error:
+            return refuse(f"malformed job: {error}")
     try:
-        generator = CorrelatedHostGenerator(ModelParameters.from_json(job["params"]))
+        generator = builder(job["params"])
         size = int(job["size"])
         when = float(job["when"])
         chunk_size = int(job["chunk_size"])
@@ -1234,6 +1358,8 @@ def _build_plan(
             "lease_blocks": lease_blocks,
             "chunk_size": chunk_size,
             "reducers": sorted(factories),
+            "reducer_args": _wire_reducer_args(factories),
+            "generator": getattr(generator, "wire_name", "CorrelatedHostGenerator"),
             "generator_sha256": _generator_fingerprint(generator),
             "manifest_name": manifest_name,
         },
@@ -1386,12 +1512,9 @@ def export_fleet_distributed(
             "parameters; it needs generator.parameters.to_json()"
         )
     factories = _resolve_factories(reducers, quantiles)
-    for name, factory in factories.items():
-        if WIRE_REDUCER_FACTORIES.get(name) is not factory:
-            raise ValueError(
-                f"reducer {name!r} cannot travel the wire; the distributed "
-                f"backend ships names from {sorted(WIRE_REDUCER_FACTORIES)}"
-            )
+    # Validate every factory's wire form up front (raises ValueError on a
+    # factory that cannot travel as a registry name + JSON-safe arguments).
+    _wire_reducer_args(factories)
     root = as_seed_sequence(rng)
     when_value = _when_as_float(when)
     out_dir = os.path.abspath(out_dir)
@@ -1517,15 +1640,30 @@ def resume_fleet_distributed(
             "generator parameters do not match the interrupted export "
             f"(plan sha256 {recorded!r}, resuming generator {fingerprint!r})"
         )
+    plan_generator = plan.get("generator", "CorrelatedHostGenerator")
+    if not isinstance(plan_generator, str):
+        raise StateError("distributed plan field 'generator' must be a string")
+    resuming = getattr(generator, "wire_name", "CorrelatedHostGenerator")
+    if resuming != plan_generator:
+        raise StateError(
+            f"distributed plan was built for generator {plan_generator!r}; "
+            f"cannot resume it with {resuming!r}"
+        )
     names = state_field(plan, DISTRIBUTED_PLAN_KIND, "reducers")
     if not isinstance(names, list) or not all(isinstance(n, str) for n in names):
         raise StateError("distributed plan field 'reducers' must be a name list")
+    raw_args = plan.get("reducer_args", {})
+    if not isinstance(raw_args, dict):
+        raise StateError("distributed plan field 'reducer_args' must be an object")
     factories = {}
     for name in names:
         factory = WIRE_REDUCER_FACTORIES.get(name)
         if factory is None:
             raise StateError(f"distributed plan names unknown wire reducer {name!r}")
-        factories[name] = factory
+        try:
+            factories[name] = _rebuild_wire_factory(factory, raw_args.get(name))
+        except ValueError as error:
+            raise StateError(f"distributed plan reducer {name!r} is malformed: {error}")
     entropy = state_field(plan, DISTRIBUTED_PLAN_KIND, "entropy")
     raw_spawn_key = state_field(plan, DISTRIBUTED_PLAN_KIND, "spawn_key")
     try:
@@ -1595,7 +1733,7 @@ def _run_distributed(
     job = {
         "type": "job",
         "protocol": PROTOCOL_VERSION,
-        "generator": "CorrelatedHostGenerator",
+        "generator": getattr(generator, "wire_name", "CorrelatedHostGenerator"),
         "params": generator.parameters.to_json(),
         "when": when_value,
         "size": size,
@@ -1605,6 +1743,7 @@ def _run_distributed(
         "format": "csv",
         "chunk_size": chunk_size,
         "reducers": sorted(factories),
+        "reducer_args": _wire_reducer_args(factories),
         "worker_timeout": worker_timeout,
         "lease_depth": lease_depth,
     }
@@ -1729,7 +1868,7 @@ def _run_distributed(
         spawn_key=spawn_key,
         shards=1,
         block_size=RNG_BLOCK_SIZE,
-        header=HOST_CSV_HEADER,
+        header=generator_schema(generator).csv_header,
         payload_sha256=payload_hash.hexdigest(),
         fleet_sha256=combine_block_digests(all_digests),
         segments=tuple(records),

@@ -808,7 +808,9 @@ class ChunkedFold:
         merged = (
             self._batch[0]
             if len(self._batch) == 1
-            else HostPopulation.concatenate(self._batch)
+            # Dispatch through the block's own class so scenario
+            # ColumnBlocks fold exactly like host populations.
+            else type(self._batch[0]).concatenate(self._batch)
         )
         self.reducers.update(merged)
         self._batch = []

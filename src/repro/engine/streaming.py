@@ -100,8 +100,16 @@ def iter_blocks(
         yield i, generator.generate(when, n, np.random.default_rng(child))
 
 
-def _slice(population: HostPopulation, lo: int, hi: int) -> HostPopulation:
-    """Row range ``[lo, hi)`` of a population (numpy views, no copy)."""
+def _slice(population, lo: int, hi: int):
+    """Row range ``[lo, hi)`` of a population (numpy views, no copy).
+
+    Blocks exposing a ``slice`` method (scenario
+    :class:`~repro.engine.table.ColumnBlock`) slice themselves; host
+    populations are sliced column-wise here.
+    """
+    slicer = getattr(population, "slice", None)
+    if slicer is not None:
+        return slicer(lo, hi)
     return HostPopulation(
         cores=population.cores[lo:hi],
         memory_mb=population.memory_mb[lo:hi],
@@ -109,6 +117,11 @@ def _slice(population: HostPopulation, lo: int, hi: int) -> HostPopulation:
         whetstone=population.whetstone[lo:hi],
         disk_gb=population.disk_gb[lo:hi],
     )
+
+
+def _concatenate(pieces):
+    """Concatenate same-type blocks via their class's ``concatenate``."""
+    return pieces[0] if len(pieces) == 1 else type(pieces[0]).concatenate(pieces)
 
 
 def stream_population(
@@ -148,10 +161,10 @@ def stream_population(
                     pieces.append(_slice(head, 0, need))
                     parts[0] = _slice(head, need, len(head))
                     need = 0
-            yield pieces[0] if len(pieces) == 1 else HostPopulation.concatenate(pieces)
+            yield _concatenate(pieces)
             pending -= chunk_size
     if pending:
-        yield parts[0] if len(parts) == 1 else HostPopulation.concatenate(parts)
+        yield _concatenate(parts)
 
 
 def generate_fleet(
@@ -169,7 +182,7 @@ def generate_fleet(
     if size == 0:
         return generator.generate(when, 0, np.random.default_rng(as_seed_sequence(rng)))
     chunks = list(stream_population(generator, when, size, rng, chunk_size=size))
-    return chunks[0] if len(chunks) == 1 else HostPopulation.concatenate(chunks)
+    return _concatenate(chunks)
 
 
 def population_digest(population: HostPopulation) -> str:

@@ -1,0 +1,193 @@
+"""Column schemas and generic column blocks for non-host scenarios.
+
+The engine's streaming/sharding/export/distributed layers were written
+against one table shape — the five-resource
+:class:`~repro.hosts.population.HostPopulation`.  Scenario generators
+(availability churn, lifetime cohorts, allocation utilities, bandwidth)
+emit *other* column sets, so the table shape itself becomes a value:
+
+:class:`TableSchema`
+    A frozen record of ``(labels, csv_fmt, csv_header)`` — everything the
+    writer and the distributed wire need to render and verify a block.
+:class:`ColumnBlock`
+    A generic labelled block of equal-length float columns satisfying the
+    population protocol the engine already duck-types against:
+    ``__len__``, ``column``/``__getitem__``, ``to_matrix``, ``slice`` and
+    ``classmethod concatenate``.  The dict-style access (``__iter__``,
+    ``__contains__``, ``keys``) lets reducers' :class:`ColumnCache` treat a
+    block as a mapping without copies.
+
+Generators advertise their schema via a ``schema`` attribute; blocks carry
+the same attribute.  :func:`generator_schema` / :func:`block_schema`
+default to :data:`HOST_SCHEMA` so every existing host-resource path is
+untouched — the engine never needs to know whether it is moving hosts or
+scenario rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hosts.population import RESOURCE_LABELS
+
+#: CSV header line for host exports (canonical home; re-exported by the
+#: writer for backward compatibility).
+HOST_CSV_HEADER = "cores,memory_mb,dhrystone_mips,whetstone_mips,disk_gb\n"
+
+#: Row format matching :data:`HOST_CSV_HEADER` (one ``%`` spec per column).
+HOST_CSV_FMT = "%d,%.1f,%.1f,%.1f,%.2f"
+
+
+def _format_spec_count(fmt: str) -> int:
+    """Number of ``%`` conversion specs in a printf-style row format."""
+    return fmt.replace("%%", "").count("%")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """The column contract of one table family.
+
+    ``labels`` orders the columns, ``csv_fmt`` renders one row and
+    ``csv_header`` is written verbatim at the top of each CSV segment.
+    Header tokens may differ from labels (the host header spells
+    ``dhrystone_mips`` for the label ``dhrystone``) — only the column
+    *count* must agree.
+    """
+
+    labels: "tuple[str, ...]"
+    csv_fmt: str
+    csv_header: str
+
+    def __post_init__(self) -> None:
+        labels = tuple(self.labels)
+        object.__setattr__(self, "labels", labels)
+        if not labels:
+            raise ValueError("schema labels must be non-empty")
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"schema labels must be unique, got {labels}")
+        if not all(isinstance(label, str) and label for label in labels):
+            raise ValueError(f"schema labels must be non-empty strings: {labels}")
+        if _format_spec_count(self.csv_fmt) != len(labels):
+            raise ValueError(
+                f"csv_fmt {self.csv_fmt!r} renders "
+                f"{_format_spec_count(self.csv_fmt)} columns; schema has "
+                f"{len(labels)}"
+            )
+        if not self.csv_header.endswith("\n"):
+            raise ValueError("csv_header must end with a newline")
+        header_columns = self.csv_header.strip("\n").split(",")
+        if len(header_columns) != len(labels):
+            raise ValueError(
+                f"csv_header names {len(header_columns)} columns; schema "
+                f"has {len(labels)}"
+            )
+
+    @property
+    def width(self) -> int:
+        """Number of columns."""
+        return len(self.labels)
+
+
+#: The host-resource schema every pre-scenario export used implicitly.
+HOST_SCHEMA = TableSchema(RESOURCE_LABELS, HOST_CSV_FMT, HOST_CSV_HEADER)
+
+
+class ColumnBlock:
+    """A labelled block of equal-length float columns under a schema.
+
+    The generic population: reducers index it like a mapping, the writer
+    renders it via :meth:`to_matrix` + the schema's ``csv_fmt``, and the
+    streaming layer re-chunks it with :meth:`slice` /
+    :meth:`concatenate` — the same protocol surface as
+    :class:`~repro.hosts.population.HostPopulation`.
+    """
+
+    __slots__ = ("schema", "_columns")
+
+    def __init__(self, columns: "dict[str, np.ndarray]", schema: TableSchema):
+        if set(columns) != set(schema.labels):
+            raise ValueError(
+                f"columns {sorted(columns)} do not match schema labels "
+                f"{sorted(schema.labels)}"
+            )
+        arrays: "dict[str, np.ndarray]" = {}
+        length: "int | None" = None
+        for label in schema.labels:
+            values = np.asarray(columns[label], dtype=float)
+            if values.ndim != 1:
+                raise ValueError(f"column {label!r} must be 1-D")
+            if length is None:
+                length = values.shape[0]
+            elif values.shape[0] != length:
+                raise ValueError(
+                    f"column {label!r} has {values.shape[0]} rows; "
+                    f"expected {length}"
+                )
+            arrays[label] = values
+        self.schema = schema
+        self._columns = arrays
+
+    def __len__(self) -> int:
+        return self._columns[self.schema.labels[0]].shape[0]
+
+    def column(self, label: str) -> np.ndarray:
+        """One column by label (the population accessor)."""
+        return self._columns[label]
+
+    def __getitem__(self, label: str) -> np.ndarray:
+        return self._columns[label]
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._columns
+
+    def __iter__(self):
+        return iter(self.schema.labels)
+
+    def keys(self) -> "tuple[str, ...]":
+        return self.schema.labels
+
+    def to_matrix(self) -> np.ndarray:
+        """Rows as a C-contiguous float64 ``(n, width)`` matrix.
+
+        Column order is the schema's label order, so the matrix bytes (and
+        everything hashed from them) identify the block content exactly.
+        """
+        return np.ascontiguousarray(
+            np.column_stack([self._columns[label] for label in self.schema.labels])
+        )
+
+    def slice(self, lo: int, hi: int) -> "ColumnBlock":
+        """Row range ``[lo, hi)`` as numpy views (no copy)."""
+        return ColumnBlock(
+            {label: self._columns[label][lo:hi] for label in self.schema.labels},
+            self.schema,
+        )
+
+    @classmethod
+    def concatenate(cls, blocks: "list[ColumnBlock]") -> "ColumnBlock":
+        """Concatenate same-schema blocks in order."""
+        if not blocks:
+            raise ValueError("cannot concatenate an empty list of blocks")
+        schema = blocks[0].schema
+        for block in blocks[1:]:
+            if block.schema != schema:
+                raise ValueError("cannot concatenate blocks of different schemas")
+        return cls(
+            {
+                label: np.concatenate([block._columns[label] for block in blocks])
+                for label in schema.labels
+            },
+            schema,
+        )
+
+
+def generator_schema(generator) -> TableSchema:
+    """The table schema a generator emits (host schema unless it says)."""
+    return getattr(generator, "schema", HOST_SCHEMA)
+
+
+def block_schema(block) -> TableSchema:
+    """The table schema of one emitted block (host schema unless it says)."""
+    return getattr(block, "schema", HOST_SCHEMA)

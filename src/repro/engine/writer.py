@@ -73,6 +73,14 @@ from repro.engine.streaming import (
     combine_block_digests,
     population_digest,
 )
+from repro.engine.table import (
+    HOST_CSV_FMT,
+    HOST_CSV_HEADER,
+    HOST_SCHEMA,
+    TableSchema,
+    block_schema,
+    generator_schema,
+)
 from repro.hosts.population import RESOURCE_LABELS
 from repro.stats.state import StateError
 
@@ -82,10 +90,6 @@ from repro.stats.state import StateError
 #: additions — current readers accept manifests written without them, and
 #: bumping would wrongly reject every previously published manifest.
 MANIFEST_VERSION = 1
-
-#: Host CSV header and row format shared by the CLI and the writer.
-HOST_CSV_HEADER = "cores,memory_mb,dhrystone_mips,whetstone_mips,disk_gb\n"
-HOST_CSV_FMT = "%d,%.1f,%.1f,%.1f,%.2f"
 
 #: The columnar binary format: one contiguous ``.npy`` array per resource
 #: column (see :func:`read_columnar_export`).  Unlike ``npz``, plain
@@ -115,12 +119,13 @@ def write_population_csv(population, handle) -> None:
     several times faster.
     """
     matrix = population.to_matrix()
+    csv_fmt = block_schema(population).csv_fmt
     text = isinstance(handle, io.TextIOBase) or (
         not isinstance(handle, (io.RawIOBase, io.BufferedIOBase))
         and getattr(handle, "encoding", None) is not None
     )
     for lo in range(0, matrix.shape[0], _CSV_WRITE_CHUNK):
-        data = encode_csv_rows(matrix[lo : lo + _CSV_WRITE_CHUNK], HOST_CSV_FMT)
+        data = encode_csv_rows(matrix[lo : lo + _CSV_WRITE_CHUNK], csv_fmt)
         handle.write(data.decode("ascii") if text else data)
 
 
@@ -233,6 +238,7 @@ def _write_segment(payload: tuple):
     pickles under fork and spawn alike.
     """
     generator, when, size, root, shard, block_lo, block_hi, fmt, out_dir = payload
+    schema = generator_schema(generator)
     seeds = block_seeds(root, size)
     path = os.path.join(out_dir, _segment_name(shard, fmt))
     digests: "list[tuple[int, bytes]]" = []
@@ -252,7 +258,7 @@ def _write_segment(payload: tuple):
                 # np.savetxt bytes exactly, so segment bytes stay
                 # identical to the CLI's sequential export; hashing the
                 # in-memory data as it is written spares a re-read.
-                data = encode_csv_rows(block.to_matrix(), HOST_CSV_FMT)
+                data = encode_csv_rows(block.to_matrix(), schema.csv_fmt)
                 handle.write(data)
                 file_hash.update(data)
     elif fmt == "npz":
@@ -262,7 +268,7 @@ def _write_segment(payload: tuple):
         row_lo = min(block_lo * RNG_BLOCK_SIZE, size)
         row_hi = min(block_hi * RNG_BLOCK_SIZE, size)
         columns = {
-            label: np.empty(row_hi - row_lo) for label in RESOURCE_LABELS
+            label: np.empty(row_hi - row_lo) for label in schema.labels
         }
         for index in range(block_lo, block_hi):
             lo = index * RNG_BLOCK_SIZE
@@ -273,7 +279,7 @@ def _write_segment(payload: tuple):
             )
             digests.append((index, bytes.fromhex(population_digest(block))))
             offset = lo - row_lo
-            for label in RESOURCE_LABELS:
+            for label in schema.labels:
                 columns[label][offset : offset + len(block)] = block.column(label)
         np.savez(path, **columns)
         _hash_file_into(path, file_hash)
@@ -372,7 +378,7 @@ def export_fleet(
         spawn_key=tuple(int(k) for k in root.spawn_key),
         shards=len(ranges),
         block_size=RNG_BLOCK_SIZE,
-        header=HOST_CSV_HEADER if fmt == "csv" else "",
+        header=generator_schema(generator).csv_header if fmt == "csv" else "",
         payload_sha256=segments[0].sha256 if in_process else payload_hash.hexdigest(),
         fleet_sha256=combine_block_digests(all_digests),
         segments=tuple(segments),
@@ -424,7 +430,7 @@ def _fill_columnar_rows(payload: tuple):
         buffer = BlockBuffer.attach(handle)
         target = buffer.array
     else:
-        target = np.empty((row_hi - row_lo, len(RESOURCE_LABELS)))
+        target = np.empty((row_hi - row_lo, generator_schema(generator).width))
     digests: "list[tuple[int, bytes]]" = []
     try:
         for index in range(block_lo, block_hi):
@@ -461,12 +467,13 @@ def _export_fleet_columnar(
     manifest's ``header`` records the column order (the CSV header
     names); each segment's ``shard`` field is the column index.
     """
+    schema = generator_schema(generator)
     n_blocks = block_count(size)
     ranges = shard_block_ranges(n_blocks, shards)
     buffer = None
     handle = None
     if len(ranges) > 1:
-        buffer = create_block_buffer((size, len(RESOURCE_LABELS)))
+        buffer = create_block_buffer((size, schema.width))
         handle = None if buffer is None else buffer.handle()
     payloads = [
         (generator, when, size, root, shard, lo, hi, handle)
@@ -486,14 +493,14 @@ def _export_fleet_columnar(
             matrix = results[0][2]
         else:
             # Pickling fallback: stitch the returned row slabs together.
-            matrix = np.empty((size, len(RESOURCE_LABELS)))
+            matrix = np.empty((size, schema.width))
             for (_, _, slab), (lo, hi) in zip(results, ranges):
                 matrix[min(lo * RNG_BLOCK_SIZE, size):
                        min(hi * RNG_BLOCK_SIZE, size)] = slab
 
         payload_hash = hashlib.sha256()
         segments: "list[SegmentRecord]" = []
-        for column, label in enumerate(RESOURCE_LABELS):
+        for column, label in enumerate(schema.labels):
             name = _column_name(column, label)
             path = os.path.join(out_dir, name)
             file_hash = hashlib.sha256()
@@ -529,7 +536,7 @@ def _export_fleet_columnar(
         spawn_key=tuple(int(k) for k in root.spawn_key),
         shards=len(ranges),
         block_size=RNG_BLOCK_SIZE,
-        header=HOST_CSV_HEADER,
+        header=schema.csv_header,
         payload_sha256=payload_hash.hexdigest(),
         fleet_sha256=combine_block_digests(all_digests),
         segments=tuple(segments),
@@ -554,17 +561,37 @@ def read_columnar_export(manifest_path: str) -> "tuple[FleetManifest, dict]":
             f"manifest {manifest_path} is a {manifest.format!r} export, "
             f"not {COLUMNAR_FORMAT!r}"
         )
-    if len(manifest.segments) != len(RESOURCE_LABELS):
+    if manifest.header == HOST_CSV_HEADER:
+        labels: "tuple[str, ...]" = RESOURCE_LABELS
+    else:
+        # Scenario exports: the manifest header orders the columns and the
+        # segment file names carry the labels (column-<i>-<label>.npy).
+        labels = tuple(
+            segment.path[len(f"column-{index}-"):-len(".npy")]
+            if segment.path.startswith(f"column-{index}-")
+            and segment.path.endswith(".npy")
+            else ""
+            for index, segment in enumerate(manifest.segments)
+        )
+        if "" in labels:
+            raise ValueError(
+                f"columnar manifest {manifest_path} has a segment that is "
+                "not the expected file for column its position names"
+            )
+        if len(labels) != len(manifest.header.strip("\n").split(",")):
+            raise ValueError(
+                f"columnar manifest {manifest_path} lists {len(labels)} "
+                "segment(s); expected one per header column"
+            )
+    if len(manifest.segments) != len(labels):
         raise ValueError(
             f"columnar manifest {manifest_path} lists "
             f"{len(manifest.segments)} segment(s); expected one per "
-            f"resource column {RESOURCE_LABELS}"
+            f"resource column {labels}"
         )
     base = os.path.dirname(os.path.abspath(manifest_path))
     columns: "dict[str, np.ndarray]" = {}
-    for index, (segment, label) in enumerate(
-        zip(manifest.segments, RESOURCE_LABELS)
-    ):
+    for index, (segment, label) in enumerate(zip(manifest.segments, labels)):
         if segment.path != _column_name(index, label):
             raise ValueError(
                 f"columnar manifest {manifest_path} segment {segment.path!r} "
@@ -670,12 +697,13 @@ def _write_block_file(path: str, block, fmt: str) -> "tuple[str, int, bytes]":
     tests can monkeypatch a fault in (and so it pickles for the worker
     pool).
     """
+    schema = block_schema(block)
     if fmt == "csv":
-        data = encode_csv_rows(block.to_matrix(), HOST_CSV_FMT)
+        data = encode_csv_rows(block.to_matrix(), schema.csv_fmt)
     elif fmt == "npz":
         columns = {
             label: np.asarray(block.column(label), dtype=float)
-            for label in RESOURCE_LABELS
+            for label in schema.labels
         }
         buffer = io.BytesIO()
         np.savez(buffer, **columns)
@@ -1207,7 +1235,7 @@ def _run_block_export(
         spawn_key=tuple(int(k) for k in plan["spawn_key"]),
         shards=len(ranges),
         block_size=plan["block_size"],
-        header=HOST_CSV_HEADER if fmt == "csv" else "",
+        header=generator_schema(generator).csv_header if fmt == "csv" else "",
         payload_sha256=payload_sha256,
         fleet_sha256=combine_block_digests(all_digests),
         segments=tuple(segments),

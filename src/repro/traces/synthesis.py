@@ -61,10 +61,19 @@ class SyntheticTraceGenerator:
         """The world configuration."""
         return self._config
 
-    def generate(self) -> TraceDataset:
-        """Synthesise the full trace (deterministic given the config seed)."""
+    def generate(
+        self, rng: "np.random.Generator | None" = None
+    ) -> TraceDataset:
+        """Synthesise the full trace.
+
+        Deterministic given the config seed; pass an explicit ``rng`` to
+        take over the stream instead (batch entry points accept a
+        caller-owned generator everywhere, so composed experiments can
+        share one seeded stream).
+        """
         cfg = self._config
-        rng = np.random.default_rng(cfg.seed)
+        if rng is None:
+            rng = np.random.default_rng(cfg.seed)
         lifetime_model = LifetimeModel(
             shape=cfg.lifetime_shape,
             scale_2006_days=cfg.lifetime_scale_2006_days,
@@ -442,6 +451,13 @@ class SyntheticTraceGenerator:
         disk_avail[indices[which == 4]] = 1.1e4 + 9e4 * u[which == 4]
 
 
-def generate_trace(config: "TraceConfig | None" = None) -> TraceDataset:
-    """Convenience wrapper: synthesise a trace with the given (or default) config."""
-    return SyntheticTraceGenerator(config).generate()
+def generate_trace(
+    config: "TraceConfig | None" = None,
+    rng: "np.random.Generator | None" = None,
+) -> TraceDataset:
+    """Convenience wrapper: synthesise a trace with the given (or default) config.
+
+    ``rng`` overrides the config-seeded stream with a caller-owned
+    generator (see :meth:`SyntheticTraceGenerator.generate`).
+    """
+    return SyntheticTraceGenerator(config).generate(rng)

@@ -33,6 +33,7 @@ from repro.validation.probes import (
     Scenario,
     iter_probes,
     register_probe,
+    register_scenario,
 )
 from repro.validation.runner import (
     CANONICAL_DATE,
@@ -84,6 +85,7 @@ __all__ = [
     "derive_bands",
     "iter_probes",
     "register_probe",
+    "register_scenario",
     "run_validation",
     "select_probes",
 ]

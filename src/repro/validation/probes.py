@@ -137,16 +137,31 @@ class Probe:
 class Scenario:
     """A named fleet configuration probes stream over.
 
-    ``make_parameters`` builds the generator parameters (the paper
-    reference, or a deliberate perturbation for controls);
-    ``seed_offset`` shifts the run seed so reseeded controls share one
-    entry point with everything else.
+    Exactly one of two builders must be set: ``make_parameters`` builds
+    correlated-host generator parameters (the paper reference, or a
+    deliberate perturbation for controls), while ``make_generator``
+    builds a whole generator — the hook the scenario registry
+    (:mod:`repro.scenarios`) uses to stream non-host column sets through
+    the same probe machinery.  ``profile`` optionally overrides the
+    reducer-factory set the runner streams with (required whenever the
+    generator's columns are not the host resources); ``seed_offset``
+    shifts the run seed so reseeded controls share one entry point with
+    everything else.
     """
 
     key: str
-    make_parameters: Callable[[], ModelParameters]
+    make_parameters: "Callable[[], ModelParameters] | None" = None
     seed_offset: int = 0
     description: str = ""
+    make_generator: "Callable[[], Any] | None" = None
+    profile: "Callable[[], dict[str, ReducerFactory]] | None" = None
+
+    def __post_init__(self) -> None:
+        if (self.make_parameters is None) == (self.make_generator is None):
+            raise ValueError(
+                f"scenario {self.key!r}: set exactly one of make_parameters "
+                f"and make_generator"
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -188,7 +203,9 @@ def _speed_doubled_parameters() -> ModelParameters:
     )
 
 
-#: Registered fleet scenarios, keyed by :attr:`Scenario.key`.
+#: Registered fleet scenarios, keyed by :attr:`Scenario.key`.  Extended
+#: only by :func:`register_scenario` (the scenario registry adds its
+#: entries on import of :mod:`repro.scenarios`).
 SCENARIOS: "dict[str, Scenario]" = {
     scenario.key: scenario
     for scenario in (
@@ -620,6 +637,20 @@ GOLDEN_STATISTICS_DIGESTS: "dict[str, str]" = {
 #: Every registered probe, keyed by name.  Mutated only by
 #: :func:`register_probe`.
 PROBES: "dict[str, Probe]" = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Validate and register one fleet scenario (returns it, for chaining).
+
+    Raises :class:`ValueError` on an empty or duplicate key; the
+    builder-exclusivity invariant is enforced by the dataclass itself.
+    """
+    if not scenario.key:
+        raise ValueError("scenario key must be non-empty")
+    if scenario.key in SCENARIOS:
+        raise ValueError(f"duplicate scenario key {scenario.key!r}")
+    SCENARIOS[scenario.key] = scenario
+    return scenario
 
 
 def register_probe(probe: Probe) -> Probe:

@@ -50,6 +50,23 @@ CANONICAL_DATE = "2010-09-01"
 #: (seconds), the full tier the scheduled million-host job.
 TIER_SIZES: "dict[str, int]" = {"fast": 50_000, "full": 1_000_000}
 
+_SCENARIOS_LOADED = False
+
+
+def _ensure_scenarios_registered() -> None:
+    """Import the scenario registry once, for its registration side effects.
+
+    :mod:`repro.scenarios` registers its validation scenarios and probes
+    on import, but itself imports this package — so the probe registry is
+    completed lazily at the two entry points (:class:`ValidationRun` and
+    :func:`select_probes`) instead of at module import.
+    """
+    global _SCENARIOS_LOADED
+    if not _SCENARIOS_LOADED:
+        import repro.scenarios  # noqa: F401  (registration side effects)
+
+        _SCENARIOS_LOADED = True
+
 
 class ValidationRun:
     """Memoised streamed passes shared by every probe of one invocation.
@@ -73,6 +90,7 @@ class ValidationRun:
         start_method: "str | None" = None,
         distributed_workers: int = 2,
     ):
+        _ensure_scenarios_registered()
         if tier not in TIER_SIZES:
             raise ValueError(f"unknown tier {tier!r}; known: {sorted(TIER_SIZES)}")
         self.tier = tier
@@ -115,24 +133,34 @@ class ValidationRun:
                 f"unknown scenario {key!r}; known: {sorted(_probes.SCENARIOS)}"
             ) from None
 
-    def generator(self, scenario_key: str) -> CorrelatedHostGenerator:
+    def generator(self, scenario_key: str):
         if scenario_key not in self._generators:
             scenario = self.scenario(scenario_key)
-            self._generators[scenario_key] = CorrelatedHostGenerator(
-                scenario.make_parameters()
-            )
+            if scenario.make_generator is not None:
+                self._generators[scenario_key] = scenario.make_generator()
+            else:
+                self._generators[scenario_key] = CorrelatedHostGenerator(
+                    scenario.make_parameters()
+                )
         return self._generators[scenario_key]
 
     def factories(self, scenario_key: str) -> dict:
         """Union of the scenario's probes' declared reducer factories.
 
-        Pre-seeded with the canonical validation profile so the
+        Pre-seeded with the scenario's own profile (the canonical
+        validation profile unless the scenario overrides it) so the
         statistics digest is well-defined regardless of probe filtering;
         a name collision with a *different* factory is a registry bug and
         raises.
         """
         if scenario_key not in self._factories:
-            union = dict(validation_profile_factories())
+            scenario = self.scenario(scenario_key)
+            base = (
+                validation_profile_factories()
+                if scenario.profile is None
+                else scenario.profile()
+            )
+            union = dict(base)
             for probe in self.probes:
                 if probe.scenario != scenario_key:
                     continue
@@ -220,6 +248,9 @@ class ValidationRun:
                     self.seed + scenario.seed_offset,
                     out_dir,
                     workers=self.distributed_workers,
+                    reducers=(
+                        None if scenario.profile is None else scenario.profile()
+                    ),
                     start_method=self.start_method,
                     token=token,
                 )
@@ -403,6 +434,7 @@ def select_probes(
     registered at that tier (full-tier probe names are invalid under
     ``tier="fast"`` — the message lists what is available).
     """
+    _ensure_scenarios_registered()
     available = list(_probes.iter_probes(tier))
     if names is None:
         return available

@@ -648,3 +648,44 @@ class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestLegacyCommandValidation:
+    """The legacy commands share the fleet validation path and wording."""
+
+    @pytest.mark.parametrize(
+        "argv, match",
+        [
+            (["trace", "--scale", "-1", "--out", "x.csv"],
+             "trace: --scale must be positive (got -1.0)"),
+            (["trace", "--scale", "0", "--out", "x.csv"],
+             "trace: --scale must be positive (got 0.0)"),
+            (["trace", "--seed", "-5", "--out", "x.csv"],
+             "trace: --seed must be non-negative (got -5)"),
+            (["predict", "--year", "-2014"],
+             "predict: --year must be positive (got -2014.0)"),
+            (["validate", "--seed", "-1", "--trace", "x.csv"],
+             "validate: --seed must be non-negative (got -1)"),
+            (["simulate", "--seed", "-1", "--trace", "x.csv"],
+             "simulate: --seed must be non-negative (got -1)"),
+            (["generate", "--hosts", "0"],
+             "generate: --hosts must be a positive integer (got 0)"),
+            (["generate", "--hosts", "-3"],
+             "generate: --hosts must be a positive integer (got -3)"),
+            (["generate", "--seed", "-1"],
+             "generate: --seed must be non-negative (got -1)"),
+            (["fleet", "validate", "--seed", "-1"],
+             "fleet validate: --seed must be non-negative (got -1)"),
+        ],
+    )
+    def test_usage_errors_exit_2(self, capsys, argv, match):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert match in err
+        assert "Traceback" not in err
+
+    def test_validation_runs_before_any_file_io(self, tmp_path, capsys):
+        # a bad integer must not leave a partial output file behind
+        out = tmp_path / "trace.csv"
+        assert main(["trace", "--scale", "-1", "--out", str(out)]) == 2
+        assert not out.exists()

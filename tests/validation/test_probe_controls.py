@@ -12,6 +12,10 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+# Importing the scenario registry registers its probes and controls, so
+# the meta-test covers them even when no fast-tier run happens first.
+import repro.scenarios  # noqa: F401
+
 from repro.validation import PROBES, SCENARIOS, iter_probes
 
 
