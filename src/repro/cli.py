@@ -18,7 +18,9 @@ Subcommands
               against its manifest), ``fleet validate`` (the statistical
               probe suite), ``fleet scenario`` (list/run/compare the
               declarative scenario registry through the same engine
-              paths) and ``fleet serve-worker`` (serve this machine as a
+              paths), ``fleet chaos`` (run an export under a declarative
+              fault plan and require byte-identical recovery) and
+              ``fleet serve-worker`` (serve this machine as a
               distributed worker).  Plain ``fleet [flags]`` remains the
               PR-1 summary behaviour.
 ``predict``   print the Figs 13/14 forecasts and §VI-C scalar predictions
@@ -37,6 +39,10 @@ Examples
     resmodel fleet export --size 1000000 --out-dir fleet/ \
         --backend distributed --workers 4
     resmodel fleet serve-worker --port 7070
+    resmodel fleet chaos --plan examples/faults/io-plan.json \
+        --out-dir chaos/ --size 20000 --runs 2
+    resmodel fleet export --size 20000 --out-dir fleet/ --checkpoint-every 2 \
+        --fault-spec 'writer.block.write:kind=torn-write,after=3'
     resmodel fleet compact fleet/manifest.json --out-dir compact/ --shards 4
     resmodel fleet verify fleet/manifest.json
     resmodel fleet scenario list
@@ -127,10 +133,12 @@ def _check_fleet_ints(
         ("fault_after", "--fault-after"),
         ("coordinator_fault_after", "--coordinator-fault-after"),
         ("drain_after", "--drain-after"),
+        ("runs", "--runs"),
         ("validate_size", "--size"),  # fleet validate: a fleet of >= 1 host
     )
     non_negative = (
         ("size", "--size"),
+        ("max_repairs", "--max-repairs"),
         ("checkpoint_every", "--checkpoint-every"),
         ("workers", "--workers"),
         ("seed", "--seed"),
@@ -155,6 +163,31 @@ def _check_fleet_ints(
     port = getattr(args, "port", None)
     if port is not None and not 0 <= port <= 65535:
         return f"{command}: --port must be in [0, 65535] (got {port})"
+    return None
+
+
+def _arm_fault_spec(
+    args: argparse.Namespace, command: str
+) -> "str | None":
+    """Arm ``--fault-spec`` (a plan file or inline shorthand) for this
+    process and all its children; returns an error message (exit 2) for
+    a malformed plan, else None.
+
+    The firing log and ``once`` markers land in ``OUT_DIR.faults`` —
+    *beside* the export directory, never inside it, so injected faults
+    cannot dirty the manifest layout they are attacking.
+    """
+    spec_text = getattr(args, "fault_spec", None)
+    if not spec_text:
+        return None
+    from repro.faults import FaultPlanError, arm_process, plan_from_cli_arg
+
+    try:
+        plan = plan_from_cli_arg(spec_text, seed=getattr(args, "seed", 0))
+    except FaultPlanError as error:
+        return f"{command}: --fault-spec {error}"
+    state_dir = os.path.abspath(args.out_dir) + ".faults"
+    arm_process(plan, state_dir=state_dir)
     return None
 
 
@@ -264,12 +297,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 def _cmd_fleet_export(args: argparse.Namespace) -> int:
     """``fleet export``: sharded segment + manifest writer (resumable)."""
     from repro.engine import (
+        RetryError,
         StateError,
         export_fleet,
         export_fleet_blocks,
         parse_endpoint,
         resume_export,
     )
+    from repro.faults import FaultInjected
 
     problem = _check_fleet_ints(args, "fleet export")
     if problem:
@@ -315,16 +350,23 @@ def _cmd_fleet_export(args: argparse.Namespace) -> int:
         and os.listdir(args.out_dir)
         and not args.force
     ):
+        from repro.engine import describe_export_dir
+
         entries = sorted(os.listdir(args.out_dir))
         shown = ", ".join(entries[:4])
         if len(entries) > 4:
             shown += f", … {len(entries) - 4} more"
+        hint = describe_export_dir(args.out_dir)
         sys.stderr.write(
             f"fleet export: {args.out_dir} is not empty (contains {shown}); "
             "exporting would mix old and new segments (and `fleet verify` "
-            "could pass against stale files) — pass --force to export "
-            "anyway\n"
+            "could pass against stale files) — "
+            f"{hint or 'pass --force to export anyway'}\n"
         )
+        return 2
+    problem = _arm_fault_spec(args, "fleet export")
+    if problem:
+        sys.stderr.write(problem + "\n")
         return 2
     params = _load_parameters(args.params)
     generator = CorrelatedHostGenerator(params)
@@ -411,33 +453,50 @@ def _cmd_fleet_export(args: argparse.Namespace) -> int:
             )
     elif args.checkpoint_every:
         when = year_fraction(parse_date(args.date))
-        result = export_fleet_blocks(
-            generator,
-            when,
-            args.size,
-            args.seed,
-            args.out_dir,
-            shards=args.shards,
-            fmt=args.format,
-            checkpoint_every=args.checkpoint_every,
-            # The parent `fleet` parser always defines --chunk-size; for
-            # the block layout it bounds the reducer fold batches (and is
-            # pinned into the plan as part of the determinism envelope).
-            chunk_size=args.chunk_size,
-            fault_after=args.fault_after,
-        )
+        try:
+            result = export_fleet_blocks(
+                generator,
+                when,
+                args.size,
+                args.seed,
+                args.out_dir,
+                shards=args.shards,
+                fmt=args.format,
+                checkpoint_every=args.checkpoint_every,
+                # The parent `fleet` parser always defines --chunk-size; for
+                # the block layout it bounds the reducer fold batches (and is
+                # pinned into the plan as part of the determinism envelope).
+                chunk_size=args.chunk_size,
+                fault_after=args.fault_after,
+            )
+        except (FaultInjected, RetryError, OSError) as error:
+            # Injected or persistent I/O failure: a typed one-line exit,
+            # never a traceback.  (The legacy --fault-after RuntimeError
+            # keeps propagating — the interrupt smokes pin it.)
+            sys.stderr.write(
+                f"fleet export: {error} — the partial layout in "
+                f"{args.out_dir} resumes with --resume\n"
+            )
+            return 1
         manifest = result.manifest
     else:
         when = year_fraction(parse_date(args.date))
-        manifest = export_fleet(
-            generator,
-            when,
-            args.size,
-            args.seed,
-            args.out_dir,
-            shards=args.shards,
-            fmt=args.format,
-        )
+        try:
+            manifest = export_fleet(
+                generator,
+                when,
+                args.size,
+                args.seed,
+                args.out_dir,
+                shards=args.shards,
+                fmt=args.format,
+            )
+        except (FaultInjected, RetryError, OSError) as error:
+            sys.stderr.write(
+                f"fleet export: {error} — the per-shard layout keeps no "
+                "checkpoints; re-run the export\n"
+            )
+            return 1
     print(
         f"exported {manifest.size} hosts @ {manifest.when:.3f} as "
         f"{len(manifest.segments)} {manifest.format} "
@@ -631,11 +690,12 @@ def _cmd_fleet_scenario_run(args: argparse.Namespace) -> int:
         args.checkpoint_every
         or args.resume
         or args.force
+        or args.fault_spec
         or args.backend != "local"
     ):
         problem = (
-            "--backend, --checkpoint-every, --resume and --force "
-            "shape exports; pass --out-dir"
+            "--backend, --checkpoint-every, --resume, --force and "
+            "--fault-spec shape exports; pass --out-dir"
         )
     elif args.backend == "distributed" and args.checkpoint_every:
         problem = (
@@ -691,16 +751,23 @@ def _cmd_fleet_scenario_run(args: argparse.Namespace) -> int:
         and os.listdir(args.out_dir)
         and not args.force
     ):
+        from repro.engine import describe_export_dir
+
         entries = sorted(os.listdir(args.out_dir))
         shown = ", ".join(entries[:4])
         if len(entries) > 4:
             shown += f", … {len(entries) - 4} more"
+        hint = describe_export_dir(args.out_dir)
         sys.stderr.write(
             f"fleet scenario run: {args.out_dir} is not empty (contains "
             f"{shown}); exporting would mix old and new segments (and "
-            "`fleet verify` could pass against stale files) — pass --force "
-            "to export anyway\n"
+            "`fleet verify` could pass against stale files) — "
+            f"{hint or 'pass --force to export anyway'}\n"
         )
+        return 2
+    problem = _arm_fault_spec(args, "fleet scenario run")
+    if problem:
+        sys.stderr.write(problem + "\n")
         return 2
     generator = spec.make_generator()
     seed = args.seed + spec.seed_offset
@@ -772,32 +839,48 @@ def _cmd_fleet_scenario_run(args: argparse.Namespace) -> int:
                 f"checkpoints, {fresh} regenerated"
             )
     elif args.checkpoint_every:
-        from repro.engine import export_fleet_blocks
+        from repro.engine import RetryError, export_fleet_blocks
+        from repro.faults import FaultInjected
 
-        result = export_fleet_blocks(
-            generator,
-            when,
-            args.size,
-            seed,
-            args.out_dir,
-            shards=args.shards,
-            checkpoint_every=args.checkpoint_every,
-            chunk_size=args.chunk_size,
-            reducers=spec.profile(),
-            fault_after=fault_after,
-        )
+        try:
+            result = export_fleet_blocks(
+                generator,
+                when,
+                args.size,
+                seed,
+                args.out_dir,
+                shards=args.shards,
+                checkpoint_every=args.checkpoint_every,
+                chunk_size=args.chunk_size,
+                reducers=spec.profile(),
+                fault_after=fault_after,
+            )
+        except (FaultInjected, RetryError, OSError) as error:
+            sys.stderr.write(
+                f"fleet scenario run: {error} — the partial layout in "
+                f"{args.out_dir} resumes with --resume\n"
+            )
+            return 1
         manifest = result.manifest
     else:
-        from repro.engine import export_fleet
+        from repro.engine import RetryError, export_fleet
+        from repro.faults import FaultInjected
 
-        manifest = export_fleet(
-            generator,
-            when,
-            args.size,
-            seed,
-            args.out_dir,
-            shards=args.shards,
-        )
+        try:
+            manifest = export_fleet(
+                generator,
+                when,
+                args.size,
+                seed,
+                args.out_dir,
+                shards=args.shards,
+            )
+        except (FaultInjected, RetryError, OSError) as error:
+            sys.stderr.write(
+                f"fleet scenario run: {error} — the per-shard layout keeps "
+                "no checkpoints; re-run the export\n"
+            )
+            return 1
     print(
         f"exported {manifest.size} rows of scenario '{spec.key}' @ "
         f"{manifest.when:.3f} as {len(manifest.segments)} {manifest.format} "
@@ -869,6 +952,92 @@ def _cmd_fleet_scenario(args: argparse.Namespace) -> int:
     return _cmd_fleet_scenario_list(args)
 
 
+def _cmd_fleet_chaos(args: argparse.Namespace) -> int:
+    """``fleet chaos``: run an export under a fault plan and require
+    byte-identical recovery.
+
+    Exit 0 means every chaos leg (after at most ``--max-repairs``
+    fault-free ``--resume`` legs) produced a manifest whose
+    ``payload_sha256``/``fleet_sha256`` match the fault-free baseline —
+    and, with ``--runs`` > 1, that the plan fired identically every run.
+    Exit 1 is a typed chaos verdict (unrecoverable layout, diverged
+    bytes, unreplayable firings); exit 2 a malformed plan or arguments.
+    """
+    from repro.faults import ChaosError, FaultPlanError, plan_from_cli_arg, run_chaos
+
+    problem = _check_fleet_ints(args, "fleet chaos")
+    if problem:
+        sys.stderr.write(problem + "\n")
+        return 2
+    try:
+        plan = plan_from_cli_arg(args.plan, seed=args.seed)
+    except FaultPlanError as error:
+        sys.stderr.write(f"fleet chaos: --plan {error}\n")
+        return 2
+
+    common = ["--size", str(args.size), "--date", str(args.date)]
+    if args.scenario:
+        base = ["fleet", "scenario", "run", args.scenario]
+        common += ["--seed", str(args.seed)]
+    else:
+        base = ["fleet", "export"]
+        common += ["--seed", str(args.seed)]
+        if args.params:
+            common += ["--params", args.params]
+    layout = args.layout
+
+    def export_argv(out_dir: str) -> "list[str]":
+        argv = [*base, *common, "--out-dir", out_dir, "--force"]
+        if layout == "shard":
+            argv += ["--shards", str(args.shards)]
+        elif layout == "block":
+            argv += [
+                "--shards",
+                str(args.shards),
+                "--checkpoint-every",
+                str(args.checkpoint_every),
+            ]
+        else:
+            argv += [
+                "--backend",
+                "distributed",
+                "--workers",
+                str(args.workers),
+                "--lease-blocks",
+                str(args.lease_blocks),
+            ]
+        return argv
+
+    resume_argv = None
+    if layout != "shard":
+        # The per-shard layout keeps no plan on disk: any mid-write death
+        # is unrecoverable by design, so chaos demands a typed refusal
+        # instead of a repair.
+        def resume_argv(out_dir: str) -> "list[str]":
+            argv = [*base, "--out-dir", out_dir, "--resume"]
+            if layout == "distributed":
+                argv += ["--backend", "distributed", "--workers", str(args.workers)]
+            return argv
+
+    try:
+        report = run_chaos(
+            plan,
+            args.out_dir,
+            export_argv,
+            resume_argv,
+            runs=args.runs,
+            max_repairs=args.max_repairs,
+        )
+    except ChaosError as error:
+        sys.stderr.write(f"fleet chaos: {error}\n")
+        return 1
+    print(
+        f"chaos: {len(report.outcomes)} run(s) recovered byte-identical "
+        f"to the fault-free baseline ({report.baseline_payload_sha256[:16]}…)"
+    )
+    return 0
+
+
 def _dispatch_fleet(args: argparse.Namespace) -> int:
     """Route ``fleet [summary|export|verify]``.
 
@@ -900,6 +1069,8 @@ def _dispatch_fleet(args: argparse.Namespace) -> int:
         return _cmd_fleet_serve_worker(args)
     if command == "scenario":
         return _cmd_fleet_scenario(args)
+    if command == "chaos":
+        return _cmd_fleet_chaos(args)
     return _cmd_fleet(args)
 
 
@@ -1220,14 +1391,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="export into a non-empty directory (stale segments from a "
         "previous run could otherwise mix with the new export)",
     )
-    # Deterministic crash injection for the test suite and the CI
-    # interrupt→resume smokes; counts blocks per worker.  Under the
-    # distributed backend the first local worker SIGKILLs itself instead.
+    p_fleet_export.add_argument(
+        "--fault-spec",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault injection: a FaultPlan JSON file, or "
+        "inline 'SITE[:key=val,...]' specs joined by ';' (e.g. "
+        "writer.block.write:kind=torn-write,after=3); firings are logged "
+        "to OUT_DIR.faults/ — see README § Fault injection",
+    )
+    # Deprecated aliases of --fault-spec, kept for the existing tests and
+    # CI smokes: deterministic crash injection counting blocks per worker
+    # (the first local worker SIGKILLs itself under the distributed
+    # backend) and, for the coordinator, lease checkpoints.
     p_fleet_export.add_argument(
         "--fault-after", type=int, default=None, help=argparse.SUPPRESS
     )
-    # Companion crash injection for the distributed resume smokes: the
-    # *coordinator* SIGKILLs itself after N lease checkpoints.
     p_fleet_export.add_argument(
         "--coordinator-fault-after",
         type=int,
@@ -1463,7 +1642,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="export into a non-empty directory",
     )
-    # The same deterministic crash injection the export smokes use.
+    p_sc_run.add_argument(
+        "--fault-spec",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault injection (a FaultPlan JSON file or "
+        "inline 'SITE[:key=val,...]' shorthand; needs --out-dir) — see "
+        "README § Fault injection",
+    )
+    # Deprecated aliases of --fault-spec (the export smokes' crash
+    # injection).
     p_sc_run.add_argument(
         "--fault-after", type=int, default=None, help=argparse.SUPPRESS
     )
@@ -1488,6 +1676,82 @@ def build_parser() -> argparse.ArgumentParser:
         default=[1, 2, 4],
         metavar="N",
         help="shard counts to compare (default: 1 2 4)",
+    )
+
+    p_fleet_chaos = fleet_sub.add_parser(
+        "chaos",
+        help="run an export under a fault plan and require byte-identical "
+        "recovery",
+        description=(
+            "Chaos harness for the export stack: run a fault-free baseline "
+            "export, re-run it with the --plan armed (faults fire "
+            "deterministically, driven by the plan's seed), repair with "
+            "fault-free --resume legs where the layout supports it, and "
+            "require the recovered manifest's payload/fleet sha256 to be "
+            "byte-identical to the baseline — or a clean typed refusal. "
+            "--runs N repeats the chaos leg and requires identical fault "
+            "firings every time (the replay-by-seed guarantee)."
+        ),
+    )
+    _add_fleet_common(p_fleet_chaos, suppress=True)
+    p_fleet_chaos.add_argument(
+        "--plan",
+        required=True,
+        metavar="PLAN",
+        help="FaultPlan JSON file, or inline 'SITE[:key=val,...]' specs "
+        "joined by ';'",
+    )
+    p_fleet_chaos.add_argument(
+        "--out-dir",
+        required=True,
+        help="working directory (baseline/, run-NN/ and state-NN/ land here)",
+    )
+    p_fleet_chaos.add_argument(
+        "--layout",
+        choices=["shard", "block", "distributed"],
+        default="block",
+        help="export layout under test: the unresumable per-shard layout, "
+        "the resumable per-block layout, or the distributed backend "
+        "(default block)",
+    )
+    p_fleet_chaos.add_argument(
+        "--scenario",
+        default=None,
+        metavar="KEY",
+        help="run a registered scenario export instead of the host fleet",
+    )
+    p_fleet_chaos.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=2,
+        metavar="N",
+        help="checkpoint cadence of the block layout (default 2)",
+    )
+    p_fleet_chaos.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="local worker processes (--layout distributed)",
+    )
+    p_fleet_chaos.add_argument(
+        "--lease-blocks",
+        type=int,
+        default=4,
+        help="RNG blocks per lease (--layout distributed)",
+    )
+    p_fleet_chaos.add_argument(
+        "--runs",
+        type=int,
+        default=1,
+        help="chaos legs to run; >1 also asserts identical firings across "
+        "legs (default 1)",
+    )
+    p_fleet_chaos.add_argument(
+        "--max-repairs",
+        type=int,
+        default=3,
+        help="fault-free --resume legs allowed per run before declaring it "
+        "unrecoverable (default 3)",
     )
 
     p_trace = sub.add_parser("trace", help="synthesise a SETI@home-like trace")
@@ -1534,7 +1798,15 @@ def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    finally:
+        if getattr(args, "fault_spec", None):
+            # In-process callers (tests) must not inherit an armed plan
+            # from a previous invocation's environment exports.
+            from repro.faults import deactivate
+
+            deactivate()
 
 
 if __name__ == "__main__":

@@ -71,6 +71,13 @@ from repro.engine.pool import (
     resolve_start_method,
     shutdown_pools,
 )
+from repro.engine.retry import (
+    DIAL_RETRY,
+    RECONNECT_RETRY,
+    WRITE_RETRY,
+    RetryError,
+    RetryPolicy,
+)
 from repro.engine.sharding import (
     DEFAULT_REDUCER_FACTORIES,
     FleetStatistics,
@@ -105,6 +112,7 @@ from repro.engine.writer import (
     SegmentRecord,
     VerificationReport,
     compact_export,
+    describe_export_dir,
     export_fleet,
     export_fleet_blocks,
     read_columnar_export,
@@ -174,7 +182,13 @@ __all__ = [
     "SegmentRecord",
     "StateError",
     "VerificationReport",
+    "DIAL_RETRY",
+    "RECONNECT_RETRY",
+    "WRITE_RETRY",
+    "RetryError",
+    "RetryPolicy",
     "compact_export",
+    "describe_export_dir",
     "export_fleet",
     "export_fleet_blocks",
     "reducer_from_state",

@@ -130,6 +130,12 @@ import numpy as np
 
 from repro.engine.accumulate import CorrelationAccumulator, MomentAccumulator
 from repro.engine.pool import discard_pool, get_pool, persistence_enabled
+from repro.engine.retry import (
+    DIAL_RETRY,
+    RECONNECT_RETRY,
+    WORKER_RECONNECT_ATTEMPTS,
+    RetryError,
+)
 from repro.engine.reduce import ChunkedFold, QuantileReducer, ReducerSet
 from repro.engine.sharding import (
     FleetStatistics,
@@ -159,6 +165,20 @@ from repro.engine.writer import (
     _read_matching_block,
     _remove_quiet,
     _write_json_atomic,
+)
+from repro.faults.injector import fire as _fire
+from repro.faults.injector import plan_is_active
+from repro.faults.sites import (
+    KIND_FRAME_CORRUPT,
+    KIND_FRAME_DROP,
+    KIND_HEARTBEAT_STALL,
+    SITE_CONNECT_DIAL,
+    SITE_COORDINATOR_CHECKPOINT,
+    SITE_FRAME_RECV,
+    SITE_FRAME_SEND,
+    SITE_HEARTBEAT,
+    SITE_WORKER_BLOCK,
+    SITE_WORKER_DIAL,
 )
 from repro.stats.state import StateError, make_envelope, require_state, state_field
 
@@ -402,6 +422,19 @@ def send_frame(sock: socket.socket, message: dict) -> None:
             f"refusing to send an oversized frame ({len(body)} bytes > "
             f"{MAX_FRAME_BYTES})"
         )
+    firing = _fire(SITE_FRAME_SEND)
+    if firing is not None:
+        if firing.kind == KIND_FRAME_DROP:
+            # A frame lost with the connection still healthy could wedge
+            # the lease protocol forever (a dropped ``ready`` starves the
+            # coordinator of credits).  Real networks do not lose one
+            # frame from an otherwise-ordered TCP stream either — they
+            # lose the connection.  Model that: drop the frame *and* the
+            # socket, so both peers' failure detection converges.
+            sock.close()
+            raise OSError("fault injection: frame dropped, connection torn down")
+        if firing.kind == KIND_FRAME_CORRUPT:
+            body = bytes([body[0] ^ 0xFF]) + body[1:]
     sock.sendall(_FRAME_HEADER.pack(len(body)) + body)
 
 
@@ -412,6 +445,7 @@ def recv_frame(sock: socket.socket) -> "dict | None":
     length prefix of zero or beyond :data:`MAX_FRAME_BYTES`, or a body
     that is not a JSON object all raise :class:`ProtocolError`.
     """
+    _fire(SITE_FRAME_RECV)
     header = _recv_exact(sock, _FRAME_HEADER.size, allow_eof=True)
     if header is None:
         return None
@@ -479,6 +513,11 @@ def _render_block_csv(block) -> bytes:
 
 def _heartbeat_loop(send, stop: threading.Event, interval: float) -> None:
     while not stop.wait(interval):
+        firing = _fire(SITE_HEARTBEAT)
+        if firing is not None and firing.kind == KIND_HEARTBEAT_STALL:
+            # The beacon thread dies silently; the peer's worker_timeout
+            # failure detector is what is under test.
+            return
         try:
             send({"type": "heartbeat"})
         except OSError:
@@ -668,6 +707,7 @@ def _worker_loop(
                 blocks.append(entry)
                 fold.add(block)
                 written += 1
+                _fire(SITE_WORKER_BLOCK)
                 if fault_after is not None and written >= int(fault_after):
                     # Crash injection for the tests/CI: die the hard way,
                     # exactly like an OOM-killed or power-cycled worker.
@@ -687,16 +727,56 @@ def _worker_loop(
         stop.set()
 
 
+def _dial(host: str, port: int, site: str, timeout: "float | None" = None):
+    """One coordinator/worker dial under :data:`DIAL_RETRY`.
+
+    The fault site fires *inside* each attempt, so a ``count``-limited
+    ``dial-refuse`` spec exercises the retry policy end to end: the
+    injected refusals burn attempts, then the real dial goes through.
+    """
+
+    def attempt() -> socket.socket:
+        _fire(site)
+        return socket.create_connection((host, port), timeout=timeout)
+
+    return DIAL_RETRY.call(
+        attempt,
+        retry_on=(ConnectionError, TimeoutError),
+        describe=f"dialling {host}:{port}",
+    )
+
+
 def _local_worker_main(host: str, port: int, token: "str | None" = None) -> None:
     """Entry point of a spawned local worker process (module-level so it
-    pickles under every multiprocessing start method)."""
-    sock = socket.create_connection((host, port))
-    try:
-        _worker_loop(sock, token=token)
-    except (ProtocolError, OSError):
-        pass  # the coordinator tracks worker death through the socket
-    finally:
-        sock.close()
+    pickles under every multiprocessing start method).
+
+    The dial retries under :data:`DIAL_RETRY` — a worker that comes up
+    before its coordinator listens must not die on the first
+    ``ConnectionRefusedError``.  A connection lost *mid-job* gets a
+    bounded reconnect window (:data:`WORKER_RECONNECT_ATTEMPTS` fresh
+    dials under :data:`RECONNECT_RETRY`); the determinism contract makes
+    the replayed leases byte-identical, so rejoining is always safe.
+    """
+    attempts = 1 + WORKER_RECONNECT_ATTEMPTS
+    for attempt in range(attempts):
+        try:
+            if attempt == 0:
+                sock = _dial(host, port, SITE_WORKER_DIAL)
+            else:
+                sock = RECONNECT_RETRY.call(
+                    lambda: socket.create_connection((host, port)),
+                    retry_on=(ConnectionError, TimeoutError),
+                    describe=f"reconnecting to coordinator {host}:{port}",
+                )
+        except RetryError:
+            return  # the coordinator tracks worker death through the socket
+        try:
+            _worker_loop(sock, token=token)
+            return
+        except (ProtocolError, OSError):
+            continue  # lost the coordinator mid-job: try one fresh session
+        finally:
+            sock.close()
 
 
 class _PooledWorkerHandle:
@@ -1211,6 +1291,7 @@ class _Coordinator:
         """Append one lease-completion envelope to the checkpoint log."""
         if self.checkpoint_log is None:
             return
+        _fire(SITE_COORDINATOR_CHECKPOINT, path=self.checkpoint_log.name)
         self.checkpoint_log.write(_checkpoint_line(lease, entry))
         self.checkpoint_log.flush()
         self.checkpointed += 1
@@ -1793,6 +1874,7 @@ def _run_distributed(
                 if (
                     fault_after is None
                     and coordinator_fault_after is None
+                    and not plan_is_active()
                     and persistence_enabled()
                 ):
                     pool = get_pool(workers, start_method)
@@ -1819,7 +1901,7 @@ def _run_distributed(
                     target=coordinator._accept_loop, args=(listener,), daemon=True
                 ).start()
             for host, port in connect:
-                sock = socket.create_connection((host, port), timeout=worker_timeout)
+                sock = _dial(host, port, SITE_CONNECT_DIAL, timeout=worker_timeout)
                 sock.settimeout(None)
                 coordinator.attach(sock, f"tcp-{host}:{port}", local=False)
             coordinator.run()

@@ -37,6 +37,7 @@ import atexit
 import multiprocessing
 import os
 import threading
+import time
 
 import numpy as np
 
@@ -191,6 +192,90 @@ def pools_spawned() -> int:
     return _SPAWN_COUNT
 
 
+def _faulted_task_main(func, payload, index, queue):
+    """Child entry of a fault-armed fan-out task (module-level so it
+    pickles under fork and spawn alike): pass the ``pool.task``
+    injection site, run the payload, ship back the result or the
+    exception.  A SIGKILL'd child ships nothing — the parent notices the
+    missing index and raises instead of hanging the way ``Pool.map``
+    would on a dead worker."""
+    from repro.faults.injector import fire
+    from repro.faults.sites import SITE_POOL_TASK
+
+    try:
+        fire(SITE_POOL_TASK)
+        queue.put((index, "ok", func(payload)))
+    except BaseException as error:  # noqa: BLE001 - must cross the process
+        queue.put((index, "error", error))
+
+
+def _faulted_map(func, payloads: list, start_method: "str | None") -> list:
+    """Fan-out used while a fault plan is live: raw processes + a result
+    queue, so an injected SIGKILL/torn-write surfaces as a raised error
+    (resumable) rather than a wedged ``Pool.map``."""
+    import queue as _queue_mod
+
+    context = multiprocessing.get_context(resolve_start_method(start_method))
+    queue = context.Queue()
+    processes = []
+    for index, payload in enumerate(payloads):
+        process = context.Process(
+            target=_faulted_task_main,
+            args=(func, payload, index, queue),
+            daemon=True,
+        )
+        process.start()
+        processes.append(process)
+    results: "dict[int, tuple]" = {}
+
+    def _drain(timeout: float) -> bool:
+        try:
+            index, status, value = queue.get(timeout=timeout)
+        except _queue_mod.Empty:
+            return False
+        results[index] = (status, value)
+        return True
+
+    try:
+        while len(results) < len(payloads):
+            if _drain(0.2):
+                continue
+            dead = [
+                index
+                for index, process in enumerate(processes)
+                if index not in results and process.exitcode is not None
+            ]
+            if not dead:
+                continue
+            # A result can still be in flight in the queue's feeder
+            # thread for a moment after its process exits; give it a
+            # short grace drain before declaring the worker dead.
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline and any(
+                index not in results for index in dead
+            ):
+                _drain(0.2)
+            for index in dead:
+                if index not in results:
+                    raise RuntimeError(
+                        f"fan-out worker for payload {index} died with exit "
+                        f"code {processes[index].exitcode} before returning "
+                        "a result (injected fault?)"
+                    )
+    finally:
+        for process in processes:
+            process.join(timeout=5)
+            if process.is_alive():
+                process.terminate()
+    ordered = []
+    for index in range(len(payloads)):
+        status, value = results[index]
+        if status == "error":
+            raise value
+        ordered.append(value)
+    return ordered
+
+
 def pool_map(
     func, payloads: list, processes: int, start_method: "str | None" = None
 ) -> list:
@@ -202,10 +287,20 @@ def pool_map(
     that *raises* propagates after every task finished, exactly like
     ``Pool.map``; the pool stays healthy and keeps its workers either
     way (a raised task is a normal result, not a dead process).
+
+    A live fault plan (see :mod:`repro.faults`) bypasses pools entirely
+    for :func:`_faulted_map`'s raw processes: persistent workers may
+    have been forked *before* the plan was armed and would silently not
+    fire, a SIGKILL'd worker must not poison a pool that outlives this
+    call — and ``Pool.map`` would simply hang on a worker that dies.
     """
     if not payloads:
         return []
+    from repro.faults.injector import plan_is_active
+
     processes = min(processes, len(payloads))
+    if plan_is_active():
+        return _faulted_map(func, payloads, start_method)
     if not persistence_enabled():
         pool = WorkerPool(processes, start_method)
         try:

@@ -59,6 +59,16 @@ import numpy as np
 from repro.engine.csvfmt import encode_csv_rows
 from repro.engine.pool import BlockBuffer, create_block_buffer, pool_map
 from repro.engine.reduce import ChunkedFold, ReducerFactory, ReducerSet
+from repro.engine.retry import WRITE_RETRY
+from repro.faults.injector import fire as _fire
+from repro.faults.sites import (
+    SITE_BLOCK_DONE,
+    SITE_BLOCK_WRITE,
+    SITE_CHECKPOINT_FSYNC,
+    SITE_CHECKPOINT_WRITE,
+    SITE_MANIFEST_WRITE,
+    SITE_SEGMENT_WRITE,
+)
 from repro.engine.sharding import (
     FleetStatistics,
     _resolve_factories,
@@ -198,8 +208,10 @@ class FleetManifest:
         return cls(segments=segments, **payload)
 
     def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json() + "\n")
+        data = (self.to_json() + "\n").encode("utf-8")
+        _fire(SITE_MANIFEST_WRITE, path=path, data=data)
+        with open(path, "wb") as handle:
+            handle.write(data)
 
     @classmethod
     def load(cls, path: str) -> "FleetManifest":
@@ -244,8 +256,34 @@ def _write_segment(payload: tuple):
     digests: "list[tuple[int, bytes]]" = []
     file_hash = hashlib.sha256()
 
-    if fmt == "csv":
-        with open(path, "wb") as handle:
+    try:
+        if fmt == "csv":
+            with open(path, "wb") as handle:
+                for index in range(block_lo, block_hi):
+                    lo = index * RNG_BLOCK_SIZE
+                    block = generator.generate(
+                        when,
+                        min(RNG_BLOCK_SIZE, size - lo),
+                        np.random.default_rng(seeds[index]),
+                    )
+                    digests.append((index, bytes.fromhex(population_digest(block))))
+                    # The vectorised encoder reproduces the historical
+                    # np.savetxt bytes exactly, so segment bytes stay
+                    # identical to the CLI's sequential export; hashing the
+                    # in-memory data as it is written spares a re-read.
+                    data = encode_csv_rows(block.to_matrix(), schema.csv_fmt)
+                    _fire(SITE_SEGMENT_WRITE, path=path)
+                    handle.write(data)
+                    file_hash.update(data)
+        elif fmt == "npz":
+            # Preallocate the segment's columns and fill block by block, so
+            # peak working memory stays one block above the (unavoidable for a
+            # single .npy entry) segment arrays rather than 2x the segment.
+            row_lo = min(block_lo * RNG_BLOCK_SIZE, size)
+            row_hi = min(block_hi * RNG_BLOCK_SIZE, size)
+            columns = {
+                label: np.empty(row_hi - row_lo) for label in schema.labels
+            }
             for index in range(block_lo, block_hi):
                 lo = index * RNG_BLOCK_SIZE
                 block = generator.generate(
@@ -254,39 +292,22 @@ def _write_segment(payload: tuple):
                     np.random.default_rng(seeds[index]),
                 )
                 digests.append((index, bytes.fromhex(population_digest(block))))
-                # The vectorised encoder reproduces the historical
-                # np.savetxt bytes exactly, so segment bytes stay
-                # identical to the CLI's sequential export; hashing the
-                # in-memory data as it is written spares a re-read.
-                data = encode_csv_rows(block.to_matrix(), schema.csv_fmt)
-                handle.write(data)
-                file_hash.update(data)
-    elif fmt == "npz":
-        # Preallocate the segment's columns and fill block by block, so
-        # peak working memory stays one block above the (unavoidable for a
-        # single .npy entry) segment arrays rather than 2x the segment.
-        row_lo = min(block_lo * RNG_BLOCK_SIZE, size)
-        row_hi = min(block_hi * RNG_BLOCK_SIZE, size)
-        columns = {
-            label: np.empty(row_hi - row_lo) for label in schema.labels
-        }
-        for index in range(block_lo, block_hi):
-            lo = index * RNG_BLOCK_SIZE
-            block = generator.generate(
-                when,
-                min(RNG_BLOCK_SIZE, size - lo),
-                np.random.default_rng(seeds[index]),
+                offset = lo - row_lo
+                _fire(SITE_SEGMENT_WRITE, path=path)
+                for label in schema.labels:
+                    columns[label][offset : offset + len(block)] = block.column(label)
+            np.savez(path, **columns)
+            _hash_file_into(path, file_hash)
+        else:
+            raise ValueError(
+                f"unknown segment format {fmt!r}; supported: {ROW_SEGMENT_FORMATS}"
             )
-            digests.append((index, bytes.fromhex(population_digest(block))))
-            offset = lo - row_lo
-            for label in schema.labels:
-                columns[label][offset : offset + len(block)] = block.column(label)
-        np.savez(path, **columns)
-        _hash_file_into(path, file_hash)
-    else:
-        raise ValueError(
-            f"unknown segment format {fmt!r}; supported: {ROW_SEGMENT_FORMATS}"
-        )
+    except BaseException:
+        # A worker dying mid-segment must not leave a half-written file
+        # for the next export (or a verify) to trip over.  SIGKILL still
+        # leaves one behind — describe_export_dir names it then.
+        _remove_quiet(path)
+        raise
 
     return shard, file_hash.hexdigest(), digests
 
@@ -648,11 +669,26 @@ def _checkpoint_name(shard: int) -> str:
     return f"checkpoint-{shard:04d}.json"
 
 
-def _write_json_atomic(path: str, payload: dict) -> None:
-    """Write JSON via a temp file + rename, so a kill never half-writes it."""
+def _write_json_atomic(
+    path: str, payload: dict, fault_site: "str | None" = None
+) -> None:
+    """Write JSON via a temp file + rename, so a kill never half-writes it.
+
+    ``fault_site`` marks the write as a *checkpoint* write: it becomes an
+    injection site, and the temp file is fsynced before the rename so a
+    checkpoint named durable actually is (plain plan/metrics writes skip
+    the barrier — losing one costs nothing a rerun doesn't fix).
+    """
     tmp = path + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    data = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+    if fault_site is not None:
+        _fire(fault_site, path=tmp, data=data)
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        if fault_site is not None:
+            handle.flush()
+            _fire(SITE_CHECKPOINT_FSYNC)
+            os.fsync(handle.fileno())
     os.replace(tmp, path)
 
 
@@ -673,6 +709,48 @@ def _remove_quiet(path: str) -> None:
         os.remove(path)
     except OSError:
         pass
+
+
+def describe_export_dir(out_dir: str) -> "str | None":
+    """An actionable hint about what a non-empty export directory holds.
+
+    The CLI appends this to its refusal to export into a non-empty
+    ``--out-dir``, so "the directory is not empty" becomes "that is your
+    own interrupted export — here is the flag that finishes it".
+    Returns ``None`` when the leftovers look like nothing this engine
+    wrote.
+    """
+    try:
+        entries = set(os.listdir(out_dir))
+    except OSError:
+        return None
+    if PLAN_NAME in entries:
+        return (
+            "this looks like an interrupted resumable export — pass "
+            "--resume to finish it, or --force to start over"
+        )
+    # The distributed module owns this name; a literal here avoids
+    # importing the transport stack just to classify a directory
+    # (test_faults pins the two spellings together).
+    if "distributed-plan.json" in entries:
+        return (
+            "this looks like an interrupted distributed export — pass "
+            "--backend distributed --resume to finish it, or --force to "
+            "start over"
+        )
+    if "manifest.json" in entries:
+        return (
+            "this looks like a completed export — verify it with `fleet "
+            "verify`, choose a fresh --out-dir, or pass --force to "
+            "overwrite it"
+        )
+    if any(entry.startswith(("segment-", "block-")) for entry in entries):
+        return (
+            "these look like partial segments from an export that died "
+            "mid-write (no resume plan survives); delete the directory "
+            "or pass --force to overwrite them"
+        )
+    return None
 
 
 def _generator_fingerprint(generator) -> "str | None":
@@ -712,8 +790,23 @@ def _write_block_file(path: str, block, fmt: str) -> "tuple[str, int, bytes]":
         raise ValueError(
             f"unknown segment format {fmt!r}; supported: {ROW_SEGMENT_FORMATS}"
         )
-    with open(path, "wb") as handle:
-        handle.write(data)
+
+    def _attempt() -> None:
+        _fire(SITE_BLOCK_WRITE, path=path, data=data)
+        with open(path, "wb") as handle:
+            handle.write(data)
+
+    try:
+        # Transient I/O (a momentary ENOSPC/EIO, a hiccuping network
+        # mount) gets a short, bounded second chance before the export
+        # dies; a persistent failure still surfaces fast, with the
+        # partial file cleaned up and named in the error.
+        WRITE_RETRY.call(
+            _attempt, retry_on=(OSError,), describe=f"writing block segment {path}"
+        )
+    except BaseException:
+        _remove_quiet(path)
+        raise
     return hashlib.sha256(data).hexdigest(), len(data), data
 
 
@@ -832,7 +925,8 @@ def _write_block_shard(payload: tuple):
         fold.flush()
         _write_json_atomic(
             os.path.join(out_dir, _checkpoint_name(shard)),
-            {
+            fault_site=SITE_CHECKPOINT_WRITE,
+            payload={
                 "kind": "FleetShardCheckpoint",
                 "state_version": CHECKPOINT_STATE_VERSION,
                 "shard": shard,
@@ -871,6 +965,7 @@ def _write_block_shard(payload: tuple):
         ):
             write_checkpoint()
         written += 1
+        _fire(SITE_BLOCK_DONE)
         if fault_after is not None and written >= fault_after:
             raise RuntimeError(
                 f"injected fault after {written} block(s) in shard {shard}"

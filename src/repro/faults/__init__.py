@@ -1,0 +1,96 @@
+"""Deterministic, declarative fault injection for the export stack.
+
+The paper models volatile end hosts; this package makes the *stack's
+own* failure handling testable with the same rigour the models get.  A
+frozen, JSON-loadable :class:`FaultPlan` schedules typed faults against
+named injection sites registered across the writer, the worker pool and
+the distributed transport; a ``SeedSequence``-derived RNG makes every
+chaos run replayable; and ``fleet chaos --plan`` asserts byte-identical
+recovery (or a clean typed refusal) against the fault-free export.
+
+Layers
+------
+:mod:`~repro.faults.sites`
+    The site catalogue (names, supported kinds) — the shared vocabulary
+    of plans, engine ``fire()`` calls, docs and the chaos-matrix test.
+:mod:`~repro.faults.plan`
+    :class:`FaultPlan` / :class:`FaultSpec` with strict validation,
+    JSON round-tripping and the ``site:key=value`` CLI shorthand.
+:mod:`~repro.faults.injector`
+    The process-global engine behind :func:`fire`: per-site invocation
+    counters, seeded probability streams, cross-process ``once``
+    markers, and the firing log chaos replays are compared on.
+:mod:`~repro.faults.chaos`
+    The ``fleet chaos`` harness: baseline → faulted subprocess →
+    bounded repairs → digest comparison.
+"""
+
+from repro.faults.chaos import (
+    ChaosError,
+    ChaosReport,
+    ChaosRunOutcome,
+    run_chaos,
+    summarize_firings,
+)
+from repro.faults.injector import (
+    ENV_PLAN_FILE,
+    ENV_PLAN_JSON,
+    ENV_STATE_DIR,
+    FIRING_LOG_NAME,
+    FaultInjected,
+    Firing,
+    activate,
+    active_plan,
+    arm_process,
+    deactivate,
+    describe_plan,
+    fire,
+    plan_is_active,
+    read_firings,
+)
+from repro.faults.plan import (
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    parse_fault_spec,
+    plan_from_cli_arg,
+)
+from repro.faults.sites import (
+    FAULT_KINDS,
+    SITE_CATALOG,
+    FaultSite,
+    get_site,
+    iter_sites,
+)
+
+__all__ = [
+    "ChaosError",
+    "ChaosReport",
+    "ChaosRunOutcome",
+    "ENV_PLAN_FILE",
+    "ENV_PLAN_JSON",
+    "ENV_STATE_DIR",
+    "FAULT_KINDS",
+    "FIRING_LOG_NAME",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSite",
+    "FaultSpec",
+    "Firing",
+    "SITE_CATALOG",
+    "activate",
+    "active_plan",
+    "arm_process",
+    "deactivate",
+    "describe_plan",
+    "fire",
+    "get_site",
+    "iter_sites",
+    "parse_fault_spec",
+    "plan_from_cli_arg",
+    "plan_is_active",
+    "read_firings",
+    "run_chaos",
+    "summarize_firings",
+]

@@ -1,0 +1,225 @@
+"""The ``fleet chaos`` harness: run an export under a fault plan and
+prove byte-identical recovery.
+
+One chaos run is a controlled experiment:
+
+1. **Baseline** — the same export command, fault-free, into
+   ``out_dir/baseline``; its ``payload_sha256``/``fleet_sha256`` are the
+   ground truth.
+2. **Chaos leg** — the export again, as a subprocess with the plan
+   armed through ``REPRO_FAULT_PLAN`` (a subprocess because SIGKILL and
+   torn-write faults kill the whole process — the harness must outlive
+   its victim).
+3. **Repairs** — while the chaos leg exits nonzero and the layout is
+   resumable, re-run with ``--resume`` and *no* plan, up to
+   ``max_repairs`` times (the recovery machinery under test is exactly
+   the PR 3/4/8 resume paths).
+4. **Verdict** — ``verify_manifest`` must pass and both digests must
+   equal the baseline's, or the run is a :class:`ChaosError` (a clean
+   typed failure, surfaced as exit 1).  With ``runs > 1`` the firing
+   logs (pids stripped) must also be identical across runs — the
+   replay-by-seed guarantee.
+
+The harness raises :class:`ChaosError` for every failure mode so the
+CLI maps chaos problems to one typed line and exit 1, never a
+traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field
+
+from repro.faults.injector import (
+    ENV_PLAN_FILE,
+    ENV_PLAN_JSON,
+    ENV_STATE_DIR,
+    FIRING_LOG_NAME,
+    describe_plan,
+    read_firings,
+)
+from repro.faults.plan import FaultPlan
+
+
+class ChaosError(RuntimeError):
+    """A chaos run that did not end in byte-identical recovery."""
+
+
+@dataclass
+class ChaosRunOutcome:
+    """One chaos leg: what fired, how many repairs, what it produced."""
+
+    run: int
+    exit_code: int
+    repairs: int
+    firings: "list[dict]" = field(default_factory=list)
+    payload_sha256: str = ""
+    fleet_sha256: str = ""
+
+
+@dataclass
+class ChaosReport:
+    plan: FaultPlan
+    baseline_payload_sha256: str
+    baseline_fleet_sha256: str
+    outcomes: "list[ChaosRunOutcome]" = field(default_factory=list)
+
+
+def _run_cli(
+    argv: "list[str]",
+    env: "dict[str, str] | None" = None,
+    timeout: float = 900.0,
+) -> subprocess.CompletedProcess:
+    environment = dict(os.environ)
+    # Never leak an armed plan from the caller's environment into a
+    # baseline or repair leg; the chaos leg re-arms explicitly.
+    for name in (ENV_PLAN_FILE, ENV_PLAN_JSON, ENV_STATE_DIR):
+        environment.pop(name, None)
+    if env:
+        environment.update(env)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env=environment,
+        timeout=timeout,
+    )
+
+
+def _stderr_tail(proc: subprocess.CompletedProcess) -> str:
+    lines = [line for line in (proc.stderr or "").splitlines() if line.strip()]
+    return lines[-1] if lines else f"exit status {proc.returncode}"
+
+
+def _manifest_digests(out_dir: str) -> "tuple[str, str]":
+    path = os.path.join(out_dir, "manifest.json")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise ChaosError(f"cannot read {path}: {error}")
+    return manifest["payload_sha256"], manifest["fleet_sha256"]
+
+
+def _replay_key(firings: "list[dict]") -> "list[tuple]":
+    """Firing records as order-insensitive comparison keys.
+
+    The key is the sorted multiset of ``(site, kind, spec)`` — *which*
+    faults fired, and how many times each.  Pids, log interleaving and
+    per-process invocation indices are deliberately excluded: a
+    background heartbeat thread shares the frame-send site with the
+    protocol loop, so the invocation index a concurrent fault lands on
+    jitters with scheduling even though the set of fired faults (and the
+    recovered bytes) cannot.
+    """
+    return sorted((f["site"], f["kind"], f["spec"]) for f in firings)
+
+
+def summarize_firings(firings: "list[dict]") -> str:
+    counts: "dict[tuple[str, str], int]" = {}
+    for firing in firings:
+        key = (firing["site"], firing["kind"])
+        counts[key] = counts.get(key, 0) + 1
+    if not counts:
+        return "no faults fired"
+    return ", ".join(
+        f"{site} {kind} ×{count}" for (site, kind), count in sorted(counts.items())
+    )
+
+
+def run_chaos(
+    plan: FaultPlan,
+    out_dir: str,
+    export_argv,
+    resume_argv,
+    runs: int = 1,
+    max_repairs: int = 3,
+    echo=print,
+) -> ChaosReport:
+    """Drive baseline + ``runs`` chaos legs; raise :class:`ChaosError`
+    unless every leg recovers byte-identically (and, across legs, fires
+    identically).
+
+    ``export_argv(dir)`` / ``resume_argv(dir)`` build the CLI argument
+    lists (after the program name) for the export and its resume;
+    ``resume_argv`` is ``None`` for unresumable layouts, where any
+    nonzero chaos leg is a typed refusal.
+    """
+    from repro.engine import verify_manifest
+
+    os.makedirs(out_dir, exist_ok=True)
+    for line in describe_plan(plan):
+        echo(f"plan: {line}")
+
+    baseline_dir = os.path.join(out_dir, "baseline")
+    proc = _run_cli(export_argv(baseline_dir))
+    if proc.returncode != 0:
+        raise ChaosError(
+            f"fault-free baseline export failed ({_stderr_tail(proc)}); "
+            "fix the export arguments before injecting faults"
+        )
+    baseline_payload, baseline_fleet = _manifest_digests(baseline_dir)
+    echo(f"baseline: payload sha256 {baseline_payload}")
+
+    report = ChaosReport(plan, baseline_payload, baseline_fleet)
+    for run in range(1, runs + 1):
+        state_dir = os.path.join(out_dir, f"state-{run:02d}")
+        run_dir = os.path.join(out_dir, f"run-{run:02d}")
+        os.makedirs(state_dir, exist_ok=True)
+        plan_copy = os.path.join(state_dir, "plan.json")
+        plan.save(plan_copy)
+        proc = _run_cli(
+            export_argv(run_dir),
+            env={ENV_PLAN_FILE: plan_copy, ENV_STATE_DIR: state_dir},
+        )
+        repairs = 0
+        while proc.returncode != 0 and resume_argv is not None:
+            if repairs >= max_repairs:
+                raise ChaosError(
+                    f"run {run} still failing after {repairs} repair(s): "
+                    f"{_stderr_tail(proc)}"
+                )
+            repairs += 1
+            proc = _run_cli(resume_argv(run_dir))
+        firings = read_firings(os.path.join(state_dir, FIRING_LOG_NAME))
+        outcome = ChaosRunOutcome(run, proc.returncode, repairs, firings)
+        report.outcomes.append(outcome)
+        if proc.returncode != 0:
+            raise ChaosError(
+                f"run {run} is unrecoverable under this layout "
+                f"(exit {proc.returncode}: {_stderr_tail(proc)}; "
+                f"fired: {summarize_firings(firings)})"
+            )
+        verification = verify_manifest(os.path.join(run_dir, "manifest.json"))
+        if not verification.ok:
+            raise ChaosError(
+                f"run {run} finalised a manifest that fails verification: "
+                + "; ".join(verification.problems)
+            )
+        outcome.payload_sha256, outcome.fleet_sha256 = _manifest_digests(run_dir)
+        if (outcome.payload_sha256, outcome.fleet_sha256) != (
+            baseline_payload,
+            baseline_fleet,
+        ):
+            raise ChaosError(
+                f"run {run} recovered but DIVERGED from the fault-free "
+                f"baseline: payload {outcome.payload_sha256} vs "
+                f"{baseline_payload}"
+            )
+        echo(
+            f"run {run}: recovered byte-identical after {repairs} repair(s); "
+            f"fired: {summarize_firings(firings)}"
+        )
+
+    first_key = _replay_key(report.outcomes[0].firings)
+    for outcome in report.outcomes[1:]:
+        if _replay_key(outcome.firings) != first_key:
+            raise ChaosError(
+                f"fault firings are not replayable: run {outcome.run} fired "
+                f"[{summarize_firings(outcome.firings)}] but run 1 fired "
+                f"[{summarize_firings(report.outcomes[0].firings)}]"
+            )
+    return report
